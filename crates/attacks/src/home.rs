@@ -1,0 +1,269 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use mobipriv_geo::{LatLng, Seconds};
+use mobipriv_model::{Dataset, Trace, UserId};
+use mobipriv_poi::{detect_stay_points, StayPoint, StayPointConfig};
+use mobipriv_synth::{GroundTruth, SiteCategory};
+
+/// The home-identification adversary.
+///
+/// The paper's introduction singles this out as the end-game threat:
+/// "Learning users' POIs can ultimately lead to learn about the real
+/// identity of individuals" — and the canonical first step is finding
+/// the *home*, the place where every active day starts and ends.
+///
+/// Heuristic (standard in the literature): among a label's stay points,
+/// score each by the dwell accumulated during *rest hours* (evenings,
+/// nights and early mornings) plus the dwell of stays that open or
+/// close a session; the top-scoring location is the home guess.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HomeAttack {
+    staypoints: StayPointConfig,
+    /// A guess counts as correct within this distance of the true home.
+    pub tolerance_m: f64,
+    /// Hour of day (local, 0–23) after which dwell counts as rest time.
+    pub rest_starts_hour: u8,
+    /// Hour of day before which dwell counts as rest time.
+    pub rest_ends_hour: u8,
+}
+
+impl Default for HomeAttack {
+    fn default() -> Self {
+        HomeAttack {
+            staypoints: StayPointConfig::default(),
+            tolerance_m: 250.0,
+            rest_starts_hour: 19,
+            rest_ends_hour: 9,
+        }
+    }
+}
+
+/// Result of a [`HomeAttack`] run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HomeAttackOutcome {
+    /// Home guess per published label (None: no candidate stay at all).
+    pub guesses: BTreeMap<UserId, Option<LatLng>>,
+    /// Users whose true home was identified within the tolerance.
+    pub identified: usize,
+    /// Users evaluated (present in the ground truth).
+    pub evaluated: usize,
+}
+
+impl HomeAttackOutcome {
+    /// Fraction of evaluated users whose home was found.
+    pub fn accuracy(&self) -> f64 {
+        if self.evaluated == 0 {
+            0.0
+        } else {
+            self.identified as f64 / self.evaluated as f64
+        }
+    }
+}
+
+impl HomeAttack {
+    /// Creates the attack with an explicit stay-point configuration.
+    pub fn new(staypoints: StayPointConfig, tolerance_m: f64) -> Self {
+        HomeAttack {
+            staypoints,
+            tolerance_m,
+            ..HomeAttack::default()
+        }
+    }
+
+    /// Runs the attack on `published`, scoring against the generator's
+    /// ground truth (each user's true home = their `Home`-category
+    /// visit position).
+    pub fn run(&self, published: &Dataset, truth: &GroundTruth) -> HomeAttackOutcome {
+        // True home per user.
+        let mut true_homes: BTreeMap<UserId, LatLng> = BTreeMap::new();
+        for visit in truth.visits() {
+            if visit.category == SiteCategory::Home {
+                true_homes.entry(visit.user).or_insert(visit.position);
+            }
+        }
+        let mut guesses: BTreeMap<UserId, Option<LatLng>> = BTreeMap::new();
+        for (user, traces) in published.by_user() {
+            guesses.insert(user, self.guess_home(&traces));
+        }
+        // Label-agnostic scoring: a true home counts as identified when
+        // some label's guess lands on it (one-to-one, closest first).
+        // Pseudonymizing the labels therefore does not help — the homes
+        // are still exposed; linking them back to names is the separate
+        // re-identification step.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        let homes: Vec<&LatLng> = true_homes.values().collect();
+        let guessed: Vec<&LatLng> = guesses.values().flatten().collect();
+        for (hi, home) in homes.iter().enumerate() {
+            for (gi, guess) in guessed.iter().enumerate() {
+                let d = home.haversine_distance(**guess).get();
+                if d <= self.tolerance_m {
+                    pairs.push((d, hi, gi));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut home_used = vec![false; homes.len()];
+        let mut guess_used = vec![false; guessed.len()];
+        let mut identified = 0usize;
+        for (_, hi, gi) in pairs {
+            if !home_used[hi] && !guess_used[gi] {
+                home_used[hi] = true;
+                guess_used[gi] = true;
+                identified += 1;
+            }
+        }
+        HomeAttackOutcome {
+            guesses,
+            identified,
+            evaluated: homes.len(),
+        }
+    }
+
+    /// Returns the best home candidate for one label.
+    ///
+    /// Gambs-style "begin/end of the mobility day" heuristic: the home
+    /// is where the user is last seen each evening and first seen each
+    /// morning. The day-opening and day-closing stays are collected
+    /// across all the label's traces; the location recurring most often
+    /// among them wins, with accumulated rest-hour dwell as the
+    /// tie-breaker.
+    fn guess_home(&self, traces: &[&Trace]) -> Option<LatLng> {
+        // Stays per day, with their traces kept in chronological order.
+        let mut by_day: BTreeMap<i64, Vec<(&Trace, Vec<StayPoint>)>> = BTreeMap::new();
+        for trace in traces {
+            let stays = detect_stay_points(trace, &self.staypoints);
+            by_day
+                .entry(trace.start_time().get().div_euclid(86_400))
+                .or_default()
+                .push((trace, stays));
+        }
+        let mut endpoints: Vec<StayPoint> = Vec::new();
+        for day_traces in by_day.values_mut() {
+            day_traces.sort_by_key(|(t, _)| t.start_time());
+            // Day-opening stay: first stay of the first session with one.
+            if let Some(first) = day_traces.iter().find_map(|(_, s)| s.first()) {
+                endpoints.push(*first);
+            }
+            // Day-closing stay: last stay of the last session with one.
+            if let Some(last) = day_traces.iter().rev().find_map(|(_, s)| s.last()) {
+                endpoints.push(*last);
+            }
+        }
+        if endpoints.is_empty() {
+            return None;
+        }
+        // Cluster the endpoint centroids by tolerance; rank by
+        // (occurrences, rest-hour dwell).
+        let mut anchors: Vec<(usize, f64, LatLng)> = Vec::new();
+        for stay in &endpoints {
+            let rest = self.rest_overlap(stay).get();
+            match anchors.iter_mut().find(|(_, _, pos)| {
+                pos.haversine_distance(stay.centroid).get() <= self.tolerance_m
+            }) {
+                Some((count, dwell, _)) => {
+                    *count += 1;
+                    *dwell += rest;
+                }
+                None => anchors.push((1, rest, stay.centroid)),
+            }
+        }
+        anchors
+            .into_iter()
+            .max_by(|a, b| {
+                (a.0, a.1)
+                    .partial_cmp(&(b.0, b.1))
+                    .expect("finite scores")
+            })
+            .map(|(_, _, pos)| pos)
+    }
+
+    /// Seconds of the stay that fall in the rest window.
+    fn rest_overlap(&self, stay: &StayPoint) -> Seconds {
+        let mut total = 0.0;
+        let mut t = stay.arrival.get();
+        let end = stay.departure.get();
+        while t < end {
+            let hour = ((t.rem_euclid(86_400)) / 3_600) as u8;
+            let resting = if self.rest_starts_hour <= self.rest_ends_hour {
+                (self.rest_starts_hour..self.rest_ends_hour).contains(&hour)
+            } else {
+                hour >= self.rest_starts_hour || hour < self.rest_ends_hour
+            };
+            // Advance to the next hour boundary.
+            let next = ((t / 3_600) + 1) * 3_600;
+            let step = next.min(end) - t;
+            if resting {
+                total += step as f64;
+            }
+            t = next.min(end);
+        }
+        Seconds::new(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobipriv_core::{Mechanism, Promesse};
+    use mobipriv_synth::scenarios;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn finds_homes_on_raw_data() {
+        let out = scenarios::commuter_town(6, 2, 31);
+        let outcome = HomeAttack::default().run(&out.dataset, &out.truth);
+        assert_eq!(outcome.evaluated, 6);
+        assert!(
+            outcome.accuracy() > 0.6,
+            "raw home accuracy {}",
+            outcome.accuracy()
+        );
+    }
+
+    #[test]
+    fn smoothing_defeats_home_identification() {
+        let out = scenarios::commuter_town(6, 2, 31);
+        let mut rng = StdRng::seed_from_u64(0);
+        let published = Promesse::new(100.0).unwrap().protect(&out.dataset, &mut rng);
+        let outcome = HomeAttack::default().run(&published, &out.truth);
+        assert!(
+            outcome.accuracy() < 0.2,
+            "smoothed home accuracy {}",
+            outcome.accuracy()
+        );
+    }
+
+    #[test]
+    fn empty_dataset_scores_zero() {
+        let out = scenarios::commuter_town(2, 1, 31);
+        let outcome = HomeAttack::default().run(&Dataset::new(), &out.truth);
+        assert_eq!(outcome.accuracy(), 0.0);
+        assert_eq!(outcome.identified, 0);
+        assert!(outcome.guesses.is_empty());
+    }
+
+    #[test]
+    fn rest_overlap_hours() {
+        let attack = HomeAttack::default();
+        let stay = |arrival: i64, departure: i64| StayPoint {
+            centroid: LatLng::new(45.0, 5.0).unwrap(),
+            arrival: mobipriv_model::Timestamp::new(arrival),
+            departure: mobipriv_model::Timestamp::new(departure),
+            fix_count: 10,
+        };
+        // Midnight to 02:00 is rest time.
+        assert_eq!(attack.rest_overlap(&stay(0, 7_200)).get(), 7_200.0);
+        // Noon to 14:00 is not.
+        assert_eq!(attack.rest_overlap(&stay(43_200, 50_400)).get(), 0.0);
+        // 18:00 to 20:00 straddles the 19:00 boundary: one hour counts.
+        assert_eq!(attack.rest_overlap(&stay(64_800, 72_000)).get(), 3_600.0);
+    }
+
+    #[test]
+    fn accuracy_of_empty_outcome_is_zero() {
+        assert_eq!(HomeAttackOutcome::default().accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! P1 — attack cost: POI extraction, re-identification linking and the
+//! de-identified tracker on a commuter workload.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mobipriv_attacks::{PoiAttack, ReidentAttack, Tracker};
+use mobipriv_synth::scenarios;
+
+fn bench_attacks(c: &mut Criterion) {
+    let out = scenarios::commuter_town(8, 2, 42);
+    let dataset = out.dataset;
+    let truth = out.truth;
+    let (train, test) = dataset.partition_by_time(mobipriv_model::Timestamp::new(86_400));
+    let fixes = dataset.total_fixes() as u64;
+
+    let mut group = c.benchmark_group("attacks");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(fixes));
+    group.bench_function("poi_attack", |b| {
+        let attack = PoiAttack::default();
+        b.iter(|| attack.run(&dataset, &truth))
+    });
+    group.bench_function("reident", |b| {
+        let attack = ReidentAttack::default();
+        b.iter(|| attack.run(&train, &test))
+    });
+    group.bench_function("tracker", |b| {
+        let tracker = Tracker::default();
+        b.iter(|| tracker.run(&dataset))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attacks);
+criterion_main!(benches);

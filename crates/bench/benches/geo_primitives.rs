@@ -1,0 +1,50 @@
+//! P1 — geometry substrate cost: the hot primitives every mechanism
+//! leans on (haversine, polyline interpolation/resampling, grid-index
+//! radius queries).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mobipriv_geo::{GridIndex, LatLng, Meters, Point, Polyline};
+
+fn bench_geo(c: &mut Criterion) {
+    let a = LatLng::new(45.7640, 4.8357).unwrap();
+    let b = LatLng::new(45.7700, 4.8400).unwrap();
+    c.bench_function("haversine", |bch| bch.iter(|| a.haversine_distance(b)));
+
+    // A 10 000-vertex zig-zag polyline.
+    let vertices: Vec<Point> = (0..10_000)
+        .map(|i| Point::new(i as f64 * 10.0, if i % 2 == 0 { 0.0 } else { 50.0 }))
+        .collect();
+    let line = Polyline::new(vertices).unwrap();
+    let mut group = c.benchmark_group("polyline");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("point_at", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..1_000 {
+                acc += line.point_at(Meters::new(i as f64 * 100.0)).point.x;
+            }
+            acc
+        })
+    });
+    group.bench_function("resample_50m", |bch| {
+        bch.iter(|| line.resample_by_distance(Meters::new(50.0)).unwrap().len())
+    });
+    group.finish();
+
+    let mut index = GridIndex::new(100.0).unwrap();
+    for i in 0..50_000 {
+        let x = (i % 1_000) as f64 * 10.0;
+        let y = (i / 1_000) as f64 * 10.0;
+        index.insert(Point::new(x, y), i);
+    }
+    c.bench_function("grid_radius_query", |bch| {
+        bch.iter(|| {
+            index
+                .neighbours_within(Point::new(5_000.0, 250.0), 100.0)
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_geo);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! P1 — mechanism throughput: how fast each mechanism protects a
+//! commuter-town workload (points per second follow from the measured
+//! time and the printed workload size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mobipriv_core::{GeoInd, GridGeneralization, KDelta, Mechanism, Promesse};
+use mobipriv_synth::scenarios;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let out = scenarios::commuter_town(10, 2, 42);
+    let dataset = out.dataset;
+    let fixes = dataset.total_fixes() as u64;
+    let mut group = c.benchmark_group("mechanisms");
+    group.throughput(Throughput::Elements(fixes));
+
+    let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
+        ("promesse_100m", Box::new(Promesse::new(100.0).unwrap())),
+        ("geoind_eps0.01", Box::new(GeoInd::new(0.01).unwrap())),
+        ("grid_250m", Box::new(GridGeneralization::new(250.0).unwrap())),
+        ("kdelta_k2_d500", Box::new(KDelta::new(2, 500.0).unwrap())),
+    ];
+    for (name, mechanism) in &mechanisms {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dataset, |b, d| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                mechanism.protect(d, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! P1 — mix-zone pipeline cost: zone detection alone and the full
+//! suppress-and-swap mechanism, per zone radius.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mobipriv_core::{detect_mix_zones, Mechanism, MixZoneConfig, MixZones};
+use mobipriv_synth::scenarios;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mixzones(c: &mut Criterion) {
+    let out = scenarios::dense_downtown(10, 1, 42);
+    let dataset = out.dataset;
+    let fixes = dataset.total_fixes() as u64;
+
+    let mut group = c.benchmark_group("mixzones");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(fixes));
+    for radius in [50.0, 100.0, 200.0] {
+        let config = MixZoneConfig {
+            radius_m: radius,
+            ..MixZoneConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("detect", radius as u64),
+            &dataset,
+            |b, d| b.iter(|| detect_mix_zones(d, &config)),
+        );
+        let mechanism = MixZones::new(config.clone()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("protect", radius as u64),
+            &dataset,
+            |b, d| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    mechanism.protect(d, &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixzones);
+criterion_main!(benches);

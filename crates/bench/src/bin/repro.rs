@@ -1,0 +1,57 @@
+//! The reproduction harness CLI: regenerates every figure/table of the
+//! experiment index (DESIGN.md §4).
+//!
+//! ```text
+//! repro [--smoke] <experiment>
+//!
+//! experiments:
+//!   fig1            Fig. 1 panels (raw / smoothed / swapped)
+//!   t1-poi-hiding   POI-retrieval attack vs every mechanism
+//!   t2-utility      spatial distortion / coverage / query error
+//!   t3-reident      re-identification accuracy
+//!   t4-mixzones     mix-zone statistics vs radius
+//!   t5-sampling     smoothing error vs GPS sampling rate
+//!   t6-alpha        Promesse α ablation
+//!   t7-kdelta       (k, δ) baseline on two workloads
+//!   t8-confusion    tracker confusion vs crossing density
+//!   t9-home         home-identification attack vs every mechanism
+//!   all             everything above
+//! ```
+
+use mobipriv_bench::experiments;
+use mobipriv_bench::ExperimentScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::Full;
+    let mut command = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--smoke" => scale = ExperimentScale::Smoke,
+            name if command.is_none() => command = Some(name.to_owned()),
+            other => {
+                eprintln!("unexpected argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let command = command.unwrap_or_else(|| "all".to_owned());
+    let output = match command.as_str() {
+        "fig1" => experiments::fig1(scale),
+        "t1-poi-hiding" => experiments::t1_poi_hiding(scale),
+        "t2-utility" => experiments::t2_utility(scale),
+        "t3-reident" => experiments::t3_reident(scale),
+        "t4-mixzones" => experiments::t4_mixzones(scale),
+        "t5-sampling" => experiments::t5_sampling(scale),
+        "t6-alpha" => experiments::t6_alpha(scale),
+        "t7-kdelta" => experiments::t7_kdelta(scale),
+        "t8-confusion" => experiments::t8_confusion(scale),
+        "t9-home" => experiments::t9_home(scale),
+        "all" => experiments::run_all(scale),
+        other => {
+            eprintln!("unknown experiment `{other}`; see --help in the module docs");
+            std::process::exit(2);
+        }
+    };
+    println!("{output}");
+}

@@ -1,0 +1,51 @@
+//! Shared plumbing for the experiments.
+
+use mobipriv_core::Mechanism;
+use mobipriv_model::Dataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How big a workload the experiments run on.
+///
+/// `Smoke` keeps integration tests fast; `Full` is what the published
+/// numbers in `EXPERIMENTS.md` use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Tiny workloads for CI (seconds).
+    Smoke,
+    /// The EXPERIMENTS.md workloads (a few minutes, release build).
+    Full,
+}
+
+impl ExperimentScale {
+    /// (users, days) for the commuter-town workloads.
+    pub fn commuter(self) -> (usize, usize) {
+        match self {
+            ExperimentScale::Smoke => (6, 2),
+            ExperimentScale::Full => (20, 4),
+        }
+    }
+
+    /// (users, days) for the dense-downtown workloads.
+    pub fn downtown(self) -> (usize, usize) {
+        match self {
+            ExperimentScale::Smoke => (8, 1),
+            ExperimentScale::Full => (20, 2),
+        }
+    }
+}
+
+/// Applies a mechanism with a fixed seed (all experiments are
+/// deterministic end to end).
+pub fn protect_seeded(mechanism: &dyn Mechanism, dataset: &Dataset, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    mechanism.protect(dataset, &mut rng)
+}
+
+/// Fraction of input fixes that survived into the published dataset.
+pub fn published_ratio(raw: &Dataset, published: &Dataset) -> f64 {
+    if raw.total_fixes() == 0 {
+        return 0.0;
+    }
+    published.total_fixes() as f64 / raw.total_fixes() as f64
+}

@@ -1,0 +1,48 @@
+//! One module per reproduced figure/table. See `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded outcomes.
+
+mod common;
+mod fig1;
+mod t1_poi_hiding;
+mod t2_utility;
+mod t3_reident;
+mod t4_mixzones;
+mod t5_sampling;
+mod t6_alpha;
+mod t7_kdelta;
+mod t8_confusion;
+mod t9_home;
+
+pub use common::ExperimentScale;
+pub use fig1::fig1;
+pub use t1_poi_hiding::t1_poi_hiding;
+pub use t2_utility::t2_utility;
+pub use t3_reident::t3_reident;
+pub use t4_mixzones::t4_mixzones;
+pub use t5_sampling::t5_sampling;
+pub use t6_alpha::t6_alpha;
+pub use t7_kdelta::t7_kdelta;
+pub use t8_confusion::t8_confusion;
+pub use t9_home::t9_home;
+
+/// Runs every experiment at the given scale and concatenates the
+/// outputs (the `repro all` command).
+pub fn run_all(scale: ExperimentScale) -> String {
+    let mut out = String::new();
+    for (name, body) in [
+        ("F1 (Fig. 1)", fig1(scale)),
+        ("T1 poi-hiding", t1_poi_hiding(scale)),
+        ("T2 utility", t2_utility(scale)),
+        ("T3 re-identification", t3_reident(scale)),
+        ("T4 mix-zones", t4_mixzones(scale)),
+        ("T5 sampling-rate", t5_sampling(scale)),
+        ("T6 alpha-ablation", t6_alpha(scale)),
+        ("T7 k-delta", t7_kdelta(scale)),
+        ("T8 path-confusion", t8_confusion(scale)),
+        ("T9 home-identification", t9_home(scale)),
+    ] {
+        out.push_str(&format!("\n===== {name} =====\n"));
+        out.push_str(&body);
+    }
+    out
+}

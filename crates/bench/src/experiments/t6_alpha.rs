@@ -1,0 +1,58 @@
+//! T6 — ablation of Promesse's single parameter: the spatial interval α.
+//!
+//! Small α keeps more geometry (lower distortion) but trims less around
+//! the endpoints; large α coarsens geometry and — past the point where
+//! the uniform time step `Δt = T·α/L` exceeds the attacker's dwell
+//! threshold — re-enters a degenerate regime where *every* published
+//! point looks like a stay ("fake stays"), destroying precision rather
+//! than recall. The sweep exposes both ends.
+
+use mobipriv_attacks::PoiAttack;
+use mobipriv_core::Promesse;
+use mobipriv_metrics::{spatial, Table};
+use mobipriv_synth::scenarios;
+
+use super::common::{protect_seeded, published_ratio, ExperimentScale};
+
+/// Sweeps α and renders the table.
+pub fn t6_alpha(scale: ExperimentScale) -> String {
+    let (users, days) = scale.commuter();
+    let out = scenarios::commuter_town(users, days, 606);
+    let mut table = Table::new(vec![
+        "alpha(m)",
+        "pts-on-path(m)",
+        "detail-loss(m)",
+        "detail-p95(m)",
+        "poi-recall",
+        "poi-precision",
+        "pub-traces",
+        "pts-kept",
+    ]);
+    for alpha in [25.0, 50.0, 100.0, 200.0, 400.0, 800.0] {
+        let mechanism = Promesse::new(alpha).expect("valid alpha");
+        let protected = protect_seeded(&mechanism, &out.dataset, 17_000);
+        // Forward: published points vs the true path (≈ 0 by design —
+        // smoothing re-samples the path itself).
+        let forward = spatial::dataset_distortion(&out.dataset, &protected);
+        // Reverse: true points vs the published polyline — the path
+        // detail an analyst can no longer reconstruct; this is the real
+        // α cost (corner cutting grows with α).
+        let reverse = spatial::dataset_distortion(&protected, &out.dataset);
+        let outcome = PoiAttack::default().run(&protected, &out.truth);
+        table.row(vec![
+            format!("{alpha}"),
+            Table::num(forward.mean),
+            Table::num(reverse.mean),
+            Table::num(reverse.p95),
+            Table::num(outcome.overall.recall),
+            Table::num(outcome.overall.precision),
+            protected.len().to_string(),
+            Table::pct(published_ratio(&out.dataset, &protected)),
+        ]);
+    }
+    format!(
+        "{table}\nshape targets: published points stay on the true path (pts-on-path ≈ 0);\n\
+         reconstruction detail-loss grows with α; recall ≈ 0 for moderate α; short\n\
+         sessions get suppressed as α approaches their path length.\n"
+    )
+}

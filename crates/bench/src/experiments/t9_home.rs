@@ -1,0 +1,55 @@
+//! T9 — home identification: the end-game semantic attack of the
+//! paper's introduction ("learning users' POIs can ultimately lead to
+//! learn about the real identity of individuals"), measured against
+//! every mechanism.
+
+use mobipriv_attacks::HomeAttack;
+use mobipriv_core::{
+    GeoInd, GridGeneralization, Identity, Mechanism, Promesse, Pseudonymize,
+};
+use mobipriv_metrics::Table;
+use mobipriv_poi::StayPointConfig;
+use mobipriv_synth::scenarios;
+
+use super::common::{protect_seeded, ExperimentScale};
+
+/// Runs the home-identification matrix and renders the table.
+pub fn t9_home(scale: ExperimentScale) -> String {
+    let (users, days) = scale.commuter();
+    let out = scenarios::commuter_town(users, days, 909);
+    let rows: Vec<(Box<dyn Mechanism>, f64)> = vec![
+        (Box::new(Identity), 0.0),
+        (Box::new(Pseudonymize::new()), 0.0),
+        (Box::new(Promesse::new(100.0).expect("valid")), 0.0),
+        (Box::new(GeoInd::new(0.1).expect("valid")), 20.0),
+        (Box::new(GeoInd::new(0.01).expect("valid")), 200.0),
+        (Box::new(GridGeneralization::new(250.0).expect("valid")), 125.0),
+    ];
+    let mut table = Table::new(vec!["mechanism", "homes-found", "accuracy"]);
+    for (seed, (mechanism, noise)) in rows.iter().enumerate() {
+        let protected = protect_seeded(mechanism.as_ref(), &out.dataset, 19_000 + seed as u64);
+        // Tune the stay detector like the POI attack does.
+        let attack = if *noise > 0.0 {
+            HomeAttack::new(
+                StayPointConfig {
+                    max_radius_m: 100.0 + 2.5 * noise,
+                    ..StayPointConfig::default()
+                },
+                250.0 + noise,
+            )
+        } else {
+            HomeAttack::default()
+        };
+        let outcome = attack.run(&protected, &out.truth);
+        table.row(vec![
+            mechanism.name(),
+            format!("{}/{}", outcome.identified, outcome.evaluated),
+            Table::num(outcome.accuracy()),
+        ]);
+    }
+    format!(
+        "{table}\nshape targets: raw and pseudonymized releases expose almost every home\n\
+         (pseudonyms do not help at all — the paper's opening warning); speed smoothing\n\
+         drives accuracy to ≈ 0; perturbation baselines stay exposed.\n"
+    )
+}

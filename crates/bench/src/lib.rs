@@ -1,0 +1,23 @@
+//! Reproduction harness for *"Privacy-preserving Publication of Mobility
+//! Data with High Utility"* (ICDCS'15).
+//!
+//! Each module under [`experiments`] regenerates one figure or table of
+//! the experiment index in `DESIGN.md` (the paper is a 2-page overview,
+//! so the quantitative tables instantiate the evaluation its conclusion
+//! promises). The `repro` binary dispatches to them:
+//!
+//! ```text
+//! cargo run --release -p mobipriv-bench --bin repro -- all
+//! cargo run --release -p mobipriv-bench --bin repro -- t1-poi-hiding
+//! ```
+//!
+//! Every experiment is deterministic given its seed and returns its
+//! output as a `String`, so integration tests can assert on the shape
+//! of the results.
+
+#![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
+
+pub mod experiments;
+
+pub use experiments::ExperimentScale;

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring a protection mechanism.
+///
+/// Mechanisms validate their parameters at construction time
+/// (C-VALIDATE); [`Mechanism::protect`](crate::Mechanism::protect)
+/// itself is infallible.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter that must be strictly positive and finite was not.
+    InvalidParameter {
+        /// Name of the parameter (e.g. `"alpha"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// `k` of a (k, δ) mechanism must be at least 2.
+    KTooSmall(usize),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { what, value } => {
+                write!(f, "parameter `{what}` must be strictly positive and finite, got {value}")
+            }
+            CoreError::KTooSmall(k) => write!(f, "k must be at least 2, got {k}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+/// Validates that `value` is strictly positive and finite.
+pub(crate) fn require_positive(what: &'static str, value: f64) -> Result<f64, CoreError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(CoreError::InvalidParameter { what, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CoreError::InvalidParameter {
+            what: "alpha",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(CoreError::KTooSmall(1).to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn require_positive_accepts_and_rejects() {
+        assert_eq!(require_positive("x", 2.0).unwrap(), 2.0);
+        assert!(require_positive("x", 0.0).is_err());
+        assert!(require_positive("x", -1.0).is_err());
+        assert!(require_positive("x", f64::NAN).is_err());
+        assert!(require_positive("x", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

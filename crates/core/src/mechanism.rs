@@ -1,0 +1,235 @@
+use rand::RngCore;
+
+use mobipriv_model::Dataset;
+
+/// A location-privacy protection mechanism: a transformation from a raw
+/// dataset to a publishable one.
+///
+/// The trait is object-safe so experiment harnesses can sweep over
+/// heterogeneous mechanism lists (`Vec<Box<dyn Mechanism>>`).
+/// Randomized mechanisms draw from the supplied `rng`; deterministic
+/// ones ignore it — passing a seeded RNG therefore makes any experiment
+/// reproducible.
+///
+/// ```
+/// use mobipriv_core::{Identity, Mechanism};
+/// use mobipriv_model::Dataset;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let raw = Dataset::new();
+/// let out = Identity.protect(&raw, &mut rng);
+/// assert_eq!(out, raw);
+/// ```
+pub trait Mechanism {
+    /// A short machine-friendly name (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Produces the protected version of `dataset`.
+    ///
+    /// Mechanisms may drop fixes, traces, or relabel users — but they
+    /// never invent users that were not present in the input.
+    fn protect(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Dataset;
+}
+
+/// The no-op mechanism: publishes the dataset unchanged. The "Raw" row
+/// of every comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Identity;
+
+impl Mechanism for Identity {
+    fn name(&self) -> String {
+        "raw".to_owned()
+    }
+
+    fn protect(&self, dataset: &Dataset, _rng: &mut dyn RngCore) -> Dataset {
+        dataset.clone()
+    }
+}
+
+/// Naive de-identification: every trace is republished under a fresh
+/// random pseudonym, locations untouched.
+///
+/// This is the "simple anonymization technique" the paper's abstract
+/// warns "might lead to severe privacy threats": it removes the direct
+/// identifier but leaves every quasi-identifier (home, work, habits) in
+/// place, so a POI-profile linking attack re-identifies users almost
+/// perfectly (experiment T3).
+///
+/// ```
+/// use mobipriv_core::{Mechanism, Pseudonymize};
+/// use mobipriv_model::Dataset;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let out = Pseudonymize::default().protect(&Dataset::new(), &mut rng);
+/// assert!(out.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pseudonymize {
+    /// When `true` (default) all traces of one user share one pseudonym
+    /// (linkable release); when `false` every trace gets its own
+    /// (session-unlinkable release).
+    per_user: bool,
+}
+
+impl Pseudonymize {
+    /// Creates the per-user variant: one stable pseudonym per user.
+    pub fn new() -> Self {
+        Pseudonymize { per_user: true }
+    }
+
+    /// Switches to one fresh pseudonym per trace.
+    pub fn per_trace(mut self) -> Self {
+        self.per_user = false;
+        self
+    }
+}
+
+impl Default for Pseudonymize {
+    fn default() -> Self {
+        Pseudonymize::new()
+    }
+}
+
+impl Mechanism for Pseudonymize {
+    fn name(&self) -> String {
+        if self.per_user {
+            "pseudonyms".to_owned()
+        } else {
+            "pseudonyms/trace".to_owned()
+        }
+    }
+
+    fn protect(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Dataset {
+        use mobipriv_model::UserId;
+        use std::collections::BTreeMap;
+        // Draw a random injective relabelling. Collisions are resolved
+        // by re-drawing; the id space (u64) makes them negligible.
+        let mut assigned: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut fresh = |rng: &mut dyn RngCore| -> UserId {
+            loop {
+                let candidate = rng.next_u64();
+                if assigned.insert(candidate) {
+                    return UserId::new(candidate);
+                }
+            }
+        };
+        if self.per_user {
+            let mut map: BTreeMap<UserId, UserId> = BTreeMap::new();
+            for user in dataset.users() {
+                let pseudonym = fresh(rng);
+                map.insert(user, pseudonym);
+            }
+            dataset.map(|t| t.with_user(map[&t.user()]))
+        } else {
+            let mut out = Dataset::new();
+            for trace in dataset.traces() {
+                out.push(trace.with_user(fresh(rng)));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobipriv_geo::LatLng;
+    use mobipriv_model::{Fix, Timestamp, Trace, UserId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_identity() {
+        let trace = Trace::new(
+            UserId::new(1),
+            vec![Fix::new(
+                LatLng::new(45.0, 5.0).unwrap(),
+                Timestamp::new(0),
+            )],
+        )
+        .unwrap();
+        let d = Dataset::from_traces(vec![trace]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Identity.protect(&d, &mut rng), d);
+        assert_eq!(Identity.name(), "raw");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mechanisms: Vec<Box<dyn Mechanism>> =
+            vec![Box::new(Identity), Box::new(Pseudonymize::default())];
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Dataset::new();
+        for m in &mechanisms {
+            let _ = m.protect(&d, &mut rng);
+        }
+    }
+
+    fn two_user_dataset() -> Dataset {
+        let make = |user: u64, day: i64| {
+            Trace::new(
+                UserId::new(user),
+                vec![
+                    Fix::new(
+                        LatLng::new(45.0, 5.0).unwrap(),
+                        Timestamp::new(day * 86_400),
+                    ),
+                    Fix::new(
+                        LatLng::new(45.01, 5.0).unwrap(),
+                        Timestamp::new(day * 86_400 + 100),
+                    ),
+                ],
+            )
+            .unwrap()
+        };
+        Dataset::from_traces(vec![make(1, 0), make(1, 1), make(2, 0)])
+    }
+
+    #[test]
+    fn pseudonymize_per_user_is_consistent_and_injective() {
+        let d = two_user_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = Pseudonymize::new().protect(&d, &mut rng);
+        assert_eq!(out.len(), 3);
+        // User 1's two traces share a pseudonym; user 2's differs.
+        let p0 = out.traces()[0].user();
+        let p1 = out.traces()[1].user();
+        let p2 = out.traces()[2].user();
+        assert_eq!(p0, p1);
+        assert_ne!(p0, p2);
+        // Positions and times untouched.
+        for (a, b) in d.traces().iter().zip(out.traces()) {
+            assert_eq!(a.fixes(), b.fixes());
+        }
+    }
+
+    #[test]
+    fn pseudonymize_per_trace_unlinks_sessions() {
+        let d = two_user_dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = Pseudonymize::new().per_trace().protect(&d, &mut rng);
+        let mut pseudonyms: Vec<_> = out.traces().iter().map(|t| t.user()).collect();
+        pseudonyms.sort_unstable();
+        pseudonyms.dedup();
+        assert_eq!(pseudonyms.len(), 3, "every trace gets its own pseudonym");
+    }
+
+    #[test]
+    fn pseudonymize_is_deterministic_per_seed() {
+        let d = two_user_dataset();
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(
+            Pseudonymize::new().protect(&d, &mut r1),
+            Pseudonymize::new().protect(&d, &mut r2)
+        );
+    }
+
+    #[test]
+    fn pseudonymize_names() {
+        assert_eq!(Pseudonymize::new().name(), "pseudonyms");
+        assert_eq!(Pseudonymize::new().per_trace().name(), "pseudonyms/trace");
+    }
+}

@@ -1,0 +1,81 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometric constructors and queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeoError {
+    /// A latitude was outside `[-90, 90]` or not finite.
+    InvalidLatitude(f64),
+    /// A longitude was outside `[-180, 180]` or not finite.
+    InvalidLongitude(f64),
+    /// A coordinate component was NaN or infinite.
+    NotFinite {
+        /// Name of the offending quantity (e.g. `"x"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A quantity that must be strictly positive was not.
+    NonPositive {
+        /// Name of the offending quantity (e.g. `"cell size"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An operation needed a non-empty geometry but got an empty one.
+    EmptyGeometry(&'static str),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} is outside [-90, 90] or not finite")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} is outside [-180, 180] or not finite")
+            }
+            GeoError::NotFinite { what, value } => write!(f, "{what} is not finite: {value}"),
+            GeoError::NonPositive { what, value } => {
+                write!(f, "{what} must be strictly positive, got {value}")
+            }
+            GeoError::EmptyGeometry(what) => write!(f, "{what} requires a non-empty geometry"),
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let cases = [
+            GeoError::InvalidLatitude(91.0),
+            GeoError::InvalidLongitude(-200.0),
+            GeoError::NotFinite {
+                what: "x",
+                value: f64::NAN,
+            },
+            GeoError::NonPositive {
+                what: "cell size",
+                value: 0.0,
+            },
+            GeoError::EmptyGeometry("polyline"),
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

@@ -1,0 +1,266 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, Point};
+
+/// The integer coordinates of a grid cell.
+///
+/// Cells are `cell_size × cell_size` meter squares; a point `(x, y)` lives
+/// in cell `(⌊x/s⌋, ⌊y/s⌋)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId {
+    /// Column index (east).
+    pub cx: i64,
+    /// Row index (north).
+    pub cy: i64,
+}
+
+impl CellId {
+    /// Creates a cell id from raw indices.
+    pub const fn new(cx: i64, cy: i64) -> Self {
+        CellId { cx, cy }
+    }
+
+    /// The 8 neighbouring cells plus the cell itself (Moore neighbourhood).
+    pub fn neighbourhood(self) -> impl Iterator<Item = CellId> {
+        (-1..=1).flat_map(move |dy| {
+            (-1..=1).map(move |dx| CellId::new(self.cx + dx, self.cy + dy))
+        })
+    }
+}
+
+/// A uniform spatial hash over planar points.
+///
+/// `GridIndex` buckets inserted items by the cell containing their
+/// location; [`neighbours_within`](GridIndex::neighbours_within) then only
+/// has to inspect a 3×3 block of cells, which makes radius queries with
+/// `radius ≤ cell_size` run in time proportional to the number of *local*
+/// items instead of the whole dataset.
+///
+/// ```
+/// use mobipriv_geo::{GridIndex, Point};
+/// # fn main() -> Result<(), mobipriv_geo::GeoError> {
+/// let mut idx = GridIndex::new(50.0)?;
+/// idx.insert(Point::new(0.0, 0.0), "a");
+/// idx.insert(Point::new(10.0, 0.0), "b");
+/// idx.insert(Point::new(500.0, 0.0), "c");
+/// let near: Vec<_> = idx.neighbours_within(Point::new(1.0, 0.0), 20.0).collect();
+/// assert_eq!(near.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_size: f64,
+    cells: HashMap<CellId, Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an index with square cells of side `cell_size` meters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonPositive`] when `cell_size` is not a strictly
+    /// positive finite number.
+    pub fn new(cell_size: f64) -> Result<Self, GeoError> {
+        if !cell_size.is_finite() || cell_size <= 0.0 {
+            return Err(GeoError::NonPositive {
+                what: "cell size",
+                value: cell_size,
+            });
+        }
+        Ok(GridIndex {
+            cell_size,
+            cells: HashMap::new(),
+            len: 0,
+        })
+    }
+
+    /// The configured cell side in meters.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of inserted items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no item has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The cell containing `p`.
+    pub fn cell_of(&self, p: Point) -> CellId {
+        CellId::new(
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Inserts `item` at location `p`.
+    pub fn insert(&mut self, p: Point, item: T) {
+        let cell = self.cell_of(p);
+        self.cells.entry(cell).or_default().push((p, item));
+        self.len += 1;
+    }
+
+    /// All items whose location is within `radius` meters of `query`
+    /// (inclusive), in unspecified order.
+    ///
+    /// Complete only for `radius ≤ cell_size`; larger radii are handled by
+    /// scanning the necessary block of cells, so correctness holds for any
+    /// radius, at proportional cost.
+    pub fn neighbours_within(&self, query: Point, radius: f64) -> impl Iterator<Item = &T> {
+        self.entries_within(query, radius).map(|(_, item)| item)
+    }
+
+    /// Like [`neighbours_within`](GridIndex::neighbours_within) but also
+    /// yields the stored locations.
+    pub fn entries_within(
+        &self,
+        query: Point,
+        radius: f64,
+    ) -> impl Iterator<Item = (Point, &T)> {
+        let r = radius.max(0.0);
+        let reach = (r / self.cell_size).ceil() as i64;
+        let center = self.cell_of(query);
+        let r_sq = r * r;
+        (-reach..=reach)
+            .flat_map(move |dy| (-reach..=reach).map(move |dx| (dx, dy)))
+            .filter_map(move |(dx, dy)| {
+                self.cells.get(&CellId::new(center.cx + dx, center.cy + dy))
+            })
+            .flatten()
+            .filter(move |(p, _)| p.distance_sq(query) <= r_sq)
+            .map(|(p, item)| (*p, item))
+    }
+
+    /// Iterates over every `(cell, items)` bucket.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (CellId, &[(Point, T)])> {
+        self.cells.iter().map(|(id, v)| (*id, v.as_slice()))
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.cells.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        assert!(GridIndex::<u32>::new(0.0).is_err());
+        assert!(GridIndex::<u32>::new(-1.0).is_err());
+        assert!(GridIndex::<u32>::new(f64::NAN).is_err());
+        assert!(GridIndex::<u32>::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn cell_of_uses_floor() {
+        let idx = GridIndex::<u32>::new(10.0).unwrap();
+        assert_eq!(idx.cell_of(Point::new(0.0, 0.0)), CellId::new(0, 0));
+        assert_eq!(idx.cell_of(Point::new(9.9, 9.9)), CellId::new(0, 0));
+        assert_eq!(idx.cell_of(Point::new(10.0, 0.0)), CellId::new(1, 0));
+        assert_eq!(idx.cell_of(Point::new(-0.1, -0.1)), CellId::new(-1, -1));
+    }
+
+    #[test]
+    fn radius_query_respects_boundary() {
+        let mut idx = GridIndex::new(50.0).unwrap();
+        idx.insert(Point::new(0.0, 0.0), 1);
+        idx.insert(Point::new(30.0, 0.0), 2);
+        idx.insert(Point::new(51.0, 0.0), 3);
+        let mut found: Vec<i32> = idx
+            .neighbours_within(Point::new(0.0, 0.0), 30.0)
+            .copied()
+            .collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![1, 2]); // inclusive boundary at 30 m
+    }
+
+    #[test]
+    fn query_across_cell_borders() {
+        let mut idx = GridIndex::new(10.0).unwrap();
+        idx.insert(Point::new(9.0, 9.0), "a");
+        idx.insert(Point::new(11.0, 11.0), "b");
+        // Query sits in cell (1,1) but "a" is in cell (0,0): must be found.
+        let found: Vec<_> = idx
+            .neighbours_within(Point::new(10.5, 10.5), 5.0)
+            .collect();
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn radius_larger_than_cell_is_still_complete() {
+        let mut idx = GridIndex::new(10.0).unwrap();
+        for i in 0..20 {
+            idx.insert(Point::new(i as f64 * 10.0, 0.0), i);
+        }
+        let found: Vec<_> = idx
+            .neighbours_within(Point::new(0.0, 0.0), 95.0)
+            .collect();
+        assert_eq!(found.len(), 10); // items at 0..=90 m inclusive
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut idx = GridIndex::new(10.0).unwrap();
+        assert!(idx.is_empty());
+        idx.insert(Point::new(0.0, 0.0), ());
+        idx.insert(Point::new(100.0, 0.0), ());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.occupied_cells(), 2);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.occupied_cells(), 0);
+    }
+
+    #[test]
+    fn neighbourhood_has_nine_cells() {
+        let cells: Vec<_> = CellId::new(0, 0).neighbourhood().collect();
+        assert_eq!(cells.len(), 9);
+        assert!(cells.contains(&CellId::new(-1, -1)));
+        assert!(cells.contains(&CellId::new(1, 1)));
+        assert!(cells.contains(&CellId::new(0, 0)));
+    }
+
+    #[test]
+    fn entries_within_returns_locations() {
+        let mut idx = GridIndex::new(10.0).unwrap();
+        idx.insert(Point::new(1.0, 2.0), 7);
+        let (p, v) = idx
+            .entries_within(Point::new(0.0, 0.0), 5.0)
+            .next()
+            .unwrap();
+        assert_eq!(p, Point::new(1.0, 2.0));
+        assert_eq!(*v, 7);
+    }
+
+    #[test]
+    fn negative_radius_finds_nothing() {
+        let mut idx = GridIndex::new(10.0).unwrap();
+        idx.insert(Point::new(0.0, 0.0), ());
+        // radius clamped to 0: only exact matches
+        assert_eq!(
+            idx.neighbours_within(Point::new(0.0, 0.0), -5.0).count(),
+            1
+        );
+        assert_eq!(
+            idx.neighbours_within(Point::new(1.0, 0.0), -5.0).count(),
+            0
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! In-crate property tests for the geometric substrate (complementing
+//! the cross-crate suites at the workspace root).
+
+use mobipriv_geo::{BoundingBox, LatLng, Meters, MetersPerSecond, Point, Rect, Seconds};
+use proptest::prelude::*;
+
+fn arb_latlng() -> impl Strategy<Value = LatLng> {
+    (-80.0f64..80.0, -179.0f64..179.0)
+        .prop_map(|(lat, lng)| LatLng::new(lat, lng).expect("in range"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unit arithmetic is consistent with the underlying floats.
+    #[test]
+    fn unit_arithmetic_matches_f64(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        prop_assert_eq!((Meters::new(a) + Meters::new(b)).get(), a + b);
+        prop_assert_eq!((Meters::new(a) - Meters::new(b)).get(), a - b);
+        prop_assert_eq!((Seconds::new(a) * 2.0).get(), a * 2.0);
+        if b != 0.0 {
+            prop_assert_eq!(Meters::new(a) / Meters::new(b), a / b);
+            let v: MetersPerSecond = Meters::new(a) / Seconds::new(b);
+            prop_assert_eq!(v.get(), a / b);
+        }
+    }
+
+    /// Speed × time round-trips distance.
+    #[test]
+    fn speed_time_round_trip(d in 0.1f64..1e6, t in 0.1f64..1e6) {
+        let v = Meters::new(d) / Seconds::new(t);
+        let back = v * Seconds::new(t);
+        prop_assert!((back.get() - d).abs() < 1e-9 * d.max(1.0));
+    }
+
+    /// Bounding boxes contain everything they were built from, and
+    /// their center.
+    #[test]
+    fn bbox_contains_members(coords in proptest::collection::vec(arb_latlng(), 1..30)) {
+        let bb = BoundingBox::of(coords.clone());
+        for c in &coords {
+            prop_assert!(bb.contains(*c));
+        }
+        prop_assert!(bb.contains(bb.center().unwrap()));
+        prop_assert!(bb.diagonal().unwrap().get() >= 0.0);
+    }
+
+    /// Rect::of is the tight hull: every point inside, and shrinking it
+    /// by any margin loses some point.
+    #[test]
+    fn rect_is_tight_hull(pts in proptest::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 2..30)) {
+        let points: Vec<Point> = pts.iter().map(|(x, y)| Point::new(*x, *y)).collect();
+        let r = Rect::of(points.iter().copied()).unwrap();
+        for p in &points {
+            prop_assert!(r.contains(*p));
+        }
+        // Tightness: the min/max coordinates are realized by members.
+        let eps = 1e-9;
+        prop_assert!(points.iter().any(|p| (p.x - r.min().x).abs() < eps));
+        prop_assert!(points.iter().any(|p| (p.x - r.max().x).abs() < eps));
+        prop_assert!(points.iter().any(|p| (p.y - r.min().y).abs() < eps));
+        prop_assert!(points.iter().any(|p| (p.y - r.max().y).abs() < eps));
+    }
+
+    /// Vector algebra identities on Point.
+    #[test]
+    fn point_algebra(ax in -1e3f64..1e3, ay in -1e3f64..1e3, bx in -1e3f64..1e3, by in -1e3f64..1e3) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a - b, -(b - a));
+        prop_assert!((a.dot(b) - b.dot(a)).abs() < 1e-9);
+        prop_assert!((a.cross(b) + b.cross(a)).abs() < 1e-9);
+        // Cauchy–Schwarz.
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() + 1e-9);
+        // Rotation preserves norms.
+        let r = a.rotated(1.234);
+        prop_assert!((r.norm() - a.norm()).abs() < 1e-9);
+    }
+
+    /// Bearings and destinations agree with each other.
+    #[test]
+    fn bearing_of_destination(start in arb_latlng(), bearing in 0.0f64..360.0) {
+        let end = start.destination(bearing, Meters::new(10_000.0));
+        let measured = start.bearing_to(end);
+        let diff = (measured - bearing).abs();
+        let wrapped = diff.min(360.0 - diff);
+        prop_assert!(wrapped < 0.5, "bearing {bearing} vs {measured}");
+    }
+}

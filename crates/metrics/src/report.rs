@@ -1,0 +1,151 @@
+//! Fixed-width plain-text tables for the experiment binaries — the
+//! reproduction harness prints its tables through this, so every
+//! experiment's output has a uniform, diffable shape.
+
+use std::fmt;
+
+/// A simple left-aligned fixed-width table.
+///
+/// ```
+/// use mobipriv_metrics::Table;
+///
+/// let mut table = Table::new(vec!["mechanism", "recall"]);
+/// table.row(vec!["raw".into(), "0.98".into()]);
+/// table.row(vec!["promesse".into(), "0.02".into()]);
+/// let text = table.to_string();
+/// assert!(text.contains("mechanism"));
+/// assert!(text.contains("promesse"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; missing cells render empty, extra cells are kept
+    /// (the column count grows).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: formats a float with 3 decimals.
+    pub fn num(value: f64) -> String {
+        format!("{value:.3}")
+    }
+
+    /// Convenience: formats a percentage with 1 decimal.
+    pub fn pct(value: f64) -> String {
+        format!("{:.1}%", value * 100.0)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no row was added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        fn cell<'a>(row: &'a [String], c: usize) -> &'a str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        for c in 0..columns {
+            widths[c] = self
+                .rows
+                .iter()
+                .map(|r| cell(r, c).chars().count())
+                .chain([cell(&self.headers, c).chars().count()])
+                .max()
+                .unwrap_or(0);
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for c in 0..columns {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                let text = cell(row, c);
+                write!(f, "{text}")?;
+                for _ in text.chars().count()..widths[c] {
+                    write!(f, " ")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["xxxx".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        t.row(vec!["1".into(), "2".into(), "3".into(), "4".into()]);
+        let s = t.to_string();
+        assert!(s.contains('4'));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(Table::num(1.23456), "1.235");
+        assert_eq!(Table::pct(0.1234), "12.3%");
+    }
+
+    #[test]
+    fn empty_table_has_header_and_rule() {
+        let t = Table::new(vec!["only"]);
+        let s = t.to_string();
+        assert_eq!(s.lines().count(), 2);
+        assert!(t.is_empty());
+    }
+}

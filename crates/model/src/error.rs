@@ -1,0 +1,98 @@
+use std::error::Error;
+use std::fmt;
+
+use mobipriv_geo::GeoError;
+
+/// Errors produced by the trajectory data model.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A geometric precondition failed (invalid coordinate, …).
+    Geo(GeoError),
+    /// Fixes given to a [`Trace`](crate::Trace) were not strictly
+    /// increasing in time.
+    UnorderedFixes {
+        /// Index of the first out-of-order fix.
+        index: usize,
+    },
+    /// A trace must contain at least one fix.
+    EmptyTrace,
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying I/O failure while reading or writing a dataset.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Geo(e) => write!(f, "geometry error: {e}"),
+            ModelError::UnorderedFixes { index } => {
+                write!(f, "fix at index {index} is not strictly after its predecessor")
+            }
+            ModelError::EmptyTrace => write!(f, "a trace requires at least one fix"),
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Geo(e) => Some(e),
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeoError> for ModelError {
+    fn from(e: GeoError) -> Self {
+        ModelError::Geo(e)
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModelError::EmptyTrace.to_string().contains("at least one fix"));
+        assert!(ModelError::UnorderedFixes { index: 3 }
+            .to_string()
+            .contains("index 3"));
+        let p = ModelError::Parse {
+            line: 7,
+            message: "bad latitude".into(),
+        };
+        assert!(p.to_string().contains("line 7"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let geo = ModelError::from(GeoError::InvalidLatitude(99.0));
+        assert!(geo.source().is_some());
+        assert!(ModelError::EmptyTrace.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

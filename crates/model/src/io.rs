@@ -1,0 +1,206 @@
+//! CSV interchange for datasets.
+//!
+//! The format is the minimal common denominator of published mobility
+//! datasets — one fix per row:
+//!
+//! ```text
+//! user,trace,lat,lng,time
+//! 1,0,45.764000,4.835700,1000
+//! 1,0,45.764100,4.835800,1030
+//! 2,0,45.750000,4.800000,1000
+//! ```
+//!
+//! `user` and `trace` are non-negative integers, `lat`/`lng` are degrees,
+//! `time` is Unix seconds. Rows may appear in any order: fixes are grouped
+//! by `(user, trace)` and each group is sorted by time
+//! ([`Trace::from_unsorted`]).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Dataset, Fix, ModelError, Timestamp, Trace, UserId};
+use mobipriv_geo::LatLng;
+
+/// Writes `dataset` as CSV. Remember that `W: Write` can be a `&mut`
+/// reference, so a caller keeps ownership of its writer.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] when the underlying writer fails.
+pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), ModelError> {
+    writeln!(w, "user,trace,lat,lng,time")?;
+    for (trace_idx, trace) in dataset.traces().iter().enumerate() {
+        for fix in trace.fixes() {
+            writeln!(
+                w,
+                "{},{},{:.7},{:.7},{}",
+                trace.user().get(),
+                trace_idx,
+                fix.position.lat(),
+                fix.position.lng(),
+                fix.time.get()
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset from CSV (see the module docs for the format). A
+/// `&mut` reference works as the reader.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] with a 1-based line number on malformed
+/// input and [`ModelError::Io`] on reader failure.
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset, ModelError> {
+    let reader = BufReader::new(r);
+    let mut groups: BTreeMap<(u64, u64), Vec<Fix>> = BTreeMap::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if lineno == 1 && trimmed.starts_with("user") {
+            continue; // header
+        }
+        let mut parts = trimmed.split(',');
+        let user = parse_field::<u64>(parts.next(), "user", lineno)?;
+        let trace = parse_field::<u64>(parts.next(), "trace", lineno)?;
+        let lat = parse_field::<f64>(parts.next(), "lat", lineno)?;
+        let lng = parse_field::<f64>(parts.next(), "lng", lineno)?;
+        let time = parse_field::<i64>(parts.next(), "time", lineno)?;
+        if parts.next().is_some() {
+            return Err(ModelError::Parse {
+                line: lineno,
+                message: "too many fields (expected 5)".into(),
+            });
+        }
+        let position = LatLng::new(lat, lng).map_err(|e| ModelError::Parse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        groups
+            .entry((user, trace))
+            .or_default()
+            .push(Fix::new(position, Timestamp::new(time)));
+    }
+    let mut dataset = Dataset::new();
+    for ((user, _), fixes) in groups {
+        dataset.push(Trace::from_unsorted(UserId::new(user), fixes)?);
+    }
+    Ok(dataset)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    name: &str,
+    line: usize,
+) -> Result<T, ModelError> {
+    let raw = field.ok_or_else(|| ModelError::Parse {
+        line,
+        message: format!("missing field `{name}`"),
+    })?;
+    raw.trim().parse::<T>().map_err(|_| ModelError::Parse {
+        line,
+        message: format!("invalid value `{raw}` for field `{name}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let t1 = Trace::new(
+            UserId::new(1),
+            vec![
+                Fix::new(LatLng::new(45.764, 4.8357).unwrap(), Timestamp::new(1_000)),
+                Fix::new(LatLng::new(45.7641, 4.8358).unwrap(), Timestamp::new(1_030)),
+            ],
+        )
+        .unwrap();
+        let t2 = Trace::new(
+            UserId::new(2),
+            vec![Fix::new(
+                LatLng::new(45.75, 4.80).unwrap(),
+                Timestamp::new(1_000),
+            )],
+        )
+        .unwrap();
+        Dataset::from_traces(vec![t1, t2])
+    }
+
+    #[test]
+    fn round_trip() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.total_fixes(), 3);
+        assert_eq!(back.users(), d.users());
+        // Positions survive the 7-decimal round trip within ~2 cm.
+        let orig = &d.traces()[0].fixes()[0];
+        let readback = &back.traces()[0].fixes()[0];
+        assert!(orig.position.haversine_distance(readback.position).get() < 0.02);
+        assert_eq!(orig.time, readback.time);
+    }
+
+    #[test]
+    fn reads_unsorted_rows() {
+        let csv = "user,trace,lat,lng,time\n1,0,45.0,5.0,100\n1,0,44.9,5.0,50\n";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.traces()[0].start_time().get(), 50);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_header() {
+        let csv = "user,trace,lat,lng,time\n\n1,0,45.0,5.0,100\n\n";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.total_fixes(), 1);
+    }
+
+    #[test]
+    fn headerless_input_is_accepted() {
+        let csv = "1,0,45.0,5.0,100\n";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.total_fixes(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        for (csv, needle) in [
+            ("1,0,45.0,5.0\n", "missing field `time`"),
+            ("1,0,45.0,5.0,100,extra\n", "too many fields"),
+            ("1,0,abc,5.0,100\n", "invalid value `abc`"),
+            ("1,0,95.0,5.0,100\n", "latitude"),
+            ("x,0,45.0,5.0,100\n", "invalid value `x`"),
+        ] {
+            let err = read_csv(csv.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "csv {csv:?} -> {msg}");
+            assert!(msg.contains("line 1"), "csv {csv:?} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn groups_by_user_and_trace_column() {
+        let csv = "\
+user,trace,lat,lng,time
+1,0,45.0,5.0,0
+1,1,45.0,5.0,0
+2,0,45.0,5.0,0
+";
+        let d = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.traces_of(UserId::new(1)).len(), 2);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_dataset() {
+        let d = read_csv("".as_bytes()).unwrap();
+        assert!(d.is_empty());
+    }
+}

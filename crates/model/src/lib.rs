@@ -1,0 +1,49 @@
+//! Trajectory data model for the `mobipriv` mobility-privacy toolkit.
+//!
+//! The vocabulary mirrors how mobility datasets are published in practice:
+//!
+//! * a [`Fix`] is one GPS sample — a position and a [`Timestamp`];
+//! * a [`Trace`] is the time-ordered sequence of fixes recorded for one
+//!   [`UserId`] (strictly increasing timestamps, enforced at
+//!   construction);
+//! * a [`Dataset`] is a collection of traces, possibly several per user
+//!   (e.g. one per day), with helpers to group, project into a common
+//!   [`LocalFrame`](mobipriv_geo::LocalFrame) and serialize to a simple
+//!   CSV interchange format.
+//!
+//! # Example
+//!
+//! ```
+//! use mobipriv_model::{Fix, Trace, Timestamp, UserId};
+//! use mobipriv_geo::LatLng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let fixes = vec![
+//!     Fix::new(LatLng::new(45.76, 4.84)?, Timestamp::new(0)),
+//!     Fix::new(LatLng::new(45.77, 4.85)?, Timestamp::new(60)),
+//! ];
+//! let trace = Trace::new(UserId::new(1), fixes)?;
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace.duration().get(), 60.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
+
+mod dataset;
+mod error;
+mod fix;
+mod io;
+mod timestamp;
+mod trace;
+mod user;
+
+pub use dataset::Dataset;
+pub use error::ModelError;
+pub use fix::Fix;
+pub use io::{read_csv, write_csv};
+pub use timestamp::Timestamp;
+pub use trace::{Trace, TraceBuilder};
+pub use user::UserId;

@@ -1,0 +1,100 @@
+//! In-crate property tests for POI extraction invariants.
+
+use mobipriv_geo::{LatLng, Seconds};
+use mobipriv_model::{Fix, Timestamp, Trace, UserId};
+use mobipriv_poi::{
+    cluster_stay_points, detect_stay_points, match_pois, ClusterConfig, StayPoint,
+    StayPointConfig,
+};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((44.9f64..45.1, 4.9f64..5.1, 10i64..300), 2..60).prop_map(
+        |rows| {
+            let mut t = 0i64;
+            let fixes = rows
+                .into_iter()
+                .map(|(lat, lng, dt)| {
+                    t += dt;
+                    Fix::new(LatLng::new(lat, lng).unwrap(), Timestamp::new(t))
+                })
+                .collect();
+            Trace::new(UserId::new(1), fixes).expect("strictly increasing")
+        },
+    )
+}
+
+fn arb_stays() -> impl Strategy<Value = Vec<StayPoint>> {
+    proptest::collection::vec((44.9f64..45.1, 4.9f64..5.1, 0i64..100_000, 60i64..7_200), 0..30)
+        .prop_map(|rows| {
+            rows.into_iter()
+                .map(|(lat, lng, arrival, dwell)| StayPoint {
+                    centroid: LatLng::new(lat, lng).unwrap(),
+                    arrival: Timestamp::new(arrival),
+                    departure: Timestamp::new(arrival + dwell),
+                    fix_count: 5,
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Stay points are chronological, disjoint, within the trace span,
+    /// and each satisfies the dwell threshold.
+    #[test]
+    fn stay_points_are_well_formed(trace in arb_trace()) {
+        let cfg = StayPointConfig {
+            max_radius_m: 500.0,
+            min_dwell: Seconds::new(600.0),
+        };
+        let stays = detect_stay_points(&trace, &cfg);
+        for s in &stays {
+            prop_assert!(s.dwell().get() >= 600.0);
+            prop_assert!(s.arrival >= trace.start_time());
+            prop_assert!(s.departure <= trace.end_time());
+            prop_assert!(s.fix_count >= 2);
+        }
+        for w in stays.windows(2) {
+            prop_assert!(w[0].departure < w[1].arrival, "overlapping stays");
+        }
+    }
+
+    /// Clustering conserves stays: the stay_counts of the POIs sum to
+    /// the number of input stays (min_pts = 1 keeps everything).
+    #[test]
+    fn clustering_conserves_stays(stays in arb_stays()) {
+        let pois = cluster_stay_points(&stays, &ClusterConfig { eps_m: 200.0, min_pts: 1 });
+        let total: usize = pois.iter().map(|p| p.stay_count).sum();
+        prop_assert_eq!(total, stays.len());
+        // Total dwell conserved too.
+        let dwell_in: f64 = stays.iter().map(|s| s.dwell().get()).sum();
+        let dwell_out: f64 = pois.iter().map(|p| p.total_dwell.get()).sum();
+        prop_assert!((dwell_in - dwell_out).abs() < 1e-6);
+        // Sorted by descending dwell.
+        for w in pois.windows(2) {
+            prop_assert!(w[0].total_dwell.get() >= w[1].total_dwell.get());
+        }
+    }
+
+    /// Matching is bounded and symmetric in its counts.
+    #[test]
+    fn match_report_is_consistent(
+        truth in proptest::collection::vec((44.9f64..45.1, 4.9f64..5.1), 0..15),
+        extracted in proptest::collection::vec((44.9f64..45.1, 4.9f64..5.1), 0..15),
+        tolerance in 10.0f64..5_000.0,
+    ) {
+        let t: Vec<LatLng> = truth.iter().map(|(a, b)| LatLng::new(*a, *b).unwrap()).collect();
+        let e: Vec<LatLng> = extracted.iter().map(|(a, b)| LatLng::new(*a, *b).unwrap()).collect();
+        let r = match_pois(&t, &e, tolerance);
+        prop_assert!(r.matched <= t.len().min(e.len()));
+        prop_assert!((0.0..=1.0).contains(&r.precision));
+        prop_assert!((0.0..=1.0).contains(&r.recall));
+        prop_assert!((0.0..=1.0).contains(&r.f1));
+        prop_assert!(r.mean_error_m <= tolerance);
+        // Matching a set against itself is perfect.
+        let self_match = match_pois(&t, &t, tolerance);
+        prop_assert_eq!(self_match.matched, t.len());
+    }
+}

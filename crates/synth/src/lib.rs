@@ -1,0 +1,51 @@
+//! Synthetic mobility-data generator for the `mobipriv` toolkit.
+//!
+//! The ICDCS'15 paper (and the follow-up evaluations by the same group)
+//! measure their mechanisms on real GPS datasets which cannot be
+//! redistributed. This crate is the documented substitute: a compact city
+//! simulator that produces datasets with the *structural* properties the
+//! mechanisms and attacks care about —
+//!
+//! * **stop clusters**: agents dwell at home / work / leisure sites, so
+//!   raw traces contain the dense point clusters that POI attacks mine;
+//! * **transit segments**: road-constrained movement at realistic speeds
+//!   between stops;
+//! * **natural path crossings**: agents are routed through shared hubs,
+//!   creating the meeting points the mix-zone mechanism exploits;
+//! * **GPS artefacts**: configurable sampling interval, Gaussian noise
+//!   and dropout.
+//!
+//! Every generated dataset ships with its [`GroundTruth`] (true visits
+//! per user), which downstream crates use to score POI-extraction and
+//! re-identification attacks.
+//!
+//! # Example
+//!
+//! ```
+//! use mobipriv_synth::scenarios;
+//!
+//! let out = scenarios::commuter_town(5, 2, 42);
+//! // One trace per trip session: at least home->work & work->home per day.
+//! assert!(out.dataset.len() >= 5 * 2 * 2);
+//! assert!(out.truth.visits_of_user(out.dataset.users()[0]).len() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
+
+mod city;
+mod generator;
+mod gps;
+mod movement;
+mod randutil;
+mod schedule;
+pub mod scenarios;
+mod truth;
+
+pub use city::{City, CityConfig, Site, SiteCategory, SiteId};
+pub use generator::{Generator, GeneratorConfig, SynthOutput};
+pub use gps::{sample_trace, GpsConfig};
+pub use movement::MovementConfig;
+pub use randutil::{normal, sample_exp, truncated_normal};
+pub use schedule::{ScheduleConfig, Stop};
+pub use truth::{GroundTruth, Visit};

@@ -1,0 +1,107 @@
+//! Small sampling helpers on top of `rand`, so the toolkit does not need
+//! the `rand_distr` crate.
+
+use rand::Rng;
+
+/// Samples a normal deviate `N(mu, sigma²)` using the Box–Muller
+/// transform. `sigma` may be zero (returns `mu`).
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return mu;
+    }
+    // Box–Muller with guards against log(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    let mag = (-2.0 * u1.ln()).sqrt();
+    mu + sigma * mag * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mu, sigma²)` truncated to `[lo, hi]` by rejection (falls
+/// back to clamping after 64 rejections, which only triggers for
+/// pathological bounds).
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mu: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo <= hi, "truncated_normal: lo {lo} > hi {hi}");
+    for _ in 0..64 {
+        let x = normal(rng, mu, sigma);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mu, sigma).clamp(lo, hi)
+}
+
+/// Samples an exponential deviate with rate `lambda` (mean `1/lambda`).
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0`.
+pub fn sample_exp<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "sample_exp: lambda must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(normal(&mut rng, 3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let x = truncated_normal(&mut rng, 0.0, 10.0, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lo")]
+    fn truncated_normal_panics_on_inverted_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        truncated_normal(&mut rng, 0.0, 1.0, 1.0, -1.0);
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| sample_exp(&mut rng, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn exp_panics_on_bad_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        sample_exp(&mut rng, 0.0);
+    }
+}

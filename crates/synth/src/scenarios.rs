@@ -1,0 +1,408 @@
+//! Preset workloads used across examples, tests and the reproduction
+//! harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mobipriv_geo::{LatLng, Point, Seconds};
+use mobipriv_model::{Dataset, Timestamp, UserId};
+
+use crate::generator::{waypoints_to_trace, Generator, GeneratorConfig, SynthOutput};
+use crate::movement::{self, Waypoint};
+use crate::truth::{GroundTruth, Visit};
+use crate::{City, CityConfig, GpsConfig, MovementConfig, SiteCategory, SiteId};
+
+/// A mid-size commuter town: the default workload for quantitative
+/// experiments. One trace per trip session (home→work, work→lunch, …);
+/// stable homes, workplaces and favourite venues make users
+/// re-identifiable across days.
+pub fn commuter_town(users: usize, days: usize, seed: u64) -> SynthOutput {
+    Generator::new(GeneratorConfig {
+        users,
+        days,
+        seed,
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+/// A compact downtown with many hubs and hub-routed trips: maximizes
+/// natural path crossings, the raw material of mix-zones.
+pub fn dense_downtown(users: usize, days: usize, seed: u64) -> SynthOutput {
+    Generator::new(GeneratorConfig {
+        users,
+        days,
+        seed,
+        city: CityConfig {
+            half_extent_m: 1_800.0,
+            road_spacing_m: 150.0,
+            homes: users.max(10),
+            works: 6,
+            leisures: 8,
+            hubs: 5,
+            ..CityConfig::default()
+        },
+        movement: MovementConfig {
+            via_hub_probability: 0.85,
+            ..MovementConfig::default()
+        },
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
+/// The Fig. 1 scenario of the paper: two users, each with two points of
+/// interest, whose transit legs cross at a central hub at (almost) the
+/// same instant.
+///
+/// * user 0 moves west → east along the x axis;
+/// * user 1 moves south → north along the y axis;
+/// * both dwell 30 minutes at their first POI, cross the hub at the
+///   origin around `t ≈ 2900 s`, and dwell 30 minutes at their second
+///   POI.
+///
+/// Speeds are fixed (no jitter) so the crossing is tight, and GPS noise
+/// is mild: the raw traces exhibit exactly the two stop clusters and the
+/// path crossing the paper's figure shows.
+pub fn crossing_paths(seed: u64) -> SynthOutput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = LatLng::new(45.7640, 4.8357).expect("valid constant");
+    let sites = vec![
+        (SiteCategory::Leisure, Point::new(-1_200.0, 0.0)), // 0: A first POI
+        (SiteCategory::Leisure, Point::new(1_200.0, 0.0)),  // 1: A second POI
+        (SiteCategory::Leisure, Point::new(0.0, -1_200.0)), // 2: B first POI
+        (SiteCategory::Leisure, Point::new(0.0, 1_200.0)),  // 3: B second POI
+        (SiteCategory::Hub, Point::new(0.0, 0.0)),          // 4: the crossing
+    ];
+    let city = City::from_sites(center, 2_000.0, 100.0, sites);
+    let movement = MovementConfig {
+        transit_speed: (10.0, 0.0),
+        walk_speed: (1.4, 0.0),
+        walk_max_distance_m: 0.0, // always ride: both users at 10 m/s
+        segment_jitter: 0.0,
+        via_hub_probability: 0.0,
+        dwell_wander_m: 6.0,
+        dwell_wander_interval: Seconds::from_minutes(2.0),
+    };
+    let gps = GpsConfig {
+        sample_interval: Seconds::new(20.0),
+        noise_std_m: 2.0,
+        dropout: 0.0,
+    };
+    let mut dataset = Dataset::new();
+    let mut truth = GroundTruth::new();
+    let dwell = Seconds::from_minutes(30.0);
+    let plans: [(u64, SiteId, SiteId); 2] = [
+        (0, SiteId(0), SiteId(1)),
+        (1, SiteId(2), SiteId(3)),
+    ];
+    for (uid, first, second) in plans {
+        let user = UserId::new(uid);
+        let mut waypoints: Vec<Waypoint> = Vec::new();
+        let mut visits = Vec::new();
+        let t0 = Timestamp::new(0);
+        let first_site = city.site(first);
+        let second_site = city.site(second);
+        // Dwell at the first POI.
+        let depart_first = t0 + dwell;
+        waypoints.extend(movement::dwell(
+            first_site.position,
+            t0,
+            depart_first,
+            &movement,
+            &mut rng,
+        ));
+        visits.push(Visit {
+            user,
+            site: first,
+            category: first_site.category,
+            position: city.frame().unproject(first_site.position),
+            arrival: t0,
+            departure: depart_first,
+        });
+        // Straight path through the hub (both axes pass through origin).
+        let path = city.route_via(
+            first_site.position,
+            Point::new(0.0, 0.0),
+            second_site.position,
+            true,
+        );
+        let (travel_wps, arrival) =
+            movement::waypoints_along(&path, depart_first, &movement, &mut rng);
+        waypoints.extend(travel_wps);
+        // Dwell at the second POI.
+        let depart_second = arrival + dwell;
+        waypoints.extend(movement::dwell(
+            second_site.position,
+            arrival,
+            depart_second,
+            &movement,
+            &mut rng,
+        ));
+        visits.push(Visit {
+            user,
+            site: second,
+            category: second_site.category,
+            position: city.frame().unproject(second_site.position),
+            arrival,
+            departure: depart_second,
+        });
+        let truth_trace = waypoints_to_trace(&city, user, &waypoints);
+        let trace = crate::gps::sample_trace(&truth_trace, &gps, &mut rng)
+            .expect("valid gps config");
+        dataset.push(trace);
+        truth.extend(visits);
+    }
+    SynthOutput {
+        city,
+        dataset,
+        truth,
+    }
+}
+
+/// A rush-hour through a central hub: `users` agents depart from a ring
+/// of radius 2 km within a two-minute window at a common speed. A
+/// `via_hub_fraction` of them travel straight through the hub at the
+/// origin (their paths all cross there, closely in time); the rest make
+/// tangential trips that avoid the center. The knob controls crossing
+/// density directly — the instrument for the path-confusion experiment
+/// (T8).
+pub fn hub_rush(users: usize, via_hub_fraction: f64, seed: u64) -> SynthOutput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let center = LatLng::new(45.7640, 4.8357).expect("valid constant");
+    let city = City::from_sites(
+        center,
+        2_500.0,
+        100.0,
+        vec![(SiteCategory::Hub, Point::new(0.0, 0.0))],
+    );
+    let movement = MovementConfig {
+        transit_speed: (10.0, 0.0),
+        walk_speed: (1.4, 0.0),
+        walk_max_distance_m: 0.0,
+        segment_jitter: 0.0,
+        via_hub_probability: 0.0,
+        dwell_wander_m: 0.0,
+        dwell_wander_interval: Seconds::from_minutes(5.0),
+    };
+    let gps = GpsConfig {
+        sample_interval: Seconds::new(10.0),
+        noise_std_m: 2.0,
+        dropout: 0.0,
+    };
+    let radius = 2_000.0;
+    let crossers = (via_hub_fraction.clamp(0.0, 1.0) * users as f64).round() as usize;
+    let mut dataset = Dataset::new();
+    for uid in 0..users {
+        let user = UserId::new(uid as u64);
+        let theta = uid as f64 / users.max(1) as f64 * std::f64::consts::TAU;
+        let depart = Timestamp::new(rng.gen_range(0..120));
+        let path = if uid < crossers {
+            // Straight through the hub to the antipode.
+            let origin = Point::new(theta.cos(), theta.sin()) * radius;
+            vec![origin, Point::new(0.0, 0.0), -origin]
+        } else {
+            // Control trips: parallel lanes north of the ring, same
+            // length and duration as the crossing trips but 250 m apart
+            // and concurrent — no meetings, no sequential ambiguity.
+            let lane_y = 2_600.0 + 250.0 * uid as f64;
+            vec![
+                Point::new(-radius, lane_y),
+                Point::new(radius, lane_y),
+            ]
+        };
+        let (wps, _) = movement::waypoints_along(&path, depart, &movement, &mut rng);
+        let mut waypoints = vec![Waypoint {
+            position: path[0],
+            time: depart,
+        }];
+        waypoints.extend(wps);
+        let truth_trace = waypoints_to_trace(&city, user, &waypoints);
+        let trace =
+            crate::gps::sample_trace(&truth_trace, &gps, &mut rng).expect("valid gps config");
+        dataset.push(trace);
+    }
+    SynthOutput {
+        city,
+        dataset,
+        truth: GroundTruth::new(),
+    }
+}
+
+/// Randomized movement without dwells (the movement model Hoh et al.
+/// evaluated path confusion against): each user performs `trips` random
+/// grid trips back to back. Ground truth is empty — there are no POIs to
+/// find.
+pub fn random_walkers(users: usize, trips: usize, seed: u64) -> SynthOutput {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let city = City::generate(
+        CityConfig {
+            homes: 1,
+            works: 1,
+            leisures: 0,
+            hubs: 2,
+            ..CityConfig::default()
+        },
+        &mut rng,
+    );
+    let movement = MovementConfig {
+        via_hub_probability: 0.3,
+        ..MovementConfig::default()
+    };
+    let gps = GpsConfig::default();
+    let mut dataset = Dataset::new();
+    let bounds = city.bounds();
+    for uid in 0..users {
+        let user = UserId::new(uid as u64);
+        let mut pos = city.snap_to_grid(Point::new(
+            rng.gen_range(bounds.min().x..=bounds.max().x),
+            rng.gen_range(bounds.min().y..=bounds.max().y),
+        ));
+        let mut t = Timestamp::new(0);
+        let mut waypoints = vec![Waypoint { position: pos, time: t }];
+        for _ in 0..trips {
+            let dest = city.snap_to_grid(Point::new(
+                rng.gen_range(bounds.min().x..=bounds.max().x),
+                rng.gen_range(bounds.min().y..=bounds.max().y),
+            ));
+            let (wps, arrival) = movement::travel(&city, pos, dest, t, &movement, &mut rng);
+            waypoints.extend(wps);
+            pos = dest;
+            t = arrival + Seconds::new(rng.gen_range(1.0..120.0));
+            waypoints.push(Waypoint { position: pos, time: t });
+        }
+        let truth_trace = waypoints_to_trace(&city, user, &waypoints);
+        let trace =
+            crate::gps::sample_trace(&truth_trace, &gps, &mut rng).expect("valid gps config");
+        dataset.push(trace);
+    }
+    SynthOutput {
+        city,
+        dataset,
+        truth: GroundTruth::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commuter_town_shape() {
+        let out = commuter_town(4, 2, 7);
+        assert!(out.dataset.len() >= 16, "{} sessions", out.dataset.len());
+        assert_eq!(out.dataset.users().len(), 4);
+        assert!(!out.truth.is_empty());
+    }
+
+    #[test]
+    fn dense_downtown_is_compact() {
+        let out = dense_downtown(5, 1, 7);
+        assert!(out.dataset.len() >= 10);
+        assert!(out.city.bounds().width() <= 3_600.0 + 1e-9);
+    }
+
+    #[test]
+    fn crossing_paths_users_meet_at_hub() {
+        let out = crossing_paths(1);
+        assert_eq!(out.dataset.len(), 2);
+        let a = &out.dataset.traces()[0];
+        let b = &out.dataset.traces()[1];
+        let frame = out.city.frame();
+        // Find the instant each user is nearest the origin.
+        let nearest = |trace: &mobipriv_model::Trace| {
+            trace
+                .fixes()
+                .iter()
+                .min_by(|f1, f2| {
+                    let d1 = frame.project(f1.position).norm();
+                    let d2 = frame.project(f2.position).norm();
+                    d1.partial_cmp(&d2).unwrap()
+                })
+                .map(|f| (frame.project(f.position).norm(), f.time))
+                .unwrap()
+        };
+        let (da, ta) = nearest(a);
+        let (db, tb) = nearest(b);
+        assert!(da < 60.0, "user 0 misses the hub by {da} m");
+        assert!(db < 60.0, "user 1 misses the hub by {db} m");
+        let dt = (ta - tb).abs().get();
+        assert!(dt < 120.0, "users cross {dt} s apart");
+    }
+
+    #[test]
+    fn crossing_paths_has_four_poi_visits() {
+        let out = crossing_paths(1);
+        assert_eq!(out.truth.len(), 4);
+        for v in out.truth.visits() {
+            assert_eq!(v.dwell().get(), 1_800.0);
+        }
+    }
+
+    #[test]
+    fn hub_rush_crossers_pass_the_hub() {
+        let out = hub_rush(8, 0.5, 3);
+        assert_eq!(out.dataset.len(), 8);
+        let frame = out.city.frame();
+        let min_center_distance = |t: &mobipriv_model::Trace| {
+            t.fixes()
+                .iter()
+                .map(|f| frame.project(f.position).norm())
+                .fold(f64::INFINITY, f64::min)
+        };
+        let crossing = out
+            .dataset
+            .traces()
+            .iter()
+            .filter(|t| min_center_distance(t) < 100.0)
+            .count();
+        assert_eq!(crossing, 4, "half the users cross the hub");
+        // Tangential users keep well away from the center.
+        for t in out.dataset.traces().iter().filter(|t| min_center_distance(t) >= 100.0) {
+            assert!(min_center_distance(t) > 1_000.0);
+        }
+    }
+
+    #[test]
+    fn hub_rush_fraction_extremes() {
+        let none = hub_rush(6, 0.0, 4);
+        let frame = none.city.frame();
+        for t in none.dataset.traces() {
+            let min = t
+                .fixes()
+                .iter()
+                .map(|f| frame.project(f.position).norm())
+                .fold(f64::INFINITY, f64::min);
+            assert!(min > 1_000.0);
+        }
+        let all = hub_rush(6, 1.0, 4);
+        let frame = all.city.frame();
+        for t in all.dataset.traces() {
+            let min = t
+                .fixes()
+                .iter()
+                .map(|f| frame.project(f.position).norm())
+                .fold(f64::INFINITY, f64::min);
+            assert!(min < 100.0);
+        }
+    }
+
+    #[test]
+    fn random_walkers_have_no_truth() {
+        let out = random_walkers(3, 4, 9);
+        assert_eq!(out.dataset.len(), 3);
+        assert!(out.truth.is_empty());
+        for t in out.dataset.traces() {
+            assert!(t.len() > 2);
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        assert_eq!(crossing_paths(5).dataset, crossing_paths(5).dataset);
+        assert_eq!(
+            random_walkers(2, 2, 5).dataset,
+            random_walkers(2, 2, 5).dataset
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! POI hiding on a commuter workload: compares what the POI-retrieval
+//! adversary recovers from raw data, from geo-indistinguishable data and
+//! from speed-smoothed data — the motivating comparison of the paper.
+//!
+//! ```text
+//! cargo run --release --example commuter_poi_hiding
+//! ```
+
+use mobipriv::attacks::PoiAttack;
+use mobipriv::core::{GeoInd, Mechanism, Promesse};
+use mobipriv::metrics::Table;
+use mobipriv::synth::scenarios;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let town = scenarios::commuter_town(12, 3, 2_024);
+    println!(
+        "workload: {} users / {} sessions / {} fixes; {} true visits\n",
+        town.dataset.users().len(),
+        town.dataset.len(),
+        town.dataset.total_fixes(),
+        town.truth.len()
+    );
+
+    let mut table = Table::new(vec!["mechanism", "recall", "precision", "f1"]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    // Raw release: everything leaks.
+    let raw = PoiAttack::default().run(&town.dataset, &town.truth);
+    table.row(vec![
+        "raw".into(),
+        Table::num(raw.overall.recall),
+        Table::num(raw.overall.precision),
+        Table::num(raw.overall.f1),
+    ]);
+
+    // Geo-indistinguishability at a strong setting (E[noise] = 200 m):
+    // the tuned adversary still finds the stops (the paper's ≥60% claim).
+    let geoind = GeoInd::new(0.01)?;
+    let noisy = geoind.protect(&town.dataset, &mut rng);
+    let outcome = PoiAttack::tuned_for_noise(200.0).run(&noisy, &town.truth);
+    table.row(vec![
+        geoind.name(),
+        Table::num(outcome.overall.recall),
+        Table::num(outcome.overall.precision),
+        Table::num(outcome.overall.f1),
+    ]);
+
+    // Speed smoothing: stops are geometrically erased.
+    let promesse = Promesse::new(100.0)?;
+    let smoothed = promesse.protect(&town.dataset, &mut rng);
+    let outcome = PoiAttack::default().run(&smoothed, &town.truth);
+    table.row(vec![
+        promesse.name(),
+        Table::num(outcome.overall.recall),
+        Table::num(outcome.overall.precision),
+        Table::num(outcome.overall.f1),
+    ]);
+
+    println!("{table}");
+    println!("speed smoothing removes the stop clusters that both the raw and the");
+    println!("noise-perturbed releases leak — location perturbation cannot, because");
+    println!("a dwell cluster stays a cluster after i.i.d. noise.");
+    Ok(())
+}

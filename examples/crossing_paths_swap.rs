@@ -1,0 +1,71 @@
+//! The paper's Figure 1, end to end: two users whose trips cross at a
+//! hub. Shows the raw traces, the speed-smoothed traces and the swap in
+//! the mix-zone, with the tracking adversary's view of each stage.
+//!
+//! ```text
+//! cargo run --release --example crossing_paths_swap
+//! ```
+
+use mobipriv::attacks::Tracker;
+use mobipriv::core::{Mechanism, MixZoneConfig, MixZones, Promesse};
+use mobipriv::synth::scenarios;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = scenarios::crossing_paths(1);
+    println!("two users, each: 30-min stop -> transit through the hub -> 30-min stop\n");
+
+    let tracker = Tracker::default();
+    let raw_tracking = tracker.run(&out.dataset);
+    println!(
+        "(a) raw          : {} fixes, tracker continuity {:.2}, purity {:.2}",
+        out.dataset.total_fixes(),
+        raw_tracking.continuity,
+        raw_tracking.purity
+    );
+    println!("    (purity 0.5 = the tracker already swaps targets at the natural crossing)");
+
+    let promesse = Promesse::new(100.0)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let smoothed = promesse.protect(&out.dataset, &mut rng);
+    println!(
+        "(b) smoothed     : {} fixes at constant speed (stops erased)",
+        smoothed.total_fixes()
+    );
+
+    let swapper = MixZones::new(MixZoneConfig::default())?;
+    // Try seeds until the uniform permutation actually swaps (p = 1/2
+    // per zone with two members), as in the figure.
+    let (published, report) = (0..64)
+        .map(|seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            swapper.protect_with_report(&smoothed, &mut rng)
+        })
+        .find(|(_, r)| r.swap_events > 0)
+        .expect("some seed swaps");
+    println!(
+        "(c) swapped      : {} zone(s), {} fix(es) suppressed, {:.0}% of fixes relabelled",
+        report.zones.len(),
+        report.suppressed_fixes,
+        report.mixed_fix_ratio() * 100.0
+    );
+    for zone in &report.zones {
+        println!(
+            "    zone at {} between t{} and t{}, members: {:?}",
+            zone.center,
+            zone.start.get(),
+            zone.end.get(),
+            zone.members
+        );
+    }
+
+    let swapped_tracking = tracker.run(&published);
+    println!(
+        "\ntracker continuity: raw {:.2} -> published {:.2}",
+        raw_tracking.continuity, swapped_tracking.continuity
+    );
+    println!("the suppressed zone breaks every track at the crossing, and the random");
+    println!("relabelling means even a perfect tracker cannot tell which continuation");
+    println!("belongs to which user — the figure's panel (c).");
+    Ok(())
+}

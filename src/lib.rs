@@ -1,0 +1,58 @@
+//! **mobipriv** — privacy-preserving publication of mobility data with
+//! high utility.
+//!
+//! A production-grade Rust reproduction of Primault, Ben Mokhtar &
+//! Brunie, *"Privacy-preserving Publication of Mobility Data with High
+//! Utility"* (ICDCS 2015): speed smoothing to hide points of interest
+//! plus identifier swapping in natural mix-zones — together with the
+//! baselines the paper compares against, the attacks it defends from,
+//! a synthetic mobility workload generator, and utility metrics.
+//!
+//! This facade crate re-exports the whole workspace; depend on it for
+//! one-stop access or on the individual `mobipriv-*` crates for leaner
+//! builds:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`geo`] | `mobipriv-geo` | coordinates, projections, polylines, spatial index |
+//! | [`model`] | `mobipriv-model` | fixes, traces, datasets, CSV I/O |
+//! | [`synth`] | `mobipriv-synth` | city & agent simulator, scenario presets |
+//! | [`poi`] | `mobipriv-poi` | stay points, clustering, POI matching |
+//! | [`core`] | `mobipriv-core` | **the paper**: Promesse, mix-zones, pipeline, baselines |
+//! | [`attacks`] | `mobipriv-attacks` | POI retrieval, re-identification, tracking |
+//! | [`metrics`] | `mobipriv-metrics` | distortion, coverage, queries, trip stats |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mobipriv::core::{MixZoneConfig, Pipeline};
+//! use mobipriv::synth::scenarios;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. A workload (swap in your own data via mobipriv::model::read_csv).
+//! let town = scenarios::commuter_town(5, 2, 42);
+//!
+//! // 2. The paper's two-step pipeline: α = 100 m smoothing, then
+//! //    swapping in 100 m mix-zones.
+//! let pipeline = Pipeline::new(100.0, MixZoneConfig::default())?;
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let (published, report) = pipeline.protect_with_report(&town.dataset, &mut rng);
+//!
+//! assert!(published.len() > 0);
+//! println!("zones: {}, suppressed: {:.1}%",
+//!          report.zones.len(), report.suppression_ratio() * 100.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
+
+pub use mobipriv_attacks as attacks;
+pub use mobipriv_core as core;
+pub use mobipriv_geo as geo;
+pub use mobipriv_metrics as metrics;
+pub use mobipriv_model as model;
+pub use mobipriv_poi as poi;
+pub use mobipriv_synth as synth;

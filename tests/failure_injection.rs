@@ -1,0 +1,157 @@
+//! Failure injection: degraded inputs and hostile configurations must
+//! degrade gracefully, never panic.
+
+use mobipriv::core::{
+    GeoInd, GridGeneralization, Identity, KDelta, Mechanism, MixZoneConfig, MixZones, Pipeline,
+    Promesse,
+};
+use mobipriv::geo::{LatLng, Seconds};
+use mobipriv::model::{read_csv, Dataset, Fix, Timestamp, Trace, UserId};
+use mobipriv::synth::{scenarios, Generator, GeneratorConfig, GpsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn all_mechanisms() -> Vec<Box<dyn Mechanism>> {
+    vec![
+        Box::new(Identity),
+        Box::new(Promesse::new(100.0).unwrap()),
+        Box::new(GeoInd::new(0.01).unwrap()),
+        Box::new(GridGeneralization::new(250.0).unwrap()),
+        Box::new(KDelta::new(2, 500.0).unwrap()),
+        Box::new(MixZones::new(MixZoneConfig::default()).unwrap()),
+        Box::new(Pipeline::new(100.0, MixZoneConfig::default()).unwrap()),
+    ]
+}
+
+#[test]
+fn every_mechanism_survives_empty_input() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for mech in all_mechanisms() {
+        let out = mech.protect(&Dataset::new(), &mut rng);
+        assert!(out.is_empty(), "{} fabricated data", mech.name());
+    }
+}
+
+#[test]
+fn every_mechanism_survives_single_fix_traces() {
+    let trace = Trace::new(
+        UserId::new(1),
+        vec![Fix::new(LatLng::new(45.0, 5.0).unwrap(), Timestamp::new(0))],
+    )
+    .unwrap();
+    let d = Dataset::from_traces(vec![trace]);
+    let mut rng = StdRng::seed_from_u64(1);
+    for mech in all_mechanisms() {
+        let out = mech.protect(&d, &mut rng);
+        // Mechanisms may suppress but must not invent users.
+        for u in out.users() {
+            assert_eq!(u, UserId::new(1), "{}", mech.name());
+        }
+    }
+}
+
+#[test]
+fn every_mechanism_survives_single_user_dataset() {
+    let out = scenarios::commuter_town(1, 1, 5);
+    let mut rng = StdRng::seed_from_u64(2);
+    for mech in all_mechanisms() {
+        let published = mech.protect(&out.dataset, &mut rng);
+        for u in published.users() {
+            assert_eq!(u, UserId::new(0), "{}", mech.name());
+        }
+    }
+}
+
+#[test]
+fn heavy_gps_dropout_still_generates_valid_traces() {
+    let out = Generator::new(GeneratorConfig {
+        users: 3,
+        days: 1,
+        seed: 3,
+        gps: GpsConfig {
+            sample_interval: Seconds::new(30.0),
+            noise_std_m: 10.0,
+            dropout: 0.9,
+        },
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    for trace in out.dataset.traces() {
+        assert!(trace.len() >= 1);
+        for (a, b) in trace.hops() {
+            assert!(b.time > a.time);
+        }
+    }
+    // Mechanisms cope with the sparse data.
+    let mut rng = StdRng::seed_from_u64(4);
+    for mech in all_mechanisms() {
+        let _ = mech.protect(&out.dataset, &mut rng);
+    }
+}
+
+#[test]
+fn extreme_gps_noise_degrades_but_never_corrupts() {
+    let out = Generator::new(GeneratorConfig {
+        users: 2,
+        days: 1,
+        seed: 5,
+        gps: GpsConfig {
+            sample_interval: Seconds::new(60.0),
+            noise_std_m: 500.0,
+            dropout: 0.0,
+        },
+        ..GeneratorConfig::default()
+    })
+    .generate();
+    for trace in out.dataset.traces() {
+        for fix in trace.fixes() {
+            assert!(fix.position.lat().is_finite());
+            assert!(fix.position.lng().is_finite());
+        }
+    }
+}
+
+#[test]
+fn malformed_csv_is_rejected_with_line_numbers() {
+    let bad_inputs = [
+        "1,0,notanumber,5.0,100\n",
+        "1,0,45.0\n",
+        "1,0,45.0,5.0,100,junk\n",
+        "1,0,91.0,5.0,100\n",
+    ];
+    for csv in bad_inputs {
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{csv:?}: {err}");
+    }
+}
+
+#[test]
+fn invalid_configurations_fail_fast() {
+    assert!(Promesse::new(f64::NAN).is_err());
+    assert!(GeoInd::new(-1.0).is_err());
+    assert!(GridGeneralization::new(0.0).is_err());
+    assert!(KDelta::new(0, 100.0).is_err());
+    assert!(MixZones::new(MixZoneConfig {
+        zone_window: Seconds::new(-5.0),
+        ..MixZoneConfig::default()
+    })
+    .is_err());
+    assert!(MixZones::new(MixZoneConfig {
+        min_speed_mps: f64::NAN,
+        ..MixZoneConfig::default()
+    })
+    .is_err());
+    assert!(Pipeline::new(0.0, MixZoneConfig::default()).is_err());
+}
+
+#[test]
+fn duplicate_timestamp_input_is_rejected_by_trace() {
+    let fixes = vec![
+        Fix::new(LatLng::new(45.0, 5.0).unwrap(), Timestamp::new(10)),
+        Fix::new(LatLng::new(45.1, 5.0).unwrap(), Timestamp::new(10)),
+    ];
+    assert!(Trace::new(UserId::new(1), fixes.clone()).is_err());
+    // The lenient path keeps the first.
+    let t = Trace::from_unsorted(UserId::new(1), fixes).unwrap();
+    assert_eq!(t.len(), 1);
+}

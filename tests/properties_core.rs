@@ -1,0 +1,134 @@
+//! Property-based tests on the protection mechanisms' invariants.
+
+use mobipriv::core::{GeoInd, Mechanism, MixZoneConfig, MixZones, Promesse};
+use mobipriv::geo::{LatLng, LocalFrame, Point};
+use mobipriv::model::{Dataset, Fix, Timestamp, Trace, UserId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a trace of `n` fixes wandering from a base position with
+/// bounded hops and strictly increasing times.
+fn arb_trace(user: u64) -> impl Strategy<Value = Trace> {
+    (
+        3usize..40,
+        proptest::collection::vec((-500.0f64..500.0, -500.0f64..500.0, 5i64..600), 40),
+    )
+        .prop_map(move |(n, hops)| {
+            let frame = LocalFrame::new(LatLng::new(45.0, 5.0).unwrap());
+            let mut fixes = Vec::new();
+            let mut pos = Point::new(0.0, 0.0);
+            let mut t = 0i64;
+            for (dx, dy, dt) in hops.into_iter().take(n) {
+                pos += Point::new(dx, dy);
+                t += dt;
+                fixes.push(Fix::new(frame.unproject(pos), Timestamp::new(t)));
+            }
+            Trace::new(UserId::new(user), fixes).expect("strictly increasing by construction")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Promesse output always has (near-)constant speed and preserves
+    /// the input's start time and duration.
+    #[test]
+    fn promesse_constant_speed_invariant(trace in arb_trace(1), alpha in 20.0f64..300.0) {
+        let mech = Promesse::new(alpha).unwrap();
+        if let Some(out) = mech.smooth_trace(&trace) {
+            prop_assert_eq!(out.start_time(), trace.start_time());
+            // Duration preserved up to whole-second rounding per point.
+            let drift = (out.duration().get() - trace.duration().get()).abs();
+            prop_assert!(drift <= out.len() as f64 + 1.0);
+            // Constant speed = uniform spatial hops × uniform time
+            // steps. Check both primaries directly: hop distances equal
+            // α (except the final, possibly-short hop) and hop durations
+            // equal up to the ±1 s whole-second rounding.
+            let frame = LocalFrame::new(out.first().position);
+            let pts: Vec<Point> = out
+                .fixes()
+                .iter()
+                .map(|f| frame.project(f.position))
+                .collect();
+            if pts.len() >= 3 {
+                // Spacing is uniform *along the original path* (α, or
+                // the widened step of the sparse fallback); the
+                // euclidean hop can only shrink where the path folds
+                // back on itself, never grow. Bound every hop by the
+                // largest possible along-path step.
+                let line = trace.to_polyline(&LocalFrame::new(trace.first().position));
+                let step_bound = (line.length().get() / (pts.len() - 1) as f64).max(alpha);
+                for w in pts.windows(2).take(pts.len() - 2) {
+                    let d = w[0].distance(w[1]).get();
+                    prop_assert!(
+                        d <= step_bound * 1.05 + 0.5,
+                        "hop {d} exceeds along-path step bound {step_bound} (α {alpha})"
+                    );
+                }
+                let steps: Vec<f64> = out.hops().map(|(a, b)| (b.time - a.time).get()).collect();
+                let body = &steps[..steps.len() - 1];
+                let mean_dt = body.iter().sum::<f64>() / body.len() as f64;
+                for dt in body {
+                    prop_assert!((dt - mean_dt).abs() <= 1.0, "step {dt} vs mean {mean_dt}");
+                }
+            }
+        }
+    }
+
+    /// Promesse points always lie on (or within a hair of) the original
+    /// path, and timestamps strictly increase.
+    #[test]
+    fn promesse_stays_on_path(trace in arb_trace(1), alpha in 20.0f64..300.0) {
+        let mech = Promesse::new(alpha).unwrap();
+        if let Some(out) = mech.smooth_trace(&trace) {
+            let frame = LocalFrame::new(trace.first().position);
+            let line = trace.to_polyline(&frame);
+            for f in out.fixes() {
+                let d = line.distance_to(frame.project(f.position)).get();
+                prop_assert!(d < 1.0, "off-path by {d} m");
+            }
+            for (a, b) in out.hops() {
+                prop_assert!(b.time > a.time);
+            }
+        }
+    }
+
+    /// GeoInd never changes counts, users or timestamps — only
+    /// positions.
+    #[test]
+    fn geoind_structure_invariant(trace in arb_trace(3), eps in 0.005f64..0.5, seed in 0u64..50) {
+        let mech = GeoInd::new(eps).unwrap();
+        let d = Dataset::from_traces(vec![trace.clone()]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = mech.protect(&d, &mut rng);
+        prop_assert_eq!(out.len(), 1);
+        let protected = &out.traces()[0];
+        prop_assert_eq!(protected.len(), trace.len());
+        prop_assert_eq!(protected.user(), trace.user());
+        for (a, b) in trace.fixes().iter().zip(protected.fixes()) {
+            prop_assert_eq!(a.time, b.time);
+        }
+    }
+
+    /// Mix-zone swapping conserves the fix budget (published +
+    /// suppressed = input) and never invents users.
+    #[test]
+    fn mixzones_fix_budget_invariant(
+        t1 in arb_trace(1),
+        t2 in arb_trace(2),
+        seed in 0u64..20,
+    ) {
+        let d = Dataset::from_traces(vec![t1, t2]);
+        let mech = MixZones::new(MixZoneConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (out, report) = mech.protect_with_report(&d, &mut rng);
+        prop_assert_eq!(out.total_fixes() + report.suppressed_fixes, d.total_fixes());
+        for user in out.users() {
+            prop_assert!(d.users().contains(&user));
+        }
+        // Every published fix must exist in the input (positions are
+        // never altered by swapping).
+        prop_assert!(report.suppression_ratio() <= 1.0);
+    }
+}

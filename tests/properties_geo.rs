@@ -1,0 +1,140 @@
+//! Property-based tests on the geometric substrate.
+
+use mobipriv::geo::{GridIndex, LatLng, LocalFrame, Meters, Point, Polyline};
+use proptest::prelude::*;
+
+fn arb_latlng() -> impl Strategy<Value = LatLng> {
+    // Stay away from the poles where equirectangular frames degrade.
+    (-75.0f64..75.0, -179.0f64..179.0)
+        .prop_map(|(lat, lng)| LatLng::new(lat, lng).expect("in range"))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((-5_000.0f64..5_000.0, -5_000.0f64..5_000.0), 1..max)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Haversine is a metric-ish distance: symmetric, zero on self,
+    /// triangle inequality (up to float slack).
+    #[test]
+    fn haversine_metric_properties(a in arb_latlng(), b in arb_latlng(), c in arb_latlng()) {
+        let ab = a.haversine_distance(b).get();
+        let ba = b.haversine_distance(a).get();
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert_eq!(a.haversine_distance(a).get(), 0.0);
+        let ac = a.haversine_distance(c).get();
+        let cb = c.haversine_distance(b).get();
+        prop_assert!(ab <= ac + cb + 1e-6);
+    }
+
+    /// destination() then haversine_distance() round-trips the distance
+    /// and bearing.
+    #[test]
+    fn destination_round_trip(
+        start in arb_latlng(),
+        bearing in 0.0f64..360.0,
+        dist in 1.0f64..50_000.0,
+    ) {
+        let end = start.destination(bearing, Meters::new(dist));
+        let measured = start.haversine_distance(end).get();
+        prop_assert!((measured - dist).abs() < dist * 1e-3 + 0.5,
+            "asked {dist}, got {measured}");
+    }
+
+    /// Local frames round-trip within centimeters for points within
+    /// ~20 km of the origin.
+    #[test]
+    fn frame_round_trip(origin in arb_latlng(), x in -20_000.0f64..20_000.0, y in -20_000.0f64..20_000.0) {
+        let frame = LocalFrame::new(origin);
+        let p = Point::new(x, y);
+        let back = frame.project(frame.unproject(p));
+        prop_assert!(back.distance(p).get() < 0.05, "drift {}", back.distance(p).get());
+    }
+
+    /// Polyline resampling: uniform spacing (except the final hop),
+    /// endpoints preserved, every sample on the path.
+    #[test]
+    fn resample_by_distance_properties(points in arb_points(20), step in 10.0f64..500.0) {
+        let line = Polyline::new(points).unwrap();
+        let samples = line.resample_by_distance(Meters::new(step)).unwrap();
+        prop_assert!(!samples.is_empty());
+        prop_assert_eq!(samples[0], line.vertices()[0]);
+        prop_assert_eq!(*samples.last().unwrap(), *line.vertices().last().unwrap());
+        // Along-path spacing is `step`; the euclidean gap between
+        // consecutive samples can only shrink where the path folds back
+        // on itself, never grow.
+        if samples.len() > 2 {
+            for w in samples.windows(2).take(samples.len() - 2) {
+                let d = w[0].distance(w[1]).get();
+                prop_assert!(d <= step + 1e-6, "spacing {d} vs {step}");
+            }
+        }
+        // Sample count matches the arithmetic of the sweep.
+        let total = line.length().get();
+        if total > 0.0 {
+            let expected = (total / step).ceil() as usize + 1;
+            prop_assert!(
+                samples.len() == expected || samples.len() == expected + 1,
+                "count {} vs expected {expected}", samples.len()
+            );
+        }
+        for s in &samples {
+            prop_assert!(line.distance_to(*s).get() < 1e-6);
+        }
+    }
+
+    /// point_at is monotone in travelled distance and clamps at the ends.
+    #[test]
+    fn point_at_monotone(points in arb_points(15), d1 in 0.0f64..10_000.0, d2 in 0.0f64..10_000.0) {
+        let line = Polyline::new(points).unwrap();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let a = line.point_at(Meters::new(lo));
+        let b = line.point_at(Meters::new(hi));
+        // Travelled distance to the sample is monotone.
+        prop_assert!(line.cumulative_at(a.segment).get() <= line.cumulative_at(b.segment).get() + 1e-9);
+        let total = line.length();
+        let end = line.point_at(Meters::new(total.get() + 1.0)).point;
+        prop_assert_eq!(end, *line.vertices().last().unwrap());
+    }
+
+    /// GridIndex radius queries agree exactly with brute force.
+    #[test]
+    fn grid_index_matches_brute_force(
+        points in arb_points(60),
+        qx in -5_000.0f64..5_000.0,
+        qy in -5_000.0f64..5_000.0,
+        radius in 1.0f64..2_000.0,
+        cell in 10.0f64..1_000.0,
+    ) {
+        let mut index = GridIndex::new(cell).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            index.insert(*p, i);
+        }
+        let q = Point::new(qx, qy);
+        let mut via_index: Vec<usize> = index.neighbours_within(q, radius).copied().collect();
+        via_index.sort_unstable();
+        let mut brute: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(q).get() <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(via_index, brute);
+    }
+
+    /// Interpolation between coordinates stays between them.
+    #[test]
+    fn latlng_interpolate_bounded(a in arb_latlng(), f in 0.0f64..1.0) {
+        // Pick b near a (mobility-scale spans).
+        let b = a.destination(37.0, Meters::new(5_000.0));
+        let mid = a.interpolate(b, f);
+        let total = a.haversine_distance(b).get();
+        let da = a.haversine_distance(mid).get();
+        let db = mid.haversine_distance(b).get();
+        prop_assert!(da + db <= total + 1.0, "{da} + {db} vs {total}");
+    }
+}
