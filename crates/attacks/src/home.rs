@@ -159,9 +159,10 @@ impl HomeAttack {
         let mut anchors: Vec<(usize, f64, LatLng)> = Vec::new();
         for stay in &endpoints {
             let rest = self.rest_overlap(stay).get();
-            match anchors.iter_mut().find(|(_, _, pos)| {
-                pos.haversine_distance(stay.centroid).get() <= self.tolerance_m
-            }) {
+            match anchors
+                .iter_mut()
+                .find(|(_, _, pos)| pos.haversine_distance(stay.centroid).get() <= self.tolerance_m)
+            {
                 Some((count, dwell, _)) => {
                     *count += 1;
                     *dwell += rest;
@@ -171,11 +172,7 @@ impl HomeAttack {
         }
         anchors
             .into_iter()
-            .max_by(|a, b| {
-                (a.0, a.1)
-                    .partial_cmp(&(b.0, b.1))
-                    .expect("finite scores")
-            })
+            .max_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite scores"))
             .map(|(_, _, pos)| pos)
     }
 
@@ -227,7 +224,9 @@ mod tests {
     fn smoothing_defeats_home_identification() {
         let out = scenarios::commuter_town(6, 2, 31);
         let mut rng = StdRng::seed_from_u64(0);
-        let published = Promesse::new(100.0).unwrap().protect(&out.dataset, &mut rng);
+        let published = Promesse::new(100.0)
+            .unwrap()
+            .protect(&out.dataset, &mut rng);
         let outcome = HomeAttack::default().run(&published, &out.truth);
         assert!(
             outcome.accuracy() < 0.2,

@@ -105,12 +105,7 @@ impl ReidentAttack {
         };
         let profile_points: BTreeMap<UserId, Vec<mobipriv_geo::Point>> = profiles
             .iter()
-            .map(|(u, pois)| {
-                (
-                    *u,
-                    pois.iter().map(|p| frame.project(p.centroid)).collect(),
-                )
-            })
+            .map(|(u, pois)| (*u, pois.iter().map(|p| frame.project(p.centroid)).collect()))
             .collect();
         let mut links = BTreeMap::new();
         for label in protected.users() {
@@ -132,8 +127,7 @@ impl ReidentAttack {
         if pois.is_empty() {
             return None;
         }
-        let points: Vec<mobipriv_geo::Point> =
-            pois.iter().map(|p| frame.project(*p)).collect();
+        let points: Vec<mobipriv_geo::Point> = pois.iter().map(|p| frame.project(*p)).collect();
         let mut best: Option<(f64, UserId)> = None;
         for (user, profile) in profiles {
             if profile.is_empty() {
@@ -150,7 +144,7 @@ impl ReidentAttack {
                 })
                 .sum();
             let mean = total / points.len() as f64;
-            if best.map_or(true, |(d, _)| mean < d) {
+            if best.is_none_or(|(d, _)| mean < d) {
                 best = Some((mean, *user));
             }
         }

@@ -106,7 +106,7 @@ impl Tracker {
                 if dt == 0.0 {
                     continue;
                 }
-                if d / dt <= self.max_speed_mps && best.map_or(true, |(bd, _)| d < bd) {
+                if d / dt <= self.max_speed_mps && best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, ti));
                 }
             }
@@ -190,10 +190,7 @@ mod tests {
 
     #[test]
     fn well_separated_users_are_perfectly_tracked() {
-        let d = Dataset::from_traces(vec![
-            lane_trace(1, 0.0, 5.0),
-            lane_trace(2, 5_000.0, 5.0),
-        ]);
+        let d = Dataset::from_traces(vec![lane_trace(1, 0.0, 5.0), lane_trace(2, 5_000.0, 5.0)]);
         let outcome = Tracker::default().run(&d);
         assert_eq!(outcome.tracks, 2);
         assert_eq!(outcome.continuity, 1.0);

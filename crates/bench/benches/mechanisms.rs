@@ -1,9 +1,10 @@
 //! P1 — mechanism throughput: how fast each mechanism protects a
 //! commuter-town workload (points per second follow from the measured
-//! time and the printed workload size).
+//! time and the printed workload size), plus P2 — the engine's
+//! sequential-vs-parallel comparison on a 1 000-user workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mobipriv_core::{GeoInd, GridGeneralization, KDelta, Mechanism, Promesse};
+use mobipriv_core::{Engine, GeoInd, GridGeneralization, KDelta, Mechanism, Promesse};
 use mobipriv_synth::scenarios;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -18,7 +19,10 @@ fn bench_mechanisms(c: &mut Criterion) {
     let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
         ("promesse_100m", Box::new(Promesse::new(100.0).unwrap())),
         ("geoind_eps0.01", Box::new(GeoInd::new(0.01).unwrap())),
-        ("grid_250m", Box::new(GridGeneralization::new(250.0).unwrap())),
+        (
+            "grid_250m",
+            Box::new(GridGeneralization::new(250.0).unwrap()),
+        ),
         ("kdelta_k2_d500", Box::new(KDelta::new(2, 500.0).unwrap())),
     ];
     for (name, mechanism) in &mechanisms {
@@ -32,5 +36,37 @@ fn bench_mechanisms(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mechanisms);
+/// P2 — engine scheduling: per-trace kernels on one core vs fanned out
+/// across all cores, on a 1 000-user day of synthetic traffic. The
+/// outputs are bit-identical (asserted by the integration suite); only
+/// the wall clock may differ.
+fn bench_engine_scheduling(c: &mut Criterion) {
+    let out = scenarios::commuter_town(1_000, 1, 42);
+    let dataset = out.dataset;
+    let fixes = dataset.total_fixes() as u64;
+    println!(
+        "engine workload: {} traces / {} fixes",
+        dataset.len(),
+        fixes
+    );
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(fixes));
+
+    let mechanisms: Vec<(&str, Box<dyn Mechanism>)> = vec![
+        ("promesse_100m", Box::new(Promesse::new(100.0).unwrap())),
+        ("geoind_eps0.01", Box::new(GeoInd::new(0.01).unwrap())),
+    ];
+    for (name, mechanism) in &mechanisms {
+        group.bench_with_input(BenchmarkId::new("sequential", name), &dataset, |b, d| {
+            b.iter(|| Engine::sequential().protect(mechanism.as_ref(), d, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", name), &dataset, |b, d| {
+            b.iter(|| Engine::parallel().protect(mechanism.as_ref(), d, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms, bench_engine_scheduling);
 criterion_main!(benches);

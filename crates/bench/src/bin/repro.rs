@@ -1,57 +1,69 @@
 //! The reproduction harness CLI: regenerates every figure/table of the
-//! experiment index (DESIGN.md §4).
-//!
-//! ```text
-//! repro [--smoke] <experiment>
-//!
-//! experiments:
-//!   fig1            Fig. 1 panels (raw / smoothed / swapped)
-//!   t1-poi-hiding   POI-retrieval attack vs every mechanism
-//!   t2-utility      spatial distortion / coverage / query error
-//!   t3-reident      re-identification accuracy
-//!   t4-mixzones     mix-zone statistics vs radius
-//!   t5-sampling     smoothing error vs GPS sampling rate
-//!   t6-alpha        Promesse α ablation
-//!   t7-kdelta       (k, δ) baseline on two workloads
-//!   t8-confusion    tracker confusion vs crossing density
-//!   t9-home         home-identification attack vs every mechanism
-//!   all             everything above
-//! ```
+//! experiment index (DESIGN.md §4). Run with `--help` for usage.
 
-use mobipriv_bench::experiments;
+use mobipriv_bench::experiments::{self, ExperimentCtx};
 use mobipriv_bench::ExperimentScale;
+use mobipriv_core::Engine;
+
+const USAGE: &str = "\
+usage: repro [--smoke] [--sequential] [<experiment>]
+
+Regenerates the figures/tables of the experiment index (DESIGN.md §4)
+on the deterministic batch engine and prints them to stdout.
+
+options:
+  --smoke         run the reduced CI-scale workloads (seconds instead
+                  of minutes; the recorded numbers use the full scale)
+  --sequential    run per-trace mechanisms on one core instead of the
+                  parallel engine (output is identical either way; see
+                  the engine determinism guarantee)
+  -h, --help      print this help
+
+experiments:
+  fig1            Fig. 1 panels (raw / smoothed / swapped)
+  t1-poi-hiding   POI-retrieval attack vs every mechanism
+  t2-utility      spatial distortion / coverage / query error
+  t3-reident      re-identification accuracy
+  t4-mixzones     mix-zone statistics vs radius
+  t5-sampling     smoothing error vs GPS sampling rate
+  t6-alpha        Promesse α ablation
+  t7-kdelta       (k, δ) baseline on two workloads
+  t8-confusion    tracker confusion vs crossing density
+  t9-home         home-identification attack vs every mechanism
+  all             everything above (the default)
+";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::Full;
+    let mut engine = Engine::parallel();
     let mut command = None;
     for arg in &args {
         match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
             "--smoke" => scale = ExperimentScale::Smoke,
+            "--sequential" => engine = Engine::sequential(),
+            other if other.starts_with('-') => {
+                eprintln!("unexpected argument: {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
             name if command.is_none() => command = Some(name.to_owned()),
             other => {
-                eprintln!("unexpected argument: {other}");
+                eprintln!("unexpected argument: {other}\n\n{USAGE}");
                 std::process::exit(2);
             }
         }
     }
+    let ctx = ExperimentCtx::with_engine(scale, engine);
     let command = command.unwrap_or_else(|| "all".to_owned());
-    let output = match command.as_str() {
-        "fig1" => experiments::fig1(scale),
-        "t1-poi-hiding" => experiments::t1_poi_hiding(scale),
-        "t2-utility" => experiments::t2_utility(scale),
-        "t3-reident" => experiments::t3_reident(scale),
-        "t4-mixzones" => experiments::t4_mixzones(scale),
-        "t5-sampling" => experiments::t5_sampling(scale),
-        "t6-alpha" => experiments::t6_alpha(scale),
-        "t7-kdelta" => experiments::t7_kdelta(scale),
-        "t8-confusion" => experiments::t8_confusion(scale),
-        "t9-home" => experiments::t9_home(scale),
-        "all" => experiments::run_all(scale),
-        other => {
-            eprintln!("unknown experiment `{other}`; see --help in the module docs");
+    match experiments::run_named(&ctx, &command) {
+        Some(output) => println!("{output}"),
+        None => {
+            eprintln!("unknown experiment `{command}`\n\n{USAGE}");
             std::process::exit(2);
         }
-    };
-    println!("{output}");
+    }
 }

@@ -1,6 +1,7 @@
-//! Shared plumbing for the experiments.
+//! Shared plumbing for the experiments: the workload scales and the
+//! [`ExperimentCtx`] every experiment runs through.
 
-use mobipriv_core::Mechanism;
+use mobipriv_core::{Engine, Mechanism};
 use mobipriv_model::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,11 +36,60 @@ impl ExperimentScale {
     }
 }
 
-/// Applies a mechanism with a fixed seed (all experiments are
-/// deterministic end to end).
-pub fn protect_seeded(mechanism: &dyn Mechanism, dataset: &Dataset, seed: u64) -> Dataset {
-    let mut rng = StdRng::seed_from_u64(seed);
-    mechanism.protect(dataset, &mut rng)
+/// The shared execution context of a reproduction run: one workload
+/// scale plus one [`Engine`] every experiment routes its mechanism
+/// applications through.
+///
+/// Centralizing execution here keeps the experiments free of
+/// hand-rolled protect loops, makes the whole reproduction switchable
+/// between parallel and sequential scheduling from one place (see
+/// `repro --sequential`), and pins the seed discipline: experiments
+/// pass explicit seeds, the context turns them into RNG streams.
+#[derive(Debug, Clone)]
+pub struct ExperimentCtx {
+    scale: ExperimentScale,
+    engine: Engine,
+}
+
+impl ExperimentCtx {
+    /// A context at `scale` running on the parallel engine (the
+    /// default for both the CLI and the test suite — engine output is
+    /// schedule-independent, so tests lose nothing by exercising the
+    /// parallel path).
+    pub fn new(scale: ExperimentScale) -> Self {
+        ExperimentCtx {
+            scale,
+            engine: Engine::parallel(),
+        }
+    }
+
+    /// A context with an explicit engine (e.g. [`Engine::sequential`]
+    /// for scheduling-sensitivity checks or single-core profiling).
+    pub fn with_engine(scale: ExperimentScale, engine: Engine) -> Self {
+        ExperimentCtx { scale, engine }
+    }
+
+    /// The workload scale.
+    pub fn scale(&self) -> ExperimentScale {
+        self.scale
+    }
+
+    /// The engine experiments execute mechanisms on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Applies a mechanism under a fixed seed through the engine (all
+    /// experiments are deterministic end to end).
+    pub fn protect(&self, mechanism: &dyn Mechanism, dataset: &Dataset, seed: u64) -> Dataset {
+        self.engine.protect(mechanism, dataset, seed)
+    }
+
+    /// A seeded RNG stream for the report-producing entry points
+    /// (`protect_with_report`) that live outside the `Mechanism` trait.
+    pub fn seeded_rng(&self, seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
 }
 
 /// Fraction of input fixes that survived into the published dataset.

@@ -2,34 +2,36 @@
 //! raw with two POIs each and a natural crossing, (b) after enforcing a
 //! constant speed, (c) after swapping identifiers in the mix-zone.
 
-use mobipriv_core::{Mechanism, MixZoneConfig, MixZones, Promesse};
+use mobipriv_core::{MixZoneConfig, MixZones, Promesse};
 use mobipriv_model::{Dataset, UserId};
 use mobipriv_poi::{detect_stay_points, StayPointConfig};
 use mobipriv_synth::scenarios;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use super::common::ExperimentScale;
+use super::common::{ExperimentCtx, ExperimentScale};
 
 const GRID: usize = 33;
 const EXTENT: f64 = 1_400.0;
 
 /// Renders the three panels of Fig. 1 as ASCII plots plus the summary
 /// statistics that make each panel's point.
-pub fn fig1(_scale: ExperimentScale) -> String {
+pub fn fig1(scale: ExperimentScale) -> String {
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
     let out = scenarios::crossing_paths(1);
     let raw = &out.dataset;
     let frame = out.city.frame();
 
     let smoother = Promesse::new(100.0).expect("valid alpha");
-    let mut rng = StdRng::seed_from_u64(7);
-    let smoothed = smoother.protect(raw, &mut rng);
+    let smoothed = ctx.protect(&smoother, raw, 7);
 
     let swapper = MixZones::new(MixZoneConfig::default()).expect("valid config");
     // Find a seed whose permutation actually swaps, like the figure.
     let (swapped, report) = (0..64)
         .map(|seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = ctx.seeded_rng(seed);
             swapper.protect_with_report(&smoothed, &mut rng)
         })
         .find(|(_, r)| r.swap_events > 0)

@@ -13,7 +13,7 @@ mod t7_kdelta;
 mod t8_confusion;
 mod t9_home;
 
-pub use common::ExperimentScale;
+pub use common::{ExperimentCtx, ExperimentScale};
 pub use fig1::fig1;
 pub use t1_poi_hiding::t1_poi_hiding;
 pub use t2_utility::t2_utility;
@@ -28,18 +28,43 @@ pub use t9_home::t9_home;
 /// Runs every experiment at the given scale and concatenates the
 /// outputs (the `repro all` command).
 pub fn run_all(scale: ExperimentScale) -> String {
+    run_all_with(&ExperimentCtx::new(scale))
+}
+
+/// Runs one experiment by its CLI name (`fig1`, `t1-poi-hiding`, …,
+/// `all`) over an explicit context; `None` for an unknown name.
+pub fn run_named(ctx: &ExperimentCtx, name: &str) -> Option<String> {
+    Some(match name {
+        "fig1" => fig1::run(ctx),
+        "t1-poi-hiding" => t1_poi_hiding::run(ctx),
+        "t2-utility" => t2_utility::run(ctx),
+        "t3-reident" => t3_reident::run(ctx),
+        "t4-mixzones" => t4_mixzones::run(ctx),
+        "t5-sampling" => t5_sampling::run(ctx),
+        "t6-alpha" => t6_alpha::run(ctx),
+        "t7-kdelta" => t7_kdelta::run(ctx),
+        "t8-confusion" => t8_confusion::run(ctx),
+        "t9-home" => t9_home::run(ctx),
+        "all" => run_all_with(ctx),
+        _ => return None,
+    })
+}
+
+/// [`run_all`] over an explicit context: every experiment shares the
+/// one engine instead of hand-rolling its own execution.
+pub fn run_all_with(ctx: &ExperimentCtx) -> String {
     let mut out = String::new();
     for (name, body) in [
-        ("F1 (Fig. 1)", fig1(scale)),
-        ("T1 poi-hiding", t1_poi_hiding(scale)),
-        ("T2 utility", t2_utility(scale)),
-        ("T3 re-identification", t3_reident(scale)),
-        ("T4 mix-zones", t4_mixzones(scale)),
-        ("T5 sampling-rate", t5_sampling(scale)),
-        ("T6 alpha-ablation", t6_alpha(scale)),
-        ("T7 k-delta", t7_kdelta(scale)),
-        ("T8 path-confusion", t8_confusion(scale)),
-        ("T9 home-identification", t9_home(scale)),
+        ("F1 (Fig. 1)", fig1::run(ctx)),
+        ("T1 poi-hiding", t1_poi_hiding::run(ctx)),
+        ("T2 utility", t2_utility::run(ctx)),
+        ("T3 re-identification", t3_reident::run(ctx)),
+        ("T4 mix-zones", t4_mixzones::run(ctx)),
+        ("T5 sampling-rate", t5_sampling::run(ctx)),
+        ("T6 alpha-ablation", t6_alpha::run(ctx)),
+        ("T7 k-delta", t7_kdelta::run(ctx)),
+        ("T8 path-confusion", t8_confusion::run(ctx)),
+        ("T9 home-identification", t9_home::run(ctx)),
     ] {
         out.push_str(&format!("\n===== {name} =====\n"));
         out.push_str(&body);

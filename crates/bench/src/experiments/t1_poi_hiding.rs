@@ -11,11 +11,16 @@ use mobipriv_core::{GeoInd, GridGeneralization, Identity, KDelta, Mechanism, Pro
 use mobipriv_metrics::Table;
 use mobipriv_synth::scenarios;
 
-use super::common::{protect_seeded, ExperimentScale};
+use super::common::{ExperimentCtx, ExperimentScale};
 
 /// Runs the attack matrix and renders the table.
 pub fn t1_poi_hiding(scale: ExperimentScale) -> String {
-    let (users, days) = scale.commuter();
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let (users, days) = ctx.scale().commuter();
     let out = scenarios::commuter_town(users, days, 101);
     // (mechanism, expected per-point noise the attacker tunes against)
     let rows: Vec<(Box<dyn Mechanism>, f64)> = vec![
@@ -27,7 +32,10 @@ pub fn t1_poi_hiding(scale: ExperimentScale) -> String {
         (Box::new(GeoInd::new(0.02).expect("valid")), 100.0),
         (Box::new(GeoInd::new(0.01).expect("valid")), 200.0),
         (Box::new(KDelta::new(2, 500.0).expect("valid")), 250.0),
-        (Box::new(GridGeneralization::new(250.0).expect("valid")), 125.0),
+        (
+            Box::new(GridGeneralization::new(250.0).expect("valid")),
+            125.0,
+        ),
     ];
     let mut table = Table::new(vec![
         "mechanism",
@@ -38,7 +46,7 @@ pub fn t1_poi_hiding(scale: ExperimentScale) -> String {
         "pub-traces",
     ]);
     for (seed, (mechanism, noise)) in rows.iter().enumerate() {
-        let protected = protect_seeded(mechanism.as_ref(), &out.dataset, 7_000 + seed as u64);
+        let protected = ctx.protect(mechanism.as_ref(), &out.dataset, 7_000 + seed as u64);
         let attack = PoiAttack::tuned_for_noise(*noise);
         let outcome = attack.run(&protected, &out.truth);
         let users = outcome.per_user.len().max(1);

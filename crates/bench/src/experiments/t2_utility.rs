@@ -9,14 +9,17 @@ use mobipriv_core::{GeoInd, GridGeneralization, Identity, KDelta, Mechanism, Pro
 use mobipriv_geo::Seconds;
 use mobipriv_metrics::{coverage, queries, spatial, Table};
 use mobipriv_synth::scenarios;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use super::common::{protect_seeded, published_ratio, ExperimentScale};
+use super::common::{published_ratio, ExperimentCtx, ExperimentScale};
 
 /// Runs the utility matrix and renders the table.
 pub fn t2_utility(scale: ExperimentScale) -> String {
-    let (users, days) = scale.commuter();
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let (users, days) = ctx.scale().commuter();
     let out = scenarios::commuter_town(users, days, 202);
     let rows: Vec<Box<dyn Mechanism>> = vec![
         Box::new(Identity),
@@ -38,14 +41,16 @@ pub fn t2_utility(scale: ExperimentScale) -> String {
         "query-err",
         "pts-kept",
     ]);
-    for (seed, mechanism) in rows.iter().enumerate() {
-        let protected = protect_seeded(mechanism.as_ref(), &out.dataset, 9_000 + seed as u64);
-        let distortion = spatial::dataset_distortion(&out.dataset, &protected);
-        let cov = coverage::coverage(&out.dataset, &protected, 200.0);
-        let mut rng = StdRng::seed_from_u64(77);
+    // One engine sweep over the whole mechanism list: row i runs under
+    // seed 9_000 + i.
+    let releases = ctx.engine().sweep(&rows, &out.dataset, 9_000);
+    for (mechanism, protected) in rows.iter().zip(&releases) {
+        let distortion = spatial::dataset_distortion(&out.dataset, protected);
+        let cov = coverage::coverage(&out.dataset, protected, 200.0);
+        let mut rng = ctx.seeded_rng(77);
         let q = queries::query_error(
             &out.dataset,
-            &protected,
+            protected,
             100,
             200.0,
             Seconds::from_minutes(15.0),
@@ -58,7 +63,7 @@ pub fn t2_utility(scale: ExperimentScale) -> String {
             Table::num(cov.f1),
             Table::num(cov.cosine),
             Table::num(q.mean_relative_error),
-            Table::pct(published_ratio(&out.dataset, &protected)),
+            Table::pct(published_ratio(&out.dataset, protected)),
         ]);
     }
     format!(

@@ -18,13 +18,17 @@ use mobipriv_metrics::Table;
 use mobipriv_model::Dataset;
 use mobipriv_synth::scenarios;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use super::common::{protect_seeded, ExperimentScale};
+use super::common::{ExperimentCtx, ExperimentScale};
 
 /// Runs the linking matrix and renders the table.
 pub fn t3_reident(scale: ExperimentScale) -> String {
-    let (users, days) = scale.commuter();
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let (users, days) = ctx.scale().commuter();
     let days = days.max(2);
     let out = scenarios::commuter_town(users, days, 303);
     // Train on the first half of the days (raw), attack the second half.
@@ -38,10 +42,13 @@ pub fn t3_reident(scale: ExperimentScale) -> String {
         (Box::new(Identity), 0.0),
         (Box::new(Promesse::new(100.0).expect("valid")), 0.0),
         (Box::new(GeoInd::new(0.01).expect("valid")), 200.0),
-        (Box::new(GridGeneralization::new(250.0).expect("valid")), 125.0),
+        (
+            Box::new(GridGeneralization::new(250.0).expect("valid")),
+            125.0,
+        ),
     ];
     for (seed, (mechanism, noise)) in rows.iter().enumerate() {
-        let protected = protect_seeded(mechanism.as_ref(), &test, 11_000 + seed as u64);
+        let protected = ctx.protect(mechanism.as_ref(), &test, 11_000 + seed as u64);
         let attack = ReidentAttack::tuned_for_noise(*noise);
         let outcome = attack.run(&train, &protected);
         let linked = outcome.links.values().filter(|g| g.is_some()).count();
@@ -59,10 +66,10 @@ pub fn t3_reident(scale: ExperimentScale) -> String {
         use mobipriv_core::Pseudonymize;
         use std::collections::BTreeMap;
         // Re-derive the mapping by running the (deterministic) mechanism
-        // and pairing published traces with their sources positionally.
+        // and pairing published traces with their sources positionally
+        // (the engine's kernel path preserves trace order).
         let mech = Pseudonymize::new();
-        let mut rng = StdRng::seed_from_u64(20_000);
-        let protected = mech.protect(&test, &mut rng);
+        let protected = ctx.protect(&mech, &test, 20_000);
         let owner: BTreeMap<_, _> = protected
             .traces()
             .iter()
@@ -91,7 +98,7 @@ pub fn t3_reident(scale: ExperimentScale) -> String {
         ),
     ];
     for (label, runner) in swap_rows {
-        let mut rng = StdRng::seed_from_u64(12_345);
+        let mut rng = ctx.seeded_rng(12_345);
         let (protected, report) = runner.run(&test, &mut rng);
         let outcome = ReidentAttack::default().run(&train, &protected);
         let linked = outcome.links.values().filter(|g| g.is_some()).count();
@@ -113,11 +120,7 @@ pub fn t3_reident(scale: ExperimentScale) -> String {
 /// Object-safe shim over the two report-producing mechanisms.
 trait SwapRun {
     fn name(&self) -> String;
-    fn run(
-        &self,
-        dataset: &Dataset,
-        rng: &mut StdRng,
-    ) -> (Dataset, mobipriv_core::SwapReport);
+    fn run(&self, dataset: &Dataset, rng: &mut StdRng) -> (Dataset, mobipriv_core::SwapReport);
 }
 
 impl SwapRun for MixZones {

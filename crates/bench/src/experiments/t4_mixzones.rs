@@ -8,14 +8,17 @@
 use mobipriv_core::{MixZoneConfig, MixZones};
 use mobipriv_metrics::Table;
 use mobipriv_synth::scenarios;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use super::common::ExperimentScale;
+use super::common::{ExperimentCtx, ExperimentScale};
 
 /// Sweeps the zone radius and renders the table.
 pub fn t4_mixzones(scale: ExperimentScale) -> String {
-    let (users, days) = scale.downtown();
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let (users, days) = ctx.scale().downtown();
     let out = scenarios::dense_downtown(users, days, 404);
     let mut table = Table::new(vec![
         "radius(m)",
@@ -31,7 +34,7 @@ pub fn t4_mixzones(scale: ExperimentScale) -> String {
             ..MixZoneConfig::default()
         })
         .expect("valid config");
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = ctx.seeded_rng(13);
         let (_, report) = mech.protect_with_report(&out.dataset, &mut rng);
         let mean_members = if report.zones.is_empty() {
             0.0

@@ -16,13 +16,16 @@ use mobipriv_geo::{LatLng, LocalFrame, Point, Seconds};
 use mobipriv_metrics::{spatial, Table};
 use mobipriv_model::{Dataset, Fix, Timestamp, Trace, TraceBuilder, UserId};
 use mobipriv_synth::{sample_trace, GpsConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use super::common::{protect_seeded, ExperimentScale};
+use super::common::{ExperimentCtx, ExperimentScale};
 
 /// Sweeps the GPS sampling interval and renders the table.
-pub fn t5_sampling(_scale: ExperimentScale) -> String {
+pub fn t5_sampling(scale: ExperimentScale) -> String {
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
     let frame = LocalFrame::new(LatLng::new(45.764, 4.8357).expect("valid constant"));
     let truth_dataset = Dataset::from_traces(vec![truth_trace(&frame)]);
     let mut table = Table::new(vec![
@@ -33,7 +36,7 @@ pub fn t5_sampling(_scale: ExperimentScale) -> String {
         "dist-max(m)",
     ]);
     for interval in [10.0, 30.0, 60.0, 120.0, 300.0] {
-        let mut rng = StdRng::seed_from_u64(55);
+        let mut rng = ctx.seeded_rng(55);
         let gps = GpsConfig {
             sample_interval: Seconds::new(interval),
             noise_std_m: 4.0,
@@ -43,7 +46,7 @@ pub fn t5_sampling(_scale: ExperimentScale) -> String {
             sample_trace(&truth_dataset.traces()[0], &gps, &mut rng).expect("valid gps config");
         let mechanism = Promesse::new(100.0).expect("valid alpha");
         let fixes = sampled.len();
-        let protected = protect_seeded(&mechanism, &Dataset::from_traces(vec![sampled]), 1);
+        let protected = ctx.protect(&mechanism, &Dataset::from_traces(vec![sampled]), 1);
         let distortion = spatial::dataset_distortion(&truth_dataset, &protected);
         table.row(vec![
             format!("{interval}"),

@@ -12,11 +12,16 @@ use mobipriv_core::Promesse;
 use mobipriv_metrics::{spatial, Table};
 use mobipriv_synth::scenarios;
 
-use super::common::{protect_seeded, published_ratio, ExperimentScale};
+use super::common::{published_ratio, ExperimentCtx, ExperimentScale};
 
 /// Sweeps α and renders the table.
 pub fn t6_alpha(scale: ExperimentScale) -> String {
-    let (users, days) = scale.commuter();
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let (users, days) = ctx.scale().commuter();
     let out = scenarios::commuter_town(users, days, 606);
     let mut table = Table::new(vec![
         "alpha(m)",
@@ -30,7 +35,7 @@ pub fn t6_alpha(scale: ExperimentScale) -> String {
     ]);
     for alpha in [25.0, 50.0, 100.0, 200.0, 400.0, 800.0] {
         let mechanism = Promesse::new(alpha).expect("valid alpha");
-        let protected = protect_seeded(&mechanism, &out.dataset, 17_000);
+        let protected = ctx.protect(&mechanism, &out.dataset, 17_000);
         // Forward: published points vs the true path (≈ 0 by design —
         // smoothing re-samples the path itself).
         let forward = spatial::dataset_distortion(&out.dataset, &protected);

@@ -11,14 +11,25 @@ use mobipriv_core::KDelta;
 use mobipriv_metrics::{spatial, Table};
 use mobipriv_synth::scenarios;
 
-use super::common::ExperimentScale;
+use super::common::{ExperimentCtx, ExperimentScale};
 
 /// Sweeps (workload, k, δ) and renders the table.
 pub fn t7_kdelta(scale: ExperimentScale) -> String {
-    let (users, days) = scale.commuter();
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let (users, days) = ctx.scale().commuter();
     let workloads = [
-        ("downtown", scenarios::dense_downtown(users, days.min(2), 707)),
-        ("commuter", scenarios::commuter_town(users, days.min(2), 707)),
+        (
+            "downtown",
+            scenarios::dense_downtown(users, days.min(2), 707),
+        ),
+        (
+            "commuter",
+            scenarios::commuter_town(users, days.min(2), 707),
+        ),
     ];
     let mut table = Table::new(vec![
         "workload",

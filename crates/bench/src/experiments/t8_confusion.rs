@@ -13,11 +13,16 @@ use mobipriv_core::{detect_mix_zones, MixZoneConfig};
 use mobipriv_metrics::Table;
 use mobipriv_synth::scenarios;
 
-use super::common::ExperimentScale;
+use super::common::{ExperimentCtx, ExperimentScale};
 
 /// Sweeps the fraction of hub-crossing users and renders the table.
 pub fn t8_confusion(scale: ExperimentScale) -> String {
-    let users = match scale {
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let users = match ctx.scale() {
         ExperimentScale::Smoke => 12,
         ExperimentScale::Full => 28,
     };

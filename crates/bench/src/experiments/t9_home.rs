@@ -4,18 +4,21 @@
 //! every mechanism.
 
 use mobipriv_attacks::HomeAttack;
-use mobipriv_core::{
-    GeoInd, GridGeneralization, Identity, Mechanism, Promesse, Pseudonymize,
-};
+use mobipriv_core::{GeoInd, GridGeneralization, Identity, Mechanism, Promesse, Pseudonymize};
 use mobipriv_metrics::Table;
 use mobipriv_poi::StayPointConfig;
 use mobipriv_synth::scenarios;
 
-use super::common::{protect_seeded, ExperimentScale};
+use super::common::{ExperimentCtx, ExperimentScale};
 
 /// Runs the home-identification matrix and renders the table.
 pub fn t9_home(scale: ExperimentScale) -> String {
-    let (users, days) = scale.commuter();
+    run(&ExperimentCtx::new(scale))
+}
+
+/// Engine-driven body, shared with `repro all`'s single context.
+pub(crate) fn run(ctx: &ExperimentCtx) -> String {
+    let (users, days) = ctx.scale().commuter();
     let out = scenarios::commuter_town(users, days, 909);
     let rows: Vec<(Box<dyn Mechanism>, f64)> = vec![
         (Box::new(Identity), 0.0),
@@ -23,11 +26,14 @@ pub fn t9_home(scale: ExperimentScale) -> String {
         (Box::new(Promesse::new(100.0).expect("valid")), 0.0),
         (Box::new(GeoInd::new(0.1).expect("valid")), 20.0),
         (Box::new(GeoInd::new(0.01).expect("valid")), 200.0),
-        (Box::new(GridGeneralization::new(250.0).expect("valid")), 125.0),
+        (
+            Box::new(GridGeneralization::new(250.0).expect("valid")),
+            125.0,
+        ),
     ];
     let mut table = Table::new(vec!["mechanism", "homes-found", "accuracy"]);
     for (seed, (mechanism, noise)) in rows.iter().enumerate() {
-        let protected = protect_seeded(mechanism.as_ref(), &out.dataset, 19_000 + seed as u64);
+        let protected = ctx.protect(mechanism.as_ref(), &out.dataset, 19_000 + seed as u64);
         // Tune the stay detector like the POI attack does.
         let attack = if *noise > 0.0 {
             HomeAttack::new(

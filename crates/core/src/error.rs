@@ -24,7 +24,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidParameter { what, value } => {
-                write!(f, "parameter `{what}` must be strictly positive and finite, got {value}")
+                write!(
+                    f,
+                    "parameter `{what}` must be strictly positive and finite, got {value}"
+                )
             }
             CoreError::KTooSmall(k) => write!(f, "k must be at least 2, got {k}"),
         }

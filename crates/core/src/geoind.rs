@@ -2,10 +2,11 @@ use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 use mobipriv_geo::{LocalFrame, Point};
-use mobipriv_model::Dataset;
+use mobipriv_model::{Dataset, Trace};
 
+use crate::engine::TraceCtx;
 use crate::error::require_positive;
-use crate::{CoreError, Mechanism};
+use crate::{CoreError, Mechanism, TraceKernel};
 
 /// How the privacy budget is spent across the points of a trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -145,16 +146,36 @@ impl Mechanism for GeoInd {
     }
 
     fn protect(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Dataset {
-        dataset.map(|trace| {
-            let eps = match self.budget {
-                NoiseBudget::PerPoint => self.epsilon,
-                NoiseBudget::PerTrace => self.epsilon / trace.len() as f64,
-            };
-            trace.map_positions(|pos| {
-                let frame = LocalFrame::new(pos);
-                frame.unproject(GeoInd::sample_noise(eps, rng))
-            })
+        dataset.map(|trace| self.perturb_trace(trace, rng))
+    }
+
+    fn as_trace_kernel(&self) -> Option<&dyn TraceKernel> {
+        Some(self)
+    }
+}
+
+impl GeoInd {
+    /// Perturbs every position of one trace, drawing noise from `rng`.
+    fn perturb_trace(&self, trace: &Trace, rng: &mut dyn RngCore) -> Trace {
+        let eps = match self.budget {
+            NoiseBudget::PerPoint => self.epsilon,
+            NoiseBudget::PerTrace => self.epsilon / trace.len() as f64,
+        };
+        trace.map_positions(|pos| {
+            let frame = LocalFrame::new(pos);
+            frame.unproject(GeoInd::sample_noise(eps, rng))
         })
+    }
+}
+
+impl TraceKernel for GeoInd {
+    fn protect_trace(
+        &self,
+        trace: &Trace,
+        _ctx: &TraceCtx,
+        rng: &mut dyn RngCore,
+    ) -> Option<Trace> {
+        Some(self.perturb_trace(trace, rng))
     }
 }
 
@@ -184,7 +205,10 @@ mod tests {
         // Identity: W(x)·e^{W(x)} = x.
         for &x in &[-0.3678, -0.25, -0.05, -1e-4, -1e-8] {
             let w = lambert_w_minus1(x);
-            assert!((w * w.exp() - x).abs() < 1e-10 * x.abs().max(1e-12), "x={x}");
+            assert!(
+                (w * w.exp() - x).abs() < 1e-10 * x.abs().max(1e-12),
+                "x={x}"
+            );
         }
     }
 

@@ -2,7 +2,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use mobipriv_geo::{Point, Seconds};
-use mobipriv_model::{Dataset, Fix, TraceBuilder, Timestamp};
+use mobipriv_model::{Dataset, Fix, Timestamp, TraceBuilder};
 
 use crate::error::require_positive;
 use crate::{CoreError, Mechanism};
@@ -71,10 +71,7 @@ impl GridGeneralization {
     /// point.
     fn snap(&self, p: Point) -> Point {
         let s = self.cell_m;
-        Point::new(
-            ((p.x / s).floor() + 0.5) * s,
-            ((p.y / s).floor() + 0.5) * s,
-        )
+        Point::new(((p.x / s).floor() + 0.5) * s, ((p.y / s).floor() + 0.5) * s)
     }
 }
 

@@ -169,8 +169,7 @@ impl KDelta {
             let mut candidates: Vec<(f64, usize)> = (0..n)
                 .filter(|&j| j != pivot && !assigned[j])
                 .filter_map(|j| {
-                    sync_distance(&aligned[pivot], &aligned[j], self.min_overlap)
-                        .map(|d| (d, j))
+                    sync_distance(&aligned[pivot], &aligned[j], self.min_overlap).map(|d| (d, j))
                 })
                 .filter(|(d, _)| *d <= self.cluster_radius_m)
                 .collect();
@@ -212,8 +211,8 @@ impl KDelta {
                 if members.is_empty() {
                     centroids.push(None);
                 } else {
-                    let c = members.iter().fold(Point::ORIGIN, |a, p| a + *p)
-                        / members.len() as f64;
+                    let c =
+                        members.iter().fold(Point::ORIGIN, |a, p| a + *p) / members.len() as f64;
                     centroids.push(Some(c));
                 }
             }

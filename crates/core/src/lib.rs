@@ -28,7 +28,11 @@
 //! * [`Identity`] — the no-op mechanism (raw publication).
 //!
 //! Every mechanism implements the [`Mechanism`] trait, so experiments
-//! sweep over them uniformly.
+//! sweep over them uniformly. Per-trace mechanisms additionally expose
+//! a [`TraceKernel`], which the deterministic batch [`Engine`] fans out
+//! across cores with one seeded RNG stream per trace — parallel output
+//! is bit-identical to sequential execution (see the [`engine`] module
+//! docs).
 //!
 //! # Example
 //!
@@ -50,6 +54,7 @@
 #![deny(missing_docs)]
 #![deny(rust_2018_idioms)]
 
+pub mod engine;
 mod error;
 mod geoind;
 mod grid_gen;
@@ -59,11 +64,12 @@ mod mixzone;
 mod pipeline;
 mod promesse;
 
+pub use engine::{derive_user_token, trace_seed, Engine, ExecutionMode, TraceCtx};
 pub use error::CoreError;
 pub use geoind::{GeoInd, NoiseBudget};
 pub use grid_gen::GridGeneralization;
 pub use kdelta::{KDelta, KDeltaReport};
-pub use mechanism::{Identity, Mechanism, Pseudonymize};
+pub use mechanism::{Identity, Mechanism, Pseudonymize, TraceKernel};
 pub use mixzone::{detect_mix_zones, MixZone, MixZoneConfig, MixZones, SwapReport};
 pub use pipeline::Pipeline;
 pub use promesse::Promesse;

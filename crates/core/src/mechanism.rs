@@ -1,6 +1,8 @@
 use rand::RngCore;
 
-use mobipriv_model::Dataset;
+use mobipriv_model::{Dataset, Trace, UserId};
+
+use crate::engine::{derive_user_token, TraceCtx};
 
 /// A location-privacy protection mechanism: a transformation from a raw
 /// dataset to a publishable one.
@@ -11,6 +13,13 @@ use mobipriv_model::Dataset;
 /// ones ignore it — passing a seeded RNG therefore makes any experiment
 /// reproducible.
 ///
+/// Mechanisms that transform each trace independently additionally
+/// expose that kernel through [`Mechanism::as_trace_kernel`], which lets
+/// the [`Engine`](crate::Engine) fan traces out across cores with
+/// per-trace RNG streams; inherently cross-trace mechanisms (mix-zones,
+/// (k, δ)-clustering) return `None` and keep their dataset-level entry
+/// point.
+///
 /// ```
 /// use mobipriv_core::{Identity, Mechanism};
 /// use mobipriv_model::Dataset;
@@ -20,6 +29,7 @@ use mobipriv_model::Dataset;
 /// let raw = Dataset::new();
 /// let out = Identity.protect(&raw, &mut rng);
 /// assert_eq!(out, raw);
+/// assert!(Identity.as_trace_kernel().is_some());
 /// ```
 pub trait Mechanism {
     /// A short machine-friendly name (used in experiment tables).
@@ -30,6 +40,32 @@ pub trait Mechanism {
     /// Mechanisms may drop fixes, traces, or relabel users — but they
     /// never invent users that were not present in the input.
     fn protect(&self, dataset: &Dataset, rng: &mut dyn RngCore) -> Dataset;
+
+    /// The per-trace kernel view of this mechanism, when it has one.
+    ///
+    /// Returning `Some` promises that [`TraceKernel::protect_trace`]
+    /// applied to every trace independently (in any order, under any
+    /// thread interleaving) produces the dataset [`Mechanism::protect`]
+    /// would — up to the RNG stream, which the engine derives per trace.
+    fn as_trace_kernel(&self) -> Option<&dyn TraceKernel> {
+        None
+    }
+}
+
+/// The per-trace half of a [`Mechanism`]: a pure function from one input
+/// trace (plus its deterministic context and RNG stream) to at most one
+/// published trace.
+///
+/// Kernels must not consult any state shared with other traces — that
+/// independence is what lets the [`Engine`](crate::Engine) run them in
+/// parallel while staying bit-identical to sequential execution.
+pub trait TraceKernel: Send + Sync {
+    /// Protects one trace; `None` suppresses it from the release.
+    ///
+    /// `rng` is exclusive to this trace: the engine seeds it from the
+    /// experiment seed, the user id and the trace index, so a kernel may
+    /// draw freely without perturbing any other trace's stream.
+    fn protect_trace(&self, trace: &Trace, ctx: &TraceCtx, rng: &mut dyn RngCore) -> Option<Trace>;
 }
 
 /// The no-op mechanism: publishes the dataset unchanged. The "Raw" row
@@ -44,6 +80,21 @@ impl Mechanism for Identity {
 
     fn protect(&self, dataset: &Dataset, _rng: &mut dyn RngCore) -> Dataset {
         dataset.clone()
+    }
+
+    fn as_trace_kernel(&self) -> Option<&dyn TraceKernel> {
+        Some(self)
+    }
+}
+
+impl TraceKernel for Identity {
+    fn protect_trace(
+        &self,
+        trace: &Trace,
+        _ctx: &TraceCtx,
+        _rng: &mut dyn RngCore,
+    ) -> Option<Trace> {
+        Some(trace.clone())
     }
 }
 
@@ -130,6 +181,27 @@ impl Mechanism for Pseudonymize {
             out
         }
     }
+
+    fn as_trace_kernel(&self) -> Option<&dyn TraceKernel> {
+        Some(self)
+    }
+}
+
+impl TraceKernel for Pseudonymize {
+    /// Per-user mode derives the pseudonym from `(experiment seed, user)`
+    /// alone — a bijection in the user id, so all of a user's traces
+    /// share one pseudonym and distinct users never collide, without any
+    /// cross-trace coordination. Per-trace mode draws the pseudonym from
+    /// the trace's own stream (collisions are a 64-bit birthday event —
+    /// negligible, and harmless for the release semantics).
+    fn protect_trace(&self, trace: &Trace, ctx: &TraceCtx, rng: &mut dyn RngCore) -> Option<Trace> {
+        let pseudonym = if self.per_user {
+            derive_user_token(ctx.experiment_seed, trace.user())
+        } else {
+            rng.next_u64()
+        };
+        Some(trace.with_user(UserId::new(pseudonym)))
+    }
 }
 
 #[cfg(test)]
@@ -144,10 +216,7 @@ mod tests {
     fn identity_is_identity() {
         let trace = Trace::new(
             UserId::new(1),
-            vec![Fix::new(
-                LatLng::new(45.0, 5.0).unwrap(),
-                Timestamp::new(0),
-            )],
+            vec![Fix::new(LatLng::new(45.0, 5.0).unwrap(), Timestamp::new(0))],
         )
         .unwrap();
         let d = Dataset::from_traces(vec![trace]);

@@ -5,9 +5,9 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
 use mobipriv_geo::{GridIndex, LatLng, LocalFrame, Point, Seconds};
-use mobipriv_model::{Dataset, Timestamp, Trace, TraceBuilder, UserId};
 #[cfg(test)]
 use mobipriv_model::Fix;
+use mobipriv_model::{Dataset, Timestamp, Trace, TraceBuilder, UserId};
 
 use crate::error::require_positive;
 use crate::{CoreError, Mechanism};
@@ -200,11 +200,7 @@ pub fn detect_mix_zones(dataset: &Dataset, config: &MixZoneConfig) -> Vec<MixZon
 }
 
 /// Samples every trace and returns all pairwise meetings.
-fn find_meetings(
-    dataset: &Dataset,
-    config: &MixZoneConfig,
-    frame: &LocalFrame,
-) -> Vec<Meeting> {
+fn find_meetings(dataset: &Dataset, config: &MixZoneConfig, frame: &LocalFrame) -> Vec<Meeting> {
     // (time, trace index, planar position, speed); times are bucketed by
     // the tolerance so partners are found in adjacent buckets only.
     let tol = config.time_tolerance.get().max(1.0) as i64;
@@ -267,9 +263,7 @@ fn find_meetings(
                         midpoint: frame.project(
                             dataset.traces()[idx]
                                 .position_at(Timestamp::new(t))
-                                .midpoint(
-                                    dataset.traces()[idx2].position_at(Timestamp::new(t2)),
-                                ),
+                                .midpoint(dataset.traces()[idx2].position_at(Timestamp::new(t2))),
                         ),
                         time: t.midpoint(t2),
                         trace_a: idx,
@@ -301,7 +295,7 @@ fn build_zones(
         // Union-find over the meetings of this slice by midpoint
         // proximity.
         let mut parent: Vec<usize> = (0..ids.len()).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -343,10 +337,7 @@ fn build_zones(
                     return None;
                 }
                 let n = ms.len() as f64;
-                let center = ms
-                    .iter()
-                    .fold(Point::ORIGIN, |acc, m| acc + m.midpoint)
-                    / n;
+                let center = ms.iter().fold(Point::ORIGIN, |acc, m| acc + m.midpoint) / n;
                 let t_min = ms.iter().map(|m| m.time).min().expect("non-empty");
                 let t_max = ms.iter().map(|m| m.time).max().expect("non-empty");
                 let tol = config.time_tolerance.get() as i64;
@@ -439,8 +430,7 @@ impl MixZones {
             if participants.len() < 2 {
                 continue;
             }
-            let mut perm: Vec<UserId> =
-                participants.iter().map(|(t, _)| labels[*t]).collect();
+            let mut perm: Vec<UserId> = participants.iter().map(|(t, _)| labels[*t]).collect();
             perm.shuffle(rng);
             let moved = participants
                 .iter()
@@ -474,7 +464,10 @@ impl MixZones {
             let mut run_label = trace.user();
             for fix in trace.fixes() {
                 input_fixes += 1;
-                if zones.iter().any(|z| z.contains(&frame, fix.position, fix.time)) {
+                if zones
+                    .iter()
+                    .any(|z| z.contains(&frame, fix.position, fix.time))
+                {
                     suppressed += 1;
                     continue;
                 }
@@ -692,10 +685,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let (out, report) = mech.protect_with_report(&d, &mut rng);
         assert!(report.suppressed_fixes > 0);
-        assert_eq!(
-            out.total_fixes() + report.suppressed_fixes,
-            d.total_fixes()
-        );
+        assert_eq!(out.total_fixes() + report.suppressed_fixes, d.total_fixes());
         // No published fix lies inside any zone.
         let frame = d.local_frame().unwrap();
         for t in out.traces() {
@@ -808,7 +798,10 @@ mod tests {
         let make = |user: u64| {
             let fixes: Vec<Fix> = (0..=120)
                 .map(|i| {
-                    Fix::new(frame.unproject(Point::new(0.0, 0.0)), Timestamp::new(i * 30))
+                    Fix::new(
+                        frame.unproject(Point::new(0.0, 0.0)),
+                        Timestamp::new(i * 30),
+                    )
                 })
                 .collect();
             Trace::new(UserId::new(user), fixes).unwrap()
@@ -877,7 +870,12 @@ mod tests {
         let frame = LocalFrame::new(LatLng::new(45.0, 5.0).unwrap());
         let make = |user: u64| {
             let fixes: Vec<Fix> = (0..=120)
-                .map(|i| Fix::new(frame.unproject(Point::new(0.0, 0.0)), Timestamp::new(i * 30)))
+                .map(|i| {
+                    Fix::new(
+                        frame.unproject(Point::new(0.0, 0.0)),
+                        Timestamp::new(i * 30),
+                    )
+                })
                 .collect();
             Trace::new(UserId::new(user), fixes).unwrap()
         };
@@ -889,7 +887,11 @@ mod tests {
             ..MixZoneConfig::default()
         };
         let zones = detect_mix_zones(&d, &cfg);
-        assert!(zones.len() > 3, "expected a series of zones, got {}", zones.len());
+        assert!(
+            zones.len() > 3,
+            "expected a series of zones, got {}",
+            zones.len()
+        );
         for z in &zones {
             assert!(
                 z.duration().get() <= cfg.zone_window.get() + 2.0 * cfg.time_tolerance.get(),

@@ -3,8 +3,9 @@ use rand::RngCore;
 use mobipriv_geo::{LocalFrame, Meters, Seconds};
 use mobipriv_model::{Dataset, Fix, Trace, TraceBuilder};
 
+use crate::engine::TraceCtx;
 use crate::error::require_positive;
-use crate::{CoreError, Mechanism};
+use crate::{CoreError, Mechanism, TraceKernel};
 
 /// Speed smoothing — the paper's first (and main) mechanism, later named
 /// *Promesse* by its authors.
@@ -156,6 +157,21 @@ impl Mechanism for Promesse {
     fn protect(&self, dataset: &Dataset, _rng: &mut dyn RngCore) -> Dataset {
         dataset.filter_map(|t| self.smooth_trace(t))
     }
+
+    fn as_trace_kernel(&self) -> Option<&dyn TraceKernel> {
+        Some(self)
+    }
+}
+
+impl TraceKernel for Promesse {
+    fn protect_trace(
+        &self,
+        trace: &Trace,
+        _ctx: &TraceCtx,
+        _rng: &mut dyn RngCore,
+    ) -> Option<Trace> {
+        self.smooth_trace(trace)
+    }
 }
 
 #[cfg(test)]
@@ -220,10 +236,7 @@ mod tests {
         let mech = Promesse::new(100.0).unwrap();
         let input = trace_with_stop();
         let out = mech.smooth_trace(&input).unwrap();
-        let steps: Vec<f64> = out
-            .hops()
-            .map(|(a, b)| (b.time - a.time).get())
-            .collect();
+        let steps: Vec<f64> = out.hops().map(|(a, b)| (b.time - a.time).get()).collect();
         let first = steps[0];
         for s in &steps {
             // Whole-second rounding allows ±1 s wobble.
@@ -390,6 +403,9 @@ mod tests {
             max_window = max_window.max((pts[j].1 - pts[i].1).get());
         }
         // Stop dwell was 1800 s; smoothed trace must spread it out.
-        assert!(max_window < 600.0, "still lingers {max_window}s in a window");
+        assert!(
+            max_window < 600.0,
+            "still lingers {max_window}s in a window"
+        );
     }
 }

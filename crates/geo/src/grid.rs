@@ -24,9 +24,7 @@ impl CellId {
 
     /// The 8 neighbouring cells plus the cell itself (Moore neighbourhood).
     pub fn neighbourhood(self) -> impl Iterator<Item = CellId> {
-        (-1..=1).flat_map(move |dy| {
-            (-1..=1).map(move |dx| CellId::new(self.cx + dx, self.cy + dy))
-        })
+        (-1..=1).flat_map(move |dy| (-1..=1).map(move |dx| CellId::new(self.cx + dx, self.cy + dy)))
     }
 }
 
@@ -120,11 +118,7 @@ impl<T> GridIndex<T> {
 
     /// Like [`neighbours_within`](GridIndex::neighbours_within) but also
     /// yields the stored locations.
-    pub fn entries_within(
-        &self,
-        query: Point,
-        radius: f64,
-    ) -> impl Iterator<Item = (Point, &T)> {
+    pub fn entries_within(&self, query: Point, radius: f64) -> impl Iterator<Item = (Point, &T)> {
         let r = radius.max(0.0);
         let reach = (r / self.cell_size).ceil() as i64;
         let center = self.cell_of(query);
@@ -197,9 +191,7 @@ mod tests {
         idx.insert(Point::new(9.0, 9.0), "a");
         idx.insert(Point::new(11.0, 11.0), "b");
         // Query sits in cell (1,1) but "a" is in cell (0,0): must be found.
-        let found: Vec<_> = idx
-            .neighbours_within(Point::new(10.5, 10.5), 5.0)
-            .collect();
+        let found: Vec<_> = idx.neighbours_within(Point::new(10.5, 10.5), 5.0).collect();
         assert_eq!(found.len(), 2);
     }
 
@@ -209,9 +201,7 @@ mod tests {
         for i in 0..20 {
             idx.insert(Point::new(i as f64 * 10.0, 0.0), i);
         }
-        let found: Vec<_> = idx
-            .neighbours_within(Point::new(0.0, 0.0), 95.0)
-            .collect();
+        let found: Vec<_> = idx.neighbours_within(Point::new(0.0, 0.0), 95.0).collect();
         assert_eq!(found.len(), 10); // items at 0..=90 m inclusive
     }
 
@@ -254,13 +244,7 @@ mod tests {
         let mut idx = GridIndex::new(10.0).unwrap();
         idx.insert(Point::new(0.0, 0.0), ());
         // radius clamped to 0: only exact matches
-        assert_eq!(
-            idx.neighbours_within(Point::new(0.0, 0.0), -5.0).count(),
-            1
-        );
-        assert_eq!(
-            idx.neighbours_within(Point::new(1.0, 0.0), -5.0).count(),
-            0
-        );
+        assert_eq!(idx.neighbours_within(Point::new(0.0, 0.0), -5.0).count(), 1);
+        assert_eq!(idx.neighbours_within(Point::new(1.0, 0.0), -5.0).count(), 0);
     }
 }

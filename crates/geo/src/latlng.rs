@@ -117,8 +117,8 @@ impl LatLng {
         let (phi1, phi2) = (self.lat_rad(), other.lat_rad());
         let dphi = phi2 - phi1;
         let dlambda = other.lng_rad() - self.lng_rad();
-        let a = (dphi / 2.0).sin().powi(2)
-            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let a =
+            (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
         let c = 2.0 * a.sqrt().asin().min(std::f64::consts::PI);
         Meters::new(EARTH_RADIUS_M * c)
     }
@@ -141,11 +141,9 @@ impl LatLng {
         let theta = bearing_deg.to_radians();
         let phi1 = self.lat_rad();
         let lambda1 = self.lng_rad();
-        let phi2 =
-            (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
+        let phi2 = (phi1.sin() * delta.cos() + phi1.cos() * delta.sin() * theta.cos()).asin();
         let lambda2 = lambda1
-            + (theta.sin() * delta.sin() * phi1.cos())
-                .atan2(delta.cos() - phi1.sin() * phi2.sin());
+            + (theta.sin() * delta.sin() * phi1.cos()).atan2(delta.cos() - phi1.sin() * phi2.sin());
         // asin/atan2 keep us in range; wrap longitude for safety.
         LatLng::new_clamped(phi2.to_degrees(), lambda2.to_degrees())
             .expect("destination from finite inputs is finite")

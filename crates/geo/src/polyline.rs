@@ -82,6 +82,9 @@ impl Polyline {
     }
 
     /// Number of vertices.
+    // A polyline is never empty by construction (`Polyline::new` rejects
+    // empty vertex lists), so there is no `is_empty` to pair with.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.vertices.len()
     }
@@ -307,12 +310,18 @@ mod tests {
     #[test]
     fn point_at_interpolates_and_clamps() {
         let line = l_shape();
-        assert_eq!(line.point_at(Meters::new(50.0)).point, Point::new(50.0, 0.0));
+        assert_eq!(
+            line.point_at(Meters::new(50.0)).point,
+            Point::new(50.0, 0.0)
+        );
         assert_eq!(
             line.point_at(Meters::new(150.0)).point,
             Point::new(100.0, 50.0)
         );
-        assert_eq!(line.point_at(Meters::new(-10.0)).point, Point::new(0.0, 0.0));
+        assert_eq!(
+            line.point_at(Meters::new(-10.0)).point,
+            Point::new(0.0, 0.0)
+        );
         assert_eq!(
             line.point_at(Meters::new(999.0)).point,
             Point::new(100.0, 100.0)
@@ -452,7 +461,10 @@ mod tests {
         let line = l_shape();
         let simple = line.simplified(Meters::new(1_000.0)).unwrap();
         assert_eq!(simple.vertices()[0], *line.vertices().first().unwrap());
-        assert_eq!(*simple.vertices().last().unwrap(), *line.vertices().last().unwrap());
+        assert_eq!(
+            *simple.vertices().last().unwrap(),
+            *line.vertices().last().unwrap()
+        );
         assert!(line.simplified(Meters::new(0.0)).is_err());
         assert!(line.simplified(Meters::new(f64::NAN)).is_err());
         // Degenerate lines pass through unchanged.

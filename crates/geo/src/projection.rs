@@ -55,10 +55,7 @@ impl LocalFrame {
         } else if dlng < -std::f64::consts::PI {
             dlng += 2.0 * std::f64::consts::PI;
         }
-        Point::new(
-            EARTH_RADIUS_M * dlng * self.cos_lat,
-            EARTH_RADIUS_M * dlat,
-        )
+        Point::new(EARTH_RADIUS_M * dlng * self.cos_lat, EARTH_RADIUS_M * dlat)
     }
 
     /// Maps a planar point back to a geographic coordinate.

@@ -161,7 +161,14 @@ mod tests {
     fn empty_published_full_error() {
         let d = dataset(200);
         let mut rng = StdRng::seed_from_u64(2);
-        let r = query_error(&d, &Dataset::new(), 50, 100.0, Seconds::new(300.0), &mut rng);
+        let r = query_error(
+            &d,
+            &Dataset::new(),
+            50,
+            100.0,
+            Seconds::new(300.0),
+            &mut rng,
+        );
         assert!(r.queries > 0);
         assert!((r.mean_relative_error - 1.0).abs() < 1e-9);
     }
@@ -170,7 +177,14 @@ mod tests {
     fn empty_raw_no_queries() {
         let d = dataset(10);
         let mut rng = StdRng::seed_from_u64(3);
-        let r = query_error(&Dataset::new(), &d, 50, 100.0, Seconds::new(300.0), &mut rng);
+        let r = query_error(
+            &Dataset::new(),
+            &d,
+            50,
+            100.0,
+            Seconds::new(300.0),
+            &mut rng,
+        );
         assert_eq!(r.queries, 0);
     }
 

@@ -72,27 +72,27 @@ impl fmt::Display for Table {
             .chain([self.headers.len()])
             .max()
             .unwrap_or(0);
-        let mut widths = vec![0usize; columns];
-        fn cell<'a>(row: &'a [String], c: usize) -> &'a str {
+        fn cell(row: &[String], c: usize) -> &str {
             row.get(c).map(String::as_str).unwrap_or("")
         }
-        for c in 0..columns {
-            widths[c] = self
-                .rows
-                .iter()
-                .map(|r| cell(r, c).chars().count())
-                .chain([cell(&self.headers, c).chars().count()])
-                .max()
-                .unwrap_or(0);
-        }
+        let widths: Vec<usize> = (0..columns)
+            .map(|c| {
+                self.rows
+                    .iter()
+                    .map(|r| cell(r, c).chars().count())
+                    .chain([cell(&self.headers, c).chars().count()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
         let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
-            for c in 0..columns {
+            for (c, width) in widths.iter().enumerate() {
                 if c > 0 {
                     write!(f, "  ")?;
                 }
                 let text = cell(row, c);
                 write!(f, "{text}")?;
-                for _ in text.chars().count()..widths[c] {
+                for _ in text.chars().count()..*width {
                     write!(f, " ")?;
                 }
             }

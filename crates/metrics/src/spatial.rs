@@ -68,18 +68,11 @@ pub fn dataset_distortion(original: &Dataset, published: &Dataset) -> Distortion
 /// scored against the nearest original path of *any* user. This is the
 /// correct reading for mechanisms that permute identifiers ("the second
 /// step only swaps user identifiers but does not alter the location").
-pub fn dataset_distortion_anonymous(
-    original: &Dataset,
-    published: &Dataset,
-) -> DistortionSummary {
+pub fn dataset_distortion_anonymous(original: &Dataset, published: &Dataset) -> DistortionSummary {
     distortion_impl(original, published, false)
 }
 
-fn distortion_impl(
-    original: &Dataset,
-    published: &Dataset,
-    per_user: bool,
-) -> DistortionSummary {
+fn distortion_impl(original: &Dataset, published: &Dataset, per_user: bool) -> DistortionSummary {
     let frame = match original.local_frame() {
         Ok(f) => f,
         Err(_) => return DistortionSummary::default(),
@@ -90,7 +83,10 @@ fn distortion_impl(
     let mut paths: BTreeMap<UserId, Vec<Polyline>> = BTreeMap::new();
     for trace in original.traces() {
         let key = if per_user { trace.user() } else { pool };
-        paths.entry(key).or_default().push(trace.to_polyline(&frame));
+        paths
+            .entry(key)
+            .or_default()
+            .push(trace.to_polyline(&frame));
     }
     let mut samples = Vec::new();
     for trace in published.traces() {
@@ -115,8 +111,16 @@ fn distortion_impl(
 /// Symmetric Hausdorff distance between two traces' geometries, in the
 /// given frame.
 pub fn hausdorff(frame: &LocalFrame, a: &Trace, b: &Trace) -> f64 {
-    let pa: Vec<Point> = a.fixes().iter().map(|f| frame.project(f.position)).collect();
-    let pb: Vec<Point> = b.fixes().iter().map(|f| frame.project(f.position)).collect();
+    let pa: Vec<Point> = a
+        .fixes()
+        .iter()
+        .map(|f| frame.project(f.position))
+        .collect();
+    let pb: Vec<Point> = b
+        .fixes()
+        .iter()
+        .map(|f| frame.project(f.position))
+        .collect();
     directed_hausdorff(&pa, &pb).max(directed_hausdorff(&pb, &pa))
 }
 
@@ -134,15 +138,23 @@ fn directed_hausdorff(from: &[Point], to: &[Point]) -> f64 {
 /// order-aware (unlike Hausdorff), so it penalizes re-orderings of the
 /// path.
 pub fn discrete_frechet(frame: &LocalFrame, a: &Trace, b: &Trace) -> f64 {
-    let pa: Vec<Point> = a.fixes().iter().map(|f| frame.project(f.position)).collect();
-    let pb: Vec<Point> = b.fixes().iter().map(|f| frame.project(f.position)).collect();
-    let (n, m) = (pa.len(), pb.len());
+    let pa: Vec<Point> = a
+        .fixes()
+        .iter()
+        .map(|f| frame.project(f.position))
+        .collect();
+    let pb: Vec<Point> = b
+        .fixes()
+        .iter()
+        .map(|f| frame.project(f.position))
+        .collect();
+    let m = pb.len();
     // Dynamic program over the coupling lattice, one row at a time.
     let mut prev = vec![f64::INFINITY; m];
     let mut cur = vec![f64::INFINITY; m];
-    for i in 0..n {
-        for j in 0..m {
-            let d = pa[i].distance(pb[j]).get();
+    for (i, pai) in pa.iter().enumerate() {
+        for (j, pbj) in pb.iter().enumerate() {
+            let d = pai.distance(*pbj).get();
             let best_prev = if i == 0 && j == 0 {
                 0.0
             } else {
@@ -181,7 +193,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, (x, y))| {
-                Fix::new(f.unproject(Point::new(*x, *y)), Timestamp::new(i as i64 * 10))
+                Fix::new(
+                    f.unproject(Point::new(*x, *y)),
+                    Timestamp::new(i as i64 * 10),
+                )
             })
             .collect();
         Trace::new(UserId::new(user), fixes).unwrap()

@@ -173,10 +173,8 @@ mod tests {
             trace_of_length(1, 1_000.0),
             trace_of_length(2, 2_000.0),
         ]);
-        let published = Dataset::from_traces(vec![
-            trace_of_length(1, 100.0),
-            trace_of_length(2, 150.0),
-        ]);
+        let published =
+            Dataset::from_traces(vec![trace_of_length(1, 100.0), trace_of_length(2, 150.0)]);
         let r = trip_report(&raw, &published);
         assert_eq!(r.length_ks, 1.0);
         assert!(r.published_length.mean < r.raw_length.mean);

@@ -217,10 +217,7 @@ mod tests {
     fn trace(user: u64, start: i64) -> Trace {
         Trace::new(
             UserId::new(user),
-            vec![
-                fix(45.0, 5.0, start),
-                fix(45.01, 5.01, start + 100),
-            ],
+            vec![fix(45.0, 5.0, start), fix(45.01, 5.01, start + 100)],
         )
         .unwrap()
     }
@@ -240,10 +237,7 @@ mod tests {
     #[test]
     fn users_sorted_and_deduped() {
         let d = Dataset::from_traces(vec![trace(3, 0), trace(1, 0), trace(3, 200)]);
-        assert_eq!(
-            d.users(),
-            vec![UserId::new(1), UserId::new(3)]
-        );
+        assert_eq!(d.users(), vec![UserId::new(1), UserId::new(3)]);
         assert_eq!(d.traces_of(UserId::new(3)).len(), 2);
         assert_eq!(d.by_user().len(), 2);
         assert_eq!(d.by_user()[&UserId::new(3)].len(), 2);

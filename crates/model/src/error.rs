@@ -33,7 +33,10 @@ impl fmt::Display for ModelError {
         match self {
             ModelError::Geo(e) => write!(f, "geometry error: {e}"),
             ModelError::UnorderedFixes { index } => {
-                write!(f, "fix at index {index} is not strictly after its predecessor")
+                write!(
+                    f,
+                    "fix at index {index} is not strictly after its predecessor"
+                )
             }
             ModelError::EmptyTrace => write!(f, "a trace requires at least one fix"),
             ModelError::Parse { line, message } => {
@@ -72,7 +75,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ModelError::EmptyTrace.to_string().contains("at least one fix"));
+        assert!(ModelError::EmptyTrace
+            .to_string()
+            .contains("at least one fix"));
         assert!(ModelError::UnorderedFixes { index: 3 }
             .to_string()
             .contains("index 3"));

@@ -119,8 +119,14 @@ mod tests {
     fn interpolate_clamps_outside_interval() {
         let a = fix(45.0, 5.0, 0);
         let b = fix(45.001, 5.001, 100);
-        assert_eq!(a.interpolate_at(&b, Timestamp::new(-10)).position, a.position);
-        assert_eq!(a.interpolate_at(&b, Timestamp::new(500)).position, b.position);
+        assert_eq!(
+            a.interpolate_at(&b, Timestamp::new(-10)).position,
+            a.position
+        );
+        assert_eq!(
+            a.interpolate_at(&b, Timestamp::new(500)).position,
+            b.position
+        );
     }
 
     #[test]

@@ -1,8 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use mobipriv_geo::{
-    GeoError, LatLng, LocalFrame, Meters, MetersPerSecond, Polyline, Seconds,
-};
+use mobipriv_geo::{GeoError, LatLng, LocalFrame, Meters, MetersPerSecond, Polyline, Seconds};
 
 use crate::{Fix, ModelError, Timestamp, UserId};
 
@@ -139,10 +137,7 @@ impl Trace {
 
     /// Total travelled path length (sum of great-circle hop distances).
     pub fn path_length(&self) -> Meters {
-        self.fixes
-            .windows(2)
-            .map(|w| w[0].distance_to(&w[1]))
-            .sum()
+        self.fixes.windows(2).map(|w| w[0].distance_to(&w[1])).sum()
     }
 
     /// Mean speed over the whole trace, or `None` for a single-fix trace.
@@ -512,9 +507,7 @@ mod tests {
     #[test]
     fn clipped_window() {
         let t = straight_trace();
-        let c = t
-            .clipped(Timestamp::new(20), Timestamp::new(50))
-            .unwrap();
+        let c = t.clipped(Timestamp::new(20), Timestamp::new(50)).unwrap();
         assert_eq!(c.len(), 4); // fixes at 20, 30, 40, 50
         assert!(t
             .clipped(Timestamp::new(1_000), Timestamp::new(2_000))
@@ -524,9 +517,7 @@ mod tests {
     #[test]
     fn map_positions_keeps_times() {
         let t = straight_trace();
-        let shifted = t.map_positions(|p| {
-            LatLng::new(p.lat(), p.lng() + 0.001).unwrap()
-        });
+        let shifted = t.map_positions(|p| LatLng::new(p.lat(), p.lng() + 0.001).unwrap());
         assert_eq!(shifted.len(), t.len());
         for (a, b) in t.fixes().iter().zip(shifted.fixes()) {
             assert_eq!(a.time, b.time);

@@ -48,7 +48,7 @@ pub fn cluster_stay_points(stays: &[StayPoint], config: &ClusterConfig) -> Vec<P
     }
     // Union-find over joinable stay points.
     let mut parent: Vec<usize> = (0..stays.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn dwell_weighted_centroid_leans_toward_long_stay() {
         let stays = vec![
-            stay(45.0, 5.0, 0, 10_000), // long stay
+            stay(45.0, 5.0, 0, 10_000),     // long stay
             stay(45.001, 5.0, 90_000, 100), // short stay ~111 m north
         ];
         let pois = cluster_stay_points(&stays, &ClusterConfig::default());

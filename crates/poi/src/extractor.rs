@@ -123,10 +123,7 @@ mod tests {
     fn extract_dataset_pools_across_days() {
         let extractor = PoiExtractor::default();
         // Same user, same stop location, two days.
-        let d = Dataset::from_traces(vec![
-            day_trace(1, 0, 45.01),
-            day_trace(1, 86_400, 45.01),
-        ]);
+        let d = Dataset::from_traces(vec![day_trace(1, 0, 45.01), day_trace(1, 86_400, 45.01)]);
         let by_user = extractor.extract_dataset(&d);
         let pois = &by_user[&UserId::new(1)];
         assert_eq!(pois.len(), 1, "recurring stop merges to one POI");

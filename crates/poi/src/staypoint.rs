@@ -68,18 +68,13 @@ pub fn detect_stay_points(trace: &Trace, config: &StayPointConfig) -> Vec<StayPo
     while i < fixes.len() {
         // Extend j while fix j stays within the radius of anchor i.
         let mut j = i;
-        while j + 1 < fixes.len()
-            && planar[i].distance(planar[j + 1]).get() <= radius.get()
-        {
+        while j + 1 < fixes.len() && planar[i].distance(planar[j + 1]).get() <= radius.get() {
             j += 1;
         }
         let dwell = fixes[j].time - fixes[i].time;
         if j > i && dwell.get() >= config.min_dwell.get() {
             let n = (j - i + 1) as f64;
-            let centroid_planar = planar[i..=j]
-                .iter()
-                .fold(Point::ORIGIN, |acc, p| acc + *p)
-                / n;
+            let centroid_planar = planar[i..=j].iter().fold(Point::ORIGIN, |acc, p| acc + *p) / n;
             out.push(StayPoint {
                 centroid: frame.unproject(centroid_planar),
                 arrival: fixes[i].time,
@@ -119,11 +114,7 @@ mod tests {
         // Transit again.
         let resume = stop_start + 60 * 30;
         for i in 0..10 {
-            fixes.push(fix(
-                45.0027 + 0.0003 * (i + 1) as f64,
-                5.0,
-                resume + i * 30,
-            ));
+            fixes.push(fix(45.0027 + 0.0003 * (i + 1) as f64, 5.0, resume + i * 30));
         }
         Trace::new(UserId::new(1), fixes).unwrap()
     }

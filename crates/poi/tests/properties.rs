@@ -3,39 +3,39 @@
 use mobipriv_geo::{LatLng, Seconds};
 use mobipriv_model::{Fix, Timestamp, Trace, UserId};
 use mobipriv_poi::{
-    cluster_stay_points, detect_stay_points, match_pois, ClusterConfig, StayPoint,
-    StayPointConfig,
+    cluster_stay_points, detect_stay_points, match_pois, ClusterConfig, StayPoint, StayPointConfig,
 };
 use proptest::prelude::*;
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
-    proptest::collection::vec((44.9f64..45.1, 4.9f64..5.1, 10i64..300), 2..60).prop_map(
-        |rows| {
-            let mut t = 0i64;
-            let fixes = rows
-                .into_iter()
-                .map(|(lat, lng, dt)| {
-                    t += dt;
-                    Fix::new(LatLng::new(lat, lng).unwrap(), Timestamp::new(t))
-                })
-                .collect();
-            Trace::new(UserId::new(1), fixes).expect("strictly increasing")
-        },
-    )
+    proptest::collection::vec((44.9f64..45.1, 4.9f64..5.1, 10i64..300), 2..60).prop_map(|rows| {
+        let mut t = 0i64;
+        let fixes = rows
+            .into_iter()
+            .map(|(lat, lng, dt)| {
+                t += dt;
+                Fix::new(LatLng::new(lat, lng).unwrap(), Timestamp::new(t))
+            })
+            .collect();
+        Trace::new(UserId::new(1), fixes).expect("strictly increasing")
+    })
 }
 
 fn arb_stays() -> impl Strategy<Value = Vec<StayPoint>> {
-    proptest::collection::vec((44.9f64..45.1, 4.9f64..5.1, 0i64..100_000, 60i64..7_200), 0..30)
-        .prop_map(|rows| {
-            rows.into_iter()
-                .map(|(lat, lng, arrival, dwell)| StayPoint {
-                    centroid: LatLng::new(lat, lng).unwrap(),
-                    arrival: Timestamp::new(arrival),
-                    departure: Timestamp::new(arrival + dwell),
-                    fix_count: 5,
-                })
-                .collect()
-        })
+    proptest::collection::vec(
+        (44.9f64..45.1, 4.9f64..5.1, 0i64..100_000, 60i64..7_200),
+        0..30,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(lat, lng, arrival, dwell)| StayPoint {
+                centroid: LatLng::new(lat, lng).unwrap(),
+                arrival: Timestamp::new(arrival),
+                departure: Timestamp::new(arrival + dwell),
+                fix_count: 5,
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -156,11 +156,7 @@ impl City {
         }
     }
 
-    fn random_site_position<R: Rng + ?Sized>(
-        &self,
-        category: SiteCategory,
-        rng: &mut R,
-    ) -> Point {
+    fn random_site_position<R: Rng + ?Sized>(&self, category: SiteCategory, rng: &mut R) -> Point {
         // Homes spread out; works/leisure/hubs bias toward the center
         // (downtown), matching real city structure.
         let shrink = match category {
@@ -311,7 +307,7 @@ fn append_grid_leg(path: &mut Vec<Point>, from: Point, to: Point, spacing: f64) 
 }
 
 fn push_unless_duplicate(path: &mut Vec<Point>, p: Point) {
-    if path.last().map_or(true, |last| last.distance(p).get() > 1e-9) {
+    if path.last().is_none_or(|last| last.distance(p).get() > 1e-9) {
         path.push(p);
     }
 }
@@ -331,7 +327,10 @@ mod tests {
     fn generate_creates_requested_sites() {
         let city = test_city();
         let cfg = CityConfig::default();
-        assert_eq!(city.sites().len(), cfg.homes + cfg.works + cfg.leisures + cfg.hubs);
+        assert_eq!(
+            city.sites().len(),
+            cfg.homes + cfg.works + cfg.leisures + cfg.hubs
+        );
         assert_eq!(city.sites_of(SiteCategory::Home).len(), cfg.homes);
         assert_eq!(city.sites_of(SiteCategory::Hub).len(), cfg.hubs);
     }
@@ -405,7 +404,7 @@ mod tests {
         let city = test_city();
         let p = Point::new(100.0, 100.0);
         let path = city.route(p, p, true);
-        assert!(path.len() >= 1);
+        assert!(!path.is_empty());
         assert_eq!(path[0], p);
         assert_eq!(*path.last().unwrap(), p);
     }
@@ -447,6 +446,9 @@ mod tests {
     fn snap_to_grid_rounds_to_nearest_node() {
         let city = test_city();
         let s = city.road_spacing();
-        assert_eq!(city.snap_to_grid(Point::new(0.4 * s, 0.6 * s)), Point::new(0.0, s));
+        assert_eq!(
+            city.snap_to_grid(Point::new(0.4 * s, 0.6 * s)),
+            Point::new(0.0, s)
+        );
     }
 }

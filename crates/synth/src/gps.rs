@@ -59,8 +59,7 @@ pub fn sample_trace<R: Rng + ?Sized>(
     let mut t = start;
     while t <= end {
         let is_boundary = t == start || t == end;
-        if is_boundary || config.dropout <= 0.0 || !rng.gen_bool(config.dropout.clamp(0.0, 1.0))
-        {
+        if is_boundary || config.dropout <= 0.0 || !rng.gen_bool(config.dropout.clamp(0.0, 1.0)) {
             let true_pos = frame.project(truth.position_at(t));
             let noisy = true_pos
                 + Point::new(

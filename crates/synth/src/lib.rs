@@ -38,8 +38,8 @@ mod generator;
 mod gps;
 mod movement;
 mod randutil;
-mod schedule;
 pub mod scenarios;
+mod schedule;
 mod truth;
 
 pub use city::{City, CityConfig, Site, SiteCategory, SiteId};

@@ -68,8 +68,8 @@ pub fn travel<R: Rng + ?Sized>(
         && rng.gen_bool(config.via_hub_probability.clamp(0.0, 1.0));
     let x_first = rng.gen_bool(0.5);
     let path = match (via_hub, city.hub_between(from, to)) {
-        (true, Some(hub)) if hub.position.distance(from).get() > 1.0
-            && hub.position.distance(to).get() > 1.0 =>
+        (true, Some(hub))
+            if hub.position.distance(from).get() > 1.0 && hub.position.distance(to).get() > 1.0 =>
         {
             city.route_via(from, hub.position, to, x_first)
         }
@@ -94,7 +94,13 @@ pub fn waypoints_along<R: Rng + ?Sized>(
     let leg_speed = if total <= config.walk_max_distance_m {
         truncated_normal(rng, config.walk_speed.0, config.walk_speed.1, 0.5, 3.0)
     } else {
-        truncated_normal(rng, config.transit_speed.0, config.transit_speed.1, 2.0, 40.0)
+        truncated_normal(
+            rng,
+            config.transit_speed.0,
+            config.transit_speed.1,
+            2.0,
+            40.0,
+        )
     };
     let mut t = depart;
     let mut out = Vec::with_capacity(path.len());

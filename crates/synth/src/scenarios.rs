@@ -92,10 +92,7 @@ pub fn crossing_paths(seed: u64) -> SynthOutput {
     let mut dataset = Dataset::new();
     let mut truth = GroundTruth::new();
     let dwell = Seconds::from_minutes(30.0);
-    let plans: [(u64, SiteId, SiteId); 2] = [
-        (0, SiteId(0), SiteId(1)),
-        (1, SiteId(2), SiteId(3)),
-    ];
+    let plans: [(u64, SiteId, SiteId); 2] = [(0, SiteId(0), SiteId(1)), (1, SiteId(2), SiteId(3))];
     for (uid, first, second) in plans {
         let user = UserId::new(uid);
         let mut waypoints: Vec<Waypoint> = Vec::new();
@@ -148,8 +145,8 @@ pub fn crossing_paths(seed: u64) -> SynthOutput {
             departure: depart_second,
         });
         let truth_trace = waypoints_to_trace(&city, user, &waypoints);
-        let trace = crate::gps::sample_trace(&truth_trace, &gps, &mut rng)
-            .expect("valid gps config");
+        let trace =
+            crate::gps::sample_trace(&truth_trace, &gps, &mut rng).expect("valid gps config");
         dataset.push(trace);
         truth.extend(visits);
     }
@@ -206,10 +203,7 @@ pub fn hub_rush(users: usize, via_hub_fraction: f64, seed: u64) -> SynthOutput {
             // length and duration as the crossing trips but 250 m apart
             // and concurrent — no meetings, no sequential ambiguity.
             let lane_y = 2_600.0 + 250.0 * uid as f64;
-            vec![
-                Point::new(-radius, lane_y),
-                Point::new(radius, lane_y),
-            ]
+            vec![Point::new(-radius, lane_y), Point::new(radius, lane_y)]
         };
         let (wps, _) = movement::waypoints_along(&path, depart, &movement, &mut rng);
         let mut waypoints = vec![Waypoint {
@@ -259,7 +253,10 @@ pub fn random_walkers(users: usize, trips: usize, seed: u64) -> SynthOutput {
             rng.gen_range(bounds.min().y..=bounds.max().y),
         ));
         let mut t = Timestamp::new(0);
-        let mut waypoints = vec![Waypoint { position: pos, time: t }];
+        let mut waypoints = vec![Waypoint {
+            position: pos,
+            time: t,
+        }];
         for _ in 0..trips {
             let dest = city.snap_to_grid(Point::new(
                 rng.gen_range(bounds.min().x..=bounds.max().x),
@@ -269,7 +266,10 @@ pub fn random_walkers(users: usize, trips: usize, seed: u64) -> SynthOutput {
             waypoints.extend(wps);
             pos = dest;
             t = arrival + Seconds::new(rng.gen_range(1.0..120.0));
-            waypoints.push(Waypoint { position: pos, time: t });
+            waypoints.push(Waypoint {
+                position: pos,
+                time: t,
+            });
         }
         let truth_trace = waypoints_to_trace(&city, user, &waypoints);
         let trace =
@@ -358,7 +358,12 @@ mod tests {
             .count();
         assert_eq!(crossing, 4, "half the users cross the hub");
         // Tangential users keep well away from the center.
-        for t in out.dataset.traces().iter().filter(|t| min_center_distance(t) >= 100.0) {
+        for t in out
+            .dataset
+            .traces()
+            .iter()
+            .filter(|t| min_center_distance(t) >= 100.0)
+        {
             assert!(min_center_distance(t) > 1_000.0);
         }
     }

@@ -3,9 +3,7 @@
 //! (who wins, roughly by how much, and where the crossovers are).
 
 use mobipriv::attacks::PoiAttack;
-use mobipriv::core::{
-    GeoInd, GridGeneralization, Identity, KDelta, Mechanism, Promesse,
-};
+use mobipriv::core::{GeoInd, GridGeneralization, Identity, KDelta, Mechanism, Promesse};
 use mobipriv::synth::scenarios;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

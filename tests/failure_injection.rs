@@ -77,7 +77,7 @@ fn heavy_gps_dropout_still_generates_valid_traces() {
     })
     .generate();
     for trace in out.dataset.traces() {
-        assert!(trace.len() >= 1);
+        assert!(!trace.is_empty());
         for (a, b) in trace.hops() {
             assert!(b.time > a.time);
         }

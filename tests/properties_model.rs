@@ -5,15 +5,13 @@ use mobipriv::model::{read_csv, write_csv, Dataset, Fix, Timestamp, Trace, UserI
 use proptest::prelude::*;
 
 fn arb_fixes() -> impl Strategy<Value = Vec<Fix>> {
-    proptest::collection::vec(
-        (44.0f64..46.0, 4.0f64..6.0, 0i64..1_000_000),
-        1..50,
+    proptest::collection::vec((44.0f64..46.0, 4.0f64..6.0, 0i64..1_000_000), 1..50).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(lat, lng, t)| Fix::new(LatLng::new(lat, lng).unwrap(), Timestamp::new(t)))
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|(lat, lng, t)| Fix::new(LatLng::new(lat, lng).unwrap(), Timestamp::new(t)))
-            .collect()
-    })
 }
 
 proptest! {

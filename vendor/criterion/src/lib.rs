@@ -1,0 +1,312 @@
+//! A small stand-in for the [`criterion`] benchmark harness.
+//!
+//! The build environment this workspace targets has no access to a crate
+//! registry, so the subset of the criterion 0.5 API the benches use is
+//! implemented here: [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — warm up for ~200 ms, then time
+//! batches for ~600 ms of wall clock and report the mean — with none of
+//! criterion's statistics (outlier analysis, regressions, HTML reports).
+//! Good enough for the order-of-magnitude and A/B comparisons the
+//! workspace's benches make; swap in the real crate for publication-
+//! grade numbers.
+//!
+//! Environment knobs: `MOBIPRIV_BENCH_MS` overrides the per-benchmark
+//! measurement budget in milliseconds.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![deny(rust_2018_idioms)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-amount annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: an optional function name plus a parameter
+/// rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark id by `bench_function`-style calls.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    measure_budget: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`: warms up briefly, then runs batches until the
+    /// measurement budget is spent and records the mean latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one call, at most ~a third of the budget.
+        let warmup_end = Instant::now() + self.measure_budget / 3;
+        let mut warmup_iters = 0u64;
+        let warmup_started = Instant::now();
+        loop {
+            black_box(routine());
+            warmup_iters += 1;
+            if Instant::now() >= warmup_end {
+                break;
+            }
+        }
+        let est_ns = (warmup_started.elapsed().as_nanos() as f64 / warmup_iters as f64).max(1.0);
+
+        // Measurement: batches sized from the warm-up estimate so the
+        // clock is read rarely relative to the work.
+        let batch = ((10_000_000.0 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measure_budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.ns_per_iter = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Renders a nanosecond quantity with a human unit.
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1_000_000.0 {
+        format!("{:.2} M{unit}/s", per_second / 1_000_000.0)
+    } else if per_second >= 1_000.0 {
+        format!("{:.2} K{unit}/s", per_second / 1_000.0)
+    } else {
+        format!("{per_second:.1} {unit}/s")
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("MOBIPRIV_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(600);
+    Duration::from_millis(ms.max(10))
+}
+
+fn run_and_report(label: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        measure_budget: measure_budget(),
+        ns_per_iter: f64::NAN,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let mut line = format!(
+        "{label:<40} time: {:>12}   ({} iters)",
+        human_time(bencher.ns_per_iter),
+        bencher.iters
+    );
+    if bencher.ns_per_iter.is_finite() && bencher.ns_per_iter > 0.0 {
+        let per_second = 1e9 / bencher.ns_per_iter;
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let _ = write!(
+                    line,
+                    "   thrpt: {}",
+                    human_rate(per_second * n as f64, "elem")
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let _ = write!(line, "   thrpt: {}", human_rate(per_second * n as f64, "B"));
+            }
+            None => {}
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        run_and_report(&id.into_label(), None, |b| f(b));
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work amount used for throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in sizes its sample
+    /// from a wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (no-op).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_and_report(&label, self.throughput, |b| f(b));
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_and_report(&label, self.throughput, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); accept and
+            // ignore them like the real criterion does.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("MOBIPRIV_BENCH_MS", "20");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| black_box(42u64.wrapping_mul(7)))
+        });
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+        assert!(human_time(12.0).contains("ns"));
+        assert!(human_time(12_000.0).contains("µs"));
+        assert!(human_time(12_000_000.0).contains("ms"));
+        assert!(human_time(2e9).contains("s"));
+    }
+}

@@ -1,0 +1,391 @@
+//! A small stand-in for the [`proptest`] crate.
+//!
+//! The build environment this workspace targets has no access to a crate
+//! registry, so the subset of proptest the test suites use is
+//! implemented here: the [`Strategy`] trait over ranges, tuples and
+//! `prop_map`, [`collection::vec`], [`ProptestConfig`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate, deliberate for size:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` rendering and the case's deterministic seed instead of a
+//!   minimized counterexample.
+//! * **Deterministic cases.** Case `i` of test `t` is seeded from
+//!   `fnv1a(t) ⊕ mix(i)`, so failures reproduce without a persistence
+//!   file.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![deny(rust_2018_idioms)]
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Post-processes generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// A mapped strategy (see [`Strategy::prop_map`]).
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+impl<T: SampleUniform + Copy> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+/// A strategy that always yields a clone of one value, mirroring
+/// `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Rng, SizeRange, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is drawn uniformly from `size` (a `usize` for an exact
+    /// length, or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// A length specification for collection strategies: `n` (exact) or
+/// `lo..hi` (half-open), mirroring `proptest::collection::SizeRange`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {r:?}");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty size range {lo}..={hi}");
+        SizeRange { lo, hi: hi + 1 }
+    }
+}
+
+/// Per-test configuration (`cases` is the only knob the stand-in uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A test-case failure raised by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic per-case RNG: FNV-1a of the test name mixed with the
+/// case index. Exposed for the `proptest!` macro expansion.
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in test_name.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // SplitMix-style avalanche of the case index so consecutive cases
+    // land far apart in seed space.
+    let mut z = case.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    TestRng::seed_from_u64(h ^ (z ^ (z >> 31)))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategies = ( $($strategy,)+ );
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::__case_rng(stringify!($name), __case as u64);
+                    let __values = $crate::Strategy::generate(&__strategies, &mut __rng);
+                    let __rendered = format!("{:?}", __values);
+                    let ( $($arg,)+ ) = __values;
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        panic!(
+                            "proptest {}: case {}/{} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __err,
+                            __rendered,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current generated case (use inside
+/// [`proptest!`] bodies).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        // `if cond {} else { fail }` rather than `if !cond { fail }`:
+        // negating partial-order comparisons trips clippy in in-crate
+        // macro expansions.
+        if $cond {
+        } else {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  left: {:?}\n  right: {:?}",
+                        format!($($fmt)+),
+                        __l,
+                        __r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::__case_rng("ranges", 0);
+        for _ in 0..1_000 {
+            let x = Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&x));
+            let n = Strategy::generate(&(3usize..40), &mut rng);
+            assert!((3..40).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = crate::__case_rng("vec", 0);
+        let exact = crate::collection::vec(0i64..10, 40);
+        assert_eq!(Strategy::generate(&exact, &mut rng).len(), 40);
+        let ranged = crate::collection::vec(0i64..10, 1..30);
+        for _ in 0..200 {
+            let v = Strategy::generate(&ranged, &mut rng);
+            assert!((1..30).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let strat = (0.0f64..1.0, 1i64..5).prop_map(|(f, i)| f * i as f64);
+        let mut rng = crate::__case_rng("compose", 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((0.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: u64 = {
+            let mut rng = crate::__case_rng("det", 7);
+            Strategy::generate(&(0u64..1_000_000), &mut rng)
+        };
+        let b: u64 = {
+            let mut rng = crate::__case_rng("det", 7);
+            Strategy::generate(&(0u64..1_000_000), &mut rng)
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: args bind, asserts pass, config applies.
+        #[test]
+        fn macro_end_to_end(x in 0.0f64..1.0, n in 1usize..10) {
+            prop_assert!(x < 1.0);
+            prop_assert_eq!(n.min(9), n, "n must stay under its bound");
+        }
+    }
+}

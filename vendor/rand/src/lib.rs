@@ -1,0 +1,452 @@
+//! A small, dependency-free stand-in for the [`rand`] crate.
+//!
+//! The build environment this workspace targets has no access to a crate
+//! registry, so the subset of the `rand 0.8` API the workspace actually
+//! uses is implemented here: [`RngCore`], [`SeedableRng`], the [`Rng`]
+//! extension trait (`gen`, `gen_range`, `gen_bool`), [`seq::SliceRandom`]
+//! and [`rngs::StdRng`].
+//!
+//! `StdRng` is a xoshiro256++ generator seeded through SplitMix64. It
+//! does **not** produce the same stream as upstream `rand`'s ChaCha-based
+//! `StdRng` — nothing in this workspace depends on a specific stream,
+//! only on determinism per seed, which this implementation guarantees.
+//!
+//! [`rand`]: https://crates.io/crates/rand
+
+#![deny(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of uniformly
+/// distributed machine words.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates the generator from a `u64`, expanded to a full seed with
+    /// SplitMix64 (the conventional seeding bridge).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut s).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence (also used for seed expansion).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a uniform `u64` below `n` (Lemire's unbiased method).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+fn uniform_below(rng: &mut (impl RngCore + ?Sized), n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        let low = m as u64;
+        if low < n {
+            let threshold = n.wrapping_neg() % n;
+            if low < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64(rng: &mut (impl RngCore + ?Sized)) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types that can be drawn uniformly from a range (the shim's analogue
+/// of `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open(low: Self, high: Self, rng: &mut (impl RngCore + ?Sized)) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_closed(low: Self, high: Self, rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(low: Self, high: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        assert!(low < high, "gen_range: empty f64 range {low}..{high}");
+        let v = low + unit_f64(rng) * (high - low);
+        // Floating-point rounding can push the product onto `high`; fold
+        // that measure-zero edge back to the low end.
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+    fn sample_closed(low: Self, high: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+        assert!(low <= high, "gen_range: empty f64 range {low}..={high}");
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        (low + u * (high - low)).clamp(low, high)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: Self, high: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+                assert!(low < high, "gen_range: empty integer range");
+                let span = (high as i128 - low as i128) as u128 as u64;
+                let offset = uniform_below(rng, span);
+                ((low as i128) + offset as i128) as $t
+            }
+            fn sample_closed(low: Self, high: Self, rng: &mut (impl RngCore + ?Sized)) -> Self {
+                assert!(low <= high, "gen_range: empty integer range");
+                let span = (high as i128 - low as i128) as u128 as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = uniform_below(rng, span + 1);
+                ((low as i128) + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single(self, rng: &mut (impl RngCore + ?Sized)) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_closed(low, high, rng)
+    }
+}
+
+/// Types drawable from the "standard" distribution (`Rng::gen`).
+pub trait SampleStandard {
+    /// Draws one sample.
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard(rng: &mut (impl RngCore + ?Sized)) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution (`[0, 1)` for
+    /// floats, full width for integers).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`shuffle`, `choose`).
+pub mod seq {
+    use super::{uniform_below, RngCore};
+
+    /// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly chosen element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Fast, high-quality, 256-bit state. Not cryptographically secure
+    /// (neither privacy mechanism here requires a CSPRNG for its
+    /// *evaluation*; swap in the real `rand::rngs::StdRng` for release
+    /// pipelines handling adversarial inputs).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                *word = u64::from_le_bytes(seed[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point of xoshiro;
+                // re-derive a non-degenerate state deterministically.
+                let mut sm = 0x853C_49E6_748F_EA9Bu64;
+                for word in &mut s {
+                    *word = splitmix64(&mut sm);
+                }
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        let mut r = StdRng::from_seed([0; 32]);
+        let draws: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(x > 0.0 && x < 1.0);
+            let y = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+            let z = r.gen_range(0usize..=3);
+            assert!(z <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+        let heads = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = StdRng::seed_from_u64(5);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut r).unwrap() as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn dyn_rng_core_supports_rng_methods() {
+        let mut concrete = StdRng::seed_from_u64(6);
+        let dynr: &mut dyn RngCore = &mut concrete;
+        let x = dynr.gen_range(0.0f64..1.0);
+        assert!((0.0..1.0).contains(&x));
+        let _ = dynr.next_u64();
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut r = StdRng::seed_from_u64(7);
+        for len in 0..20 {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 9 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+}

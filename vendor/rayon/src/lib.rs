@@ -1,0 +1,290 @@
+//! A small, dependency-free stand-in for the [`rayon`] crate.
+//!
+//! The build environment this workspace targets has no access to a crate
+//! registry, so the slice-fan-out subset of rayon's API that the engine
+//! uses is implemented here on top of [`std::thread::scope`]:
+//! `par_iter()` on slices and `Vec`s, with `map`, `enumerate`,
+//! `for_each` and order-preserving `collect`.
+//!
+//! Work is split into one contiguous index chunk per worker thread, so
+//! results come back in input order — exactly what a deterministic batch
+//! engine needs. There is no work stealing; for the embarrassingly
+//! parallel per-trace kernels this workspace runs, chunking is within
+//! noise of a real work-stealing pool.
+//!
+//! [`rayon`]: https://crates.io/crates/rayon
+
+#![deny(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Scoped per-thread override installed by [`with_num_threads`].
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads a parallel iterator will use: an active
+/// [`with_num_threads`] override on this thread, else the
+/// `RAYON_NUM_THREADS` environment variable (read once per process —
+/// runtime `set_var` is both racy and ignored, exactly like real
+/// rayon's global pool), else [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    let from_env = *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    from_env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Runs `f` with parallel iterators started from this thread using
+/// exactly `n` worker threads (shim-specific; real rayon expresses this
+/// as a scoped `ThreadPool::install`). Race-free, unlike mutating
+/// `RAYON_NUM_THREADS` at runtime.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n > 0, "with_num_threads: n must be positive");
+    let previous = THREAD_OVERRIDE.with(|cell| cell.replace(Some(n)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|cell| cell.set(self.0));
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// An indexed parallel iterator: a fixed-length source of items that can
+/// be produced independently at any index. `&self` access keeps the
+/// pipeline shareable across worker threads.
+pub trait ParallelIterator: Sized + Sync {
+    /// The item type produced at each index.
+    type Item: Send;
+
+    /// Number of items.
+    fn par_len(&self) -> usize;
+
+    /// Produces the item at `index` (each index is visited exactly once).
+    fn at(&self, index: usize) -> Self::Item;
+
+    /// Maps every item through `f` (applied on the worker threads).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Pairs every item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _ = execute(&Map { base: self, f });
+    }
+
+    /// Executes the pipeline and collects the items **in input order**.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        execute(&self).into_iter().collect()
+    }
+}
+
+/// Runs the pipeline across worker threads, one contiguous chunk each,
+/// and concatenates the per-chunk outputs in order.
+fn execute<I: ParallelIterator>(it: &I) -> Vec<I::Item> {
+    let n = it.par_len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(|i| it.at(i)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    (lo..hi).map(|i| it.at(i)).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+    fn at(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Lazily mapped parallel iterator (see [`ParallelIterator::map`]).
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn at(&self, index: usize) -> R {
+        (self.f)(self.base.at(index))
+    }
+}
+
+/// Index-pairing parallel iterator (see [`ParallelIterator::enumerate`]).
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+    fn at(&self, index: usize) -> (usize, I::Item) {
+        (index, self.base.at(index))
+    }
+}
+
+/// `par_iter()` entry point for shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator;
+
+    /// Creates a parallel iterator over references to the elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn order_preserved_with_forced_thread_fanout() {
+        // Single-core machines would otherwise take the in-place
+        // shortcut; force real worker threads through the scoped
+        // override (runtime env mutation is racy and ignored).
+        super::with_num_threads(7, || {
+            assert_eq!(super::current_num_threads(), 7);
+            let input: Vec<u64> = (0..100_001).collect();
+            let out: Vec<u64> = input.par_iter().map(|x| x.wrapping_mul(3)).collect();
+            assert_eq!(
+                out,
+                (0u64..100_001)
+                    .map(|x| x.wrapping_mul(3))
+                    .collect::<Vec<_>>()
+            );
+        });
+        assert!(
+            super::THREAD_OVERRIDE.with(std::cell::Cell::get).is_none(),
+            "override must not leak out of the scope"
+        );
+    }
+
+    #[test]
+    fn enumerate_matches_indices() {
+        let input = vec!["a", "b", "c", "d"];
+        let tagged: Vec<(usize, String)> = input
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, format!("{i}{s}")))
+            .collect();
+        assert_eq!(
+            tagged,
+            vec![
+                (0, "0a".to_owned()),
+                (1, "1b".to_owned()),
+                (2, "2c".to_owned()),
+                (3, "3d".to_owned())
+            ]
+        );
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        let input: Vec<usize> = (1..=100).collect();
+        input.par_iter().for_each(|x| {
+            sum.fetch_add(*x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.into_inner(), 5050);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let one = [7u8];
+        let out: Vec<u8> = one[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

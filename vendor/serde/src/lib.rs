@@ -1,0 +1,80 @@
+//! A small stand-in for the [`serde`] crate.
+//!
+//! The build environment this workspace targets has no access to a crate
+//! registry. The workspace only *declares* serializability today
+//! (`#[derive(Serialize, Deserialize)]` on the data model; CSV I/O is
+//! hand-rolled), so the traits are pure markers and the derive macros
+//! (re-exported from the in-repo `serde_derive`) emit empty impls.
+//!
+//! When a registry is available, swapping this crate for real `serde`
+//! is source-compatible for everything the workspace does: the derive
+//! placement and `#[serde(...)]` attributes are already in place.
+//!
+//! [`serde`]: https://crates.io/crates/serde
+
+#![deny(rust_2018_idioms)]
+
+/// Marker for types that can be serialized (see crate docs: the in-repo
+/// stand-in has no serializer to drive, so the trait carries no items).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod std_impls {
+    use super::{Deserialize, Serialize};
+
+    macro_rules! impl_markers {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*};
+    }
+
+    impl_markers!(
+        (),
+        bool,
+        char,
+        i8,
+        i16,
+        i32,
+        i64,
+        i128,
+        isize,
+        u8,
+        u16,
+        u32,
+        u64,
+        u128,
+        usize,
+        f32,
+        f64,
+        String
+    );
+
+    impl<T: Serialize> Serialize for Vec<T> {}
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+    impl<T: Serialize> Serialize for Option<T> {}
+    impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+    impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+    impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+    impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+    impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+    impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+        for std::collections::BTreeMap<K, V>
+    {
+    }
+    impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+    impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+        for std::collections::HashMap<K, V>
+    {
+    }
+}

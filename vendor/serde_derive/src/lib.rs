@@ -1,0 +1,60 @@
+//! Stand-in `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the in-repo `serde` marker traits.
+//!
+//! Written without `syn`/`quote` (no registry access): the derive input
+//! is scanned token by token for the `struct`/`enum` name, and an empty
+//! marker impl is emitted. `#[serde(...)]` helper attributes (e.g.
+//! `#[serde(transparent)]`) are accepted and ignored — they only carry
+//! meaning for the real serde, which this crate is a placeholder for.
+//!
+//! Generic types are intentionally rejected with a compile error: the
+//! workspace has none today, and a silent wrong impl would be worse than
+//! a loud failure when one appears.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input, "Serialize");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input, "Deserialize");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Extracts the type name following the `struct`/`enum` keyword, and
+/// rejects generic types (unsupported by the stand-in).
+fn type_name(input: TokenStream, derive: &str) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("derive({derive}): expected a type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "the in-repo serde_derive stand-in does not support generic \
+                             types (deriving {derive} for `{name}`); either add generics \
+                             support in vendor/serde_derive or hand-write the marker impl"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("derive({derive}): no struct/enum keyword found in input");
+}
