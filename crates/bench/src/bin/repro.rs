@@ -6,7 +6,7 @@ use mobipriv_bench::ExperimentScale;
 use mobipriv_core::Engine;
 
 const USAGE: &str = "\
-usage: repro [--smoke] [--sequential] [<experiment>]
+usage: repro [--smoke] [--sequential] [--threads N] [<experiment>]
 
 Regenerates the figures/tables of the experiment index (DESIGN.md §4)
 on the deterministic batch engine and prints them to stdout.
@@ -17,6 +17,9 @@ options:
   --sequential    run per-trace mechanisms on one core instead of the
                   parallel engine (output is identical either way; see
                   the engine determinism guarantee)
+  --threads N     pin the parallel engine to exactly N worker threads
+                  instead of one per core (Engine::with_workers; output
+                  is identical for any N, only resource usage changes)
   -h, --help      print this help
 
 experiments:
@@ -37,8 +40,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::Full;
     let mut engine = Engine::parallel();
+    let mut threads = None;
     let mut command = None;
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -46,6 +51,16 @@ fn main() {
             }
             "--smoke" => scale = ExperimentScale::Smoke,
             "--sequential" => engine = Engine::sequential(),
+            "--threads" => {
+                let value = iter.next().and_then(|v| v.parse::<usize>().ok());
+                match value {
+                    Some(n) if n > 0 => threads = Some(n),
+                    _ => {
+                        eprintln!("--threads expects a positive integer\n\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other if other.starts_with('-') => {
                 eprintln!("unexpected argument: {other}\n\n{USAGE}");
                 std::process::exit(2);
@@ -56,6 +71,13 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(n) = threads {
+        if engine.mode() == mobipriv_core::ExecutionMode::Sequential {
+            eprintln!("--threads conflicts with --sequential\n\n{USAGE}");
+            std::process::exit(2);
+        }
+        engine = engine.with_workers(n);
     }
     let ctx = ExperimentCtx::with_engine(scale, engine);
     let command = command.unwrap_or_else(|| "all".to_owned());

@@ -149,6 +149,23 @@ impl Engine {
         self
     }
 
+    /// Alias for [`Engine::with_threads`] under the service/CLI
+    /// vocabulary (`repro --threads`, `mobipriv-serve
+    /// --engine-threads`): pins the fan-out to `n` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn with_workers(self, n: usize) -> Self {
+        self.with_threads(n)
+    }
+
+    /// The pinned worker count, or `None` when the engine uses one
+    /// thread per core.
+    pub fn workers(&self) -> Option<usize> {
+        self.threads
+    }
+
     /// The configured scheduling mode.
     pub fn mode(&self) -> ExecutionMode {
         self.mode

@@ -1,7 +1,7 @@
-//! CSV interchange for datasets.
+//! CSV / NDJSON interchange for datasets, whole-file and streaming.
 //!
-//! The format is the minimal common denominator of published mobility
-//! datasets — one fix per row:
+//! The CSV format is the minimal common denominator of published
+//! mobility datasets — one fix per row:
 //!
 //! ```text
 //! user,trace,lat,lng,time
@@ -10,16 +10,218 @@
 //! 2,0,45.750000,4.800000,1000
 //! ```
 //!
+//! The NDJSON format carries the same five fields as one flat JSON
+//! object per line (`{"user":1,"trace":0,"lat":45.764,"lng":4.8357,
+//! "time":1000}`).
+//!
 //! `user` and `trace` are non-negative integers, `lat`/`lng` are degrees,
 //! `time` is Unix seconds. Rows may appear in any order: fixes are grouped
 //! by `(user, trace)` and each group is sorted by time
 //! ([`Trace::from_unsorted`]).
+//!
+//! # Streaming
+//!
+//! [`DatasetStream`] is the incremental core every reader in this module
+//! is built on: callers feed it arbitrary byte chunks (socket reads,
+//! file blocks) and it parses complete lines as they arrive, holding
+//! only the trailing partial line as text plus the compact parsed
+//! [`Fix`]es. Memory is therefore bounded by the *parsed* size of the
+//! data (24 bytes per fix), never by the raw body — and a single line is
+//! capped at [`MAX_LINE_BYTES`] so a malicious newline-free body cannot
+//! buffer unboundedly. [`read_csv`] is `DatasetStream` driven from a
+//! reader, which is what guarantees chunked and whole-file parsing agree
+//! exactly.
+//!
+//! # Input validation
+//!
+//! Every row is validated before a [`Fix`] is built: non-finite (`NaN`,
+//! `±inf`) and out-of-range latitudes/longitudes are rejected with a
+//! [`ModelError::Parse`] naming the field, the offending value and the
+//! 1-based line number. Readers built on this module can therefore be
+//! exposed to untrusted bodies (the `mobipriv-service` HTTP server
+//! does exactly that).
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
 use crate::{Dataset, Fix, ModelError, Timestamp, Trace, UserId};
 use mobipriv_geo::LatLng;
+
+/// Upper bound on a single input line, in bytes. A line longer than
+/// this (i.e. a chunk stream that never produces a newline) is rejected
+/// instead of buffered.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Read chunk size used by the whole-file readers.
+const DEFAULT_CHUNK: usize = 64 * 1024;
+
+/// The wire encodings understood by [`DatasetStream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireFormat {
+    /// `user,trace,lat,lng,time` rows, optional header line.
+    #[default]
+    Csv,
+    /// One flat JSON object per line with the same five fields.
+    NdJson,
+}
+
+impl WireFormat {
+    /// A short lowercase name (`csv` / `ndjson`), used in diagnostics
+    /// and content negotiation.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFormat::Csv => "csv",
+            WireFormat::NdJson => "ndjson",
+        }
+    }
+}
+
+/// One parsed input row before grouping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Row {
+    user: u64,
+    trace: u64,
+    fix: Fix,
+}
+
+/// Incremental, validating dataset reader: feed byte chunks with
+/// [`push_chunk`](DatasetStream::push_chunk), finalize with
+/// [`finish`](DatasetStream::finish).
+///
+/// Fixes are grouped by `(user, trace)` as they arrive; only the parsed
+/// fixes and at most one partial line of raw text are retained, so peak
+/// memory tracks the dataset size, not the transport framing (see the
+/// module docs).
+///
+/// ```
+/// use mobipriv_model::{DatasetStream, WireFormat};
+///
+/// # fn main() -> Result<(), mobipriv_model::ModelError> {
+/// let mut stream = DatasetStream::new(WireFormat::Csv);
+/// // Chunk boundaries may fall anywhere — mid-line included.
+/// stream.push_chunk(b"user,trace,lat,lng,time\n1,0,45.7")?;
+/// stream.push_chunk(b"64,4.8357,1000\n1,0,45.765,4.8360,1030\n")?;
+/// let dataset = stream.finish()?;
+/// assert_eq!(dataset.total_fixes(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct DatasetStream {
+    format: WireFormat,
+    carry: Vec<u8>,
+    lineno: usize,
+    fixes: usize,
+    groups: BTreeMap<(u64, u64), Vec<Fix>>,
+}
+
+impl DatasetStream {
+    /// Starts an empty stream for the given wire format.
+    pub fn new(format: WireFormat) -> Self {
+        DatasetStream {
+            format,
+            ..DatasetStream::default()
+        }
+    }
+
+    /// Number of fixes parsed so far.
+    pub fn fixes_ingested(&self) -> usize {
+        self.fixes
+    }
+
+    /// Number of complete lines consumed so far (including headers and
+    /// blanks).
+    pub fn lines_seen(&self) -> usize {
+        self.lineno
+    }
+
+    /// Feeds the next chunk of the body. Chunk boundaries are arbitrary;
+    /// lines spanning chunks are reassembled internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] (with the 1-based line number) on
+    /// the first malformed or out-of-range row, or when a single line
+    /// exceeds [`MAX_LINE_BYTES`].
+    pub fn push_chunk(&mut self, chunk: &[u8]) -> Result<(), ModelError> {
+        let mut rest = chunk;
+        while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
+            let (head, tail) = rest.split_at(pos);
+            rest = &tail[1..]; // drop the newline itself
+            self.check_line_budget(head.len())?;
+            if self.carry.is_empty() {
+                self.consume_line(head)?;
+            } else {
+                self.carry.extend_from_slice(head);
+                let line = std::mem::take(&mut self.carry);
+                self.consume_line(&line)?;
+            }
+        }
+        if !rest.is_empty() {
+            self.check_line_budget(rest.len())?;
+            self.carry.extend_from_slice(rest);
+        }
+        Ok(())
+    }
+
+    /// Finalizes the stream (parsing a trailing newline-less line, if
+    /// any) and assembles the dataset: one trace per `(user, trace)`
+    /// group, groups in ascending key order, fixes time-sorted and
+    /// deduplicated per [`Trace::from_unsorted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Parse`] if the trailing line is malformed.
+    pub fn finish(mut self) -> Result<Dataset, ModelError> {
+        if !self.carry.is_empty() {
+            let line = std::mem::take(&mut self.carry);
+            self.consume_line(&line)?;
+        }
+        let mut dataset = Dataset::new();
+        for ((user, _), fixes) in self.groups {
+            dataset.push(Trace::from_unsorted(UserId::new(user), fixes)?);
+        }
+        Ok(dataset)
+    }
+
+    fn check_line_budget(&self, incoming: usize) -> Result<(), ModelError> {
+        if self.carry.len() + incoming > MAX_LINE_BYTES {
+            return Err(ModelError::Parse {
+                line: self.lineno + 1,
+                message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
+            });
+        }
+        Ok(())
+    }
+
+    fn consume_line(&mut self, raw: &[u8]) -> Result<(), ModelError> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        let line = std::str::from_utf8(raw).map_err(|_| ModelError::Parse {
+            line: lineno,
+            message: "line is not valid UTF-8".into(),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return Ok(());
+        }
+        let row = match self.format {
+            WireFormat::Csv => {
+                if lineno == 1 && trimmed.starts_with("user") {
+                    return Ok(()); // header
+                }
+                parse_csv_row(trimmed, lineno)?
+            }
+            WireFormat::NdJson => parse_ndjson_row(trimmed, lineno)?,
+        };
+        self.fixes += 1;
+        self.groups
+            .entry((row.user, row.trace))
+            .or_default()
+            .push(row.fix);
+        Ok(())
+    }
+}
 
 /// Writes `dataset` as CSV. Remember that `W: Write` can be a `&mut`
 /// reference, so a caller keeps ownership of its writer.
@@ -45,6 +247,29 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), ModelError
     Ok(())
 }
 
+/// Writes `dataset` as NDJSON — one flat object per fix, same fields and
+/// coordinate precision as [`write_csv`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] when the underlying writer fails.
+pub fn write_ndjson<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), ModelError> {
+    for (trace_idx, trace) in dataset.traces().iter().enumerate() {
+        for fix in trace.fixes() {
+            writeln!(
+                w,
+                "{{\"user\":{},\"trace\":{},\"lat\":{:.7},\"lng\":{:.7},\"time\":{}}}",
+                trace.user().get(),
+                trace_idx,
+                fix.position.lat(),
+                fix.position.lng(),
+                fix.time.get()
+            )?;
+        }
+    }
+    Ok(())
+}
+
 /// Reads a dataset from CSV (see the module docs for the format). A
 /// `&mut` reference works as the reader.
 ///
@@ -53,44 +278,92 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), ModelError
 /// Returns [`ModelError::Parse`] with a 1-based line number on malformed
 /// input and [`ModelError::Io`] on reader failure.
 pub fn read_csv<R: Read>(r: R) -> Result<Dataset, ModelError> {
-    let reader = BufReader::new(r);
-    let mut groups: BTreeMap<(u64, u64), Vec<Fix>> = BTreeMap::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        let lineno = i + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
+    read_with(r, WireFormat::Csv, DEFAULT_CHUNK)
+}
+
+/// Like [`read_csv`] but pulls the reader in `chunk_size`-byte blocks
+/// through the incremental [`DatasetStream`]. Output is identical to
+/// [`read_csv`] for every chunk size (they share the parser); the knob
+/// exists to bound transient buffering and for tests that stress
+/// chunk-boundary handling.
+///
+/// # Errors
+///
+/// Same contract as [`read_csv`].
+pub fn read_csv_chunked<R: Read>(r: R, chunk_size: usize) -> Result<Dataset, ModelError> {
+    read_with(r, WireFormat::Csv, chunk_size.max(1))
+}
+
+/// Reads a dataset from NDJSON (see the module docs for the format).
+///
+/// # Errors
+///
+/// Same contract as [`read_csv`].
+pub fn read_ndjson<R: Read>(r: R) -> Result<Dataset, ModelError> {
+    read_with(r, WireFormat::NdJson, DEFAULT_CHUNK)
+}
+
+fn read_with<R: Read>(mut r: R, format: WireFormat, chunk: usize) -> Result<Dataset, ModelError> {
+    let mut stream = DatasetStream::new(format);
+    let mut buf = vec![0u8; chunk];
+    loop {
+        let n = r.read(&mut buf)?;
+        if n == 0 {
+            break;
         }
-        if lineno == 1 && trimmed.starts_with("user") {
-            continue; // header
-        }
-        let mut parts = trimmed.split(',');
-        let user = parse_field::<u64>(parts.next(), "user", lineno)?;
-        let trace = parse_field::<u64>(parts.next(), "trace", lineno)?;
-        let lat = parse_field::<f64>(parts.next(), "lat", lineno)?;
-        let lng = parse_field::<f64>(parts.next(), "lng", lineno)?;
-        let time = parse_field::<i64>(parts.next(), "time", lineno)?;
-        if parts.next().is_some() {
-            return Err(ModelError::Parse {
-                line: lineno,
-                message: "too many fields (expected 5)".into(),
-            });
-        }
-        let position = LatLng::new(lat, lng).map_err(|e| ModelError::Parse {
+        stream.push_chunk(&buf[..n])?;
+    }
+    stream.finish()
+}
+
+fn parse_csv_row(trimmed: &str, lineno: usize) -> Result<Row, ModelError> {
+    let mut parts = trimmed.split(',');
+    let user = parse_field::<u64>(parts.next(), "user", lineno)?;
+    let trace = parse_field::<u64>(parts.next(), "trace", lineno)?;
+    let lat = parse_field::<f64>(parts.next(), "lat", lineno)?;
+    let lng = parse_field::<f64>(parts.next(), "lng", lineno)?;
+    let time = parse_field::<i64>(parts.next(), "time", lineno)?;
+    if parts.next().is_some() {
+        return Err(ModelError::Parse {
             line: lineno,
-            message: e.to_string(),
-        })?;
-        groups
-            .entry((user, trace))
-            .or_default()
-            .push(Fix::new(position, Timestamp::new(time)));
+            message: "too many fields (expected 5)".into(),
+        });
     }
-    let mut dataset = Dataset::new();
-    for ((user, _), fixes) in groups {
-        dataset.push(Trace::from_unsorted(UserId::new(user), fixes)?);
+    build_row(user, trace, lat, lng, time, lineno)
+}
+
+/// Validates coordinates and assembles the row. Ranges are checked here
+/// — before [`LatLng::new`] — so the error names the field, the value
+/// and the accepted range, with [`LatLng::new`] kept as a backstop.
+fn build_row(
+    user: u64,
+    trace: u64,
+    lat: f64,
+    lng: f64,
+    time: i64,
+    lineno: usize,
+) -> Result<Row, ModelError> {
+    if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
+        return Err(ModelError::Parse {
+            line: lineno,
+            message: format!("latitude {lat} outside [-90, 90]"),
+        });
     }
-    Ok(dataset)
+    if !lng.is_finite() || !(-180.0..=180.0).contains(&lng) {
+        return Err(ModelError::Parse {
+            line: lineno,
+            message: format!("longitude {lng} outside [-180, 180]"),
+        });
+    }
+    let position = LatLng::new(lat, lng).map_err(|e| ModelError::Parse {
+        line: lineno,
+        message: e.to_string(),
+    })?;
+    Ok(Row {
+        user,
+        trace,
+        fix: Fix::new(position, Timestamp::new(time)),
+    })
 }
 
 fn parse_field<T: std::str::FromStr>(
@@ -106,6 +379,58 @@ fn parse_field<T: std::str::FromStr>(
         line,
         message: format!("invalid value `{raw}` for field `{name}`"),
     })
+}
+
+/// Parses one flat NDJSON object. Only the exact five known keys with
+/// numeric values are accepted — nested values, strings, duplicates and
+/// unknown keys are rejected (the parser fronts an untrusted network
+/// surface, so it is strict by design).
+fn parse_ndjson_row(trimmed: &str, lineno: usize) -> Result<Row, ModelError> {
+    let bad = |message: String| ModelError::Parse {
+        line: lineno,
+        message,
+    };
+    let inner = trimmed
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| bad("expected a JSON object `{...}`".into()))?;
+    let mut user = None;
+    let mut trace = None;
+    let mut lat = None;
+    let mut lng = None;
+    let mut time = None;
+    for pair in inner.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            return Err(bad("empty member in JSON object".into()));
+        }
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| bad(format!("expected `\"key\": value`, got `{pair}`")))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| bad(format!("key `{}` is not a JSON string", key.trim())))?;
+        let value = value.trim();
+        let slot: &mut Option<&str> = match key {
+            "user" => &mut user,
+            "trace" => &mut trace,
+            "lat" => &mut lat,
+            "lng" => &mut lng,
+            "time" => &mut time,
+            other => return Err(bad(format!("unknown field `{other}`"))),
+        };
+        if slot.replace(value).is_some() {
+            return Err(bad(format!("duplicate field `{key}`")));
+        }
+    }
+    let user = parse_field::<u64>(user, "user", lineno)?;
+    let trace = parse_field::<u64>(trace, "trace", lineno)?;
+    let lat = parse_field::<f64>(lat, "lat", lineno)?;
+    let lng = parse_field::<f64>(lng, "lng", lineno)?;
+    let time = parse_field::<i64>(time, "time", lineno)?;
+    build_row(user, trace, lat, lng, time, lineno)
 }
 
 #[cfg(test)]
@@ -149,6 +474,81 @@ mod tests {
     }
 
     #[test]
+    fn ndjson_round_trip_matches_csv() {
+        let d = sample_dataset();
+        let mut csv = Vec::new();
+        write_csv(&d, &mut csv).unwrap();
+        let mut ndjson = Vec::new();
+        write_ndjson(&d, &mut ndjson).unwrap();
+        let from_csv = read_csv(csv.as_slice()).unwrap();
+        let from_ndjson = read_ndjson(ndjson.as_slice()).unwrap();
+        assert_eq!(from_csv, from_ndjson);
+    }
+
+    #[test]
+    fn chunked_agrees_with_whole_file_for_every_chunk_size() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let whole = read_csv(buf.as_slice()).unwrap();
+        for chunk in [1, 2, 3, 7, 16, buf.len(), buf.len() + 10] {
+            let chunked = read_csv_chunked(buf.as_slice(), chunk).unwrap();
+            assert_eq!(chunked, whole, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn stream_reassembles_lines_across_chunks() {
+        let mut s = DatasetStream::new(WireFormat::Csv);
+        s.push_chunk(b"user,trace,lat,lng,time\n1,0,4").unwrap();
+        s.push_chunk(b"5.0,5.0,10").unwrap();
+        s.push_chunk(b"0\n").unwrap();
+        assert_eq!(s.fixes_ingested(), 1);
+        assert_eq!(s.lines_seen(), 2);
+        let d = s.finish().unwrap();
+        assert_eq!(d.total_fixes(), 1);
+        assert_eq!(d.traces()[0].first().time.get(), 100);
+    }
+
+    #[test]
+    fn stream_accepts_missing_trailing_newline() {
+        let mut s = DatasetStream::new(WireFormat::Csv);
+        s.push_chunk(b"1,0,45.0,5.0,100").unwrap();
+        let d = s.finish().unwrap();
+        assert_eq!(d.total_fixes(), 1);
+    }
+
+    #[test]
+    fn stream_rejects_oversized_line() {
+        let mut s = DatasetStream::new(WireFormat::Csv);
+        let junk = vec![b'x'; MAX_LINE_BYTES / 2 + 1];
+        s.push_chunk(&junk).unwrap();
+        let err = s.push_chunk(&junk).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn oversized_line_is_rejected_regardless_of_chunking() {
+        // The cap must not depend on where chunk boundaries fall: a
+        // complete oversized line inside one big chunk is rejected just
+        // like one spanning many chunks.
+        let mut line = vec![b'x'; MAX_LINE_BYTES + 1];
+        line.push(b'\n');
+        let mut s = DatasetStream::new(WireFormat::Csv);
+        let err = s.push_chunk(&line).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(read_csv_chunked(line.as_slice(), line.len()).is_err());
+        assert!(read_csv_chunked(line.as_slice(), 1024).is_err());
+    }
+
+    #[test]
+    fn stream_rejects_invalid_utf8() {
+        let mut s = DatasetStream::new(WireFormat::Csv);
+        let err = s.push_chunk(b"1,0,45.0,\xff,100\n").unwrap_err();
+        assert!(err.to_string().contains("UTF-8"), "{err}");
+    }
+
+    #[test]
     fn reads_unsorted_rows() {
         let csv = "user,trace,lat,lng,time\n1,0,45.0,5.0,100\n1,0,44.9,5.0,50\n";
         let d = read_csv(csv.as_bytes()).unwrap();
@@ -175,7 +575,7 @@ mod tests {
             ("1,0,45.0,5.0\n", "missing field `time`"),
             ("1,0,45.0,5.0,100,extra\n", "too many fields"),
             ("1,0,abc,5.0,100\n", "invalid value `abc`"),
-            ("1,0,95.0,5.0,100\n", "latitude"),
+            ("1,0,95.0,5.0,100\n", "latitude 95 outside [-90, 90]"),
             ("x,0,45.0,5.0,100\n", "invalid value `x`"),
         ] {
             let err = read_csv(csv.as_bytes()).unwrap_err();
@@ -183,6 +583,58 @@ mod tests {
             assert!(msg.contains(needle), "csv {csv:?} -> {msg}");
             assert!(msg.contains("line 1"), "csv {csv:?} -> {msg}");
         }
+    }
+
+    #[test]
+    fn rejects_non_finite_coordinates_with_line_numbers() {
+        for (row, needle) in [
+            ("1,0,NaN,5.0,100", "latitude NaN outside [-90, 90]"),
+            ("1,0,inf,5.0,100", "latitude inf outside [-90, 90]"),
+            ("1,0,45.0,-inf,100", "longitude -inf outside [-180, 180]"),
+            ("1,0,45.0,181.0,100", "longitude 181 outside [-180, 180]"),
+            ("1,0,-90.5,5.0,100", "latitude -90.5 outside [-90, 90]"),
+        ] {
+            // Put the bad row on line 3 to check the reported number.
+            let csv = format!("user,trace,lat,lng,time\n1,0,45.0,5.0,99\n{row}\n");
+            let err = read_csv(csv.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "row {row:?} -> {msg}");
+            assert!(msg.contains("line 3"), "row {row:?} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn ndjson_rejects_malformed_objects() {
+        for (line, needle) in [
+            ("[1,2,3]", "JSON object"),
+            ("{\"user\":1}", "missing field `trace`"),
+            ("{\"user\":1,\"user\":2}", "duplicate field `user`"),
+            (
+                "{\"user\":1,\"trace\":0,\"lat\":45.0,\"lng\":5.0,\"time\":1,\"x\":2}",
+                "unknown field `x`",
+            ),
+            (
+                "{user:1,\"trace\":0,\"lat\":45.0,\"lng\":5.0,\"time\":1}",
+                "not a JSON string",
+            ),
+            (
+                "{\"user\":1,\"trace\":0,\"lat\":99.0,\"lng\":5.0,\"time\":1}",
+                "latitude 99 outside",
+            ),
+        ] {
+            let err = read_ndjson(line.as_bytes()).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "line {line:?} -> {msg}");
+            assert!(msg.contains("line 1"), "line {line:?} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn ndjson_accepts_any_key_order() {
+        let line = "{\"time\":100,\"lng\":5.0,\"lat\":45.0,\"trace\":0,\"user\":7}";
+        let d = read_ndjson(line.as_bytes()).unwrap();
+        assert_eq!(d.users(), vec![UserId::new(7)]);
+        assert_eq!(d.total_fixes(), 1);
     }
 
     #[test]
@@ -201,6 +653,8 @@ user,trace,lat,lng,time
     #[test]
     fn empty_input_yields_empty_dataset() {
         let d = read_csv("".as_bytes()).unwrap();
+        assert!(d.is_empty());
+        let d = DatasetStream::new(WireFormat::NdJson).finish().unwrap();
         assert!(d.is_empty());
     }
 }

@@ -43,7 +43,10 @@ mod user;
 pub use dataset::Dataset;
 pub use error::ModelError;
 pub use fix::Fix;
-pub use io::{read_csv, write_csv};
+pub use io::{
+    read_csv, read_csv_chunked, read_ndjson, write_csv, write_ndjson, DatasetStream, WireFormat,
+    MAX_LINE_BYTES,
+};
 pub use timestamp::Timestamp;
 pub use trace::{Trace, TraceBuilder};
 pub use user::UserId;

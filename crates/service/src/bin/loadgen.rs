@@ -1,0 +1,284 @@
+//! `mobipriv-loadgen` — closed-loop load generator for
+//! `mobipriv-serve`: replays a synthetic city at a configurable request
+//! rate and reports throughput and latency percentiles. Run with
+//! `--help` for usage.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mobipriv_model::write_csv;
+use mobipriv_synth::scenarios;
+
+const USAGE: &str = "\
+usage: mobipriv-loadgen [options]
+
+Generates a deterministic synthetic-city workload, POSTs it repeatedly
+to a running mobipriv-serve, and prints a throughput/latency summary.
+
+options:
+  --addr HOST:PORT    server address (default 127.0.0.1:8645)
+  --users N           synthetic-city size (default 1000)
+  --requests N        total requests to issue (default 32)
+  --concurrency N     parallel client connections (default 8)
+  --rate R            target request rate in req/s across all clients
+                      (default 0 = as fast as the server answers)
+  --mechanism NAME    mechanism to exercise (default promesse)
+  --query EXTRA       extra query parameters, e.g. 'alpha=200&report=1'
+  --seed N            workload + request seed (default 42)
+  --dump-workload     print the workload CSV to stdout and exit (used
+                      by the CI smoke script)
+  -h, --help          print this help
+";
+
+struct Options {
+    addr: String,
+    users: usize,
+    requests: usize,
+    concurrency: usize,
+    rate: f64,
+    mechanism: String,
+    query: String,
+    seed: u64,
+    dump: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:8645".to_owned(),
+            users: 1_000,
+            requests: 32,
+            concurrency: 8,
+            rate: 0.0,
+            mechanism: "promesse".to_owned(),
+            query: String::new(),
+            seed: 42,
+            dump: false,
+        }
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: usize| -> &str {
+            match args.get(i + 1) {
+                Some(v) => v.as_str(),
+                None => fail(&format!("{arg} expects a value")),
+            }
+        };
+        let mut consumed = 2;
+        match arg {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--addr" => opts.addr = value(i).to_owned(),
+            "--users" => match value(i).parse() {
+                Ok(n) if n > 0 => opts.users = n,
+                _ => fail("--users expects a positive integer"),
+            },
+            "--requests" => match value(i).parse() {
+                Ok(n) if n > 0 => opts.requests = n,
+                _ => fail("--requests expects a positive integer"),
+            },
+            "--concurrency" => match value(i).parse() {
+                Ok(n) if n > 0 => opts.concurrency = n,
+                _ => fail("--concurrency expects a positive integer"),
+            },
+            "--rate" => match value(i).parse() {
+                Ok(r) if r >= 0.0 => opts.rate = r,
+                _ => fail("--rate expects a non-negative number"),
+            },
+            "--mechanism" => opts.mechanism = value(i).to_owned(),
+            "--query" => opts.query = value(i).to_owned(),
+            "--seed" => match value(i).parse() {
+                Ok(n) => opts.seed = n,
+                _ => fail("--seed expects an integer"),
+            },
+            "--dump-workload" => {
+                opts.dump = true;
+                consumed = 1;
+            }
+            other => fail(&format!("unexpected argument: {other}")),
+        }
+        i += consumed;
+    }
+    opts
+}
+
+/// One POST over a fresh connection; returns (status, response bytes).
+fn post(addr: &str, target: &str, body: &[u8]) -> std::io::Result<(u16, usize)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: text/csv\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let status = response
+        .split(|&b| b == b' ')
+        .nth(1)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or(0);
+    Ok((status, response.len()))
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[idx - 1]
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
+    let workload = scenarios::serving_day(opts.users, opts.seed);
+    let mut body = Vec::new();
+    write_csv(&workload.dataset, &mut body).expect("serialize workload");
+    if opts.dump {
+        std::io::stdout().write_all(&body).expect("write workload");
+        return;
+    }
+    let traces = workload.dataset.len();
+    let fixes = workload.dataset.total_fixes();
+    drop(workload);
+
+    let mut target = format!(
+        "/v1/anonymize?mechanism={}&seed={}",
+        opts.mechanism, opts.seed
+    );
+    if !opts.query.is_empty() {
+        target.push('&');
+        target.push_str(&opts.query);
+    }
+
+    println!(
+        "workload: {} users, {traces} traces, {fixes} fixes, {}-byte body (seed {})",
+        opts.users,
+        body.len(),
+        opts.seed
+    );
+    println!(
+        "target:   http://{}{} — {} requests, concurrency {}{}",
+        opts.addr,
+        target,
+        opts.requests,
+        opts.concurrency,
+        if opts.rate > 0.0 {
+            format!(", {} req/s", opts.rate)
+        } else {
+            String::new()
+        }
+    );
+
+    // Connectivity probe before unleashing the fleet.
+    match post(&opts.addr, &target, &body) {
+        Ok((200, _)) => {}
+        Ok((status, _)) => fail(&format!("probe request answered HTTP {status}")),
+        Err(e) => fail(&format!("cannot reach {}: {e}", opts.addr)),
+    }
+
+    let body = Arc::new(body);
+    let target = Arc::new(target);
+    let addr = Arc::new(opts.addr.clone());
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut clients = Vec::new();
+    for _ in 0..opts.concurrency {
+        let (body, target, addr, next) = (
+            Arc::clone(&body),
+            Arc::clone(&target),
+            Arc::clone(&addr),
+            Arc::clone(&next),
+        );
+        let (requests, rate) = (opts.requests, opts.rate);
+        clients.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut failures = 0usize;
+            let mut bytes_in = 0usize;
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests {
+                    break;
+                }
+                if rate > 0.0 {
+                    // Open-loop pacing: request i is due at i/rate.
+                    let due = Duration::from_secs_f64(i as f64 / rate);
+                    if let Some(wait) = due.checked_sub(started.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                }
+                let sent = Instant::now();
+                match post(&addr, &target, &body) {
+                    Ok((200, n)) => {
+                        latencies.push(sent.elapsed());
+                        bytes_in += n;
+                    }
+                    Ok(_) | Err(_) => failures += 1,
+                }
+            }
+            (latencies, failures, bytes_in)
+        }));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(opts.requests);
+    let mut failures = 0usize;
+    let mut bytes_in = 0usize;
+    for client in clients {
+        let (l, f, b) = client.join().expect("client thread panicked");
+        latencies.extend(l);
+        failures += f;
+        bytes_in += b;
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+
+    let ok = latencies.len();
+    println!(
+        "result:   {ok} ok, {failures} failed in {:.2} s ({} B received)",
+        elapsed.as_secs_f64(),
+        bytes_in
+    );
+    if ok > 0 {
+        let throughput = ok as f64 / elapsed.as_secs_f64();
+        println!(
+            "throughput: {throughput:.1} req/s, {:.2} Mfix/s anonymized",
+            throughput * fixes as f64 / 1e6
+        );
+        let mean = latencies.iter().sum::<Duration>() / ok as u32;
+        println!(
+            "latency ms: mean {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
+            ms(mean),
+            ms(percentile(&latencies, 0.50)),
+            ms(percentile(&latencies, 0.90)),
+            ms(percentile(&latencies, 0.99)),
+            ms(*latencies.last().expect("non-empty")),
+        );
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,95 @@
+//! `mobipriv-serve` — the anonymization service front-end. Run with
+//! `--help` for usage.
+
+use mobipriv_core::Engine;
+use mobipriv_service::{Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: mobipriv-serve [options]
+
+Serves the mobipriv mechanism matrix over HTTP/1.1:
+
+  POST /v1/anonymize?mechanism=<name>[&seed=N][&report=1][&format=csv|ndjson]
+  GET  /v1/mechanisms
+  GET  /healthz
+
+The anonymize body is CSV (`user,trace,lat,lng,time`) or NDJSON rows,
+fixed-length or chunked; the response is the anonymized dataset as CSV.
+Responses are deterministic in (body, parameters, seed).
+
+options:
+  --addr HOST:PORT     bind address (default 127.0.0.1:8645; port 0
+                       picks an ephemeral port, printed on startup)
+  --workers N          worker threads (default 4)
+  --queue N            accept-queue depth before 503 load shedding
+                       (default 64)
+  --max-body-mb N      request-body limit in MiB (default 64)
+  --engine-threads N   run each request's per-trace fan-out on N engine
+                       threads instead of sequentially (output is
+                       identical; per-request parallelism only pays off
+                       when requests are few and huge)
+  -h, --help           print this help
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("{message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:8645".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: usize| -> &str {
+            match args.get(i + 1) {
+                Some(v) => v.as_str(),
+                None => fail(&format!("{arg} expects a value")),
+            }
+        };
+        match arg {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--addr" => config.addr = value(i).to_owned(),
+            "--workers" => match value(i).parse() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => fail("--workers expects a positive integer"),
+            },
+            "--queue" => match value(i).parse() {
+                Ok(n) => config.queue_depth = n,
+                _ => fail("--queue expects a non-negative integer"),
+            },
+            "--max-body-mb" => match value(i).parse::<u64>() {
+                Ok(n) if n > 0 => config.max_body_bytes = n * 1024 * 1024,
+                _ => fail("--max-body-mb expects a positive integer"),
+            },
+            "--engine-threads" => match value(i).parse() {
+                Ok(n) if n > 0 => config.engine = Engine::parallel().with_workers(n),
+                _ => fail("--engine-threads expects a positive integer"),
+            },
+            other => fail(&format!("unexpected argument: {other}")),
+        }
+        i += 2; // every remaining flag takes a value (--help returned)
+    }
+    let workers = config.workers;
+    let queue = config.queue_depth;
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("mobipriv-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound socket has an address");
+    println!("mobipriv-serve listening on http://{addr} (workers={workers}, queue={queue})");
+    if let Err(e) = server.run() {
+        eprintln!("mobipriv-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+use mobipriv_core::CoreError;
+use mobipriv_model::ModelError;
+
+/// A request-scoped failure, carrying the HTTP status it maps to.
+///
+/// The variants mirror the error surface a client can trigger; anything
+/// that is the server's own fault collapses into [`ServiceError::Internal`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// Malformed request: bad query parameters, unparsable body (the
+    /// message carries the offending line number), invalid framing. 400.
+    BadRequest(String),
+    /// No route matches the request path. 404.
+    NotFound(String),
+    /// The path exists but not under this method; the payload is the
+    /// `Allow` header value. 405.
+    MethodNotAllowed(&'static str),
+    /// The body exceeds the configured limit (payload is the limit in
+    /// bytes). 413.
+    PayloadTooLarge(u64),
+    /// The job queue is full or the server is shutting down. 503.
+    Unavailable(String),
+    /// Unexpected server-side failure. 500.
+    Internal(String),
+}
+
+impl ServiceError {
+    /// The HTTP status code and reason phrase for this error.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ServiceError::BadRequest(_) => (400, "Bad Request"),
+            ServiceError::NotFound(_) => (404, "Not Found"),
+            ServiceError::MethodNotAllowed(_) => (405, "Method Not Allowed"),
+            ServiceError::PayloadTooLarge(_) => (413, "Payload Too Large"),
+            ServiceError::Unavailable(_) => (503, "Service Unavailable"),
+            ServiceError::Internal(_) => (500, "Internal Server Error"),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServiceError::NotFound(path) => write!(f, "no route for {path}"),
+            ServiceError::MethodNotAllowed(allow) => {
+                write!(f, "method not allowed (allowed: {allow})")
+            }
+            ServiceError::PayloadTooLarge(limit) => {
+                write!(f, "request body exceeds {limit} bytes")
+            }
+            ServiceError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            ServiceError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
+impl From<ModelError> for ServiceError {
+    /// Body-parse failures are the client's fault (400, with the line
+    /// number the model reader reports); I/O failures mid-body are not.
+    fn from(e: ModelError) -> Self {
+        match e {
+            ModelError::Io(io) => ServiceError::Internal(format!("body read failed: {io}")),
+            other => ServiceError::BadRequest(other.to_string()),
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    /// Mechanism construction fails only on invalid parameters (400).
+    fn from(e: CoreError) -> Self {
+        ServiceError::BadRequest(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping() {
+        assert_eq!(ServiceError::BadRequest("x".into()).status().0, 400);
+        assert_eq!(ServiceError::NotFound("/x".into()).status().0, 404);
+        assert_eq!(ServiceError::MethodNotAllowed("GET").status().0, 405);
+        assert_eq!(ServiceError::PayloadTooLarge(1).status().0, 413);
+        assert_eq!(ServiceError::Unavailable("full".into()).status().0, 503);
+        assert_eq!(ServiceError::Internal("x".into()).status().0, 500);
+    }
+
+    #[test]
+    fn model_parse_errors_are_bad_requests_with_line_numbers() {
+        let parse = ModelError::Parse {
+            line: 7,
+            message: "latitude 95 outside [-90, 90]".into(),
+        };
+        let e = ServiceError::from(parse);
+        assert_eq!(e.status().0, 400);
+        assert!(e.to_string().contains("line 7"));
+        let io = ModelError::Io(std::io::Error::other("boom"));
+        assert_eq!(ServiceError::from(io).status().0, 500);
+    }
+}

@@ -1,0 +1,221 @@
+//! Route dispatch and the anonymize endpoint.
+
+use std::io::{BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use mobipriv_metrics::{coverage, spatial};
+use mobipriv_model::{write_csv, DatasetStream, WireFormat};
+
+use crate::http::{read_head, stream_body, write_response, DeadlineReader, RequestHead};
+use crate::registry::{build_mechanism, mechanisms_json, Params};
+use crate::server::ServerConfig;
+use crate::ServiceError;
+
+/// Grid-cell size used by the optional coverage report, meters.
+const REPORT_CELL_M: f64 = 250.0;
+
+/// Per-read timeout *and* overall deadline while draining unread body
+/// after responding: bounds a stalled or trickling client's hold on a
+/// worker once its response is on the wire.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A fully materialized response, written in one shot after the handler
+/// finishes (so an error can still replace the whole response).
+struct Response {
+    status: u16,
+    reason: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            reason: "OK",
+            headers: vec![("content-type", content_type.to_owned())],
+            body,
+        }
+    }
+
+    fn from_error(error: &ServiceError) -> Response {
+        let (status, reason) = error.status();
+        let mut headers = vec![("content-type", "text/plain".to_owned())];
+        if let ServiceError::MethodNotAllowed(allow) = error {
+            headers.push(("allow", (*allow).to_owned()));
+        }
+        Response {
+            status,
+            reason,
+            headers,
+            body: format!("{error}\n").into_bytes(),
+        }
+    }
+}
+
+/// Serves one connection end to end: parse, route, respond. All errors
+/// become status-mapped responses; I/O failures while responding are
+/// dropped with the connection.
+pub fn handle_connection(stream: TcpStream, config: &ServerConfig) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // The whole request (head + body) shares one wall-clock budget:
+    // per-read socket timeouts reset on every byte, so without this a
+    // trickling client could hold the worker indefinitely.
+    let mut reader = DeadlineReader::new(BufReader::new(read_half), config.timeout);
+    let mut writer = stream;
+    let response = match read_head(&mut reader) {
+        Ok(head) => {
+            // Clients that announce `Expect: 100-continue` (curl does
+            // for any body over 1 KiB) hold the body back until the
+            // interim response arrives — without it they stall ~1 s
+            // per request, or forever if strict.
+            if head
+                .header("expect")
+                .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+            {
+                let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+                let _ = writer.flush();
+            }
+            route(&head, &mut reader, config).unwrap_or_else(|e| Response::from_error(&e))
+        }
+        Err(e) => Response::from_error(&e),
+    };
+    let _ = write_response(
+        &mut writer,
+        response.status,
+        response.reason,
+        &response.headers,
+        &response.body,
+    );
+    // Half-close, then drain any unread body (bounded by the body limit
+    // plus slack, and by an overall wall-clock deadline): dropping the
+    // socket with bytes still in the receive buffer makes the kernel
+    // send RST, which can discard the response (typically an early
+    // 400/413) before the client reads it. The FIN goes out first so a
+    // client that waits for the response before closing is never
+    // deadlocked against the drain.
+    let drain_limit = config.max_body_bytes.saturating_add(1024 * 1024);
+    let _ = writer.shutdown(Shutdown::Write);
+    let _ = reader
+        .get_ref()
+        .get_ref()
+        .set_read_timeout(Some(DRAIN_TIMEOUT));
+    // Drain from the inner reader: the request deadline may already
+    // have passed, but the drain carries its own (short) budget.
+    crate::http::drain(reader.get_mut(), drain_limit, DRAIN_TIMEOUT);
+}
+
+fn route(
+    head: &RequestHead,
+    reader: &mut DeadlineReader<BufReader<TcpStream>>,
+    config: &ServerConfig,
+) -> Result<Response, ServiceError> {
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => Ok(Response::ok("text/plain", b"ok\n".to_vec())),
+        ("GET", "/v1/mechanisms") => Ok(Response::ok(
+            "application/json",
+            mechanisms_json().into_bytes(),
+        )),
+        ("POST", "/v1/anonymize") => anonymize(head, reader, config),
+        (_, "/healthz" | "/v1/mechanisms") => Err(ServiceError::MethodNotAllowed("GET")),
+        (_, "/v1/anonymize") => Err(ServiceError::MethodNotAllowed("POST")),
+        (_, path) => Err(ServiceError::NotFound(path.to_owned())),
+    }
+}
+
+/// `POST /v1/anonymize?mechanism=…[&seed=…][&format=csv|ndjson][&report=1]`
+///
+/// The body (CSV or NDJSON trace rows; fixed-length or chunked) streams
+/// through the incremental dataset reader, runs through the engine under
+/// the request seed, and comes back as CSV. Responses are a pure
+/// function of `(body, mechanism parameters, seed)` — the determinism
+/// contract the integration tests assert against the batch engine.
+fn anonymize(
+    head: &RequestHead,
+    reader: &mut DeadlineReader<BufReader<TcpStream>>,
+    config: &ServerConfig,
+) -> Result<Response, ServiceError> {
+    let params = Params(&head.query);
+    let mechanism = build_mechanism(params)?;
+    let seed: u64 = params.parse_or("seed", 0)?;
+    let format = body_format(head)?;
+    let framing = head.framing()?;
+
+    let mut stream = DatasetStream::new(format);
+    let received = stream_body(reader, framing, config.max_body_bytes, |chunk| {
+        stream.push_chunk(chunk).map_err(ServiceError::from)
+    })?;
+    let input = stream.finish()?;
+
+    let output = config.engine.protect(mechanism.as_ref(), &input, seed);
+
+    let mut body = Vec::new();
+    write_csv(&output, &mut body)
+        .map_err(|e| ServiceError::Internal(format!("serializing response: {e}")))?;
+
+    let mut headers = vec![
+        ("content-type", "text/csv".to_owned()),
+        (
+            "x-mobipriv-mechanism",
+            params.get("mechanism").unwrap_or("?").to_owned(),
+        ),
+        ("x-mobipriv-seed", seed.to_string()),
+        ("x-mobipriv-body-bytes", received.to_string()),
+        ("x-mobipriv-input-traces", input.len().to_string()),
+        ("x-mobipriv-input-fixes", input.total_fixes().to_string()),
+        ("x-mobipriv-output-traces", output.len().to_string()),
+        ("x-mobipriv-output-fixes", output.total_fixes().to_string()),
+    ];
+    if wants_report(params) {
+        // Label-agnostic distortion: mechanisms may relabel users, which
+        // would break per-user matching.
+        let distortion = spatial::dataset_distortion_anonymous(&input, &output);
+        let cover = coverage::coverage(&input, &output, REPORT_CELL_M);
+        headers.push((
+            "x-mobipriv-distortion-mean-m",
+            format!("{:.3}", distortion.mean),
+        ));
+        headers.push((
+            "x-mobipriv-distortion-median-m",
+            format!("{:.3}", distortion.median),
+        ));
+        headers.push((
+            "x-mobipriv-distortion-p95-m",
+            format!("{:.3}", distortion.p95),
+        ));
+        headers.push((
+            "x-mobipriv-distortion-max-m",
+            format!("{:.3}", distortion.max),
+        ));
+        headers.push(("x-mobipriv-coverage-f1", format!("{:.4}", cover.f1)));
+    }
+    Ok(Response {
+        status: 200,
+        reason: "OK",
+        headers,
+        body,
+    })
+}
+
+fn body_format(head: &RequestHead) -> Result<WireFormat, ServiceError> {
+    if let Some(fmt) = Params(&head.query).get("format") {
+        return match fmt {
+            "csv" => Ok(WireFormat::Csv),
+            "ndjson" => Ok(WireFormat::NdJson),
+            other => Err(ServiceError::BadRequest(format!(
+                "invalid value `{other}` for parameter `format` (expected csv|ndjson)"
+            ))),
+        };
+    }
+    match head.header("content-type") {
+        Some(ct) if ct.contains("ndjson") || ct.contains("jsonl") => Ok(WireFormat::NdJson),
+        _ => Ok(WireFormat::Csv),
+    }
+}
+
+fn wants_report(params: Params<'_>) -> bool {
+    matches!(params.get("report"), Some("1" | "true" | "utility"))
+}

@@ -1,0 +1,606 @@
+//! A minimal, allocation-conscious HTTP/1.1 layer on `std::io`.
+//!
+//! Only the subset the service needs: request-head parsing with strict
+//! size caps, body streaming for both `Content-Length` and
+//! `Transfer-Encoding: chunked` framing (the body never materializes —
+//! it is pushed to a caller-supplied sink in bounded chunks), and
+//! response writing. Every connection is handled request-per-connection
+//! (`Connection: close`), which keeps the job/worker mapping one-to-one.
+
+use std::io::{BufRead, Write};
+
+use crate::ServiceError;
+
+/// Cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Read granularity for body streaming.
+const BODY_CHUNK: usize = 16 * 1024;
+
+/// The parsed request line and headers (the body stays on the wire
+/// until [`stream_body`] pulls it).
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path component of the request target (no query).
+    pub path: String,
+    /// Decoded query parameters, in wire order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+}
+
+/// How the request body is framed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyFraming {
+    /// No body (no framing headers present).
+    None,
+    /// `Content-Length: n`.
+    Length(u64),
+    /// `Transfer-Encoding: chunked`.
+    Chunked,
+}
+
+impl RequestHead {
+    /// The first header with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter with this name (same first-match
+    /// semantics as [`Params`](crate::registry::Params), which it
+    /// delegates to).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        crate::registry::Params(&self.query).get(name)
+    }
+
+    /// Determines the body framing from the headers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::BadRequest`] on conflicting framing
+    /// headers, an unparsable `Content-Length`, or an unsupported
+    /// `Transfer-Encoding`.
+    pub fn framing(&self) -> Result<BodyFraming, ServiceError> {
+        let chunked = match self.header("transfer-encoding") {
+            Some(te) if te.eq_ignore_ascii_case("chunked") => true,
+            Some(te) => {
+                return Err(ServiceError::BadRequest(format!(
+                    "unsupported transfer-encoding `{te}`"
+                )))
+            }
+            None => false,
+        };
+        // RFC 9112 §6.3: repeated Content-Length headers are a request-
+        // desync vector (a front proxy may frame on a different one) —
+        // reject rather than pick a winner.
+        if self
+            .headers
+            .iter()
+            .filter(|(k, _)| k == "content-length")
+            .count()
+            > 1
+        {
+            return Err(ServiceError::BadRequest(
+                "multiple content-length headers".into(),
+            ));
+        }
+        let length = self.header("content-length");
+        match (chunked, length) {
+            (true, Some(_)) => Err(ServiceError::BadRequest(
+                "both content-length and chunked framing present".into(),
+            )),
+            (true, None) => Ok(BodyFraming::Chunked),
+            (false, Some(v)) => v
+                .trim()
+                .parse::<u64>()
+                .map(BodyFraming::Length)
+                .map_err(|_| ServiceError::BadRequest(format!("invalid content-length `{v}`"))),
+            (false, None) => Ok(BodyFraming::None),
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, enforcing the remaining
+/// head budget. Returns the line without its terminator.
+fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, ServiceError> {
+    let mut buf = Vec::new();
+    loop {
+        let available = r
+            .fill_buf()
+            .map_err(|e| ServiceError::BadRequest(format!("connection read failed: {e}")))?;
+        if available.is_empty() {
+            return Err(ServiceError::BadRequest(
+                "connection closed before a complete request".into(),
+            ));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let consumed = match newline {
+            Some(pos) => pos + 1,
+            None => available.len(),
+        };
+        if consumed > *budget {
+            // Generic on purpose: the same reader handles head lines
+            // (16 KiB budget) and chunk-framing lines (a few bytes), so
+            // naming one limit here would mislead for the other.
+            return Err(ServiceError::BadRequest(
+                "protocol line exceeds its size budget".into(),
+            ));
+        }
+        *budget -= consumed;
+        match newline {
+            Some(pos) => {
+                buf.extend_from_slice(&available[..pos]);
+                r.consume(consumed);
+                break;
+            }
+            None => {
+                buf.extend_from_slice(available);
+                r.consume(consumed);
+            }
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map_err(|_| ServiceError::BadRequest("request head is not valid UTF-8".into()))
+}
+
+/// Parses the request line and headers off the stream, leaving the
+/// reader positioned at the first body byte.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::BadRequest`] on malformed syntax or a head
+/// larger than [`MAX_HEAD_BYTES`].
+pub fn read_head<R: BufRead>(r: &mut R) -> Result<RequestHead, ServiceError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(r, &mut budget)?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(ServiceError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ServiceError::BadRequest(format!(
+            "unsupported protocol version `{version}`"
+        )));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    // Paths use plain percent-escapes; '+'-as-space is a *query*
+    // (form-urlencoding) convention only, so `/a+b` must stay `/a+b`.
+    let path = decode_component(raw_path, false)?;
+    let query = match raw_query {
+        Some(q) => parse_query(q)?,
+        None => Vec::new(),
+    };
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ServiceError::BadRequest(format!("malformed header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    Ok(RequestHead {
+        method: method.to_owned(),
+        path,
+        query,
+        headers,
+    })
+}
+
+/// Decodes `%XX` escapes and `+` (as space) — the query-string
+/// (form-urlencoding) convention.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::BadRequest`] on truncated or non-hex escapes
+/// and non-UTF-8 results.
+pub fn percent_decode(s: &str) -> Result<String, ServiceError> {
+    decode_component(s, true)
+}
+
+fn decode_component(s: &str, plus_as_space: bool) -> Result<String, ServiceError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                // Decode from raw bytes: slicing the str here could
+                // split a multibyte UTF-8 character and panic.
+                let hex = bytes.get(i + 1..i + 3).ok_or_else(|| {
+                    ServiceError::BadRequest(format!("truncated percent-escape in `{s}`"))
+                })?;
+                let byte = match (hex_digit(hex[0]), hex_digit(hex[1])) {
+                    (Some(hi), Some(lo)) => hi * 16 + lo,
+                    _ => {
+                        return Err(ServiceError::BadRequest(
+                            "invalid percent-escape (expected two hex digits)".into(),
+                        ))
+                    }
+                };
+                out.push(byte);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| ServiceError::BadRequest(format!("query is not valid UTF-8: `{s}`")))
+}
+
+/// A reader that fails once an overall wall-clock budget is exhausted.
+///
+/// Socket read timeouts are per-`read` and reset on every byte, so a
+/// client trickling one byte per interval can hold a worker forever.
+/// Wrapping the connection in a `DeadlineReader` turns the configured
+/// timeout into a whole-request budget: head and body parsing both go
+/// through it, and the first read past the deadline errors out (the
+/// handler maps that to a 400).
+#[derive(Debug)]
+pub struct DeadlineReader<R> {
+    inner: R,
+    deadline: std::time::Instant,
+}
+
+impl<R> DeadlineReader<R> {
+    /// Wraps `inner` with a budget of `budget` from now.
+    pub fn new(inner: R, budget: std::time::Duration) -> Self {
+        DeadlineReader {
+            inner,
+            deadline: std::time::Instant::now() + budget,
+        }
+    }
+
+    /// The wrapped reader.
+    pub fn get_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// The wrapped reader, shared.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    fn check(&self) -> std::io::Result<()> {
+        if std::time::Instant::now() >= self.deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request exceeded its overall time budget",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<R: std::io::Read> std::io::Read for DeadlineReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.check()?;
+        self.inner.read(buf)
+    }
+}
+
+impl<R: BufRead> BufRead for DeadlineReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        self.check()?;
+        self.inner.fill_buf()
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.inner.consume(amt);
+    }
+}
+
+/// Reads and discards up to `limit` bytes, stopping at EOF, the first
+/// read error, or once `deadline` has elapsed (checked between reads —
+/// combined with a per-read socket timeout this bounds total wall time
+/// even against a client trickling one byte per read).
+pub fn drain<R: std::io::Read>(r: &mut R, mut limit: u64, deadline: std::time::Duration) {
+    let start = std::time::Instant::now();
+    let mut buf = [0u8; BODY_CHUNK];
+    while limit > 0 && start.elapsed() < deadline {
+        let want = limit.min(BODY_CHUNK as u64) as usize;
+        match r.read(&mut buf[..want]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => limit -= n as u64,
+        }
+    }
+}
+
+fn hex_digit(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+fn parse_query(q: &str) -> Result<Vec<(String, String)>, ServiceError> {
+    let mut out = Vec::new();
+    for pair in q.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Ok(out)
+}
+
+/// Streams the request body into `sink` in chunks of at most 16 KiB,
+/// returning the total byte count. Enforces `max_bytes` for both
+/// framings *before* buffering anything beyond the limit.
+///
+/// # Errors
+///
+/// * [`ServiceError::PayloadTooLarge`] when the body exceeds `max_bytes`;
+/// * [`ServiceError::BadRequest`] on truncated bodies or malformed
+///   chunked framing;
+/// * whatever `sink` returns, propagated at the first failure.
+pub fn stream_body<R, F>(
+    r: &mut R,
+    framing: BodyFraming,
+    max_bytes: u64,
+    mut sink: F,
+) -> Result<u64, ServiceError>
+where
+    R: BufRead,
+    F: FnMut(&[u8]) -> Result<(), ServiceError>,
+{
+    match framing {
+        BodyFraming::None => Ok(0),
+        BodyFraming::Length(len) => {
+            if len > max_bytes {
+                return Err(ServiceError::PayloadTooLarge(max_bytes));
+            }
+            copy_exact(r, len, &mut sink)?;
+            Ok(len)
+        }
+        BodyFraming::Chunked => {
+            let mut total: u64 = 0;
+            let mut head_budget = MAX_HEAD_BYTES; // generous cap on framing lines
+            loop {
+                let size_line = read_line(r, &mut head_budget)?;
+                head_budget = MAX_HEAD_BYTES;
+                let size_hex = size_line.split(';').next().unwrap_or("").trim();
+                let size = u64::from_str_radix(size_hex, 16).map_err(|_| {
+                    ServiceError::BadRequest(format!("invalid chunk size `{size_line}`"))
+                })?;
+                if size == 0 {
+                    // Trailer section: lines until the blank terminator.
+                    loop {
+                        let trailer = read_line(r, &mut head_budget)?;
+                        if trailer.is_empty() {
+                            return Ok(total);
+                        }
+                    }
+                }
+                total = total.saturating_add(size);
+                if total > max_bytes {
+                    return Err(ServiceError::PayloadTooLarge(max_bytes));
+                }
+                copy_exact(r, size, &mut sink)?;
+                let mut crlf_budget = 4;
+                let sep = read_line(r, &mut crlf_budget)?;
+                if !sep.is_empty() {
+                    return Err(ServiceError::BadRequest(
+                        "missing CRLF after chunk data".into(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn copy_exact<R, F>(r: &mut R, mut remaining: u64, sink: &mut F) -> Result<(), ServiceError>
+where
+    R: BufRead,
+    F: FnMut(&[u8]) -> Result<(), ServiceError>,
+{
+    let mut buf = [0u8; BODY_CHUNK];
+    while remaining > 0 {
+        let want = remaining.min(BODY_CHUNK as u64) as usize;
+        let n = std::io::Read::read(r, &mut buf[..want])
+            .map_err(|e| ServiceError::BadRequest(format!("body read failed: {e}")))?;
+        if n == 0 {
+            return Err(ServiceError::BadRequest(
+                "connection closed mid-body (truncated request)".into(),
+            ));
+        }
+        sink(&buf[..n])?;
+        remaining -= n as u64;
+    }
+    Ok(())
+}
+
+/// Writes a complete response (status line, headers, `Content-Length`,
+/// `Connection: close`, body) and flushes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (the caller usually just drops the
+/// connection at that point).
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
+    for (name, value) in headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(
+        w,
+        "content-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn head_of(raw: &str) -> RequestHead {
+        read_head(&mut Cursor::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn parses_request_line_query_and_headers() {
+        let h = head_of(
+            "POST /v1/anonymize?mechanism=promesse&alpha=100&seed=42 HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 12\r\n\r\n",
+        );
+        assert_eq!(h.method, "POST");
+        assert_eq!(h.path, "/v1/anonymize");
+        assert_eq!(h.query_param("mechanism"), Some("promesse"));
+        assert_eq!(h.query_param("alpha"), Some("100"));
+        assert_eq!(h.query_param("seed"), Some("42"));
+        assert_eq!(h.header("host"), Some("localhost"));
+        assert_eq!(h.framing().unwrap(), BodyFraming::Length(12));
+    }
+
+    #[test]
+    fn decodes_percent_escapes() {
+        let h = head_of("GET /x?a=1%2C2&b=hello+world HTTP/1.1\r\n\r\n");
+        assert_eq!(h.query_param("a"), Some("1,2"));
+        assert_eq!(h.query_param("b"), Some("hello world"));
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%2").is_err());
+        // '%' followed by a multibyte UTF-8 char must error, not panic
+        // (the hex window would split the character).
+        assert!(percent_decode("%€").is_err());
+        assert!(percent_decode("a%é b").is_err());
+        // '+' is literal in paths, space only in queries.
+        let h = head_of("GET /a+b?q=c+d HTTP/1.1\r\n\r\n");
+        assert_eq!(h.path, "/a+b");
+        assert_eq!(h.query_param("q"), Some("c d"));
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x HTTP/2.0\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "",
+        ] {
+            assert!(
+                read_head(&mut Cursor::new(raw.as_bytes())).is_err(),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_head() {
+        let raw = format!(
+            "GET /x HTTP/1.1\r\nx: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(read_head(&mut Cursor::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn framing_conflicts_are_rejected() {
+        let h =
+            head_of("POST /x HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n");
+        assert!(h.framing().is_err());
+        let h = head_of("POST /x HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
+        assert!(h.framing().is_err());
+        let h = head_of("POST /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n");
+        assert!(h.framing().is_err());
+        let h = head_of("POST /x HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 500\r\n\r\n");
+        assert!(h.framing().is_err(), "duplicate content-length accepted");
+    }
+
+    fn collect_body(raw: &[u8], framing: BodyFraming, max: u64) -> Result<Vec<u8>, ServiceError> {
+        let mut out = Vec::new();
+        stream_body(&mut Cursor::new(raw), framing, max, |chunk| {
+            out.extend_from_slice(chunk);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    #[test]
+    fn streams_fixed_length_bodies() {
+        let body = collect_body(b"hello world", BodyFraming::Length(5), 100).unwrap();
+        assert_eq!(body, b"hello");
+        assert!(matches!(
+            collect_body(b"hi", BodyFraming::Length(5), 100),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert!(matches!(
+            collect_body(b"hello", BodyFraming::Length(5), 4),
+            Err(ServiceError::PayloadTooLarge(4))
+        ));
+    }
+
+    #[test]
+    fn streams_chunked_bodies() {
+        let raw = b"5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let body = collect_body(raw, BodyFraming::Chunked, 100).unwrap();
+        assert_eq!(body, b"hello world");
+        // Chunk extension + trailer are tolerated.
+        let raw = b"b;ext=1\r\nhello world\r\n0\r\nX-Trailer: 1\r\n\r\n";
+        assert_eq!(
+            collect_body(raw, BodyFraming::Chunked, 100).unwrap(),
+            b"hello world"
+        );
+        // Over-limit chunked bodies are cut off at the cap.
+        assert!(matches!(
+            collect_body(b"5\r\nhello\r\n0\r\n\r\n", BodyFraming::Chunked, 4),
+            Err(ServiceError::PayloadTooLarge(4))
+        ));
+        assert!(collect_body(b"zz\r\n", BodyFraming::Chunked, 100).is_err());
+    }
+
+    #[test]
+    fn writes_well_formed_responses() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "OK",
+            &[("content-type", "text/csv".into())],
+            b"a,b\n",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: text/csv\r\n"));
+        assert!(text.contains("content-length: 4\r\n"));
+        assert!(text.ends_with("\r\n\r\na,b\n"));
+    }
+}

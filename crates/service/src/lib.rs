@@ -1,0 +1,59 @@
+//! Anonymization-as-a-service for the `mobipriv` toolkit.
+//!
+//! The ICDCS'15 paper frames Promesse and its baselines as mechanisms an
+//! LBS operator runs before *publishing* mobility data; this crate is
+//! that operator-facing surface: a long-running, std-only HTTP/1.1
+//! server (`mobipriv-serve`) exposing the whole mechanism matrix, plus a
+//! load-generator harness (`mobipriv-loadgen`) that replays a synthetic
+//! city against it and reports throughput and latency percentiles.
+//!
+//! # Endpoints
+//!
+//! | route | description |
+//! |---|---|
+//! | `POST /v1/anonymize?mechanism=…&seed=…` | stream a CSV/NDJSON body through a mechanism, get CSV back |
+//! | `GET /v1/mechanisms` | the mechanism catalogue with parameters and defaults |
+//! | `GET /healthz` | liveness probe |
+//!
+//! # Guarantees
+//!
+//! * **Determinism** — a response is a pure function of `(body,
+//!   mechanism parameters, seed)`: the handler calls the same
+//!   [`Engine`](mobipriv_core::Engine) as the batch tooling, whose
+//!   output is schedule-independent. Replaying a request reproduces the
+//!   release byte for byte.
+//! * **Bounded memory** — bodies stream through
+//!   [`DatasetStream`](mobipriv_model::DatasetStream) chunk by chunk;
+//!   the server never buffers a raw body, holds at most one partial
+//!   line of text per request, and enforces explicit head/body/line
+//!   size limits.
+//! * **Load shedding** — a bounded accept queue in front of a fixed
+//!   worker pool: past the limit, clients get an immediate `503`
+//!   instead of an ever-growing backlog.
+//!
+//! # Example
+//!
+//! ```
+//! use mobipriv_service::{Server, ServerConfig};
+//!
+//! # fn main() -> std::io::Result<()> {
+//! let server = Server::bind(ServerConfig::default())?; // 127.0.0.1:0
+//! let handle = server.spawn()?;
+//! let addr = handle.addr(); // POST http://{addr}/v1/anonymize?…
+//! handle.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
+
+mod error;
+mod handlers;
+pub mod http;
+pub mod registry;
+mod server;
+
+pub use error::ServiceError;
+pub use registry::{build_mechanism, MechanismInfo, MECHANISMS};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,288 @@
+//! The mechanism registry: maps `?mechanism=…` query parameters onto
+//! `mobipriv_core` mechanism instances, and renders the catalogue for
+//! `GET /v1/mechanisms`.
+//!
+//! Every knob is a plain query parameter with a documented default, so
+//! the whole mechanism matrix is reachable from `curl` without a
+//! request body schema. Parameter validation errors surface as 400s
+//! with the offending name and value.
+
+use mobipriv_core::{
+    GeoInd, GridGeneralization, Identity, KDelta, Mechanism, MixZoneConfig, MixZones, NoiseBudget,
+    Pipeline, Promesse, Pseudonymize,
+};
+use mobipriv_geo::Seconds;
+
+use crate::ServiceError;
+
+/// Catalogue entry for one mechanism, as listed by `GET /v1/mechanisms`.
+#[derive(Debug, Clone, Copy)]
+pub struct MechanismInfo {
+    /// The `mechanism=` value selecting it.
+    pub name: &'static str,
+    /// Human-readable parameter summary (`name=default` pairs).
+    pub params: &'static str,
+    /// Whether the engine can fan its kernel out per trace.
+    pub per_trace: bool,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The full mechanism matrix the service exposes.
+pub const MECHANISMS: &[MechanismInfo] = &[
+    MechanismInfo {
+        name: "raw",
+        params: "",
+        per_trace: true,
+        description: "identity: publish unchanged (baseline)",
+    },
+    MechanismInfo {
+        name: "pseudonymize",
+        params: "per=user|trace (default user)",
+        per_trace: true,
+        description: "fresh random pseudonyms, locations untouched",
+    },
+    MechanismInfo {
+        name: "promesse",
+        params: "alpha=100 (meters)",
+        per_trace: true,
+        description: "speed smoothing: constant-speed re-sampling hides stops (the paper's step 1)",
+    },
+    MechanismInfo {
+        name: "geoind",
+        params: "epsilon=0.01 (1/m), budget=point|trace (default point)",
+        per_trace: true,
+        description: "geo-indistinguishability via planar Laplace noise",
+    },
+    MechanismInfo {
+        name: "grid",
+        params: "cell=250 (meters), time_round=0 (seconds, 0 = off)",
+        // The grid frame is anchored at the dataset bounding box, so the
+        // mechanism is dataset-level despite its per-fix arithmetic.
+        per_trace: false,
+        description: "spatial (and optional temporal) generalization to a grid",
+    },
+    MechanismInfo {
+        name: "mixzones",
+        params: "radius=100 (meters), window=300 (seconds)",
+        per_trace: false,
+        description: "identifier swapping in natural mix-zones (the paper's step 2)",
+    },
+    MechanismInfo {
+        name: "kdelta",
+        params: "k=2, delta=200 (meters)",
+        per_trace: false,
+        description: "(k, delta)-anonymity by trajectory clustering (Wait4Me-style)",
+    },
+    MechanismInfo {
+        name: "pipeline",
+        params: "alpha=100 (meters), radius=100 (meters), window=300 (seconds)",
+        per_trace: false,
+        description: "the paper's full mechanism: promesse then mix-zone swapping",
+    },
+];
+
+/// Typed access to decoded query parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params<'a>(pub &'a [(String, String)]);
+
+impl<'a> Params<'a> {
+    /// The raw value of `name`, if present. The result borrows from the
+    /// underlying query slice (not this wrapper), so it outlives
+    /// temporary `Params` values.
+    pub fn get(&self, name: &str) -> Option<&'a str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses `name` as `T`, falling back to `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::BadRequest`] naming the parameter when
+    /// the value does not parse.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, ServiceError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse::<T>().map_err(|_| {
+                ServiceError::BadRequest(format!("invalid value `{raw}` for parameter `{name}`"))
+            }),
+        }
+    }
+}
+
+/// Builds the mechanism selected by `mechanism=` plus its parameters.
+///
+/// # Errors
+///
+/// Returns [`ServiceError::BadRequest`] when the parameter is missing,
+/// names an unknown mechanism, or carries invalid values (the
+/// `CoreError` from the mechanism constructor is passed through).
+pub fn build_mechanism(params: Params<'_>) -> Result<Box<dyn Mechanism>, ServiceError> {
+    let name = params
+        .get("mechanism")
+        .ok_or_else(|| ServiceError::BadRequest("missing required parameter `mechanism`".into()))?;
+    match name {
+        "raw" | "identity" => Ok(Box::new(Identity)),
+        "pseudonymize" => match params.get("per").unwrap_or("user") {
+            "user" => Ok(Box::new(Pseudonymize::new())),
+            "trace" => Ok(Box::new(Pseudonymize::new().per_trace())),
+            other => Err(ServiceError::BadRequest(format!(
+                "invalid value `{other}` for parameter `per` (expected user|trace)"
+            ))),
+        },
+        "promesse" => {
+            let alpha = params.parse_or("alpha", 100.0)?;
+            Ok(Box::new(Promesse::new(alpha)?))
+        }
+        "geoind" => {
+            let epsilon = params.parse_or("epsilon", 0.01)?;
+            let mechanism = GeoInd::new(epsilon)?;
+            match params.get("budget").unwrap_or("point") {
+                "point" => Ok(Box::new(mechanism.with_budget(NoiseBudget::PerPoint))),
+                "trace" => Ok(Box::new(mechanism.with_budget(NoiseBudget::PerTrace))),
+                other => Err(ServiceError::BadRequest(format!(
+                    "invalid value `{other}` for parameter `budget` (expected point|trace)"
+                ))),
+            }
+        }
+        "grid" => {
+            let cell = params.parse_or("cell", 250.0)?;
+            let time_round: f64 = params.parse_or("time_round", 0.0)?;
+            if !time_round.is_finite() || time_round < 0.0 {
+                return Err(ServiceError::BadRequest(format!(
+                    "invalid value `{time_round}` for parameter `time_round` \
+                     (expected seconds >= 0; 0 disables rounding)"
+                )));
+            }
+            let mechanism = GridGeneralization::new(cell)?;
+            if time_round > 0.0 {
+                Ok(Box::new(
+                    mechanism.with_time_rounding(Seconds::new(time_round))?,
+                ))
+            } else {
+                Ok(Box::new(mechanism))
+            }
+        }
+        "mixzones" => Ok(Box::new(MixZones::new(mixzone_config(&params)?)?)),
+        "kdelta" => {
+            let k = params.parse_or("k", 2usize)?;
+            let delta = params.parse_or("delta", 200.0)?;
+            Ok(Box::new(KDelta::new(k, delta)?))
+        }
+        "pipeline" => {
+            let alpha = params.parse_or("alpha", 100.0)?;
+            Ok(Box::new(Pipeline::new(alpha, mixzone_config(&params)?)?))
+        }
+        other => Err(ServiceError::BadRequest(format!(
+            "unknown mechanism `{other}` (see GET /v1/mechanisms)"
+        ))),
+    }
+}
+
+fn mixzone_config(params: &Params<'_>) -> Result<MixZoneConfig, ServiceError> {
+    let defaults = MixZoneConfig::default();
+    Ok(MixZoneConfig {
+        radius_m: params.parse_or("radius", defaults.radius_m)?,
+        zone_window: Seconds::new(params.parse_or("window", defaults.zone_window.get())?),
+        ..defaults
+    })
+}
+
+/// Renders the catalogue as a JSON array (all content is static, so the
+/// document is assembled by hand — no serializer in the dependency
+/// tree).
+pub fn mechanisms_json() -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in MECHANISMS.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\":\"{}\",\"params\":\"{}\",\"per_trace\":{},\"description\":\"{}\"}}{}\n",
+            m.name,
+            m.params,
+            m.per_trace,
+            m.description,
+            if i + 1 < MECHANISMS.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn builds_every_catalogued_mechanism_with_defaults() {
+        for info in MECHANISMS {
+            let q = params(&[("mechanism", info.name)]);
+            let mechanism = build_mechanism(Params(&q))
+                .unwrap_or_else(|e| panic!("mechanism `{}` failed to build: {e}", info.name));
+            assert_eq!(
+                mechanism.as_trace_kernel().is_some(),
+                info.per_trace,
+                "per_trace flag for `{}` disagrees with the mechanism",
+                info.name
+            );
+        }
+    }
+
+    #[test]
+    fn parameters_reach_the_mechanism() {
+        let q = params(&[("mechanism", "promesse"), ("alpha", "250")]);
+        assert!(build_mechanism(Params(&q)).unwrap().name().contains("250"));
+        let q = params(&[
+            ("mechanism", "geoind"),
+            ("epsilon", "0.5"),
+            ("budget", "trace"),
+        ]);
+        assert!(build_mechanism(Params(&q))
+            .unwrap()
+            .name()
+            .contains("trace"));
+        let q = params(&[("mechanism", "kdelta"), ("k", "5"), ("delta", "400")]);
+        assert!(build_mechanism(Params(&q)).unwrap().name().contains("k=5"));
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        for q in [
+            params(&[]),
+            params(&[("mechanism", "nope")]),
+            params(&[("mechanism", "promesse"), ("alpha", "banana")]),
+            params(&[("mechanism", "promesse"), ("alpha", "-5")]),
+            params(&[("mechanism", "pseudonymize"), ("per", "day")]),
+            params(&[("mechanism", "geoind"), ("budget", "yearly")]),
+            params(&[("mechanism", "grid"), ("time_round", "-60")]),
+            params(&[("mechanism", "grid"), ("time_round", "NaN")]),
+        ] {
+            let err = match build_mechanism(Params(&q)) {
+                Err(e) => e,
+                Ok(m) => panic!("{q:?} unexpectedly built `{}`", m.name()),
+            };
+            assert_eq!(err.status().0, 400, "{q:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn catalogue_json_is_complete() {
+        let json = mechanisms_json();
+        for m in MECHANISMS {
+            assert!(json.contains(m.name));
+        }
+        assert_eq!(json.matches("\"name\"").count(), MECHANISMS.len());
+    }
+}

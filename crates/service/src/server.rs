@@ -1,0 +1,298 @@
+//! The serving runtime: a bounded accept queue feeding a fixed pool of
+//! worker threads.
+//!
+//! # Request lifecycle
+//!
+//! 1. The acceptor thread `accept()`s a connection, applies the socket
+//!    timeouts, and `try_send`s it into a bounded queue.
+//! 2. If the queue is full the acceptor immediately answers `503` and
+//!    drops the connection — load shedding happens before any parsing,
+//!    so an overloaded server stays responsive.
+//! 3. A worker thread pops the connection, parses the request head,
+//!    streams the body through the incremental dataset reader, runs the
+//!    mechanism through the deterministic engine, and writes the
+//!    response. One connection is one request (`Connection: close`).
+//!
+//! # Shutdown
+//!
+//! [`ServerHandle::shutdown`] flips a flag, wakes the acceptor with a
+//! loopback connection, and joins every thread: requests already
+//! queued or in flight complete; new connections are refused.
+
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mobipriv_core::Engine;
+
+use crate::handlers::handle_connection;
+use crate::http::write_response;
+use crate::ServiceError;
+
+/// Tunables for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port `0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each handles one request at a time).
+    pub workers: usize,
+    /// Connections the acceptor may queue ahead of the workers before
+    /// shedding load with `503`s.
+    pub queue_depth: usize,
+    /// Upper bound on a request body, after transfer decoding.
+    pub max_body_bytes: u64,
+    /// The engine requests run on. The default is sequential: request
+    /// throughput comes from the worker pool, and responses stay
+    /// bit-identical to any other engine configuration by the engine's
+    /// determinism guarantee.
+    pub engine: Engine,
+    /// Per-socket read/write timeout.
+    pub timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            max_body_bytes: 64 * 1024 * 1024,
+            engine: Engine::sequential(),
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A bound-but-not-yet-serving server (the two-phase split lets callers
+/// learn the ephemeral port before traffic starts).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the listening socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `bind(2)` error (address in use, permission, …).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server { listener, config })
+    }
+
+    /// The bound address (with the real port when `addr` asked for 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname(2)` failure (not observed in practice).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the acceptor and worker threads, returning a handle for
+    /// shutdown. Serving begins immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname(2)` failure.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let config = Arc::new(self.config);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let config = Arc::clone(&config);
+                std::thread::Builder::new()
+                    .name(format!("mobipriv-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver, &config))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let config = Arc::clone(&config);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("mobipriv-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, sender, &shutdown, &config))
+                .expect("spawn acceptor thread")
+        };
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// Serves until the process exits (the foreground mode of
+    /// `mobipriv-serve`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `getsockname(2)` failure from [`Server::spawn`].
+    pub fn run(self) -> std::io::Result<()> {
+        let handle = self.spawn()?;
+        handle.join();
+        Ok(())
+    }
+}
+
+/// Control handle for a running server.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is reachable on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, finishes queued and
+    /// in-flight requests, joins every thread.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection. A
+        // wildcard bind (0.0.0.0 / ::) is not connectable everywhere,
+        // so aim the wake-up at loopback on the bound port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match self.addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        if TcpStream::connect_timeout(&wake, Duration::from_secs(1)).is_ok() {
+            self.join();
+        }
+        // If even loopback is unreachable (exotic bind), the acceptor
+        // may still be blocked in accept(); joining would hang the
+        // caller forever, so the threads are left detached instead —
+        // they exit on the next connection or at process end.
+    }
+
+    /// Blocks until the server stops (via [`ServerHandle::shutdown`]
+    /// from another thread, or never).
+    fn join(self) {
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    sender: SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    config: &ServerConfig,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Persistent accept failures (EMFILE under fd
+                // exhaustion) would otherwise busy-spin this thread at
+                // 100% exactly when the server is overloaded.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or racing clients) land here
+        }
+        let _ = stream.set_read_timeout(Some(config.timeout));
+        let _ = stream.set_write_timeout(Some(config.timeout));
+        if let Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) =
+            sender.try_send(stream)
+        {
+            shed(stream);
+        }
+    }
+    // Dropping the sender lets the workers drain the queue and exit.
+}
+
+/// Concurrent shed threads allowed before over-queue connections are
+/// dropped outright (a reset is still a fast failure signal); caps the
+/// thread growth an overload flood can cause.
+const MAX_SHED_THREADS: usize = 32;
+
+static SHED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Answers `503` without consuming the request (load shedding).
+///
+/// Runs on its own short-lived thread (at most [`MAX_SHED_THREADS`] at
+/// a time): the half-close + drain that make the 503 actually reach the
+/// client (closing with unread bytes in the receive buffer would RST
+/// the response away) can block for up to the drain deadline, and the
+/// acceptor must keep accepting while overloaded.
+fn shed(stream: TcpStream) {
+    struct Slot;
+    impl Drop for Slot {
+        fn drop(&mut self) {
+            SHED_THREADS.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    if SHED_THREADS.fetch_add(1, Ordering::SeqCst) >= MAX_SHED_THREADS {
+        SHED_THREADS.fetch_sub(1, Ordering::SeqCst);
+        return; // drop the connection: reset beats thread exhaustion
+    }
+    let slot = Slot;
+    let run = move || {
+        let _slot = slot;
+        let mut stream = stream;
+        let error = ServiceError::Unavailable("request queue is full".into());
+        let (status, reason) = error.status();
+        let _ = write_response(
+            &mut stream,
+            status,
+            reason,
+            &[("content-type", "text/plain".to_owned())],
+            format!("{error}\n").as_bytes(),
+        );
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let deadline = Duration::from_secs(2);
+        let _ = stream.set_read_timeout(Some(deadline));
+        crate::http::drain(&mut stream, 8 * 1024 * 1024, deadline);
+    };
+    // On spawn failure (resource exhaustion) the connection is simply
+    // dropped — again a fast failure; the slot frees via the guard.
+    let _ = std::thread::Builder::new()
+        .name("mobipriv-shed".to_owned())
+        .spawn(run);
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, config: &ServerConfig) {
+    loop {
+        let stream = {
+            let guard = receiver.lock().expect("queue mutex poisoned");
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                // A panicking handler must not shrink the fixed pool:
+                // the connection is lost, the worker survives.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, config);
+                }));
+            }
+            Err(_) => break, // acceptor gone: shutdown
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Integration tests over real sockets: boot the server on an ephemeral
+//! port, speak HTTP/1.1 to it, and hold the responses to the service's
+//! determinism contract — byte-identical to the batch [`Engine`].
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use mobipriv_core::{Engine, Mechanism};
+use mobipriv_model::{read_csv, write_csv, write_ndjson, Dataset};
+use mobipriv_service::registry::{build_mechanism, Params};
+use mobipriv_service::{Server, ServerConfig, ServerHandle};
+use mobipriv_synth::scenarios;
+
+fn start(configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig::default();
+    configure(&mut config);
+    Server::bind(config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+/// Sends raw bytes, returns (status, lowercased headers, body).
+fn exchange(addr: SocketAddr, request: &[u8]) -> (u16, HashMap<String, String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head/body separator");
+    let head = std::str::from_utf8(&raw[..split]).expect("ASCII head");
+    let body = raw[split + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    (status, headers, body)
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, HashMap<String, String>, Vec<u8>) {
+    exchange(
+        addr,
+        format!("GET {target} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(addr: SocketAddr, target: &str, body: &[u8]) -> (u16, HashMap<String, String>, Vec<u8>) {
+    let mut request = format!(
+        "POST {target} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(body);
+    exchange(addr, &request)
+}
+
+fn csv_of(dataset: &Dataset) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_csv(dataset, &mut out).unwrap();
+    out
+}
+
+/// What the batch engine produces for this query string — the reference
+/// every service response is compared against.
+fn batch_reference(dataset: &Dataset, query: &[(&str, &str)], seed: u64) -> Vec<u8> {
+    let pairs: Vec<(String, String)> = query
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let mechanism: Box<dyn Mechanism> = build_mechanism(Params(&pairs)).expect("valid query");
+    csv_of(&Engine::sequential().protect(mechanism.as_ref(), dataset, seed))
+}
+
+fn query_string(query: &[(&str, &str)], seed: u64) -> String {
+    let mut s = String::new();
+    for (k, v) in query {
+        s.push_str(&format!("{k}={v}&"));
+    }
+    s.push_str(&format!("seed={seed}"));
+    s
+}
+
+#[test]
+fn healthz_and_mechanism_catalogue() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let (status, headers, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+    assert_eq!(headers["content-type"], "text/plain");
+    let (status, headers, body) = get(addr, "/v1/mechanisms");
+    assert_eq!(status, 200);
+    assert_eq!(headers["content-type"], "application/json");
+    let text = String::from_utf8(body).unwrap();
+    for name in ["promesse", "geoind", "mixzones", "kdelta", "pipeline"] {
+        assert!(text.contains(name), "catalogue misses {name}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn anonymize_is_bit_identical_to_the_batch_engine() {
+    let workload = scenarios::serving_day(12, 3);
+    let body = csv_of(&workload.dataset);
+    // The service's input is the *body*: the reference is the batch
+    // engine run on the same canonical parse of it.
+    let canonical = read_csv(body.as_slice()).unwrap();
+    let server = start(|_| {});
+    let addr = server.addr();
+    for (query, seed) in [
+        (vec![("mechanism", "promesse"), ("alpha", "120")], 9u64),
+        (vec![("mechanism", "geoind"), ("epsilon", "0.05")], 1),
+        (vec![("mechanism", "pseudonymize")], 7),
+        (vec![("mechanism", "raw")], 0),
+    ] {
+        let target = format!("/v1/anonymize?{}", query_string(&query, seed));
+        let (status, headers, got) = post(addr, &target, &body);
+        assert_eq!(status, 200, "{target}");
+        assert_eq!(headers["content-type"], "text/csv");
+        let expected = batch_reference(&canonical, &query, seed);
+        assert_eq!(got, expected, "service response diverges for {target}");
+        // Replaying the identical request reproduces the bytes.
+        let (_, _, again) = post(addr, &target, &body);
+        assert_eq!(again, got, "replay diverges for {target}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn eight_concurrent_requests_stay_correct_and_isolated() {
+    // More in-flight requests than workers, mixed mechanisms and seeds:
+    // every response must still match its own batch reference.
+    let workload = scenarios::serving_day(8, 5);
+    let body = csv_of(&workload.dataset);
+    let dataset = read_csv(body.as_slice()).unwrap();
+    let server = start(|c| {
+        c.workers = 3;
+        c.queue_depth = 32;
+    });
+    let addr = server.addr();
+    let queries: Vec<Vec<(&str, &str)>> = vec![
+        vec![("mechanism", "promesse"), ("alpha", "100")],
+        vec![("mechanism", "promesse"), ("alpha", "250")],
+        vec![("mechanism", "geoind"), ("epsilon", "0.01")],
+        vec![
+            ("mechanism", "geoind"),
+            ("epsilon", "0.1"),
+            ("budget", "trace"),
+        ],
+        vec![("mechanism", "raw")],
+        vec![("mechanism", "pseudonymize")],
+        vec![("mechanism", "pseudonymize"), ("per", "trace")],
+        vec![("mechanism", "grid"), ("cell", "300")],
+        vec![("mechanism", "mixzones"), ("radius", "120")],
+        vec![("mechanism", "kdelta"), ("k", "2"), ("delta", "250")],
+    ];
+    assert!(queries.len() >= 8);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, query)| {
+                let (dataset, body) = (&dataset, &body);
+                scope.spawn(move || {
+                    let seed = 40 + i as u64;
+                    let target = format!("/v1/anonymize?{}", query_string(query, seed));
+                    let (status, _, got) = post(addr, &target, body);
+                    assert_eq!(status, 200, "{target}");
+                    let expected = batch_reference(dataset, query, seed);
+                    assert_eq!(got, expected, "concurrent response diverges for {target}");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("request thread panicked");
+        }
+    });
+    server.shutdown();
+}
+
+#[test]
+fn chunked_and_ndjson_bodies_match_fixed_length_csv() {
+    let workload = scenarios::serving_day(5, 2);
+    let csv = csv_of(&workload.dataset);
+    let server = start(|_| {});
+    let addr = server.addr();
+    let target = "/v1/anonymize?mechanism=promesse&alpha=100&seed=4";
+    let (status, _, fixed) = post(addr, target, &csv);
+    assert_eq!(status, 200);
+
+    // Same body, chunked framing with awkward chunk sizes.
+    let mut request =
+        format!("POST {target} HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n")
+            .into_bytes();
+    for chunk in csv.chunks(777) {
+        request.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        request.extend_from_slice(chunk);
+        request.extend_from_slice(b"\r\n");
+    }
+    request.extend_from_slice(b"0\r\n\r\n");
+    let (status, _, chunked) = exchange(addr, &request);
+    assert_eq!(status, 200);
+    assert_eq!(chunked, fixed, "chunked framing changed the release");
+
+    // Same dataset as NDJSON.
+    let mut ndjson = Vec::new();
+    write_ndjson(&workload.dataset, &mut ndjson).unwrap();
+    let mut request = format!(
+        "POST {target}&format=ndjson HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        ndjson.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&ndjson);
+    let (status, _, from_ndjson) = exchange(addr, &request);
+    assert_eq!(status, 200);
+    assert_eq!(from_ndjson, fixed, "ndjson ingestion changed the release");
+    server.shutdown();
+}
+
+#[test]
+fn utility_report_headers_are_present_on_request() {
+    let workload = scenarios::serving_day(5, 2);
+    let body = csv_of(&workload.dataset);
+    let server = start(|_| {});
+    let addr = server.addr();
+    let (status, headers, _) = post(
+        addr,
+        "/v1/anonymize?mechanism=promesse&alpha=100&seed=1&report=1",
+        &body,
+    );
+    assert_eq!(status, 200);
+    for h in [
+        "x-mobipriv-distortion-mean-m",
+        "x-mobipriv-distortion-p95-m",
+        "x-mobipriv-coverage-f1",
+        "x-mobipriv-input-fixes",
+        "x-mobipriv-output-fixes",
+    ] {
+        assert!(headers.contains_key(h), "missing header {h}: {headers:?}");
+    }
+    let mean: f64 = headers["x-mobipriv-distortion-mean-m"].parse().unwrap();
+    assert!(mean.is_finite() && mean >= 0.0);
+    // Without report=1 the metric headers are absent.
+    let (_, headers, _) = post(addr, "/v1/anonymize?mechanism=raw", &body);
+    assert!(!headers.contains_key("x-mobipriv-distortion-mean-m"));
+    server.shutdown();
+}
+
+#[test]
+fn expect_100_continue_gets_an_interim_response() {
+    // curl sends `Expect: 100-continue` for any body over 1 KiB and
+    // stalls ~1 s unless the server answers the interim response.
+    let workload = scenarios::serving_day(3, 1);
+    let csv = csv_of(&workload.dataset);
+    let server = start(|_| {});
+    let mut request = format!(
+        "POST /v1/anonymize?mechanism=raw&seed=1 HTTP/1.1\r\nhost: t\r\n\
+         expect: 100-continue\r\ncontent-length: {}\r\n\r\n",
+        csv.len()
+    )
+    .into_bytes();
+    request.extend_from_slice(&csv);
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(&request).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(
+        text.starts_with("HTTP/1.1 100 Continue\r\n\r\n"),
+        "no interim response: {}",
+        &text[..text.len().min(80)]
+    );
+    assert!(text.contains("HTTP/1.1 200 OK"), "no final response");
+    assert!(text.contains("user,trace,lat,lng,time"), "no CSV back");
+    server.shutdown();
+}
+
+#[test]
+fn errors_map_to_proper_status_codes() {
+    let server = start(|c| c.max_body_bytes = 1024);
+    let addr = server.addr();
+
+    let (status, _, body) = post(addr, "/v1/anonymize?mechanism=warp-drive", b"");
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body)
+        .unwrap()
+        .contains("unknown mechanism"));
+
+    let (status, _, body) = post(
+        addr,
+        "/v1/anonymize?mechanism=raw",
+        b"user,trace,lat,lng,time\n1,0,95.0,5.0,0\n",
+    );
+    assert_eq!(status, 400);
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("line 2") && text.contains("latitude"),
+        "{text}"
+    );
+
+    let (status, _, _) = get(addr, "/v1/anonymize");
+    assert_eq!(status, 405);
+    let (status, headers, _) = exchange(addr, b"DELETE /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 405);
+    assert_eq!(headers["allow"], "GET");
+
+    let (status, _, _) = get(addr, "/v2/psychic-anonymizer");
+    assert_eq!(status, 404);
+
+    let oversized = vec![b'1'; 4096];
+    let (status, _, _) = post(addr, "/v1/anonymize?mechanism=raw", &oversized);
+    assert_eq!(status, 413);
+
+    let (status, _, _) = exchange(addr, b"NOT-HTTP\r\n\r\n");
+    assert_eq!(status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_is_graceful_and_frees_the_port() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let (status, _, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+    // The listener is gone: connecting now fails or yields no response.
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+            let mut out = Vec::new();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .unwrap();
+            let n = stream.read_to_end(&mut out).unwrap_or(0);
+            assert_eq!(n, 0, "server answered after shutdown: {out:?}");
+        }
+    }
+}

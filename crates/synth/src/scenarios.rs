@@ -283,6 +283,25 @@ pub fn random_walkers(users: usize, trips: usize, seed: u64) -> SynthOutput {
     }
 }
 
+/// The serving-benchmark workload (`mobipriv-loadgen`, CI service
+/// smoke): one simulated day of a commuter town, sampled at 60 s so a
+/// 1 000-user request body stays in the tens of megabytes. Identical
+/// `(users, seed)` produce identical datasets, which is what makes
+/// replayed service requests byte-comparable.
+pub fn serving_day(users: usize, seed: u64) -> SynthOutput {
+    Generator::new(GeneratorConfig {
+        users,
+        days: 1,
+        seed,
+        gps: GpsConfig {
+            sample_interval: Seconds::new(60.0),
+            ..GpsConfig::default()
+        },
+        ..GeneratorConfig::default()
+    })
+    .generate()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +319,15 @@ mod tests {
         let out = dense_downtown(5, 1, 7);
         assert!(out.dataset.len() >= 10);
         assert!(out.city.bounds().width() <= 3_600.0 + 1e-9);
+    }
+
+    #[test]
+    fn serving_day_is_deterministic_and_single_day() {
+        let a = serving_day(3, 11);
+        let b = serving_day(3, 11);
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.dataset.users().len(), 3);
+        assert!(a.dataset.duration().get() <= 86_400.0 * 1.5);
     }
 
     #[test]

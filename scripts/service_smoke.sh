@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Service smoke test (used by CI and runnable locally after
+# `cargo build --release -p mobipriv-service --bins`):
+#
+#   1. boots mobipriv-serve on an ephemeral port,
+#   2. POSTs a small synthetic dataset through each per-trace mechanism,
+#   3. asserts HTTP 200 + parseable CSV back,
+#   4. kills the server on exit.
+set -euo pipefail
+
+BIN=${BIN:-target/release}
+WORK=$(mktemp -d)
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+"$BIN/mobipriv-loadgen" --users 20 --seed 7 --dump-workload > "$WORK/body.csv"
+echo "workload: $(wc -l < "$WORK/body.csv") CSV lines"
+
+"$BIN/mobipriv-serve" --addr 127.0.0.1:0 --workers 2 > "$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 100); do
+  ADDR=$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$WORK/serve.log")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "server did not start:" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+echo "server:   http://$ADDR (pid $SERVER_PID)"
+
+curl -fsS "http://$ADDR/healthz" > /dev/null
+curl -fsS "http://$ADDR/v1/mechanisms" | grep -q promesse
+
+# Every per-trace mechanism of the catalogue (GET /v1/mechanisms).
+for Q in \
+  'mechanism=raw' \
+  'mechanism=pseudonymize' \
+  'mechanism=pseudonymize&per=trace' \
+  'mechanism=promesse&alpha=100' \
+  'mechanism=geoind&epsilon=0.01'
+do
+  STATUS=$(curl -s -o "$WORK/out.csv" -w '%{http_code}' \
+    --data-binary @"$WORK/body.csv" \
+    "http://$ADDR/v1/anonymize?$Q&seed=42")
+  if [ "$STATUS" != 200 ]; then
+    echo "FAIL $Q -> HTTP $STATUS" >&2
+    cat "$WORK/out.csv" >&2
+    exit 1
+  fi
+  head -1 "$WORK/out.csv" | grep -q '^user,trace,lat,lng,time$' || {
+    echo "FAIL $Q: response is not CSV" >&2
+    exit 1
+  }
+  awk -F, 'NR > 1 && NF != 5 { exit 1 }' "$WORK/out.csv" || {
+    echo "FAIL $Q: malformed CSV row" >&2
+    exit 1
+  }
+  echo "ok        $Q ($(wc -l < "$WORK/out.csv") lines back)"
+done
+
+echo "service smoke passed"

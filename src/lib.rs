@@ -21,6 +21,7 @@
 //! | [`core`] | `mobipriv-core` | **the paper**: Promesse, mix-zones, pipeline, baselines |
 //! | [`attacks`] | `mobipriv-attacks` | POI retrieval, re-identification, tracking |
 //! | [`metrics`] | `mobipriv-metrics` | distortion, coverage, queries, trip stats |
+//! | [`service`] | `mobipriv-service` | anonymization-as-a-service: HTTP server + load generator |
 //!
 //! # Quickstart
 //!
@@ -55,4 +56,5 @@ pub use mobipriv_geo as geo;
 pub use mobipriv_metrics as metrics;
 pub use mobipriv_model as model;
 pub use mobipriv_poi as poi;
+pub use mobipriv_service as service;
 pub use mobipriv_synth as synth;

@@ -1,7 +1,10 @@
 //! Property-based tests on the trajectory data model.
 
 use mobipriv::geo::{LatLng, Seconds};
-use mobipriv::model::{read_csv, write_csv, Dataset, Fix, Timestamp, Trace, UserId};
+use mobipriv::model::{
+    read_csv, read_csv_chunked, read_ndjson, write_csv, write_ndjson, Dataset, Fix, Timestamp,
+    Trace, UserId,
+};
 use proptest::prelude::*;
 
 fn arb_fixes() -> impl Strategy<Value = Vec<Fix>> {
@@ -12,6 +15,16 @@ fn arb_fixes() -> impl Strategy<Value = Vec<Fix>> {
                 .collect()
         },
     )
+}
+
+/// Multi-trace datasets (users may own several traces).
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((0u64..6, arb_fixes()), 1..8).prop_map(|traces| {
+        traces
+            .into_iter()
+            .map(|(user, fixes)| Trace::from_unsorted(UserId::new(user), fixes).unwrap())
+            .collect()
+    })
 }
 
 proptest! {
@@ -61,6 +74,55 @@ proptest! {
         // Max plausible hop speed in this strategy is bounded by the
         // whole bbox over 1 second; just require finiteness + validity.
         prop_assert!(p1.lat().is_finite() && p2.lng().is_finite());
+    }
+
+    /// After one canonicalizing round trip, `write_csv ∘ read_csv` is a
+    /// byte-for-byte identity: the serialized form is a fixed point of
+    /// parse-then-write (quantization and trace ordering are idempotent).
+    #[test]
+    fn write_read_csv_reaches_a_byte_fixed_point(dataset in arb_dataset()) {
+        let mut first = Vec::new();
+        write_csv(&dataset, &mut first).unwrap();
+        let once = read_csv(first.as_slice()).unwrap();
+        prop_assert_eq!(once.len(), dataset.len());
+        prop_assert_eq!(once.users(), dataset.users());
+        prop_assert_eq!(once.total_fixes(), dataset.total_fixes());
+        let mut second = Vec::new();
+        write_csv(&once, &mut second).unwrap();
+        let twice = read_csv(second.as_slice()).unwrap();
+        prop_assert_eq!(&twice, &once, "read ∘ write not identity on parsed datasets");
+        let mut third = Vec::new();
+        write_csv(&twice, &mut third).unwrap();
+        prop_assert_eq!(second, third, "write ∘ read not identity on serialized bytes");
+    }
+
+    /// The chunked reader agrees with the whole-file reader for any
+    /// chunk size — same datasets, and byte-identical downstream CSV.
+    #[test]
+    fn chunked_reader_agrees_with_whole_file(dataset in arb_dataset(), chunk in 1usize..200) {
+        let mut buf = Vec::new();
+        write_csv(&dataset, &mut buf).unwrap();
+        let whole = read_csv(buf.as_slice()).unwrap();
+        let chunked = read_csv_chunked(buf.as_slice(), chunk).unwrap();
+        prop_assert_eq!(&chunked, &whole);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_csv(&whole, &mut a).unwrap();
+        write_csv(&chunked, &mut b).unwrap();
+        prop_assert_eq!(a, b, "chunk size {} diverges downstream", chunk);
+    }
+
+    /// NDJSON and CSV carry the same dataset: cross-format round trips
+    /// land on the same parsed value.
+    #[test]
+    fn ndjson_round_trip_matches_csv(dataset in arb_dataset()) {
+        let mut csv = Vec::new();
+        write_csv(&dataset, &mut csv).unwrap();
+        let mut ndjson = Vec::new();
+        write_ndjson(&dataset, &mut ndjson).unwrap();
+        let from_csv = read_csv(csv.as_slice()).unwrap();
+        let from_ndjson = read_ndjson(ndjson.as_slice()).unwrap();
+        prop_assert_eq!(from_csv, from_ndjson);
     }
 
     /// split_by_gap never loses fixes and each part respects the gap.
