@@ -72,6 +72,24 @@ impl HomeAttack {
         }
     }
 
+    /// An attack tuned against a location-perturbation mechanism with
+    /// the given expected per-point noise (meters): the adversary knows
+    /// the mechanism (Kerckhoffs) and widens its stay-point radius and
+    /// match tolerance accordingly, exactly like
+    /// [`PoiAttack::tuned_for_noise`](crate::PoiAttack::tuned_for_noise).
+    /// With `expected_noise_m = 0` this is the default attack.
+    pub fn tuned_for_noise(expected_noise_m: f64) -> Self {
+        let noise = expected_noise_m.max(0.0);
+        HomeAttack {
+            staypoints: StayPointConfig {
+                max_radius_m: 100.0 + 2.5 * noise,
+                min_dwell: Seconds::from_minutes(15.0),
+            },
+            tolerance_m: 250.0 + noise,
+            ..HomeAttack::default()
+        }
+    }
+
     /// Runs the attack on `published`, scoring against the generator's
     /// ground truth (each user's true home = their `Home`-category
     /// visit position).
@@ -264,5 +282,25 @@ mod tests {
     #[test]
     fn accuracy_of_empty_outcome_is_zero() {
         assert_eq!(HomeAttackOutcome::default().accuracy(), 0.0);
+    }
+
+    #[test]
+    fn tuned_with_zero_noise_equals_default() {
+        assert_eq!(HomeAttack::tuned_for_noise(0.0), HomeAttack::default());
+        assert_eq!(HomeAttack::tuned_for_noise(-3.0), HomeAttack::default());
+    }
+
+    #[test]
+    fn tuned_adversary_finds_homes_through_noise() {
+        use mobipriv_core::GeoInd;
+        let out = scenarios::commuter_town(6, 2, 31);
+        let mut rng = StdRng::seed_from_u64(0);
+        let published = GeoInd::new(0.01).unwrap().protect(&out.dataset, &mut rng);
+        // The naive adversary is defeated by 200 m noise…
+        let naive = HomeAttack::default().run(&published, &out.truth);
+        assert!(naive.accuracy() < 0.2, "naive {}", naive.accuracy());
+        // …but the noise-tuned one is not (the Kerckhoffs reading).
+        let tuned = HomeAttack::tuned_for_noise(200.0).run(&published, &out.truth);
+        assert!(tuned.accuracy() > 0.5, "tuned {}", tuned.accuracy());
     }
 }

@@ -1,0 +1,273 @@
+//! The evaluation-matrix CLI: run the mechanism × scenario × attack
+//! grid, print or save the JSON report, and maintain the golden
+//! conformance corpus. Run with `--help` for usage.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use mobipriv_eval::{evaluate_with, EvalPlan, EvalReport};
+
+const USAGE: &str = "\
+usage: mobipriv-eval [--smoke|--full] [--scenario NAME] [--mechanism ID]
+                     [--seed N] [--threads N] [--out FILE]
+                     [--bless | --check] [--golden DIR] [--bench-out FILE]
+
+Runs the mechanism × scenario × attack × utility-metric matrix on the
+deterministic engine and emits a schema-versioned JSON report. The
+report is bit-identical across runs and thread counts.
+
+options:
+  --smoke           the CI-scale preset (default; the golden corpus
+                    pins this plan)
+  --full            the experiment-scale preset (minutes, release build)
+  --scenario NAME   restrict to one scenario (commuter_town,
+                    dense_downtown, hub_rush, crossing_paths,
+                    random_walkers, serving_day)
+  --mechanism ID    restrict to one mechanism id (raw, pseudonymize,
+                    promesse_a100, geoind_e0.01, grid_c250, mixzones,
+                    kdelta_k2_d500, pipeline_a100, ...)
+  --seed N          replace the plan's seed axis with the single seed N
+  --threads N       pin the cell fan-out to N workers (output is
+                    identical for any N)
+  --out FILE        write the report to FILE instead of stdout
+  --bless           (re)write the golden corpus, one file per scenario
+                    (smoke preset only; composes with --scenario, not
+                    with --mechanism/--seed/--full)
+  --check           re-run the matrix and fail (exit 1) on any
+                    divergence from the golden corpus (same
+                    composition rules as --bless)
+  --bench-out FILE  also write wall-clock throughput figures (cells,
+                    seconds, cells/s) as JSON, e.g. BENCH_eval.json
+  --golden DIR      corpus directory for --bless/--check
+                    (default: <repo>/tests/golden)
+  -h, --help        print this help
+";
+
+/// The in-repo corpus location, resolved from this crate's manifest so
+/// `--bless`/`--check` work from any working directory.
+fn default_golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+struct Args {
+    plan: EvalPlan,
+    threads: Option<usize>,
+    out: Option<PathBuf>,
+    bless: bool,
+    check: bool,
+    golden: PathBuf,
+    bench_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut plan = EvalPlan::smoke();
+    let mut scenario = None;
+    let mut mechanism = None;
+    let mut seed = None;
+    let mut threads = None;
+    let mut out = None;
+    let mut bless = false;
+    let mut check = false;
+    let mut golden = default_golden_dir();
+    let mut bench_out = None;
+    let mut iter = raw.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--smoke" => plan = EvalPlan::smoke(),
+            "--full" => plan = EvalPlan::full(),
+            "--scenario" => scenario = Some(value_of("--scenario")?),
+            "--mechanism" => mechanism = Some(value_of("--mechanism")?),
+            "--seed" => {
+                let v = value_of("--seed")?;
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed expects an integer, got `{v}`"))?,
+                );
+            }
+            "--threads" => {
+                let v = value_of("--threads")?;
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => threads = Some(n),
+                    _ => return Err(format!("--threads expects a positive integer, got `{v}`")),
+                }
+            }
+            "--out" => out = Some(PathBuf::from(value_of("--out")?)),
+            "--bless" => bless = true,
+            "--check" => check = true,
+            "--golden" => golden = PathBuf::from(value_of("--golden")?),
+            "--bench-out" => bench_out = Some(PathBuf::from(value_of("--bench-out")?)),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    if bless && check {
+        return Err("--bless and --check are mutually exclusive".to_owned());
+    }
+    // The golden corpus is one file per scenario, always covering the
+    // smoke preset's full mechanism × seed matrix. A mechanism/seed
+    // filter (or the full preset) would make --check diff a partial
+    // slice against a complete file, and --bless would overwrite
+    // complete files with partial ones — reject the combinations
+    // instead of corrupting the corpus. (--scenario is fine: it just
+    // restricts which whole files are touched.)
+    if (bless || check) && (mechanism.is_some() || seed.is_some() || plan.name != "smoke") {
+        let op = if bless { "--bless" } else { "--check" };
+        return Err(format!(
+            "{op} operates on whole per-scenario golden files of the smoke preset; \
+             it cannot be combined with --mechanism, --seed or --full \
+             (narrow with --scenario instead)"
+        ));
+    }
+    if let Some(name) = scenario {
+        plan = plan
+            .with_scenario(&name)
+            .ok_or_else(|| format!("unknown scenario `{name}`"))?;
+    }
+    if let Some(id) = mechanism {
+        plan = plan
+            .with_mechanism(&id)
+            .ok_or_else(|| format!("unknown mechanism id `{id}`"))?;
+    }
+    if let Some(s) = seed {
+        plan = plan.with_seed(s);
+    }
+    Ok(Some(Args {
+        plan,
+        threads,
+        out,
+        bless,
+        check,
+        golden,
+        bench_out,
+    }))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = Instant::now();
+    let report = evaluate_with(&args.plan, args.threads);
+    let elapsed = started.elapsed();
+
+    if let Some(path) = &args.bench_out {
+        let seconds = elapsed.as_secs_f64();
+        let bench = format!(
+            "{{\"bench\":\"eval\",\"plan\":\"{}\",\"cells\":{},\"seconds\":{seconds},\
+             \"cells_per_s\":{},\"threads\":{}}}\n",
+            report.plan,
+            report.cells.len(),
+            report.cells.len() as f64 / seconds.max(1e-9),
+            args.threads.map_or("null".to_owned(), |n| n.to_string()),
+        );
+        if let Err(e) = std::fs::write(path, bench) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench: {} cells in {seconds:.2}s -> {}",
+            report.cells.len(),
+            path.display()
+        );
+    }
+
+    if args.bless {
+        return bless(&report, &args.golden);
+    }
+    if args.check {
+        return check(&report, &args.golden);
+    }
+
+    let text = report.to_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("writing {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("report: {} cells -> {}", report.cells.len(), path.display());
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            if stdout.write_all(text.as_bytes()).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Writes one golden file per scenario present in the report.
+fn bless(report: &EvalReport, golden: &Path) -> ExitCode {
+    if let Err(e) = std::fs::create_dir_all(golden) {
+        eprintln!("creating {}: {e}", golden.display());
+        return ExitCode::FAILURE;
+    }
+    for scenario in report.scenarios() {
+        let path = golden.join(format!("{scenario}.json"));
+        let slice = report.scenario_slice(&scenario);
+        if let Err(e) = std::fs::write(&path, slice.to_json()) {
+            eprintln!("writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("blessed {} ({} cells)", path.display(), slice.cells.len());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Compares the fresh report against every golden file.
+fn check(report: &EvalReport, golden: &Path) -> ExitCode {
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    for scenario in report.scenarios() {
+        let path = golden.join(format!("{scenario}.json"));
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                problems.push(format!("reading {}: {e} (run --bless?)", path.display()));
+                continue;
+            }
+        };
+        match EvalReport::from_json(&text) {
+            Ok(reference) => {
+                problems.extend(reference.diff(&report.scenario_slice(&scenario)));
+                checked += reference.cells.len();
+            }
+            Err(e) => problems.push(format!("parsing {}: {e}", path.display())),
+        }
+    }
+    if problems.is_empty() {
+        println!(
+            "conformance OK: {checked} golden cells match (plan `{}`)",
+            report.plan
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("conformance FAILED ({} problems):", problems.len());
+        for p in &problems {
+            eprintln!("  {p}");
+        }
+        eprintln!(
+            "if this change is intentional, regenerate the corpus with \
+             `cargo run --release -p mobipriv-eval --bin mobipriv-eval -- --bless`"
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,94 @@
+//! Stable 64-bit digests for datasets and cell seeds.
+//!
+//! `std::hash` offers no stability guarantee across releases or
+//! processes, so the conformance corpus pins its own hash: FNV-1a over
+//! the dataset's canonical CSV serialization. The CSV writer quantizes
+//! coordinates and fixes trace order, so two datasets digest equal iff
+//! they publish equal — which is exactly the regression the golden
+//! corpus is meant to catch.
+
+use mobipriv_model::{write_csv, Dataset};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The canonical digest of a published dataset: FNV-1a over its CSV
+/// bytes, rendered as 16 lowercase hex digits.
+pub fn dataset_digest(dataset: &Dataset) -> String {
+    let mut bytes = Vec::new();
+    write_csv(dataset, &mut bytes).expect("serializing to memory cannot fail");
+    format!("{:016x}", fnv1a64(&bytes))
+}
+
+/// The RNG seed of one evaluation cell, derived from the plan seed and
+/// the cell's *names* rather than its position: filtering or reordering
+/// the plan never changes what any surviving cell computes.
+pub fn cell_seed(plan_seed: u64, scenario: &str, mechanism: &str) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for chunk in [scenario.as_bytes(), b"\x00", mechanism.as_bytes()] {
+        for &b in chunk {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    // SplitMix64 finalizer so structurally similar names do not yield
+    // correlated seeds.
+    let mut z = hash ^ plan_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobipriv_geo::LatLng;
+    use mobipriv_model::{Fix, Timestamp, Trace, UserId};
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn dataset_digest_tracks_content() {
+        let trace = |user: u64, lat: f64| {
+            Trace::new(
+                UserId::new(user),
+                vec![Fix::new(LatLng::new(lat, 5.0).unwrap(), Timestamp::new(0))],
+            )
+            .unwrap()
+        };
+        let a = Dataset::from_traces(vec![trace(1, 45.0)]);
+        let b = Dataset::from_traces(vec![trace(1, 45.0)]);
+        let c = Dataset::from_traces(vec![trace(1, 45.001)]);
+        assert_eq!(dataset_digest(&a), dataset_digest(&b));
+        assert_ne!(dataset_digest(&a), dataset_digest(&c));
+        assert_eq!(dataset_digest(&a).len(), 16);
+    }
+
+    #[test]
+    fn cell_seeds_differ_across_cells_and_agree_across_calls() {
+        let a = cell_seed(42, "commuter_town", "promesse_a100");
+        assert_eq!(a, cell_seed(42, "commuter_town", "promesse_a100"));
+        assert_ne!(a, cell_seed(42, "commuter_town", "promesse_a200"));
+        assert_ne!(a, cell_seed(42, "dense_downtown", "promesse_a100"));
+        assert_ne!(a, cell_seed(43, "commuter_town", "promesse_a100"));
+        // The separator keeps (scenario, mechanism) concatenation
+        // unambiguous.
+        assert_ne!(cell_seed(1, "ab", "c"), cell_seed(1, "a", "bc"));
+    }
+}

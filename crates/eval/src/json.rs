@@ -1,0 +1,499 @@
+//! A minimal, dependency-free JSON value model with a deterministic
+//! writer and a strict parser.
+//!
+//! The evaluation harness commits its reports to a golden corpus and
+//! compares them byte for byte, so the serializer must be a *canonical*
+//! function of the value: object members keep their insertion order,
+//! floats print through Rust's shortest-round-trip `Display` (never
+//! scientific notation), and integers stay integers. `write ∘ parse` is
+//! the identity on any document this writer produced — the property
+//! suite in `tests/properties_eval.rs` pins that fixed point.
+
+use std::fmt;
+
+/// A JSON document node.
+///
+/// Numbers are split into [`Json::UInt`] and [`Json::Num`] so 64-bit
+/// seeds survive a round trip without passing through `f64` (which
+/// would silently drop precision above 2⁵³).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer that fits `u64` and was written without a
+    /// fraction or exponent.
+    UInt(u64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; members keep insertion order (no sorting, no dedup).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks a member up by key (first match; this writer never emits
+    /// duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, accepting only [`Json::UInt`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` ([`Json::Num`] or an exact [`Json::UInt`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes the value compactly (no whitespace) into `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                out.push_str(&n.to_string());
+            }
+            Json::Num(x) => write_f64(*x, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serializes the value compactly to a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed, trailing
+    /// garbage rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] with a byte offset on any syntax error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+}
+
+/// Rust's `Display` for `f64` is the shortest decimal that round-trips
+/// — deterministic, and `str::parse::<f64>` inverts it exactly — but it
+/// renders non-finite values as `inf`/`NaN`, which are not JSON. The
+/// harness never produces them; mapping to `null` keeps the writer
+/// total instead of panicking inside a report dump.
+fn write_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let mut buf = String::new();
+        fmt::Write::write_fmt(&mut buf, format_args!("{x}")).expect("writing to String");
+        out.push_str(&buf);
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A JSON syntax error: what went wrong and the byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_owned(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(what))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_literal("true", Json::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{', "expected `{`")?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"', "expected `\"`")?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Consume a run of plain bytes in one slice.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("dangling escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uDC00`–`\uDFFF`.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.eat(b'u', "expected `\\u` low surrogate")?;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&low) {
+                                        return Err(self.error("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.error("unknown escape character")),
+                    }
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.error("truncated \\u"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("non-hex digit in \\u"))?;
+            code = code * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_integer = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_integer = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        if is_integer && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for text in ["null", "true", "false", "0", "42", "-1.5", "0.25", "\"x\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.to_json(), text, "round trip of {text}");
+        }
+    }
+
+    #[test]
+    fn u64_seeds_do_not_lose_precision() {
+        let big = u64::MAX - 1;
+        let v = Json::parse(&big.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(big));
+        assert_eq!(v.to_json(), big.to_string());
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let text = "{\"b\":1,\"a\":2}";
+        assert_eq!(Json::parse(text).unwrap().to_json(), text);
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let text = "{\"cells\":[{\"name\":\"x\",\"v\":0.125},{\"name\":\"y\",\"v\":3}],\"n\":2}";
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_json(), text);
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(2));
+        let cells = v.get("cells").and_then(Json::as_arr).unwrap();
+        assert_eq!(cells[0].get("name").and_then(Json::as_str), Some("x"));
+        assert_eq!(cells[0].get("v").and_then(Json::as_f64), Some(0.125));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = Json::Str("a\"b\\c\nd\te\u{1}".to_owned());
+        let text = v.to_json();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert!(text.contains("\\u0001"));
+    }
+
+    #[test]
+    fn unicode_escape_and_surrogate_pairs() {
+        assert_eq!(
+            Json::parse("\"\\u00e9\"").unwrap(),
+            Json::Str("é".to_owned())
+        );
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude00\"").unwrap(),
+            Json::Str("😀".to_owned())
+        );
+        assert!(Json::parse("\"\\ud83d\"").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for text in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "01x", "\"abc", "[1] x",
+        ] {
+            assert!(Json::parse(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated_on_parse() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(v.to_json(), "{\"a\":[1,2]}");
+    }
+
+    #[test]
+    fn float_display_fixed_point() {
+        // Values produced by the writer parse back and re-serialize
+        // byte-identically.
+        for x in [0.1, 1.0 / 3.0, 123456.789, 1e-8, 2.0f64.powi(60)] {
+            let text = Json::Num(x).to_json();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.to_json(), text, "fixed point of {x}");
+        }
+    }
+}

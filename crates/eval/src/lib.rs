@@ -1,0 +1,50 @@
+//! The evaluation harness for the `mobipriv` toolkit: the full
+//! mechanism × scenario × attack × utility-metric matrix as one
+//! declarative, parallel, machine-readable subsystem.
+//!
+//! The ICDCS'15 paper's central claim is an *ordering* — speed
+//! smoothing preserves spatial utility while defeating POI extraction,
+//! where geo-indistinguishability and generalization leak. An ordering
+//! is only as trustworthy as the grid it was measured on, so this crate
+//! makes the grid first-class:
+//!
+//! * [`EvalPlan`] — the declarative cross-product: scenario presets ×
+//!   mechanism configurations (including parameter sweeps) × seeds;
+//! * [`evaluate`] / [`evaluate_with`] — the runner: cells fan out
+//!   across cores on `mobipriv_core::Engine`, each under a seed derived
+//!   from the cell's *names*, so the whole matrix is bit-deterministic
+//!   for any thread count;
+//! * [`EvalReport`] — the schema-versioned JSON output (std-only writer
+//!   *and* parser — no serialization dependency), with per-cell
+//!   published-dataset digests;
+//! * [`EvalReport::diff`] — the conformance comparison the committed
+//!   golden corpus (`tests/golden/*.json`) gates CI with; regenerate
+//!   with `mobipriv-eval --bless` after an intentional change.
+//!
+//! # Example
+//!
+//! ```
+//! use mobipriv_eval::{evaluate, EvalPlan};
+//!
+//! let plan = EvalPlan::smoke()
+//!     .with_scenario("crossing_paths").unwrap()
+//!     .with_mechanism("raw").unwrap();
+//! let report = evaluate(&plan);
+//! assert_eq!(report.cells.len(), 1);
+//! let text = report.to_json();
+//! assert_eq!(mobipriv_eval::EvalReport::from_json(&text).unwrap(), report);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rust_2018_idioms)]
+
+pub mod digest;
+pub mod json;
+mod plan;
+mod report;
+mod runner;
+
+pub use json::{Json, JsonError};
+pub use plan::{EvalPlan, MechanismSpec, ScenarioSpec};
+pub use report::{EvalCell, EvalReport, SCHEMA_VERSION};
+pub use runner::{evaluate, evaluate_with};

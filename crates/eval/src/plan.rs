@@ -1,0 +1,372 @@
+//! The declarative half of the harness: *what* to evaluate.
+//!
+//! An [`EvalPlan`] is a cross-product — scenario presets × mechanism
+//! configurations × plan seeds — that the runner expands into cells.
+//! Both axes are data, not code: a spec names a preset plus its
+//! parameters, builds the concrete generator/mechanism on demand, and
+//! carries a stable machine id that the golden corpus, the CLI filters
+//! and the `/v1/evaluate` query parameters all key on.
+
+use mobipriv_core::{
+    GeoInd, GridGeneralization, Identity, KDelta, Mechanism, MixZoneConfig, MixZones, Pipeline,
+    Promesse, Pseudonymize,
+};
+use mobipriv_synth::{scenarios, SynthOutput};
+
+/// One synthetic workload of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioSpec {
+    /// `scenarios::commuter_town` — the default quantitative workload.
+    CommuterTown {
+        /// Number of simulated users.
+        users: usize,
+        /// Number of simulated days.
+        days: usize,
+    },
+    /// `scenarios::dense_downtown` — hub-heavy, crossing-rich.
+    DenseDowntown {
+        /// Number of simulated users.
+        users: usize,
+        /// Number of simulated days.
+        days: usize,
+    },
+    /// `scenarios::hub_rush` — a rush hour through one central hub.
+    HubRush {
+        /// Number of simulated users.
+        users: usize,
+        /// Fraction (0–1) routed straight through the hub.
+        via_hub_fraction: f64,
+    },
+    /// `scenarios::crossing_paths` — the paper's Fig. 1 micro-scenario.
+    CrossingPaths,
+    /// `scenarios::random_walkers` — dwell-free random grid trips.
+    RandomWalkers {
+        /// Number of simulated users.
+        users: usize,
+        /// Back-to-back trips per user.
+        trips: usize,
+    },
+    /// `scenarios::serving_day` — the service-benchmark workload.
+    ServingDay {
+        /// Number of simulated users.
+        users: usize,
+    },
+}
+
+impl ScenarioSpec {
+    /// The stable machine name (golden-corpus file stem, CLI filter,
+    /// query-parameter value).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioSpec::CommuterTown { .. } => "commuter_town",
+            ScenarioSpec::DenseDowntown { .. } => "dense_downtown",
+            ScenarioSpec::HubRush { .. } => "hub_rush",
+            ScenarioSpec::CrossingPaths => "crossing_paths",
+            ScenarioSpec::RandomWalkers { .. } => "random_walkers",
+            ScenarioSpec::ServingDay { .. } => "serving_day",
+        }
+    }
+
+    /// Generates the workload (dataset + ground truth) under `seed`.
+    pub fn generate(&self, seed: u64) -> SynthOutput {
+        match *self {
+            ScenarioSpec::CommuterTown { users, days } => {
+                scenarios::commuter_town(users, days, seed)
+            }
+            ScenarioSpec::DenseDowntown { users, days } => {
+                scenarios::dense_downtown(users, days, seed)
+            }
+            ScenarioSpec::HubRush {
+                users,
+                via_hub_fraction,
+            } => scenarios::hub_rush(users, via_hub_fraction, seed),
+            ScenarioSpec::CrossingPaths => scenarios::crossing_paths(seed),
+            ScenarioSpec::RandomWalkers { users, trips } => {
+                scenarios::random_walkers(users, trips, seed)
+            }
+            ScenarioSpec::ServingDay { users } => scenarios::serving_day(users, seed),
+        }
+    }
+}
+
+/// One mechanism configuration of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MechanismSpec {
+    /// Raw publication (the baseline every attack should win against).
+    Identity,
+    /// Per-user random pseudonyms, locations untouched.
+    Pseudonymize,
+    /// Promesse speed smoothing at `alpha_m` meters.
+    Promesse {
+        /// Spatial smoothing interval α, meters.
+        alpha_m: f64,
+    },
+    /// Planar-Laplace geo-indistinguishability at `epsilon` (1/m).
+    GeoInd {
+        /// Privacy parameter ε, per meter.
+        epsilon: f64,
+    },
+    /// Spatial generalization to a `cell_m`-meter grid.
+    Grid {
+        /// Cell side, meters.
+        cell_m: f64,
+    },
+    /// Mix-zone identifier swapping with default zone parameters.
+    MixZones,
+    /// (k, δ)-anonymity by trajectory clustering.
+    KDelta {
+        /// Minimum cluster size k.
+        k: usize,
+        /// Spatial tolerance δ, meters.
+        delta_m: f64,
+    },
+    /// The paper's full pipeline: smoothing then swapping.
+    Pipeline {
+        /// Promesse α, meters.
+        alpha_m: f64,
+    },
+}
+
+impl MechanismSpec {
+    /// The stable machine id (golden-corpus key, CLI filter,
+    /// query-parameter value). Parameters are part of the id, so an
+    /// α-sweep yields distinct cells.
+    pub fn id(&self) -> String {
+        match self {
+            MechanismSpec::Identity => "raw".to_owned(),
+            MechanismSpec::Pseudonymize => "pseudonymize".to_owned(),
+            MechanismSpec::Promesse { alpha_m } => format!("promesse_a{alpha_m}"),
+            MechanismSpec::GeoInd { epsilon } => format!("geoind_e{epsilon}"),
+            MechanismSpec::Grid { cell_m } => format!("grid_c{cell_m}"),
+            MechanismSpec::MixZones => "mixzones".to_owned(),
+            MechanismSpec::KDelta { k, delta_m } => format!("kdelta_k{k}_d{delta_m}"),
+            MechanismSpec::Pipeline { alpha_m } => format!("pipeline_a{alpha_m}"),
+        }
+    }
+
+    /// Builds the concrete mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters — plans are authored in code (or
+    /// validated at the CLI/service boundary), so a bad parameter is a
+    /// programming error, not runtime input.
+    pub fn build(&self) -> Box<dyn Mechanism> {
+        match *self {
+            MechanismSpec::Identity => Box::new(Identity),
+            MechanismSpec::Pseudonymize => Box::new(Pseudonymize::new()),
+            MechanismSpec::Promesse { alpha_m } => {
+                Box::new(Promesse::new(alpha_m).expect("valid alpha"))
+            }
+            MechanismSpec::GeoInd { epsilon } => Box::new(GeoInd::new(epsilon).expect("valid ε")),
+            MechanismSpec::Grid { cell_m } => {
+                Box::new(GridGeneralization::new(cell_m).expect("valid cell"))
+            }
+            MechanismSpec::MixZones => {
+                Box::new(MixZones::new(MixZoneConfig::default()).expect("valid default config"))
+            }
+            MechanismSpec::KDelta { k, delta_m } => {
+                Box::new(KDelta::new(k, delta_m).expect("valid (k, δ)"))
+            }
+            MechanismSpec::Pipeline { alpha_m } => {
+                Box::new(Pipeline::new(alpha_m, MixZoneConfig::default()).expect("valid pipeline"))
+            }
+        }
+    }
+
+    /// Expected per-point location error, meters — what a
+    /// Kerckhoffs-aware adversary tunes for
+    /// (`PoiAttack::tuned_for_noise`). Zero for mechanisms that do not
+    /// perturb locations.
+    pub fn expected_noise_m(&self) -> f64 {
+        match *self {
+            // Planar Laplace: E[‖noise‖] = 2/ε.
+            MechanismSpec::GeoInd { epsilon } => 2.0 / epsilon,
+            // Snapping to a c-meter grid moves a point at most c/√2.
+            MechanismSpec::Grid { cell_m } => cell_m / 2.0,
+            MechanismSpec::KDelta { delta_m, .. } => delta_m / 2.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The declarative evaluation matrix: scenarios × mechanisms × seeds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalPlan {
+    /// Preset name recorded in the report (`smoke`, `full`, `custom`).
+    pub name: String,
+    /// The scenario axis.
+    pub scenarios: Vec<ScenarioSpec>,
+    /// The mechanism axis.
+    pub mechanisms: Vec<MechanismSpec>,
+    /// The seed axis (each seed re-generates every scenario and re-keys
+    /// every cell RNG).
+    pub seeds: Vec<u64>,
+}
+
+impl EvalPlan {
+    /// The CI-scale preset: every scenario family and the whole
+    /// mechanism matrix (including a Promesse α-sweep and a GeoInd
+    /// ε-sweep) on workloads small enough for a debug-build test run.
+    /// This is the plan the golden conformance corpus pins.
+    pub fn smoke() -> EvalPlan {
+        EvalPlan {
+            name: "smoke".to_owned(),
+            scenarios: vec![
+                ScenarioSpec::CommuterTown { users: 4, days: 2 },
+                ScenarioSpec::DenseDowntown { users: 4, days: 1 },
+                ScenarioSpec::HubRush {
+                    users: 8,
+                    via_hub_fraction: 0.5,
+                },
+                ScenarioSpec::CrossingPaths,
+                ScenarioSpec::RandomWalkers { users: 3, trips: 3 },
+                ScenarioSpec::ServingDay { users: 3 },
+            ],
+            mechanisms: Self::mechanism_matrix(),
+            seeds: vec![42],
+        }
+    }
+
+    /// The full-scale preset: same matrix on the workload sizes the
+    /// recorded experiment numbers use, two seeds.
+    pub fn full() -> EvalPlan {
+        EvalPlan {
+            name: "full".to_owned(),
+            scenarios: vec![
+                ScenarioSpec::CommuterTown { users: 20, days: 4 },
+                ScenarioSpec::DenseDowntown { users: 20, days: 2 },
+                ScenarioSpec::HubRush {
+                    users: 40,
+                    via_hub_fraction: 0.5,
+                },
+                ScenarioSpec::CrossingPaths,
+                ScenarioSpec::RandomWalkers {
+                    users: 10,
+                    trips: 6,
+                },
+                ScenarioSpec::ServingDay { users: 50 },
+            ],
+            mechanisms: Self::mechanism_matrix(),
+            seeds: vec![42, 43],
+        }
+    }
+
+    /// The shared mechanism axis of both presets.
+    fn mechanism_matrix() -> Vec<MechanismSpec> {
+        vec![
+            MechanismSpec::Identity,
+            MechanismSpec::Pseudonymize,
+            MechanismSpec::Promesse { alpha_m: 50.0 },
+            MechanismSpec::Promesse { alpha_m: 100.0 },
+            MechanismSpec::Promesse { alpha_m: 200.0 },
+            MechanismSpec::GeoInd { epsilon: 0.1 },
+            MechanismSpec::GeoInd { epsilon: 0.01 },
+            MechanismSpec::Grid { cell_m: 250.0 },
+            MechanismSpec::MixZones,
+            MechanismSpec::KDelta {
+                k: 2,
+                delta_m: 500.0,
+            },
+            MechanismSpec::Pipeline { alpha_m: 100.0 },
+        ]
+    }
+
+    /// Restricts the plan to the named scenario (exact match on
+    /// [`ScenarioSpec::name`]); `None` if the name is unknown.
+    pub fn with_scenario(mut self, name: &str) -> Option<EvalPlan> {
+        self.scenarios.retain(|s| s.name() == name);
+        if self.scenarios.is_empty() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+
+    /// Restricts the plan to the mechanism with the given id (exact
+    /// match on [`MechanismSpec::id`]); `None` if the id is unknown.
+    pub fn with_mechanism(mut self, id: &str) -> Option<EvalPlan> {
+        self.mechanisms.retain(|m| m.id() == id);
+        if self.mechanisms.is_empty() {
+            None
+        } else {
+            Some(self)
+        }
+    }
+
+    /// Replaces the seed axis with a single seed.
+    pub fn with_seed(mut self, seed: u64) -> EvalPlan {
+        self.seeds = vec![seed];
+        self
+    }
+
+    /// Number of cells the runner will produce.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.mechanisms.len() * self.seeds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_plan_covers_the_full_matrix() {
+        let plan = EvalPlan::smoke();
+        assert_eq!(plan.scenarios.len(), 6);
+        assert_eq!(plan.mechanisms.len(), 11);
+        assert_eq!(plan.cell_count(), 66);
+        // The sweeps are present.
+        let ids: Vec<String> = plan.mechanisms.iter().map(MechanismSpec::id).collect();
+        assert!(ids.contains(&"promesse_a50".to_owned()));
+        assert!(ids.contains(&"promesse_a200".to_owned()));
+        assert!(ids.contains(&"geoind_e0.1".to_owned()));
+        assert!(ids.contains(&"geoind_e0.01".to_owned()));
+    }
+
+    #[test]
+    fn mechanism_ids_are_unique() {
+        let plan = EvalPlan::smoke();
+        let mut ids: Vec<String> = plan.mechanisms.iter().map(MechanismSpec::id).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn every_spec_builds() {
+        for spec in EvalPlan::smoke().mechanisms {
+            let mechanism = spec.build();
+            assert!(!mechanism.name().is_empty(), "{}", spec.id());
+        }
+    }
+
+    #[test]
+    fn filters_narrow_or_reject() {
+        let plan = EvalPlan::smoke().with_scenario("crossing_paths").unwrap();
+        assert_eq!(plan.scenarios.len(), 1);
+        assert!(EvalPlan::smoke().with_scenario("atlantis").is_none());
+        let plan = EvalPlan::smoke().with_mechanism("promesse_a100").unwrap();
+        assert_eq!(plan.mechanisms.len(), 1);
+        assert!(EvalPlan::smoke().with_mechanism("nope").is_none());
+        assert_eq!(EvalPlan::smoke().with_seed(7).seeds, vec![7]);
+    }
+
+    #[test]
+    fn noise_tuning_matches_the_paper_settings() {
+        let spec = MechanismSpec::GeoInd { epsilon: 0.01 };
+        assert!((spec.expected_noise_m() - 200.0).abs() < 1e-9);
+        assert_eq!(MechanismSpec::Identity.expected_noise_m(), 0.0);
+    }
+
+    #[test]
+    fn scenarios_generate_deterministically() {
+        for spec in EvalPlan::smoke().scenarios {
+            let a = spec.generate(9);
+            let b = spec.generate(9);
+            assert_eq!(a.dataset, b.dataset, "{}", spec.name());
+            assert!(!a.dataset.is_empty(), "{}", spec.name());
+        }
+    }
+}

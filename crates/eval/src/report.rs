@@ -1,0 +1,485 @@
+//! The machine-readable output of an evaluation run, and the
+//! conformance comparison the golden corpus is gated on.
+
+use crate::json::{Json, JsonError};
+
+/// Version of the report JSON schema. Bump when a field is added,
+/// removed or renamed, and re-bless the golden corpus.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One (scenario, mechanism, seed) cell of the matrix: the published
+/// dataset's digest, every attack outcome, and the utility metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalCell {
+    /// Scenario name ([`ScenarioSpec::name`](crate::ScenarioSpec::name)).
+    pub scenario: String,
+    /// Mechanism id ([`MechanismSpec::id`](crate::MechanismSpec::id)).
+    pub mechanism: String,
+    /// Human-readable mechanism name (`Mechanism::name`).
+    pub mechanism_name: String,
+    /// The plan seed this cell ran under.
+    pub seed: u64,
+    /// The derived per-cell RNG seed (see [`crate::digest::cell_seed`]).
+    pub cell_seed: u64,
+    /// Traces in the generated (raw) dataset.
+    pub input_traces: u64,
+    /// Fixes in the generated (raw) dataset.
+    pub input_fixes: u64,
+    /// Traces in the published dataset.
+    pub output_traces: u64,
+    /// Fixes in the published dataset.
+    pub output_fixes: u64,
+    /// FNV-1a digest of the published dataset's canonical CSV bytes.
+    pub digest: String,
+    /// POI-retrieval recall against the ground truth (noise-tuned).
+    pub poi_recall: f64,
+    /// POI-retrieval precision.
+    pub poi_precision: f64,
+    /// Re-identification accuracy (profiles trained on the raw data).
+    pub reident_accuracy: f64,
+    /// Tracker continuity (1.0 = every consecutive pair kept together).
+    pub tracker_continuity: f64,
+    /// Tracker mean track purity.
+    pub tracker_purity: f64,
+    /// Number of tracks the tracker inferred.
+    pub tracker_tracks: u64,
+    /// Home-identification accuracy over users with a known home.
+    pub home_accuracy: f64,
+    /// Users the home attack was evaluated on.
+    pub home_evaluated: u64,
+    /// Mean label-agnostic spatial distortion, meters.
+    pub distortion_mean_m: f64,
+    /// 95th-percentile spatial distortion, meters.
+    pub distortion_p95_m: f64,
+    /// Cell-coverage F1 on a 250 m grid.
+    pub coverage_f1: f64,
+    /// Total-variation distance between raw and published heat-maps.
+    pub coverage_total_variation: f64,
+    /// Two-sample KS distance between trip-length distributions.
+    pub trip_length_ks: f64,
+    /// Two-sample KS distance between trip-duration distributions.
+    pub trip_duration_ks: f64,
+}
+
+impl EvalCell {
+    /// The (scenario, mechanism, seed) identity of the cell.
+    pub fn key(&self) -> (&str, &str, u64) {
+        (&self.scenario, &self.mechanism, self.seed)
+    }
+
+    fn to_value(&self) -> Json {
+        Json::Obj(vec![
+            ("scenario".into(), Json::Str(self.scenario.clone())),
+            ("mechanism".into(), Json::Str(self.mechanism.clone())),
+            (
+                "mechanism_name".into(),
+                Json::Str(self.mechanism_name.clone()),
+            ),
+            ("seed".into(), Json::UInt(self.seed)),
+            ("cell_seed".into(), Json::UInt(self.cell_seed)),
+            ("input_traces".into(), Json::UInt(self.input_traces)),
+            ("input_fixes".into(), Json::UInt(self.input_fixes)),
+            ("output_traces".into(), Json::UInt(self.output_traces)),
+            ("output_fixes".into(), Json::UInt(self.output_fixes)),
+            ("digest".into(), Json::Str(self.digest.clone())),
+            ("poi_recall".into(), Json::Num(self.poi_recall)),
+            ("poi_precision".into(), Json::Num(self.poi_precision)),
+            ("reident_accuracy".into(), Json::Num(self.reident_accuracy)),
+            (
+                "tracker_continuity".into(),
+                Json::Num(self.tracker_continuity),
+            ),
+            ("tracker_purity".into(), Json::Num(self.tracker_purity)),
+            ("tracker_tracks".into(), Json::UInt(self.tracker_tracks)),
+            ("home_accuracy".into(), Json::Num(self.home_accuracy)),
+            ("home_evaluated".into(), Json::UInt(self.home_evaluated)),
+            (
+                "distortion_mean_m".into(),
+                Json::Num(self.distortion_mean_m),
+            ),
+            ("distortion_p95_m".into(), Json::Num(self.distortion_p95_m)),
+            ("coverage_f1".into(), Json::Num(self.coverage_f1)),
+            (
+                "coverage_total_variation".into(),
+                Json::Num(self.coverage_total_variation),
+            ),
+            ("trip_length_ks".into(), Json::Num(self.trip_length_ks)),
+            ("trip_duration_ks".into(), Json::Num(self.trip_duration_ks)),
+        ])
+    }
+
+    fn from_value(value: &Json) -> Result<EvalCell, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            value
+                .get(name)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing or non-string cell field `{name}`"))
+        };
+        let u64_field = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer cell field `{name}`"))
+        };
+        let f64_field = |name: &str| -> Result<f64, String> {
+            value
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric cell field `{name}`"))
+        };
+        Ok(EvalCell {
+            scenario: str_field("scenario")?,
+            mechanism: str_field("mechanism")?,
+            mechanism_name: str_field("mechanism_name")?,
+            seed: u64_field("seed")?,
+            cell_seed: u64_field("cell_seed")?,
+            input_traces: u64_field("input_traces")?,
+            input_fixes: u64_field("input_fixes")?,
+            output_traces: u64_field("output_traces")?,
+            output_fixes: u64_field("output_fixes")?,
+            digest: str_field("digest")?,
+            poi_recall: f64_field("poi_recall")?,
+            poi_precision: f64_field("poi_precision")?,
+            reident_accuracy: f64_field("reident_accuracy")?,
+            tracker_continuity: f64_field("tracker_continuity")?,
+            tracker_purity: f64_field("tracker_purity")?,
+            tracker_tracks: u64_field("tracker_tracks")?,
+            home_accuracy: f64_field("home_accuracy")?,
+            home_evaluated: u64_field("home_evaluated")?,
+            distortion_mean_m: f64_field("distortion_mean_m")?,
+            distortion_p95_m: f64_field("distortion_p95_m")?,
+            coverage_f1: f64_field("coverage_f1")?,
+            coverage_total_variation: f64_field("coverage_total_variation")?,
+            trip_length_ks: f64_field("trip_length_ks")?,
+            trip_duration_ks: f64_field("trip_duration_ks")?,
+        })
+    }
+}
+
+/// A complete evaluation run: schema version, plan name, sorted cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// The schema version the report was written with.
+    pub schema_version: u64,
+    /// The plan preset that produced it (`smoke`, `full`, `custom`).
+    pub plan: String,
+    /// The cells, sorted by (scenario, mechanism, seed).
+    pub cells: Vec<EvalCell>,
+}
+
+impl EvalReport {
+    /// Serializes the report: one cell per line, deterministic field
+    /// order, newline-terminated — `git diff` shows exactly the cells
+    /// that moved.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema_version\":");
+        out.push_str(&self.schema_version.to_string());
+        out.push_str(",\"plan\":");
+        Json::Str(self.plan.clone()).write(&mut out);
+        out.push_str(",\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            cell.to_value().write(&mut out);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Parses a report written by [`EvalReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or schema problem
+    /// (missing field, wrong type, unsupported schema version).
+    pub fn from_json(text: &str) -> Result<EvalReport, String> {
+        let value = Json::parse(text).map_err(|e: JsonError| e.to_string())?;
+        let schema_version = value
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing or non-integer `schema_version`")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let plan = value
+            .get("plan")
+            .and_then(Json::as_str)
+            .ok_or("missing or non-string `plan`")?
+            .to_owned();
+        let cells = value
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing or non-array `cells`")?
+            .iter()
+            .map(EvalCell::from_value)
+            .collect::<Result<Vec<EvalCell>, String>>()?;
+        Ok(EvalReport {
+            schema_version,
+            plan,
+            cells,
+        })
+    }
+
+    /// The subset of cells belonging to one scenario, as its own report
+    /// (the golden corpus stores one file per scenario).
+    pub fn scenario_slice(&self, scenario: &str) -> EvalReport {
+        EvalReport {
+            schema_version: self.schema_version,
+            plan: self.plan.clone(),
+            cells: self
+                .cells
+                .iter()
+                .filter(|c| c.scenario == scenario)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The distinct scenario names present, in cell order.
+    pub fn scenarios(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for cell in &self.cells {
+            if !names.contains(&cell.scenario) {
+                names.push(cell.scenario.clone());
+            }
+        }
+        names
+    }
+
+    /// Conformance comparison: treats `self` as the golden reference
+    /// and `fresh` as the run under test, returning one message per
+    /// divergence (empty = conformant).
+    ///
+    /// Digests and counts compare exactly; metric floats compare
+    /// bit-for-bit too — the whole pipeline is deterministic, so *any*
+    /// drift is a regression until a human re-blesses the corpus.
+    pub fn diff(&self, fresh: &EvalReport) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.schema_version != fresh.schema_version {
+            problems.push(format!(
+                "schema version: golden {} vs fresh {}",
+                self.schema_version, fresh.schema_version
+            ));
+        }
+        for golden in &self.cells {
+            let Some(cell) = fresh.cells.iter().find(|c| c.key() == golden.key()) else {
+                problems.push(format!(
+                    "cell {}/{}/seed={} missing from the fresh run",
+                    golden.scenario, golden.mechanism, golden.seed
+                ));
+                continue;
+            };
+            if cell != golden {
+                problems.push(describe_cell_diff(golden, cell));
+            }
+        }
+        for cell in &fresh.cells {
+            if !self.cells.iter().any(|g| g.key() == cell.key()) {
+                problems.push(format!(
+                    "cell {}/{}/seed={} not present in the golden corpus (re-bless?)",
+                    cell.scenario, cell.mechanism, cell.seed
+                ));
+            }
+        }
+        problems
+    }
+}
+
+/// Names the fields that diverged so a regression report reads like a
+/// diff, not a dump.
+fn describe_cell_diff(golden: &EvalCell, fresh: &EvalCell) -> String {
+    let mut fields = Vec::new();
+    let mut check = |name: &str, a: String, b: String| {
+        if a != b {
+            fields.push(format!("{name}: golden {a} vs fresh {b}"));
+        }
+    };
+    check("digest", golden.digest.clone(), fresh.digest.clone());
+    check(
+        "output_traces",
+        golden.output_traces.to_string(),
+        fresh.output_traces.to_string(),
+    );
+    check(
+        "output_fixes",
+        golden.output_fixes.to_string(),
+        fresh.output_fixes.to_string(),
+    );
+    let float_pairs = [
+        ("poi_recall", golden.poi_recall, fresh.poi_recall),
+        ("poi_precision", golden.poi_precision, fresh.poi_precision),
+        (
+            "reident_accuracy",
+            golden.reident_accuracy,
+            fresh.reident_accuracy,
+        ),
+        (
+            "tracker_continuity",
+            golden.tracker_continuity,
+            fresh.tracker_continuity,
+        ),
+        (
+            "tracker_purity",
+            golden.tracker_purity,
+            fresh.tracker_purity,
+        ),
+        ("home_accuracy", golden.home_accuracy, fresh.home_accuracy),
+        (
+            "distortion_mean_m",
+            golden.distortion_mean_m,
+            fresh.distortion_mean_m,
+        ),
+        (
+            "distortion_p95_m",
+            golden.distortion_p95_m,
+            fresh.distortion_p95_m,
+        ),
+        ("coverage_f1", golden.coverage_f1, fresh.coverage_f1),
+        (
+            "coverage_total_variation",
+            golden.coverage_total_variation,
+            fresh.coverage_total_variation,
+        ),
+        (
+            "trip_length_ks",
+            golden.trip_length_ks,
+            fresh.trip_length_ks,
+        ),
+        (
+            "trip_duration_ks",
+            golden.trip_duration_ks,
+            fresh.trip_duration_ks,
+        ),
+    ];
+    for (name, a, b) in float_pairs {
+        check(name, a.to_string(), b.to_string());
+    }
+    if fields.is_empty() {
+        // Fall back to the remaining (identity/bookkeeping) fields.
+        fields.push("metadata fields differ".to_owned());
+    }
+    format!(
+        "cell {}/{}/seed={}: {}",
+        golden.scenario,
+        golden.mechanism,
+        golden.seed,
+        fields.join("; ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cell() -> EvalCell {
+        EvalCell {
+            scenario: "crossing_paths".into(),
+            mechanism: "promesse_a100".into(),
+            mechanism_name: "promesse(α=100m)".into(),
+            seed: 42,
+            cell_seed: 0xDEAD_BEEF_DEAD_BEEF,
+            input_traces: 2,
+            input_fixes: 400,
+            output_traces: 2,
+            output_fixes: 120,
+            digest: "0123456789abcdef".into(),
+            poi_recall: 0.0,
+            poi_precision: 1.0,
+            reident_accuracy: 0.5,
+            tracker_continuity: 0.875,
+            tracker_purity: 0.9,
+            tracker_tracks: 3,
+            home_accuracy: 0.0,
+            home_evaluated: 0,
+            distortion_mean_m: 12.25,
+            distortion_p95_m: 40.5,
+            coverage_f1: 0.75,
+            coverage_total_variation: 0.125,
+            trip_length_ks: 0.1,
+            trip_duration_ks: 0.9,
+        }
+    }
+
+    fn sample_report() -> EvalReport {
+        EvalReport {
+            schema_version: SCHEMA_VERSION,
+            plan: "smoke".into(),
+            cells: vec![sample_cell()],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = EvalReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), text, "serialized fixed point");
+    }
+
+    #[test]
+    fn schema_version_is_first_and_enforced() {
+        let report = sample_report();
+        assert!(report.to_json().starts_with("{\"schema_version\":1,"));
+        let future = report
+            .to_json()
+            .replacen("\"schema_version\":1", "\"schema_version\":999", 1);
+        let err = EvalReport::from_json(&future).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_a_schema_error() {
+        let text = sample_report()
+            .to_json()
+            .replace("\"digest\"", "\"digset\"");
+        let err = EvalReport::from_json(&text).unwrap_err();
+        assert!(err.contains("digest"), "{err}");
+    }
+
+    #[test]
+    fn diff_of_identical_reports_is_empty() {
+        assert!(sample_report().diff(&sample_report()).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_digest_and_metric_drift() {
+        let golden = sample_report();
+        let mut fresh = golden.clone();
+        fresh.cells[0].digest = "ffffffffffffffff".into();
+        fresh.cells[0].poi_recall = 0.5;
+        let problems = golden.diff(&fresh);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("digest"), "{}", problems[0]);
+        assert!(problems[0].contains("poi_recall"), "{}", problems[0]);
+    }
+
+    #[test]
+    fn diff_flags_missing_and_extra_cells() {
+        let golden = sample_report();
+        let empty = EvalReport {
+            schema_version: SCHEMA_VERSION,
+            plan: "smoke".into(),
+            cells: Vec::new(),
+        };
+        let problems = golden.diff(&empty);
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("missing from the fresh run"));
+        let problems = empty.diff(&golden);
+        assert!(problems[0].contains("not present in the golden corpus"));
+    }
+
+    #[test]
+    fn scenario_slice_partitions() {
+        let mut report = sample_report();
+        let mut other = sample_cell();
+        other.scenario = "hub_rush".into();
+        report.cells.push(other);
+        assert_eq!(report.scenarios(), vec!["crossing_paths", "hub_rush"]);
+        assert_eq!(report.scenario_slice("hub_rush").cells.len(), 1);
+        assert_eq!(report.scenario_slice("absent").cells.len(), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The imperative half of the harness: expand a plan into cells and run
+//! them, in parallel, deterministically.
+//!
+//! # Determinism
+//!
+//! Every cell is a pure function of `(plan seed, scenario name,
+//! mechanism id)`:
+//!
+//! * the workload is generated from the plan seed alone;
+//! * the mechanism runs through [`Engine`] under
+//!   [`cell_seed`](crate::digest::cell_seed), which derives from the
+//!   cell's *names* — never from its position in the plan or the
+//!   schedule;
+//! * every attack and metric downstream is deterministic (no RNG, no
+//!   hash-order-dependent float accumulation).
+//!
+//! Cells therefore fan out across threads freely: the report is
+//! bit-identical for any `--threads` value, which the property suite
+//! asserts and the golden corpus pins.
+
+use rayon::prelude::*;
+
+use mobipriv_attacks::{HomeAttack, PoiAttack, ReidentAttack, Tracker};
+use mobipriv_core::Engine;
+use mobipriv_metrics::{coverage, spatial, trips};
+use mobipriv_synth::SynthOutput;
+
+use crate::digest::{cell_seed, dataset_digest};
+use crate::plan::{EvalPlan, MechanismSpec, ScenarioSpec};
+use crate::report::{EvalCell, EvalReport, SCHEMA_VERSION};
+
+/// Grid-cell size for the coverage metric, meters (matches the service
+/// report headers).
+const COVERAGE_CELL_M: f64 = 250.0;
+
+/// Runs the plan on one worker thread per core.
+pub fn evaluate(plan: &EvalPlan) -> EvalReport {
+    evaluate_with(plan, None)
+}
+
+/// Runs the plan with the cell fan-out pinned to `threads` workers
+/// (`None` = one per core). The report is identical for every value —
+/// parallelism is a wall-clock decision, never an output decision.
+pub fn evaluate_with(plan: &EvalPlan, threads: Option<usize>) -> EvalReport {
+    // Generate each (scenario, seed) workload once; cells share it
+    // read-only.
+    let worlds: Vec<(ScenarioSpec, u64, SynthOutput)> = plan
+        .scenarios
+        .iter()
+        .flat_map(|scenario| {
+            plan.seeds
+                .iter()
+                .map(move |&seed| (*scenario, seed, scenario.generate(seed)))
+        })
+        .collect();
+    let jobs: Vec<(&(ScenarioSpec, u64, SynthOutput), &MechanismSpec)> = worlds
+        .iter()
+        .flat_map(|world| plan.mechanisms.iter().map(move |m| (world, m)))
+        .collect();
+    let run = |job: &(&(ScenarioSpec, u64, SynthOutput), &MechanismSpec)| {
+        let ((scenario, seed, world), mechanism) = job;
+        run_cell(*scenario, *seed, world, mechanism)
+    };
+    let fan_out = || jobs.par_iter().map(run).collect::<Vec<EvalCell>>();
+    let mut cells = match threads {
+        Some(n) => rayon::with_num_threads(n.max(1), fan_out),
+        None => fan_out(),
+    };
+    cells.sort_by(|a, b| {
+        (&a.scenario, &a.mechanism, a.seed).cmp(&(&b.scenario, &b.mechanism, b.seed))
+    });
+    EvalReport {
+        schema_version: SCHEMA_VERSION,
+        plan: plan.name.clone(),
+        cells,
+    }
+}
+
+/// Runs one cell: protect, attack four ways, measure utility.
+fn run_cell(
+    scenario: ScenarioSpec,
+    seed: u64,
+    world: &SynthOutput,
+    mechanism: &MechanismSpec,
+) -> EvalCell {
+    let mechanism_id = mechanism.id();
+    let cseed = cell_seed(seed, scenario.name(), &mechanism_id);
+    let built = mechanism.build();
+    // The engine runs sequentially *within* a cell — the harness
+    // parallelizes at cell granularity, and engine output is
+    // schedule-independent anyway, so nothing changes but the thread
+    // accounting.
+    let published = Engine::sequential().protect(built.as_ref(), &world.dataset, cseed);
+
+    // Kerckhoffs: every profile/stay-based adversary knows the
+    // mechanism and widens its clustering radii to the expected noise.
+    // (The tracker has no such knob — its gate is kinematic.)
+    let noise = mechanism.expected_noise_m();
+    let poi = PoiAttack::tuned_for_noise(noise).run(&published, &world.truth);
+    // Threat model: the adversary saw the raw data once (e.g. a prior
+    // unprotected release) and links the protected release back to it.
+    let reident = ReidentAttack::tuned_for_noise(noise).run(&world.dataset, &published);
+    let tracker = Tracker::default().run(&published);
+    let home = HomeAttack::tuned_for_noise(noise).run(&published, &world.truth);
+
+    let distortion = spatial::dataset_distortion_anonymous(&world.dataset, &published);
+    let cover = coverage::coverage(&world.dataset, &published, COVERAGE_CELL_M);
+    let trip = trips::trip_report(&world.dataset, &published);
+
+    EvalCell {
+        scenario: scenario.name().to_owned(),
+        mechanism: mechanism_id,
+        mechanism_name: built.name(),
+        seed,
+        cell_seed: cseed,
+        input_traces: world.dataset.len() as u64,
+        input_fixes: world.dataset.total_fixes() as u64,
+        output_traces: published.len() as u64,
+        output_fixes: published.total_fixes() as u64,
+        digest: dataset_digest(&published),
+        poi_recall: poi.overall.recall,
+        poi_precision: poi.overall.precision,
+        reident_accuracy: reident.accuracy_identity(),
+        tracker_continuity: tracker.continuity,
+        tracker_purity: tracker.purity,
+        tracker_tracks: tracker.tracks as u64,
+        home_accuracy: home.accuracy(),
+        home_evaluated: home.evaluated as u64,
+        distortion_mean_m: distortion.mean,
+        distortion_p95_m: distortion.p95,
+        coverage_f1: cover.f1,
+        coverage_total_variation: cover.total_variation,
+        trip_length_ks: trip.length_ks,
+        trip_duration_ks: trip.duration_ks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::EvalPlan;
+
+    /// A two-cell plan small enough for unit tests.
+    fn tiny_plan() -> EvalPlan {
+        EvalPlan {
+            name: "custom".to_owned(),
+            scenarios: vec![ScenarioSpec::CrossingPaths],
+            mechanisms: vec![
+                MechanismSpec::Identity,
+                MechanismSpec::Promesse { alpha_m: 100.0 },
+            ],
+            seeds: vec![7],
+        }
+    }
+
+    #[test]
+    fn report_covers_every_cell_in_sorted_order() {
+        let report = evaluate(&tiny_plan());
+        assert_eq!(report.schema_version, SCHEMA_VERSION);
+        assert_eq!(report.cells.len(), 2);
+        let keys: Vec<(&str, &str)> = report
+            .cells
+            .iter()
+            .map(|c| (c.scenario.as_str(), c.mechanism.as_str()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("crossing_paths", "promesse_a100"),
+                ("crossing_paths", "raw"),
+            ]
+        );
+    }
+
+    #[test]
+    fn identity_cell_republishes_the_input() {
+        let report = evaluate(&tiny_plan());
+        let raw = report.cells.iter().find(|c| c.mechanism == "raw").unwrap();
+        assert_eq!(raw.input_fixes, raw.output_fixes);
+        assert_eq!(raw.distortion_mean_m, 0.0);
+        assert_eq!(raw.coverage_f1, 1.0);
+        // Raw crossing-paths data leaks both users' POIs.
+        assert!(raw.poi_recall > 0.8, "raw recall {}", raw.poi_recall);
+    }
+
+    #[test]
+    fn promesse_cell_hides_pois_and_stays_spatially_close() {
+        let report = evaluate(&tiny_plan());
+        let cell = report
+            .cells
+            .iter()
+            .find(|c| c.mechanism == "promesse_a100")
+            .unwrap();
+        assert!(cell.poi_recall < 0.3, "promesse recall {}", cell.poi_recall);
+        assert!(
+            cell.distortion_mean_m < 50.0,
+            "promesse distortion {}",
+            cell.distortion_mean_m
+        );
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_report() {
+        let plan = tiny_plan();
+        let one = evaluate_with(&plan, Some(1));
+        let four = evaluate_with(&plan, Some(4));
+        let free = evaluate(&plan);
+        assert_eq!(one, four);
+        assert_eq!(one, free);
+        assert_eq!(one.to_json(), four.to_json(), "byte-identical JSON");
+    }
+
+    #[test]
+    fn filtering_the_plan_preserves_cell_results() {
+        // The same (scenario, mechanism, seed) computes the same cell
+        // whether or not other cells run beside it.
+        let full = evaluate(&tiny_plan());
+        let narrow = evaluate(&tiny_plan().with_mechanism("promesse_a100").unwrap());
+        let from_full = full
+            .cells
+            .iter()
+            .find(|c| c.mechanism == "promesse_a100")
+            .unwrap();
+        assert_eq!(narrow.cells.len(), 1);
+        assert_eq!(&narrow.cells[0], from_full);
+    }
+}

@@ -1,6 +1,11 @@
 //! Cell-coverage and heat-map similarity between raw and published data.
+//!
+//! Counts are kept in `BTreeMap`s so every derived statistic (including
+//! the floating-point sums behind the cosine similarity) accumulates in
+//! one fixed cell order — the evaluation harness pins these numbers in
+//! its golden corpus, so they must be bit-identical across processes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -70,11 +75,11 @@ pub fn coverage(raw: &Dataset, published: &Dataset, cell_m: f64) -> CoverageRepo
     }
 }
 
-fn cell_counts(frame: &LocalFrame, dataset: &Dataset, cell_m: f64) -> HashMap<CellId, f64> {
+fn cell_counts(frame: &LocalFrame, dataset: &Dataset, cell_m: f64) -> BTreeMap<CellId, f64> {
     // Reuse GridIndex's cell addressing for consistency with the rest of
     // the toolkit.
     let index: GridIndex<()> = GridIndex::new(cell_m.max(1.0)).expect("positive cell size");
-    let mut counts = HashMap::new();
+    let mut counts = BTreeMap::new();
     for trace in dataset.traces() {
         for fix in trace.fixes() {
             let cell = index.cell_of(frame.project(fix.position));
@@ -84,7 +89,7 @@ fn cell_counts(frame: &LocalFrame, dataset: &Dataset, cell_m: f64) -> HashMap<Ce
     counts
 }
 
-fn cosine_similarity(a: &HashMap<CellId, f64>, b: &HashMap<CellId, f64>) -> f64 {
+fn cosine_similarity(a: &BTreeMap<CellId, f64>, b: &BTreeMap<CellId, f64>) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -101,7 +106,7 @@ fn cosine_similarity(a: &HashMap<CellId, f64>, b: &HashMap<CellId, f64>) -> f64 
     }
 }
 
-fn total_variation(a: &HashMap<CellId, f64>, b: &HashMap<CellId, f64>) -> f64 {
+fn total_variation(a: &BTreeMap<CellId, f64>, b: &BTreeMap<CellId, f64>) -> f64 {
     let ta: f64 = a.values().sum();
     let tb: f64 = b.values().sum();
     if ta == 0.0 && tb == 0.0 {

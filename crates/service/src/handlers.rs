@@ -119,8 +119,11 @@ fn route(
             "application/json",
             mechanisms_json().into_bytes(),
         )),
+        ("GET", "/v1/evaluate") => evaluate(head),
         ("POST", "/v1/anonymize") => anonymize(head, reader, config),
-        (_, "/healthz" | "/v1/mechanisms") => Err(ServiceError::MethodNotAllowed("GET")),
+        (_, "/healthz" | "/v1/mechanisms" | "/v1/evaluate") => {
+            Err(ServiceError::MethodNotAllowed("GET"))
+        }
         (_, "/v1/anonymize") => Err(ServiceError::MethodNotAllowed("POST")),
         (_, path) => Err(ServiceError::NotFound(path.to_owned())),
     }
@@ -197,6 +200,61 @@ fn anonymize(
         reason: "OK",
         headers,
         body,
+    })
+}
+
+/// `GET /v1/evaluate[?preset=smoke|full][&scenario=…][&mechanism=…][&seed=…]`
+///
+/// Runs the evaluation matrix (mechanisms × scenarios × attacks ×
+/// utility metrics) on synthetic workloads and returns the
+/// schema-versioned JSON [`mobipriv_eval::EvalReport`]. The response is
+/// a pure function of the query parameters — the same plan always
+/// produces byte-identical JSON, the same contract `mobipriv-eval`
+/// honours on the command line.
+///
+/// `scenario` and `mechanism` filter the plan to one row/column (ids as
+/// listed by `mobipriv-eval --help`); `seed` replaces the plan's seed
+/// axis. The unfiltered `full` preset runs for minutes — filter it, or
+/// use the CLI for bulk runs.
+fn evaluate(head: &RequestHead) -> Result<Response, ServiceError> {
+    let params = Params(&head.query);
+    let mut plan = match params.get("preset").unwrap_or("smoke") {
+        "smoke" => mobipriv_eval::EvalPlan::smoke(),
+        "full" => mobipriv_eval::EvalPlan::full(),
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "invalid value `{other}` for parameter `preset` (expected smoke|full)"
+            )))
+        }
+    };
+    if let Some(name) = params.get("scenario") {
+        plan = plan.with_scenario(name).ok_or_else(|| {
+            ServiceError::BadRequest(format!(
+                "unknown scenario `{name}` for parameter `scenario`"
+            ))
+        })?;
+    }
+    if let Some(id) = params.get("mechanism") {
+        plan = plan.with_mechanism(id).ok_or_else(|| {
+            ServiceError::BadRequest(format!(
+                "unknown mechanism `{id}` for parameter `mechanism`"
+            ))
+        })?;
+    }
+    if params.get("seed").is_some() {
+        plan = plan.with_seed(params.parse_or("seed", 0)?);
+    }
+    let report = mobipriv_eval::evaluate(&plan);
+    let headers = vec![
+        ("content-type", "application/json".to_owned()),
+        ("x-mobipriv-eval-cells", report.cells.len().to_string()),
+        ("x-mobipriv-eval-plan", report.plan.clone()),
+    ];
+    Ok(Response {
+        status: 200,
+        reason: "OK",
+        headers,
+        body: report.to_json().into_bytes(),
     })
 }
 

@@ -13,6 +13,7 @@
 //! |---|---|
 //! | `POST /v1/anonymize?mechanism=…&seed=…` | stream a CSV/NDJSON body through a mechanism, get CSV back |
 //! | `GET /v1/mechanisms` | the mechanism catalogue with parameters and defaults |
+//! | `GET /v1/evaluate?scenario=…&mechanism=…` | run the evaluation matrix (attacks + utility metrics) on synthetic workloads, get the JSON [`EvalReport`](mobipriv_eval::EvalReport) |
 //! | `GET /healthz` | liveness probe |
 //!
 //! # Guarantees

@@ -353,3 +353,76 @@ fn shutdown_is_graceful_and_frees_the_port() {
         }
     }
 }
+
+#[test]
+fn evaluate_endpoint_returns_the_matrix_report() {
+    let server = start(|_| {});
+    let addr = server.addr();
+
+    // One filtered cell: fast, and exactly what the batch harness
+    // computes for the same plan.
+    let (status, headers, body) = get(
+        addr,
+        "/v1/evaluate?scenario=crossing_paths&mechanism=promesse_a100",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(headers["content-type"], "application/json");
+    assert_eq!(headers["x-mobipriv-eval-cells"], "1");
+    let text = String::from_utf8(body).expect("UTF-8 JSON");
+    let report = mobipriv_eval::EvalReport::from_json(&text).expect("parseable report");
+    assert_eq!(report.schema_version, mobipriv_eval::SCHEMA_VERSION);
+    assert_eq!(report.cells.len(), 1);
+    assert_eq!(report.cells[0].scenario, "crossing_paths");
+    assert_eq!(report.cells[0].mechanism, "promesse_a100");
+
+    let plan = mobipriv_eval::EvalPlan::smoke()
+        .with_scenario("crossing_paths")
+        .unwrap()
+        .with_mechanism("promesse_a100")
+        .unwrap();
+    let reference = mobipriv_eval::evaluate(&plan);
+    assert_eq!(text, reference.to_json(), "service and CLI reports agree");
+    server.shutdown();
+}
+
+#[test]
+fn evaluate_endpoint_is_deterministic_and_honours_filters() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let target = "/v1/evaluate?scenario=crossing_paths&mechanism=raw&seed=7";
+    let (status_a, _, body_a) = get(addr, target);
+    let (status_b, _, body_b) = get(addr, target);
+    assert_eq!((status_a, status_b), (200, 200));
+    assert_eq!(body_a, body_b, "same plan, byte-identical report");
+    let report =
+        mobipriv_eval::EvalReport::from_json(std::str::from_utf8(&body_a).unwrap()).unwrap();
+    assert_eq!(report.cells[0].seed, 7);
+
+    // A different seed changes the randomized scenario content.
+    let (_, _, other_seed) = get(
+        addr,
+        "/v1/evaluate?scenario=crossing_paths&mechanism=raw&seed=8",
+    );
+    assert_ne!(body_a, other_seed);
+    server.shutdown();
+}
+
+#[test]
+fn evaluate_endpoint_rejects_bad_parameters() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    for target in [
+        "/v1/evaluate?scenario=atlantis",
+        "/v1/evaluate?mechanism=warp-drive",
+        "/v1/evaluate?preset=gigantic",
+        "/v1/evaluate?seed=banana",
+    ] {
+        let (status, _, body) = get(addr, target);
+        assert_eq!(status, 400, "{target}");
+        assert!(!body.is_empty(), "{target} has an explanatory body");
+    }
+    let (status, headers, _) = post(addr, "/v1/evaluate", b"");
+    assert_eq!(status, 405);
+    assert_eq!(headers["allow"], "GET");
+    server.shutdown();
+}

@@ -5,7 +5,8 @@
 #   1. boots mobipriv-serve on an ephemeral port,
 #   2. POSTs a small synthetic dataset through each per-trace mechanism,
 #   3. asserts HTTP 200 + parseable CSV back,
-#   4. kills the server on exit.
+#   4. GETs /v1/evaluate matrix cells and asserts parseable JSON back,
+#   5. kills the server on exit.
 set -euo pipefail
 
 BIN=${BIN:-target/release}
@@ -60,5 +61,45 @@ do
   }
   echo "ok        $Q ($(wc -l < "$WORK/out.csv") lines back)"
 done
+
+# The evaluation matrix endpoint: one filtered cell per scenario family
+# must come back as 200 + parseable schema-versioned JSON.
+for Q in \
+  'scenario=crossing_paths&mechanism=promesse_a100' \
+  'scenario=crossing_paths&mechanism=raw&seed=7' \
+  'scenario=random_walkers&mechanism=geoind_e0.01'
+do
+  STATUS=$(curl -s -o "$WORK/eval.json" -w '%{http_code}' \
+    "http://$ADDR/v1/evaluate?$Q")
+  if [ "$STATUS" != 200 ]; then
+    echo "FAIL /v1/evaluate?$Q -> HTTP $STATUS" >&2
+    cat "$WORK/eval.json" >&2
+    exit 1
+  fi
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$WORK/eval.json" > /dev/null || {
+      echo "FAIL /v1/evaluate?$Q: response is not valid JSON" >&2
+      head -c 400 "$WORK/eval.json" >&2
+      exit 1
+    }
+  fi
+  grep -q '"schema_version":1' "$WORK/eval.json" || {
+    echo "FAIL /v1/evaluate?$Q: schema_version missing" >&2
+    exit 1
+  }
+  grep -q '"digest":"' "$WORK/eval.json" || {
+    echo "FAIL /v1/evaluate?$Q: no cell digest in report" >&2
+    exit 1
+  }
+  echo "ok        /v1/evaluate?$Q ($(wc -c < "$WORK/eval.json") bytes back)"
+done
+
+# Bad parameters must 400, not 500.
+STATUS=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/evaluate?scenario=atlantis")
+if [ "$STATUS" != 400 ]; then
+  echo "FAIL /v1/evaluate?scenario=atlantis -> HTTP $STATUS (expected 400)" >&2
+  exit 1
+fi
+echo "ok        /v1/evaluate rejects unknown scenario with 400"
 
 echo "service smoke passed"

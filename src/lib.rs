@@ -21,6 +21,7 @@
 //! | [`core`] | `mobipriv-core` | **the paper**: Promesse, mix-zones, pipeline, baselines |
 //! | [`attacks`] | `mobipriv-attacks` | POI retrieval, re-identification, tracking |
 //! | [`metrics`] | `mobipriv-metrics` | distortion, coverage, queries, trip stats |
+//! | [`eval`] | `mobipriv-eval` | mechanism × scenario × attack evaluation matrix + golden conformance corpus |
 //! | [`service`] | `mobipriv-service` | anonymization-as-a-service: HTTP server + load generator |
 //!
 //! # Quickstart
@@ -52,6 +53,7 @@
 
 pub use mobipriv_attacks as attacks;
 pub use mobipriv_core as core;
+pub use mobipriv_eval as eval;
 pub use mobipriv_geo as geo;
 pub use mobipriv_metrics as metrics;
 pub use mobipriv_model as model;

@@ -1,19 +1,38 @@
 //! The mechanism × attack matrix: every protection mechanism against
 //! every adversary, asserting the qualitative ordering the paper claims
 //! (who wins, roughly by how much, and where the crossovers are).
+//!
+//! The machine-readable version of this grid lives in `mobipriv-eval`
+//! (and its golden corpus under `tests/golden/`); the assertions here
+//! pin the *qualitative* story in human-auditable form.
 
-use mobipriv::attacks::PoiAttack;
-use mobipriv::core::{GeoInd, GridGeneralization, Identity, KDelta, Mechanism, Promesse};
+use mobipriv::attacks::{HomeAttack, PoiAttack, ReidentAttack, Tracker};
+use mobipriv::core::{
+    GeoInd, GridGeneralization, Identity, KDelta, Mechanism, MixZoneConfig, MixZones, Pipeline,
+    Promesse,
+};
 use mobipriv::synth::scenarios;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn recall_of(mechanism: &dyn Mechanism, noise: f64, seed: u64) -> f64 {
-    let town = scenarios::commuter_town(6, 2, 7_777);
+fn town() -> mobipriv::synth::SynthOutput {
+    scenarios::commuter_town(6, 2, 7_777)
+}
+
+fn publish(
+    mechanism: &dyn Mechanism,
+    seed: u64,
+) -> (mobipriv::synth::SynthOutput, mobipriv::model::Dataset) {
+    let out = town();
     let mut rng = StdRng::seed_from_u64(seed);
-    let published = mechanism.protect(&town.dataset, &mut rng);
+    let published = mechanism.protect(&out.dataset, &mut rng);
+    (out, published)
+}
+
+fn recall_of(mechanism: &dyn Mechanism, noise: f64, seed: u64) -> f64 {
+    let (out, published) = publish(mechanism, seed);
     PoiAttack::tuned_for_noise(noise)
-        .run(&published, &town.truth)
+        .run(&published, &out.truth)
         .overall
         .recall
 }
@@ -57,6 +76,96 @@ fn promesse_recall_low_across_alpha() {
         let r = recall_of(&Promesse::new(alpha).unwrap(), 0.0, 6);
         assert!(r < 0.2, "alpha {alpha}: recall {r}");
     }
+}
+
+#[test]
+fn mixzones_alone_do_not_hide_pois_but_the_pipeline_does() {
+    // Step 2 of the paper (identifier swapping) costs no spatial
+    // accuracy — and therefore hides no POI geometry: the zones form at
+    // crossings, not at stops, so stop clusters survive intact.
+    let mixzones = MixZones::new(MixZoneConfig::default()).unwrap();
+    let mz = recall_of(&mixzones, 0.0, 11);
+    assert!(mz > 0.8, "mixzones recall {mz}");
+    // The full pipeline inherits step 1's smoothing: recall collapses.
+    let pipeline = Pipeline::new(100.0, MixZoneConfig::default()).unwrap();
+    let pipe = recall_of(&pipeline, 0.0, 12);
+    assert!(pipe < 0.15, "pipeline recall {pipe}");
+    assert!(pipe < mz, "smoothing is what hides POIs, not swapping");
+}
+
+#[test]
+fn reident_ordering_matches_the_paper() {
+    // The adversary trains POI profiles on day 0 (raw) and links the
+    // protected day-1 release back to known users.
+    let out = town();
+    let (train, test) = out
+        .dataset
+        .partition_by_time(mobipriv::model::Timestamp::new(86_400));
+    let accuracy = |mechanism: &dyn Mechanism, noise: f64, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let published = mechanism.protect(&test, &mut rng);
+        ReidentAttack::tuned_for_noise(noise)
+            .run(&train, &published)
+            .accuracy_identity()
+    };
+    let raw = accuracy(&Identity, 0.0, 1);
+    let promesse = accuracy(&Promesse::new(100.0).unwrap(), 0.0, 2);
+    let geoind = accuracy(&GeoInd::new(0.01).unwrap(), 200.0, 3);
+    // Raw releases are (almost) fully linkable.
+    assert!(raw > 0.8, "raw reident {raw}");
+    // Smoothing removes the POI profiles the linker keys on.
+    assert!(promesse < 0.2, "promesse reident {promesse}");
+    // Noise does not: profiles survive against a noise-tuned adversary.
+    assert!(geoind > 0.6, "geoind reident {geoind}");
+    assert!(promesse < geoind && geoind <= raw, "ordering");
+}
+
+#[test]
+fn tracker_ordering_raw_and_promesse_trackable_geoind_fragments() {
+    // The multi-target tracker needs kinematic plausibility, which is
+    // exactly what heavy per-point noise destroys (published hops imply
+    // super-gate speeds) — while smoothing, which *preserves* plausible
+    // kinematics by construction, keeps tracks intact. Tracking
+    // resistance is NOT what Promesse claims; its defence is against
+    // POI-based attacks, and mix-zone confusion is measured separately
+    // (experiment T8).
+    let continuity = |mechanism: &dyn Mechanism, seed: u64| {
+        let (_, published) = publish(mechanism, seed);
+        Tracker::default().run(&published).continuity
+    };
+    let raw = continuity(&Identity, 1);
+    let promesse = continuity(&Promesse::new(100.0).unwrap(), 2);
+    let geoind = continuity(&GeoInd::new(0.01).unwrap(), 3);
+    assert!(raw > 0.97, "raw continuity {raw}");
+    assert!(promesse > 0.95, "promesse continuity {promesse}");
+    assert!(
+        geoind < raw - 0.03,
+        "geoind continuity {geoind} vs raw {raw}"
+    );
+}
+
+#[test]
+fn home_ordering_smoothing_protects_noise_does_not() {
+    // The end-game semantic attack. A naive (untuned) home adversary is
+    // defeated by 200 m noise — but Kerckhoffs applies: widening the
+    // stay-point radius and match tolerance to the known noise level
+    // (`HomeAttack::tuned_for_noise`, the same adaptation the POI and
+    // re-identification adversaries make) recovers most homes through
+    // geo-indistinguishability, while smoothing leaves nothing to widen
+    // onto.
+    let accuracy = |mechanism: &dyn Mechanism, noise: f64, seed: u64| {
+        let (out, published) = publish(mechanism, seed);
+        HomeAttack::tuned_for_noise(noise)
+            .run(&published, &out.truth)
+            .accuracy()
+    };
+    let raw = accuracy(&Identity, 0.0, 1);
+    let promesse = accuracy(&Promesse::new(100.0).unwrap(), 0.0, 2);
+    let geoind = accuracy(&GeoInd::new(0.01).unwrap(), 200.0, 3);
+    assert!(raw > 0.8, "raw home accuracy {raw}");
+    assert!(promesse < 0.2, "promesse home accuracy {promesse}");
+    assert!(geoind > 0.5, "tuned geoind home accuracy {geoind}");
+    assert!(promesse < geoind && geoind <= raw, "ordering");
 }
 
 #[test]

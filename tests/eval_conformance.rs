@@ -1,0 +1,120 @@
+//! The golden conformance corpus: any determinism or quality regression
+//! in the mechanism → attack → metric pipeline fails here instead of
+//! silently shifting results.
+//!
+//! `tests/golden/*.json` (one file per scenario) pins the digests and
+//! metrics of every cell of the smoke-scale evaluation matrix. After an
+//! *intentional* change to a mechanism, attack, metric, scenario
+//! generator or the RNG derivation, regenerate with
+//!
+//! ```console
+//! cargo run --release -p mobipriv-eval --bin mobipriv-eval -- --bless
+//! ```
+//!
+//! and commit the refreshed corpus alongside the change.
+
+use std::path::{Path, PathBuf};
+
+use mobipriv::eval::{evaluate, EvalPlan, EvalReport, SCHEMA_VERSION};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn load_golden(scenario: &str) -> EvalReport {
+    let path = golden_dir().join(format!("{scenario}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {} (run --bless?): {e}", path.display()));
+    EvalReport::from_json(&text).unwrap_or_else(|e| panic!("parsing {}: {e}", path.display()))
+}
+
+/// The headline gate: a fresh run of the full smoke matrix matches the
+/// committed corpus cell for cell, digest for digest, bit for bit.
+#[test]
+fn fresh_smoke_run_matches_the_golden_corpus() {
+    let plan = EvalPlan::smoke();
+    let fresh = evaluate(&plan);
+    let mut checked = 0usize;
+    for scenario in fresh.scenarios() {
+        let golden = load_golden(&scenario);
+        assert!(
+            !golden.cells.is_empty(),
+            "golden file for {scenario} is empty"
+        );
+        let problems = golden.diff(&fresh.scenario_slice(&scenario));
+        assert!(
+            problems.is_empty(),
+            "conformance failure in {scenario}:\n  {}\nif intentional, re-bless with \
+             `cargo run --release -p mobipriv-eval --bin mobipriv-eval -- --bless`",
+            problems.join("\n  ")
+        );
+        checked += golden.cells.len();
+    }
+    assert_eq!(checked, plan.cell_count(), "corpus covers the whole matrix");
+}
+
+/// Every scenario family of the plan has a committed golden file — a
+/// new scenario cannot land without extending the corpus.
+#[test]
+fn corpus_covers_every_scenario_preset() {
+    for scenario in EvalPlan::smoke().scenarios {
+        let golden = load_golden(scenario.name());
+        assert_eq!(golden.schema_version, SCHEMA_VERSION);
+        assert_eq!(
+            golden.cells.len(),
+            EvalPlan::smoke().mechanisms.len() * EvalPlan::smoke().seeds.len(),
+            "scenario {} misses mechanism cells",
+            scenario.name()
+        );
+    }
+}
+
+/// The corpus is stored in the writer's canonical form, so a `--bless`
+/// after a no-op change produces no diff.
+#[test]
+fn golden_files_are_canonical_json() {
+    for scenario in EvalPlan::smoke().scenarios {
+        let path = golden_dir().join(format!("{}.json", scenario.name()));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = EvalReport::from_json(&text).unwrap();
+        assert_eq!(
+            report.to_json(),
+            text,
+            "{} is not in canonical form (re-bless)",
+            path.display()
+        );
+    }
+}
+
+/// The comparator itself must catch tampering: perturb a mechanism's
+/// output digest / a metric / the cell set, and conformance fails. (This
+/// is the "deliberately perturbed output fails" acceptance check, run
+/// against the real corpus.)
+#[test]
+fn perturbed_outputs_fail_conformance() {
+    let golden = load_golden("crossing_paths");
+
+    // A flipped digest — the signature of nondeterminism or a changed
+    // mechanism output.
+    let mut perturbed = golden.clone();
+    let digest = &mut perturbed.cells[0].digest;
+    let flipped = if digest.starts_with('0') { 'f' } else { '0' };
+    digest.replace_range(..1, &flipped.to_string());
+    let problems = golden.diff(&perturbed);
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    assert!(problems[0].contains("digest"), "{}", problems[0]);
+
+    // A quality regression: POI recall shifting on a protected cell.
+    let mut perturbed = golden.clone();
+    perturbed.cells[1].poi_recall += 0.25;
+    let problems = golden.diff(&perturbed);
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    assert!(problems[0].contains("poi_recall"), "{}", problems[0]);
+
+    // A silently dropped cell.
+    let mut perturbed = golden.clone();
+    perturbed.cells.pop();
+    let problems = golden.diff(&perturbed);
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    assert!(problems[0].contains("missing"), "{}", problems[0]);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the evaluation report's JSON form and the
+//! runner's schedule independence.
+
+use mobipriv::eval::{evaluate_with, EvalCell, EvalPlan, EvalReport, SCHEMA_VERSION};
+use proptest::prelude::*;
+
+const SCENARIOS: [&str; 6] = [
+    "commuter_town",
+    "dense_downtown",
+    "hub_rush",
+    "crossing_paths",
+    "random_walkers",
+    "serving_day",
+];
+const MECHANISMS: [&str; 5] = [
+    "raw",
+    "promesse_a100",
+    "geoind_e0.01",
+    "mixzones",
+    "pipeline_a100",
+];
+
+/// Arbitrary-but-plausible cells: names drawn from the real axes,
+/// counts and seeds across the whole u64/metric range the runner can
+/// produce.
+fn arb_cell() -> impl Strategy<Value = EvalCell> {
+    (
+        (
+            0usize..SCENARIOS.len(),
+            0usize..MECHANISMS.len(),
+            0u64..u64::MAX,
+        ),
+        (0u64..5_000, 0u64..500_000, 0u64..u64::MAX),
+        (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0),
+        (0.0f64..1.0, 0.0f64..1.0, 0u64..1_000),
+        (0.0f64..1.0, 0u64..100, 0.0f64..2_000.0),
+        (
+            0.0f64..2_000.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+            0.0f64..1.0,
+        ),
+    )
+        .prop_map(
+            |(
+                (scenario, mechanism, seed),
+                (traces, fixes, cell_seed),
+                (poi_recall, poi_precision, reident_accuracy),
+                (tracker_continuity, tracker_purity, tracker_tracks),
+                (home_accuracy, home_evaluated, distortion_mean_m),
+                (
+                    distortion_p95_m,
+                    coverage_f1,
+                    coverage_total_variation,
+                    trip_length_ks,
+                    trip_duration_ks,
+                ),
+            )| EvalCell {
+                scenario: SCENARIOS[scenario].to_owned(),
+                mechanism: MECHANISMS[mechanism].to_owned(),
+                mechanism_name: format!("mech(α={mechanism})"),
+                seed,
+                cell_seed,
+                input_traces: traces,
+                input_fixes: fixes,
+                output_traces: traces / 2,
+                output_fixes: fixes / 2,
+                digest: format!("{cell_seed:016x}"),
+                poi_recall,
+                poi_precision,
+                reident_accuracy,
+                tracker_continuity,
+                tracker_purity,
+                tracker_tracks,
+                home_accuracy,
+                home_evaluated,
+                distortion_mean_m,
+                distortion_p95_m,
+                coverage_f1,
+                coverage_total_variation,
+                trip_length_ks,
+                trip_duration_ks,
+            },
+        )
+}
+
+fn arb_report() -> impl Strategy<Value = EvalReport> {
+    proptest::collection::vec(arb_cell(), 0..12).prop_map(|cells| EvalReport {
+        schema_version: SCHEMA_VERSION,
+        plan: "custom".to_owned(),
+        cells,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `from_json ∘ to_json` is the identity on reports, and
+    /// `to_json ∘ from_json` is the identity on serialized bytes — the
+    /// JSON form is a fixed point, so goldens never churn under
+    /// re-serialization.
+    #[test]
+    fn report_json_round_trip_reaches_a_fixed_point(report in arb_report()) {
+        let text = report.to_json();
+        let back = EvalReport::from_json(&text).unwrap();
+        prop_assert_eq!(&back, &report, "from_json ∘ to_json is not the identity");
+        prop_assert_eq!(back.to_json(), text, "to_json ∘ from_json is not the identity");
+    }
+
+    /// Every serialized report carries the schema-version field, first.
+    #[test]
+    fn schema_version_field_is_always_present(report in arb_report()) {
+        let text = report.to_json();
+        let header = format!("{{\"schema_version\":{SCHEMA_VERSION},");
+        prop_assert!(text.starts_with(&header));
+        // And the parser refuses a report without it.
+        let stripped = text.replacen(&format!("\"schema_version\":{SCHEMA_VERSION},"), "", 1);
+        prop_assert!(EvalReport::from_json(&stripped).is_err());
+    }
+
+    /// A self-diff is always clean: comparing a report against itself
+    /// (or its own round trip) reports no divergence.
+    #[test]
+    fn self_diff_is_empty(report in arb_report()) {
+        prop_assert!(report.diff(&report).is_empty());
+        let back = EvalReport::from_json(&report.to_json()).unwrap();
+        prop_assert!(report.diff(&back).is_empty());
+    }
+}
+
+/// Digests (and every other byte of the report) are stable across
+/// `--threads 1` vs `--threads N`: the cell fan-out is a wall-clock
+/// decision, never an output decision.
+#[test]
+fn digests_are_stable_across_thread_counts() {
+    let plan = EvalPlan::smoke()
+        .with_scenario("crossing_paths")
+        .expect("known scenario");
+    let sequential = evaluate_with(&plan, Some(1));
+    let parallel = evaluate_with(&plan, Some(4));
+    assert_eq!(sequential, parallel);
+    assert_eq!(
+        sequential.to_json(),
+        parallel.to_json(),
+        "thread count leaked into the serialized report"
+    );
+    // The digests specifically: the per-cell fingerprints the golden
+    // corpus pins.
+    for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+        assert_eq!(a.digest, b.digest, "{}/{}", a.scenario, a.mechanism);
+    }
+}
