@@ -2,7 +2,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use mobipriv_geo::{LatLng, Seconds};
+use mobipriv_geo::{BoundingBox, GridIndex, LatLng, LocalFrame, Seconds};
 use mobipriv_model::{Dataset, Trace, UserId};
 use mobipriv_poi::{detect_stay_points, StayPoint, StayPointConfig};
 use mobipriv_synth::{GroundTruth, SiteCategory};
@@ -93,7 +93,31 @@ impl HomeAttack {
     /// Runs the attack on `published`, scoring against the generator's
     /// ground truth (each user's true home = their `Home`-category
     /// visit position).
+    ///
+    /// The greedy home↔guess matching queries a [`GridIndex`] over the
+    /// guesses for the candidates within `tolerance_m` of each home
+    /// instead of materializing the full pair matrix. The outcome is
+    /// bit-identical to [`run_naive`](HomeAttack::run_naive) — exact
+    /// distances stay haversine, the grid only prefilters, and pairs
+    /// sort by `(distance, home index, guess index)`, the order the
+    /// stable brute-force sort produced.
     pub fn run(&self, published: &Dataset, truth: &GroundTruth) -> HomeAttackOutcome {
+        self.run_inner(published, truth, true)
+    }
+
+    /// Brute-force reference implementation (full homes × guesses pair
+    /// matrix). Kept public for the indexed≡naive equivalence tests and
+    /// the `mobipriv-bench-perf` before/after comparison.
+    pub fn run_naive(&self, published: &Dataset, truth: &GroundTruth) -> HomeAttackOutcome {
+        self.run_inner(published, truth, false)
+    }
+
+    fn run_inner(
+        &self,
+        published: &Dataset,
+        truth: &GroundTruth,
+        indexed: bool,
+    ) -> HomeAttackOutcome {
         // True home per user.
         let mut true_homes: BTreeMap<UserId, LatLng> = BTreeMap::new();
         for visit in truth.visits() {
@@ -110,18 +134,29 @@ impl HomeAttack {
         // Pseudonymizing the labels therefore does not help — the homes
         // are still exposed; linking them back to names is the separate
         // re-identification step.
-        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
         let homes: Vec<&LatLng> = true_homes.values().collect();
         let guessed: Vec<&LatLng> = guesses.values().flatten().collect();
-        for (hi, home) in homes.iter().enumerate() {
-            for (gi, guess) in guessed.iter().enumerate() {
-                let d = home.haversine_distance(**guess).get();
-                if d <= self.tolerance_m {
-                    pairs.push((d, hi, gi));
+        let mut pairs: Vec<(f64, usize, usize)> = if indexed {
+            self.candidate_pairs_indexed(&homes, &guessed)
+        } else {
+            let mut pairs = Vec::new();
+            for (hi, home) in homes.iter().enumerate() {
+                for (gi, guess) in guessed.iter().enumerate() {
+                    let d = home.haversine_distance(**guess).get();
+                    if d <= self.tolerance_m {
+                        pairs.push((d, hi, gi));
+                    }
                 }
             }
-        }
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            pairs
+        };
+        // The explicit (home, guess) tie-break reproduces the stable
+        // sort over the generation order of the full pair matrix.
+        pairs.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("finite distances")
+                .then((a.1, a.2).cmp(&(b.1, b.2)))
+        });
         let mut home_used = vec![false; homes.len()];
         let mut guess_used = vec![false; guessed.len()];
         let mut identified = 0usize;
@@ -137,6 +172,51 @@ impl HomeAttack {
             identified,
             evaluated: homes.len(),
         }
+    }
+
+    /// The qualifying `(distance, home, guess)` pairs, found through a
+    /// planar grid over the projected guesses.
+    ///
+    /// The grid prefilters with a radius inflated by the worst-case
+    /// east–west stretch of the equirectangular projection over the
+    /// points' latitude span (planar x ≤ haversine × cos lat₀ ⁄ cos lat),
+    /// so no pair within the haversine tolerance can be missed; the
+    /// exact inclusion test is still the haversine distance.
+    fn candidate_pairs_indexed(
+        &self,
+        homes: &[&LatLng],
+        guessed: &[&LatLng],
+    ) -> Vec<(f64, usize, usize)> {
+        if homes.is_empty() || guessed.is_empty() {
+            return Vec::new();
+        }
+        let bb = BoundingBox::of(homes.iter().chain(guessed.iter()).map(|p| **p));
+        let origin = bb.center().expect("non-empty box");
+        let frame = LocalFrame::new(origin);
+        let min_cos = bb
+            .south_west()
+            .and_then(|sw| bb.north_east().map(|ne| (sw, ne)))
+            .map(|(sw, ne)| sw.lat_rad().cos().min(ne.lat_rad().cos()))
+            .expect("non-empty box")
+            .max(1e-6);
+        let stretch = (origin.lat_rad().cos() / min_cos).max(1.0);
+        let radius = self.tolerance_m.max(0.0) * stretch * 1.001 + 1.0;
+        let mut index = GridIndex::new(radius.max(1.0)).expect("positive cell size");
+        for (gi, guess) in guessed.iter().enumerate() {
+            index.insert(frame.project(**guess), gi);
+        }
+        let mut pairs = Vec::new();
+        for (hi, home) in homes.iter().enumerate() {
+            // Enumeration order is irrelevant: the caller sorts by the
+            // total key (distance, home, guess).
+            for &gi in index.neighbours_within(frame.project(**home), radius) {
+                let d = home.haversine_distance(*guessed[gi]).get();
+                if d <= self.tolerance_m {
+                    pairs.push((d, hi, gi));
+                }
+            }
+        }
+        pairs
     }
 
     /// Returns the best home candidate for one label.

@@ -2,7 +2,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use mobipriv_geo::{LatLng, LocalFrame};
+use mobipriv_geo::{chamfer_mean, GridIndex, Point};
 use mobipriv_model::{Dataset, UserId};
 use mobipriv_poi::PoiExtractor;
 
@@ -96,60 +96,117 @@ impl ReidentAttack {
 
     /// Links every label of `protected` to its most similar user from
     /// `training` (raw data).
+    ///
+    /// Each per-user profile is indexed in a [`GridIndex`] once, and the
+    /// directed chamfer distance resolves every observed POI through a
+    /// grid nearest-neighbour query instead of a scan over the whole
+    /// profile. The linking is bit-identical to
+    /// [`run_naive`](ReidentAttack::run_naive).
     pub fn run(&self, training: &Dataset, protected: &Dataset) -> ReidentOutcome {
+        self.run_inner(training, protected, true)
+    }
+
+    /// Brute-force reference implementation (full chamfer scan against
+    /// every profile POI). Kept public for the indexed≡naive
+    /// equivalence tests and the `mobipriv-bench-perf` before/after
+    /// comparison.
+    pub fn run_naive(&self, training: &Dataset, protected: &Dataset) -> ReidentOutcome {
+        self.run_inner(training, protected, false)
+    }
+
+    fn run_inner(&self, training: &Dataset, protected: &Dataset, indexed: bool) -> ReidentOutcome {
         let profiles = self.extractor.extract_dataset(training);
         let observed = self.extractor.extract_dataset(protected);
         let frame = match training.local_frame() {
             Ok(f) => f,
             Err(_) => return ReidentOutcome::default(),
         };
-        let profile_points: BTreeMap<UserId, Vec<mobipriv_geo::Point>> = profiles
+        let profile_points: BTreeMap<UserId, Vec<Point>> = profiles
             .iter()
             .map(|(u, pois)| (*u, pois.iter().map(|p| frame.project(p.centroid)).collect()))
             .collect();
+        // Index only the profiles large enough for a grid query to beat
+        // a linear scan; tiny profiles (the common case — a handful of
+        // POIs) fall through to the scan, which computes the very same
+        // minimum.
+        let profile_index: Option<BTreeMap<UserId, GridIndex<()>>> = indexed.then(|| {
+            profile_points
+                .iter()
+                .filter(|(_, points)| points.len() >= GRID_PROFILE_MIN)
+                .map(|(u, points)| (*u, profile_grid(points)))
+                .collect()
+        });
         let mut links = BTreeMap::new();
         for label in protected.users() {
-            let pois: Vec<LatLng> = observed
+            // Observed POIs are projected once here and passed through
+            // as planar points — no LatLng round trip per comparison.
+            let points: Vec<Point> = observed
                 .get(&label)
-                .map(|ps| ps.iter().map(|p| p.centroid).collect())
+                .map(|ps| ps.iter().map(|p| frame.project(p.centroid)).collect())
                 .unwrap_or_default();
-            links.insert(label, self.best_match(&frame, &pois, &profile_points));
+            links.insert(
+                label,
+                self.best_match(&points, &profile_points, profile_index.as_ref()),
+            );
         }
         ReidentOutcome { links }
     }
 
     fn best_match(
         &self,
-        frame: &LocalFrame,
-        pois: &[LatLng],
-        profiles: &BTreeMap<UserId, Vec<mobipriv_geo::Point>>,
+        points: &[Point],
+        profiles: &BTreeMap<UserId, Vec<Point>>,
+        index: Option<&BTreeMap<UserId, GridIndex<()>>>,
     ) -> Option<UserId> {
-        if pois.is_empty() {
+        if points.is_empty() {
             return None;
         }
-        let points: Vec<mobipriv_geo::Point> = pois.iter().map(|p| frame.project(*p)).collect();
         let mut best: Option<(f64, UserId)> = None;
         for (user, profile) in profiles {
             if profile.is_empty() {
                 continue;
             }
             // Directed chamfer distance: observed POIs -> profile.
-            let total: f64 = points
-                .iter()
-                .map(|p| {
-                    profile
+            let grid = index.and_then(|grids| grids.get(user));
+            let mean = match grid {
+                Some(grid) => chamfer_mean(points, grid).expect("both sides non-empty"),
+                None => {
+                    let total: f64 = points
                         .iter()
-                        .map(|q| p.distance(*q).get())
-                        .fold(f64::INFINITY, f64::min)
-                })
-                .sum();
-            let mean = total / points.len() as f64;
+                        .map(|p| {
+                            profile
+                                .iter()
+                                .map(|q| p.distance(*q).get())
+                                .fold(f64::INFINITY, f64::min)
+                        })
+                        .sum();
+                    total / points.len() as f64
+                }
+            };
             if best.is_none_or(|(d, _)| mean < d) {
                 best = Some((mean, *user));
             }
         }
         best.and_then(|(d, u)| (d <= self.max_link_distance_m).then_some(u))
     }
+}
+
+/// Profiles below this many POIs are matched by linear scan — the grid
+/// query's ring bookkeeping only pays off past it.
+const GRID_PROFILE_MIN: usize = 16;
+
+/// Builds the nearest-neighbour grid over one user's profile POIs, with
+/// the cell size scaled to the profile's spatial extent (profiles are
+/// small — a handful of POIs across a city).
+fn profile_grid(points: &[Point]) -> GridIndex<()> {
+    let extent = mobipriv_geo::Rect::of(points.iter().copied()).expect("non-empty profile");
+    let diag = extent.width().hypot(extent.height());
+    let cell = (diag / 4.0).clamp(100.0, 10_000.0);
+    let mut grid = GridIndex::new(cell).expect("positive cell size");
+    for p in points {
+        grid.insert(*p, ());
+    }
+    grid
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use serde::{Deserialize, Serialize};
 
-use mobipriv_geo::Point;
+use mobipriv_geo::{GridIndex, Point, Rect};
 use mobipriv_model::{Dataset, Timestamp};
 
 /// The multi-target tracking adversary (Hoh & Gruteser, SECURECOMM'05).
@@ -64,7 +65,28 @@ impl Tracker {
 
     /// Runs the attack on `dataset` (labels are used only for scoring,
     /// never for the assignment itself) and reports tracking quality.
+    ///
+    /// Open tracks live in an incrementally-updated [`GridIndex`] keyed
+    /// by their last position: each sample queries only the tracks the
+    /// speed gate could possibly admit (within
+    /// `max_speed × max_silence`), expanding outward and stopping at
+    /// the first ring that cannot beat the best gated match. The
+    /// association is bit-identical to
+    /// [`run_naive`](Tracker::run_naive) — ties in distance resolve to
+    /// the lowest track index, exactly like the sequential scan.
     pub fn run(&self, dataset: &Dataset) -> TrackerOutcome {
+        self.run_inner(dataset, true)
+    }
+
+    /// Brute-force reference implementation: every sample is tested
+    /// against every open track. Kept public for the indexed≡naive
+    /// equivalence tests and the `mobipriv-bench-perf` before/after
+    /// comparison.
+    pub fn run_naive(&self, dataset: &Dataset) -> TrackerOutcome {
+        self.run_inner(dataset, false)
+    }
+
+    fn run_inner(&self, dataset: &Dataset, indexed: bool) -> TrackerOutcome {
         let frame = match dataset.local_frame() {
             Ok(f) => f,
             Err(_) => {
@@ -85,48 +107,11 @@ impl Tracker {
         }
         samples.sort_by_key(|(t, _, _)| *t);
 
-        struct Track {
-            last_time: Timestamp,
-            last_pos: Point,
-            members: Vec<usize>, // sample indices
-        }
-        let mut tracks: Vec<Track> = Vec::new();
-        // assignment[i] = inferred track of sample i.
-        let mut assignment: Vec<usize> = vec![usize::MAX; samples.len()];
-        for (i, &(t, p, _)) in samples.iter().enumerate() {
-            // Find the nearest open track within the speed gate.
-            let mut best: Option<(f64, usize)> = None;
-            for (ti, track) in tracks.iter().enumerate() {
-                let dt = (t - track.last_time).get();
-                if dt < 0.0 || dt > self.max_silence_s {
-                    continue;
-                }
-                let d = track.last_pos.distance(p).get();
-                // Simultaneous samples cannot belong to the same target.
-                if dt == 0.0 {
-                    continue;
-                }
-                if d / dt <= self.max_speed_mps && best.is_none_or(|(bd, _)| d < bd) {
-                    best = Some((d, ti));
-                }
-            }
-            match best {
-                Some((_, ti)) => {
-                    tracks[ti].last_time = t;
-                    tracks[ti].last_pos = p;
-                    tracks[ti].members.push(i);
-                    assignment[i] = ti;
-                }
-                None => {
-                    tracks.push(Track {
-                        last_time: t,
-                        last_pos: p,
-                        members: vec![i],
-                    });
-                    assignment[i] = tracks.len() - 1;
-                }
-            }
-        }
+        let (tracks, assignment) = if indexed {
+            self.associate_indexed(&samples)
+        } else {
+            self.associate_naive(&samples)
+        };
 
         // Continuity: consecutive same-trace samples kept together.
         let mut last_sample_of_trace: BTreeMap<usize, usize> = BTreeMap::new();
@@ -163,6 +148,138 @@ impl Tracker {
             },
             tracks: tracks.len(),
             samples: samples.len(),
+        }
+    }
+
+    /// Greedy nearest-neighbour association, one full scan of the open
+    /// tracks per sample.
+    fn associate_naive(&self, samples: &[(Timestamp, Point, usize)]) -> (Vec<Track>, Vec<usize>) {
+        let mut tracks: Vec<Track> = Vec::new();
+        // assignment[i] = inferred track of sample i.
+        let mut assignment: Vec<usize> = vec![usize::MAX; samples.len()];
+        for (i, &(t, p, _)) in samples.iter().enumerate() {
+            // Find the nearest open track within the speed gate.
+            let mut best: Option<(f64, usize)> = None;
+            for (ti, track) in tracks.iter().enumerate() {
+                let dt = (t - track.last_time).get();
+                if dt < 0.0 || dt > self.max_silence_s {
+                    continue;
+                }
+                let d = track.last_pos.distance(p).get();
+                // Simultaneous samples cannot belong to the same target.
+                if dt == 0.0 {
+                    continue;
+                }
+                if d / dt <= self.max_speed_mps && best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, ti));
+                }
+            }
+            extend_or_open(
+                &mut tracks,
+                &mut assignment,
+                i,
+                t,
+                p,
+                best.map(|(_, ti)| ti),
+            );
+        }
+        (tracks, assignment)
+    }
+
+    /// The same greedy association with the open tracks kept in a
+    /// [`GridIndex`] keyed by `last_pos`: extending a track moves its
+    /// entry, and tracks silent past `max_silence_s` are evicted as the
+    /// sample clock passes them, so each query touches only local,
+    /// still-open tracks.
+    fn associate_indexed(&self, samples: &[(Timestamp, Point, usize)]) -> (Vec<Track>, Vec<usize>) {
+        let mut tracks: Vec<Track> = Vec::new();
+        let mut assignment: Vec<usize> = vec![usize::MAX; samples.len()];
+        let Some(bounds) = Rect::of(samples.iter().map(|&(_, p, _)| p)) else {
+            return (tracks, assignment);
+        };
+        // Cell size: fine enough to prune, coarse enough that a track's
+        // own continuation (typically one sampling interval away) sits
+        // within the first ring or two.
+        let diag = bounds.width().hypot(bounds.height());
+        let cell = (diag / 32.0).clamp(50.0, 5_000.0);
+        let mut index: GridIndex<usize> = GridIndex::new(cell).expect("positive cell size");
+        // No admissible track is farther than the gate allows at the
+        // longest allowed silence (plus slack for rounding).
+        let reach = self.max_speed_mps.max(0.0) * self.max_silence_s.max(0.0);
+        let reach = reach * (1.0 + 1e-9) + 1e-6;
+        // Eviction queue: (last_time, track) pairs; an entry is stale
+        // when the track moved on since it was queued.
+        let mut eviction: BinaryHeap<Reverse<(Timestamp, usize)>> = BinaryHeap::new();
+        for (i, &(t, p, _)) in samples.iter().enumerate() {
+            while let Some(&Reverse((queued, ti))) = eviction.peek() {
+                if tracks[ti].last_time != queued {
+                    eviction.pop(); // the track was extended since
+                    continue;
+                }
+                if (t - queued).get() > self.max_silence_s {
+                    eviction.pop();
+                    index.remove(tracks[ti].last_pos, &ti);
+                    continue;
+                }
+                break;
+            }
+            let best = index
+                .nearest_within_by(p, reach, |d, _, &ti| {
+                    let dt = (t - tracks[ti].last_time).get();
+                    // Same gate as the naive scan; simultaneous samples
+                    // cannot belong to the same target.
+                    if dt <= 0.0 || dt > self.max_silence_s {
+                        return None;
+                    }
+                    // The track index is the tie-break key: equidistant
+                    // candidates resolve exactly like the ascending
+                    // sequential scan.
+                    (d / dt <= self.max_speed_mps).then_some(ti)
+                })
+                .map(|(_, &ti)| ti);
+            if let Some(ti) = best {
+                index.remove(tracks[ti].last_pos, &ti);
+            }
+            extend_or_open(&mut tracks, &mut assignment, i, t, p, best);
+            let ti = assignment[i];
+            index.insert(p, ti);
+            eviction.push(Reverse((t, ti)));
+        }
+        (tracks, assignment)
+    }
+}
+
+/// One open (or closed) inferred track.
+struct Track {
+    last_time: Timestamp,
+    last_pos: Point,
+    members: Vec<usize>, // sample indices
+}
+
+/// Appends sample `i` to track `best` when the association found one,
+/// otherwise opens a new track; records the assignment either way.
+fn extend_or_open(
+    tracks: &mut Vec<Track>,
+    assignment: &mut [usize],
+    i: usize,
+    t: Timestamp,
+    p: Point,
+    best: Option<usize>,
+) {
+    match best {
+        Some(ti) => {
+            tracks[ti].last_time = t;
+            tracks[ti].last_pos = p;
+            tracks[ti].members.push(i);
+            assignment[i] = ti;
+        }
+        None => {
+            tracks.push(Track {
+                last_time: t,
+                last_pos: p,
+                members: vec![i],
+            });
+            assignment[i] = tracks.len() - 1;
         }
     }
 }

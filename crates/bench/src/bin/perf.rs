@@ -1,0 +1,241 @@
+//! `mobipriv-bench-perf` — the spatial-pruning macro-benchmark.
+//!
+//! Times every protection mechanism and every attack on a scaled
+//! [`serving_day`](mobipriv_synth::scenarios::serving_day) workload,
+//! and for the four paths rewired onto the spatial query layer
+//! (`KDelta`, `ReidentAttack`, `Tracker`, `HomeAttack`) times the
+//! brute-force reference (`*_naive`) against the indexed
+//! implementation and reports the speedup. Emits machine-readable JSON
+//! (`BENCH_perf.json` in CI) so the perf trajectory of the repo is a
+//! committed, diffable artifact.
+//!
+//! The naive and indexed runs produce bit-identical outputs (asserted
+//! here on every invocation, on top of the dedicated equivalence
+//! suite), so the timings compare equal work.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mobipriv_attacks::{HomeAttack, PoiAttack, ReidentAttack, Tracker};
+use mobipriv_core::{GeoInd, KDelta, Mechanism, Promesse};
+use mobipriv_synth::scenarios;
+
+const USAGE: &str = "\
+usage: mobipriv-bench-perf [--users N] [--seed N] [--iters N] [--out FILE]
+
+Times each mechanism and attack on the serving_day(N) workload and, for
+the spatially-indexed hot paths, the brute-force reference against the
+indexed implementation. Writes one JSON object (default: stdout).
+
+options:
+  --users N   serving_day scale (default 1000)
+  --seed N    workload seed (default 42)
+  --iters N   timed repetitions per measurement; the minimum wall time
+              is reported (default 3)
+  --out FILE  write the JSON to FILE instead of stdout
+  -h, --help  print this help
+";
+
+struct Args {
+    users: usize,
+    seed: u64,
+    iters: usize,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        users: 1_000,
+        seed: 42,
+        iters: 3,
+        out: None,
+    };
+    let mut iter = raw.iter();
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--users" => {
+                let v = value_of("--users")?;
+                args.users = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--users expects a positive integer, got `{v}`"))?;
+            }
+            "--seed" => {
+                let v = value_of("--seed")?;
+                args.seed = v
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed expects an integer, got `{v}`"))?;
+            }
+            "--iters" => {
+                let v = value_of("--iters")?;
+                args.iters = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--iters expects a positive integer, got `{v}`"))?;
+            }
+            "--out" => args.out = Some(value_of("--out")?),
+            other => return Err(format!("unexpected argument: {other}")),
+        }
+    }
+    Ok(Some(args))
+}
+
+/// Minimum wall time of `iters` runs, seconds. The closure's result is
+/// returned so outputs can be cross-checked (and the work not optimized
+/// away).
+fn time_min<T>(iters: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..iters {
+        let started = Instant::now();
+        let value = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        result = Some(value);
+    }
+    (best, result.expect("iters > 0"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "generating serving_day({}) with seed {}…",
+        args.users, args.seed
+    );
+    let world = scenarios::serving_day(args.users, args.seed);
+    let dataset = &world.dataset;
+    eprintln!(
+        "workload: {} traces, {} fixes",
+        dataset.len(),
+        dataset.total_fixes()
+    );
+
+    let mut mechanisms = Vec::new();
+    let promesse = Promesse::new(100.0).expect("valid alpha");
+    let (t, published) = time_min(args.iters, || {
+        promesse.protect(dataset, &mut StdRng::seed_from_u64(args.seed))
+    });
+    mechanisms.push(("promesse_a100".to_owned(), t));
+    let geoind = GeoInd::new(0.01).expect("valid epsilon");
+    let (t, _) = time_min(args.iters, || {
+        geoind.protect(dataset, &mut StdRng::seed_from_u64(args.seed))
+    });
+    mechanisms.push(("geoind_e0.01".to_owned(), t));
+
+    // The four spatially-indexed paths, naive vs indexed. Attacks run
+    // against the Promesse-protected release (the eval harness's threat
+    // model: the adversary saw the raw data once); KDelta runs on the
+    // raw dataset, where clustering has real work to do.
+    let mut paths = Vec::new();
+
+    // Two radii: δ=500 (the eval preset — a 2 km matching radius in an
+    // 8 km city, close to the worst case for spatial pruning) and
+    // δ=100, where the prefilter has real selectivity.
+    for delta in [500.0, 100.0] {
+        let kdelta = KDelta::new(2, delta).expect("valid parameters");
+        let (naive_s, naive_out) =
+            time_min(args.iters, || kdelta.protect_with_report_naive(dataset));
+        let (indexed_s, indexed_out) = time_min(args.iters, || kdelta.protect_with_report(dataset));
+        assert_eq!(naive_out, indexed_out, "kdelta naive≡indexed violated");
+        paths.push((format!("kdelta_k2_d{delta:.0}"), naive_s, indexed_s));
+    }
+
+    let reident = ReidentAttack::tuned_for_noise(0.0);
+    let (naive_s, naive_out) = time_min(args.iters, || reident.run_naive(dataset, &published));
+    let (indexed_s, indexed_out) = time_min(args.iters, || reident.run(dataset, &published));
+    assert_eq!(naive_out, indexed_out, "reident naive≡indexed violated");
+    paths.push(("reident".to_owned(), naive_s, indexed_s));
+
+    let tracker = Tracker::default();
+    let (naive_s, naive_out) = time_min(args.iters, || tracker.run_naive(&published));
+    let (indexed_s, indexed_out) = time_min(args.iters, || tracker.run(&published));
+    assert_eq!(naive_out, indexed_out, "tracker naive≡indexed violated");
+    paths.push(("tracker".to_owned(), naive_s, indexed_s));
+
+    // Home runs against the raw release — the paper's baseline threat,
+    // and the case where the homes × guesses matrix is actually dense
+    // (smoothing leaves almost no guesses to match).
+    let home = HomeAttack::default();
+    let (naive_s, naive_out) = time_min(args.iters, || home.run_naive(dataset, &world.truth));
+    let (indexed_s, indexed_out) = time_min(args.iters, || home.run(dataset, &world.truth));
+    assert_eq!(naive_out, indexed_out, "home naive≡indexed violated");
+    paths.push(("home".to_owned(), naive_s, indexed_s));
+
+    // Remaining attack for context (no indexed/naive split).
+    let poi = PoiAttack::default();
+    let (t, _) = time_min(args.iters, || poi.run(&published, &world.truth));
+    mechanisms.push(("poi_attack".to_owned(), t));
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"perf\",\"scenario\":\"serving_day\",\"users\":{},\"seed\":{},\
+         \"iters\":{},\"traces\":{},\"fixes\":{},\"paths\":[",
+        args.users,
+        args.seed,
+        args.iters,
+        dataset.len(),
+        dataset.total_fixes()
+    );
+    for (i, (name, naive_s, indexed_s)) in paths.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"name\":\"{name}\",\"naive_s\":{naive_s},\"indexed_s\":{indexed_s},\
+             \"speedup\":{}}}",
+            if i == 0 { "\n" } else { ",\n" },
+            naive_s / indexed_s.max(1e-12),
+        );
+    }
+    let _ = write!(json, "\n],\"context\":[");
+    for (i, (name, seconds)) in mechanisms.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"name\":\"{name}\",\"seconds\":{seconds}}}",
+            if i == 0 { "\n" } else { ",\n" },
+        );
+    }
+    json.push_str("\n]}\n");
+
+    for (name, naive_s, indexed_s) in &paths {
+        eprintln!(
+            "{name:>14}: naive {:>9.2} ms, indexed {:>9.2} ms -> {:.2}x",
+            naive_s * 1e3,
+            indexed_s * 1e3,
+            naive_s / indexed_s.max(1e-12),
+        );
+    }
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("writing {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}

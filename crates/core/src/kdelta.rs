@@ -1,7 +1,7 @@
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use mobipriv_geo::{Point, Seconds};
+use mobipriv_geo::{FootprintIndex, Point, Rect, Seconds};
 use mobipriv_model::{Dataset, Fix, Timestamp, TraceBuilder};
 
 use crate::error::require_positive;
@@ -131,7 +131,33 @@ impl KDelta {
 
     /// Runs the mechanism and returns the protected dataset with its
     /// report.
+    ///
+    /// Candidate generation is pruned through per-time-chunk
+    /// [`FootprintIndex`]es over trace-segment bounding boxes: a trace
+    /// within `cluster_radius_m` synchronized distance of the pivot has
+    /// a slot — hence a same-chunk segment — within that radius, so
+    /// each pivot only scores the traces its chunk queries return, and
+    /// the per-candidate slot sweep aborts early once the partial sum
+    /// provably exceeds the radius. The output is bit-identical to
+    /// [`protect_with_report_naive`] (candidates sort by
+    /// `(distance, trace index)`, exactly the order the stable
+    /// brute-force sort produced).
+    ///
+    /// [`protect_with_report_naive`]: KDelta::protect_with_report_naive
     pub fn protect_with_report(&self, dataset: &Dataset) -> (Dataset, KDeltaReport) {
+        self.protect_inner(dataset, true)
+    }
+
+    /// Brute-force reference implementation: scans every unassigned
+    /// trace per pivot (`O(n²·L)` synchronized-distance evaluations)
+    /// instead of querying the footprint index. Kept public for the
+    /// indexed≡naive equivalence tests and the `mobipriv-bench-perf`
+    /// before/after comparison.
+    pub fn protect_with_report_naive(&self, dataset: &Dataset) -> (Dataset, KDeltaReport) {
+        self.protect_inner(dataset, false)
+    }
+
+    fn protect_inner(&self, dataset: &Dataset, indexed: bool) -> (Dataset, KDeltaReport) {
         let frame = match dataset.local_frame() {
             Ok(f) => f,
             Err(_) => return (Dataset::new(), KDeltaReport::default()),
@@ -160,29 +186,95 @@ impl KDelta {
         // Longest first: long traces make the best pivots.
         unassigned.sort_by_key(|&i| std::cmp::Reverse(aligned[i].positions.len()));
         let mut assigned = vec![false; n];
+        // Spatio-temporal prefilter: a candidate within
+        // `cluster_radius_m` mean synchronized distance has at least one
+        // slot within that radius of the pivot. Grouping slots into
+        // fixed chunks of the absolute grid, that slot falls in the
+        // *same* chunk for both traces — so bucketing each trace's
+        // per-chunk bounding box in a per-chunk [`FootprintIndex`]
+        // (cells sized by the radius) and querying the pivot's chunks
+        // inflated by the radius can never miss a qualifying candidate,
+        // while skipping both time-disjoint and spatially-far traces.
+        // Whole-trace boxes would not prune: a day of commuting sweeps
+        // most of a city.
+        let mut chunked =
+            indexed.then(|| ChunkedFootprints::build(&aligned, self.cluster_radius_m));
         let mut clusters: Vec<Vec<usize>> = Vec::new();
         let mut trash: Vec<usize> = Vec::new();
+        // Dedup stamp for the multi-cell, multi-chunk footprint visits:
+        // stamp[j] holds the last pivot that already scored trace j.
+        let mut stamp = vec![usize::MAX; n];
         for &pivot in &unassigned {
             if assigned[pivot] {
                 continue;
             }
-            let mut candidates: Vec<(f64, usize)> = (0..n)
-                .filter(|&j| j != pivot && !assigned[j])
-                .filter_map(|j| {
-                    sync_distance(&aligned[pivot], &aligned[j], self.min_overlap).map(|d| (d, j))
-                })
-                .filter(|(d, _)| *d <= self.cluster_radius_m)
-                .collect();
-            candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+            let mut candidates: Vec<(f64, usize)> = Vec::new();
+            match &chunked {
+                Some(fp) => {
+                    fp.for_each_candidate(pivot, |j| {
+                        if j == pivot || assigned[j] || stamp[j] == pivot {
+                            return;
+                        }
+                        stamp[j] = pivot;
+                        let (a, b) = (&aligned[pivot], &aligned[j]);
+                        let lo = a.first_slot.max(b.first_slot);
+                        let hi = a.last_slot().min(b.last_slot());
+                        if hi < lo {
+                            return; // no common slots
+                        }
+                        let overlap = (hi - lo + 1) as f64;
+                        let shorter = a.positions.len().min(b.positions.len()) as f64;
+                        if shorter == 0.0 || overlap / shorter < self.min_overlap {
+                            return;
+                        }
+                        // Conservative radius cutoff on the *sum*; the
+                        // tiny slack keeps boundary candidates on the
+                        // exact-comparison path below.
+                        let cutoff = self.cluster_radius_m * overlap * (1.0 + 1e-9) + 1e-6;
+                        if fp.sum_lower_bound(pivot, j, lo, hi) > cutoff {
+                            return; // provably beyond the radius
+                        }
+                        if let Some(d) =
+                            bounded_mean_sweep(a, b, lo, hi, cutoff, self.cluster_radius_m)
+                        {
+                            candidates.push((d, j));
+                        }
+                    });
+                }
+                None => {
+                    candidates.extend(
+                        (0..n)
+                            .filter(|&j| j != pivot && !assigned[j])
+                            .filter_map(|j| {
+                                sync_distance(&aligned[pivot], &aligned[j], self.min_overlap)
+                                    .map(|d| (d, j))
+                            })
+                            .filter(|(d, _)| *d <= self.cluster_radius_m),
+                    );
+                }
+            }
+            // The explicit index tie-break reproduces the stable
+            // brute-force sort over an ascending-index candidate list.
+            candidates.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("finite distances")
+                    .then(a.1.cmp(&b.1))
+            });
             if candidates.len() >= self.k - 1 {
                 let mut cluster = vec![pivot];
                 cluster.extend(candidates.iter().take(self.k - 1).map(|(_, j)| *j));
                 for &m in &cluster {
                     assigned[m] = true;
+                    if let Some(fp) = chunked.as_mut() {
+                        fp.remove(m);
+                    }
                 }
                 clusters.push(cluster);
             } else {
                 assigned[pivot] = true;
+                if let Some(fp) = chunked.as_mut() {
+                    fp.remove(pivot);
+                }
                 trash.push(pivot);
             }
         }
@@ -243,6 +335,114 @@ impl KDelta {
     }
 }
 
+/// Slots per prefilter chunk: 4 alignment slots (4 minutes on the
+/// default 60 s grid) keeps each chunk's bounding box tight even for
+/// vehicular traces, which is what gives the footprint prefilter its
+/// selectivity.
+const CHUNK_SLOTS: i64 = 4;
+
+/// The spatio-temporal candidate prefilter: one [`FootprintIndex`] per
+/// chunk of the absolute time grid, each holding the bounding boxes of
+/// the trace segments falling in that chunk.
+struct ChunkedFootprints {
+    /// Cells sized by the cluster radius.
+    radius: f64,
+    /// chunk time index → footprint grid over that chunk's segments.
+    grids: std::collections::HashMap<i64, FootprintIndex<usize>>,
+    /// Per trace: its (chunk index, segment bounding box) list, kept to
+    /// query and remove without re-deriving.
+    chunks: Vec<Vec<(i64, Rect)>>,
+}
+
+impl ChunkedFootprints {
+    fn build(aligned: &[AlignedTrace], radius: f64) -> Self {
+        let chunks: Vec<Vec<(i64, Rect)>> = aligned
+            .iter()
+            .map(|a| {
+                let mut v = Vec::new();
+                let mut s = a.first_slot;
+                while s <= a.last_slot() {
+                    let t = s.div_euclid(CHUNK_SLOTS);
+                    let end = ((t + 1) * CHUNK_SLOTS - 1).min(a.last_slot());
+                    let rect = Rect::of((s..=end).map(|slot| a.at(slot).expect("slot in range")))
+                        .expect("non-empty chunk");
+                    v.push((t, rect));
+                    s = end + 1;
+                }
+                v
+            })
+            .collect();
+        let mut grids: std::collections::HashMap<i64, FootprintIndex<usize>> =
+            std::collections::HashMap::new();
+        for (i, trace_chunks) in chunks.iter().enumerate() {
+            for (t, rect) in trace_chunks {
+                grids
+                    .entry(*t)
+                    .or_insert_with(|| FootprintIndex::new(radius).expect("validated radius"))
+                    .insert(*rect, i);
+            }
+        }
+        ChunkedFootprints {
+            radius,
+            grids,
+            chunks,
+        }
+    }
+
+    /// Visits (with possible repeats — callers stamp-deduplicate) every
+    /// trace owning a segment within the radius of one of `pivot`'s
+    /// segments in the same time chunk: a superset of every trace whose
+    /// synchronized distance to the pivot can be within the radius.
+    fn for_each_candidate<F: FnMut(usize)>(&self, pivot: usize, mut f: F) {
+        for (t, rect) in &self.chunks[pivot] {
+            if let Some(grid) = self.grids.get(t) {
+                grid.for_each_candidate(rect.inflated(self.radius), |&j| f(j));
+            }
+        }
+    }
+
+    /// Drops an assigned trace from every chunk grid so later pivots
+    /// stop enumerating it.
+    fn remove(&mut self, i: usize) {
+        for (t, rect) in &self.chunks[i] {
+            if let Some(grid) = self.grids.get_mut(t) {
+                grid.remove(*rect, &i);
+            }
+        }
+    }
+
+    /// A provable lower bound on the synchronized-distance *sum* of
+    /// traces `i` and `j` over their common slot range `[lo, hi]`: per
+    /// common chunk, the separation of the two segment boxes times the
+    /// common slots in the chunk (every slot distance in the chunk is
+    /// at least the box separation). Costs a handful of rectangle
+    /// comparisons, so candidates whose bound already exceeds the
+    /// radius cutoff skip the slot sweep entirely.
+    fn sum_lower_bound(&self, i: usize, j: usize, lo: i64, hi: i64) -> f64 {
+        let (ci, cj) = (&self.chunks[i], &self.chunks[j]);
+        let (ti0, tj0) = (ci[0].0, cj[0].0);
+        let mut bound = 0.0;
+        for t in lo.div_euclid(CHUNK_SLOTS)..=hi.div_euclid(CHUNK_SLOTS) {
+            let slots = (hi.min((t + 1) * CHUNK_SLOTS - 1) - lo.max(t * CHUNK_SLOTS) + 1) as f64;
+            let ra = ci[(t - ti0) as usize].1;
+            let rb = cj[(t - tj0) as usize].1;
+            bound += slots * rect_gap(&ra, &rb);
+        }
+        bound
+    }
+}
+
+/// A lower bound on the distance between any two points of two
+/// axis-aligned rectangles: the larger axis gap (zero when they
+/// intersect). Chebyshev instead of Euclidean keeps the hot prefilter
+/// free of square roots; the bound is at most `√2` below the true
+/// separation, which only makes the prefilter admit slightly more.
+fn rect_gap(a: &Rect, b: &Rect) -> f64 {
+    let gx = (b.min().x - a.max().x).max(a.min().x - b.max().x).max(0.0);
+    let gy = (b.min().y - a.max().y).max(a.min().y - b.max().y).max(0.0);
+    gx.max(gy)
+}
+
 /// A trace resampled on the absolute grid.
 struct AlignedTrace {
     first_slot: i64,
@@ -284,6 +484,41 @@ fn sync_distance(a: &AlignedTrace, b: &AlignedTrace, min_overlap: f64) -> Option
         })
         .sum();
     Some(sum / overlap)
+}
+
+/// The slot sweep of [`sync_distance`] over the precomputed common
+/// range `[lo, hi]`, with a radius cut: returns the exact mean when it
+/// is `≤ max_mean`, `None` otherwise — aborting as soon as the partial
+/// sum exceeds `cutoff` (distances only accumulate, so the partial sum
+/// is a lower bound on the total).
+///
+/// `cutoff` must sit slightly *above* `max_mean × overlap` (the caller
+/// derives it once, shared with the chunk lower-bound prefilter) so
+/// boundary candidates still finish the sweep and face the *same*
+/// `mean ≤ max_mean` comparison, on the same left-to-right sum, as the
+/// unbounded path — keeping candidate sets bit-identical.
+fn bounded_mean_sweep(
+    a: &AlignedTrace,
+    b: &AlignedTrace,
+    lo: i64,
+    hi: i64,
+    cutoff: f64,
+    max_mean: f64,
+) -> Option<f64> {
+    let len = (hi - lo + 1) as usize;
+    let xs = &a.positions[(lo - a.first_slot) as usize..][..len];
+    let ys = &b.positions[(lo - b.first_slot) as usize..][..len];
+    let mut sum = 0.0;
+    // Same left-to-right accumulation as the unbounded sweep — the
+    // non-aborted sum is bit-identical.
+    for (pa, pb) in xs.iter().zip(ys) {
+        sum += pa.distance(*pb).get();
+        if sum > cutoff {
+            return None;
+        }
+    }
+    let mean = sum / len as f64;
+    (mean <= max_mean).then_some(mean)
 }
 
 /// Moves `p` toward `center` until it is within `max_dist`.
@@ -451,6 +686,32 @@ mod tests {
         assert!(out.is_empty());
         assert_eq!(report.clusters, 0);
         assert_eq!(report.suppression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn indexed_equals_naive_on_mixed_layout() {
+        let frame = LocalFrame::new(LatLng::new(45.0, 5.0).unwrap());
+        let mut d = parallel_dataset(6, 80.0);
+        // An outlier and a short trace exercise the suppression and
+        // empty-footprint paths.
+        let far = (0..60)
+            .map(|i| {
+                let p = Point::new(30_000.0, i as f64 * 20.0);
+                Fix::new(frame.unproject(p), Timestamp::new(i * 30))
+            })
+            .collect();
+        d.push(Trace::new(UserId::new(90), far).unwrap());
+        let short = (0..2)
+            .map(|i| Fix::new(frame.unproject(Point::new(40.0, 0.0)), Timestamp::new(i)))
+            .collect();
+        d.push(Trace::new(UserId::new(91), short).unwrap());
+        for k in [2, 3] {
+            let mech = KDelta::new(k, 200.0).unwrap();
+            let (fast, fast_report) = mech.protect_with_report(&d);
+            let (slow, slow_report) = mech.protect_with_report_naive(&d);
+            assert_eq!(fast, slow, "k={k}");
+            assert_eq!(fast_report, slow_report, "k={k}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use mobipriv_eval::{evaluate_with, EvalPlan, EvalReport};
 
 const USAGE: &str = "\
 usage: mobipriv-eval [--smoke|--full] [--scenario NAME] [--mechanism ID]
-                     [--seed N] [--threads N] [--out FILE]
+                     [--seed N] [--threads N] [--timings] [--out FILE]
                      [--bless | --check] [--golden DIR] [--bench-out FILE]
 
 Runs the mechanism × scenario × attack × utility-metric matrix on the
@@ -31,6 +31,10 @@ options:
   --seed N          replace the plan's seed axis with the single seed N
   --threads N       pin the cell fan-out to N workers (output is
                     identical for any N)
+  --timings         include per-cell wall_ms in the report output so
+                    the matrix shows where the time goes (timed output
+                    is not byte-stable across runs; --bless/--check
+                    always use the canonical timing-free form)
   --out FILE        write the report to FILE instead of stdout
   --bless           (re)write the golden corpus, one file per scenario
                     (smoke preset only; composes with --scenario, not
@@ -54,6 +58,7 @@ fn default_golden_dir() -> PathBuf {
 struct Args {
     plan: EvalPlan,
     threads: Option<usize>,
+    timings: bool,
     out: Option<PathBuf>,
     bless: bool,
     check: bool,
@@ -68,6 +73,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut mechanism = None;
     let mut seed = None;
     let mut threads = None;
+    let mut timings = false;
     let mut out = None;
     let mut bless = false;
     let mut check = false;
@@ -100,6 +106,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                     _ => return Err(format!("--threads expects a positive integer, got `{v}`")),
                 }
             }
+            "--timings" => timings = true,
             "--out" => out = Some(PathBuf::from(value_of("--out")?)),
             "--bless" => bless = true,
             "--check" => check = true,
@@ -142,6 +149,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     Ok(Some(Args {
         plan,
         threads,
+        timings,
         out,
         bless,
         check,
@@ -195,7 +203,11 @@ fn main() -> ExitCode {
         return check(&report, &args.golden);
     }
 
-    let text = report.to_json();
+    let text = if args.timings {
+        report.to_json_timed()
+    } else {
+        report.to_json()
+    };
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, text) {

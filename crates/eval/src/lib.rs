@@ -31,8 +31,12 @@
 //!     .with_mechanism("raw").unwrap();
 //! let report = evaluate(&plan);
 //! assert_eq!(report.cells.len(), 1);
+//! // The canonical JSON form round-trips every conformance-relevant
+//! // field (the parsed copy only drops the wall-clock timings).
 //! let text = report.to_json();
-//! assert_eq!(mobipriv_eval::EvalReport::from_json(&text).unwrap(), report);
+//! let back = mobipriv_eval::EvalReport::from_json(&text).unwrap();
+//! assert!(back.cells[0].content_eq(&report.cells[0]));
+//! assert_eq!(back.to_json(), text);
 //! ```
 
 #![deny(missing_docs)]

@@ -59,12 +59,34 @@ pub struct EvalCell {
     pub trip_length_ks: f64,
     /// Two-sample KS distance between trip-duration distributions.
     pub trip_duration_ks: f64,
+    /// Wall-clock time the cell took to run, milliseconds.
+    ///
+    /// Timing only: excluded from the canonical JSON form
+    /// ([`EvalReport::to_json`]) and from the conformance comparison
+    /// ([`EvalReport::diff`]), so the golden corpus never churns on it.
+    /// Serialized only by the timed form ([`EvalReport::to_json_timed`])
+    /// behind the CLI `--timings` flag / service `timings=1` parameter.
+    pub wall_ms: f64,
 }
 
 impl EvalCell {
     /// The (scenario, mechanism, seed) identity of the cell.
     pub fn key(&self) -> (&str, &str, u64) {
         (&self.scenario, &self.mechanism, self.seed)
+    }
+
+    /// Equality over every conformance-relevant field — all of them
+    /// except the [`wall_ms`](EvalCell::wall_ms) timing.
+    pub fn content_eq(&self, other: &EvalCell) -> bool {
+        let a = EvalCell {
+            wall_ms: 0.0,
+            ..self.clone()
+        };
+        let b = EvalCell {
+            wall_ms: 0.0,
+            ..other.clone()
+        };
+        a == b
     }
 
     fn to_value(&self) -> Json {
@@ -106,6 +128,14 @@ impl EvalCell {
             ("trip_length_ks".into(), Json::Num(self.trip_length_ks)),
             ("trip_duration_ks".into(), Json::Num(self.trip_duration_ks)),
         ])
+    }
+
+    fn to_value_timed(&self) -> Json {
+        let Json::Obj(mut fields) = self.to_value() else {
+            unreachable!("cells serialize to objects")
+        };
+        fields.push(("wall_ms".into(), Json::Num(self.wall_ms)));
+        Json::Obj(fields)
     }
 
     fn from_value(value: &Json) -> Result<EvalCell, String> {
@@ -153,6 +183,9 @@ impl EvalCell {
             coverage_total_variation: f64_field("coverage_total_variation")?,
             trip_length_ks: f64_field("trip_length_ks")?,
             trip_duration_ks: f64_field("trip_duration_ks")?,
+            // Optional: only the timed form carries it, and the golden
+            // corpus never does.
+            wall_ms: value.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -169,10 +202,25 @@ pub struct EvalReport {
 }
 
 impl EvalReport {
-    /// Serializes the report: one cell per line, deterministic field
-    /// order, newline-terminated — `git diff` shows exactly the cells
-    /// that moved.
+    /// Serializes the report in its canonical form: one cell per line,
+    /// deterministic field order, newline-terminated — `git diff` shows
+    /// exactly the cells that moved. Timing fields are excluded; the
+    /// canonical bytes are a pure function of the plan, which is what
+    /// the golden corpus and the service determinism contract pin.
     pub fn to_json(&self) -> String {
+        self.serialize(false)
+    }
+
+    /// Like [`to_json`](EvalReport::to_json) but with each cell's
+    /// `wall_ms` timing appended — the "where does the time go" form
+    /// behind `mobipriv-eval --timings` and `/v1/evaluate?timings=1`.
+    /// Not byte-stable across runs (wall clocks never are); parsing it
+    /// back recovers the timings.
+    pub fn to_json_timed(&self) -> String {
+        self.serialize(true)
+    }
+
+    fn serialize(&self, timed: bool) -> String {
         let mut out = String::new();
         out.push_str("{\"schema_version\":");
         out.push_str(&self.schema_version.to_string());
@@ -181,7 +229,12 @@ impl EvalReport {
         out.push_str(",\"cells\":[");
         for (i, cell) in self.cells.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
-            cell.to_value().write(&mut out);
+            let value = if timed {
+                cell.to_value_timed()
+            } else {
+                cell.to_value()
+            };
+            value.write(&mut out);
         }
         out.push_str("\n]}\n");
         out
@@ -255,7 +308,9 @@ impl EvalReport {
     ///
     /// Digests and counts compare exactly; metric floats compare
     /// bit-for-bit too — the whole pipeline is deterministic, so *any*
-    /// drift is a regression until a human re-blesses the corpus.
+    /// drift is a regression until a human re-blesses the corpus. The
+    /// only exception is `wall_ms`: wall clocks are not deterministic,
+    /// so timings never count as divergence.
     pub fn diff(&self, fresh: &EvalReport) -> Vec<String> {
         let mut problems = Vec::new();
         if self.schema_version != fresh.schema_version {
@@ -272,7 +327,7 @@ impl EvalReport {
                 ));
                 continue;
             };
-            if cell != golden {
+            if !cell.content_eq(golden) {
                 problems.push(describe_cell_diff(golden, cell));
             }
         }
@@ -400,6 +455,7 @@ mod tests {
             coverage_total_variation: 0.125,
             trip_length_ks: 0.1,
             trip_duration_ks: 0.9,
+            wall_ms: 0.0,
         }
     }
 
@@ -443,6 +499,40 @@ mod tests {
     #[test]
     fn diff_of_identical_reports_is_empty() {
         assert!(sample_report().diff(&sample_report()).is_empty());
+    }
+
+    #[test]
+    fn canonical_json_excludes_wall_ms() {
+        let mut report = sample_report();
+        report.cells[0].wall_ms = 12.5;
+        assert!(!report.to_json().contains("wall_ms"));
+        // Round-tripping the canonical form zeroes the timing but keeps
+        // everything else.
+        let back = EvalReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back.cells[0].wall_ms, 0.0);
+        assert!(back.cells[0].content_eq(&report.cells[0]));
+    }
+
+    #[test]
+    fn timed_json_round_trips_wall_ms() {
+        let mut report = sample_report();
+        report.cells[0].wall_ms = 12.5;
+        let text = report.to_json_timed();
+        assert!(text.contains("\"wall_ms\":12.5"), "{text}");
+        let back = EvalReport::from_json(&text).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_timed(), text, "timed fixed point");
+    }
+
+    #[test]
+    fn diff_ignores_wall_ms() {
+        let golden = sample_report();
+        let mut fresh = golden.clone();
+        fresh.cells[0].wall_ms = 99.0;
+        assert!(golden.diff(&fresh).is_empty(), "timings are not drift");
+        // …but a real metric drift alongside a timing drift still fails.
+        fresh.cells[0].poi_recall += 0.5;
+        assert_eq!(golden.diff(&fresh).len(), 1);
     }
 
     #[test]

@@ -83,6 +83,7 @@ fn run_cell(
     world: &SynthOutput,
     mechanism: &MechanismSpec,
 ) -> EvalCell {
+    let started = std::time::Instant::now();
     let mechanism_id = mechanism.id();
     let cseed = cell_seed(seed, scenario.name(), &mechanism_id);
     let built = mechanism.build();
@@ -132,6 +133,8 @@ fn run_cell(
         coverage_total_variation: cover.total_variation,
         trip_length_ks: trip.length_ks,
         trip_duration_ks: trip.duration_ks,
+        // Timing only — never part of the canonical report bytes.
+        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
     }
 }
 
@@ -201,13 +204,24 @@ mod tests {
 
     #[test]
     fn thread_count_never_changes_the_report() {
+        // Wall-clock timings differ between runs by nature; everything
+        // else — including the canonical bytes — must not.
         let plan = tiny_plan();
         let one = evaluate_with(&plan, Some(1));
         let four = evaluate_with(&plan, Some(4));
         let free = evaluate(&plan);
-        assert_eq!(one, four);
-        assert_eq!(one, free);
+        assert!(one
+            .cells
+            .iter()
+            .zip(&four.cells)
+            .all(|(a, b)| a.content_eq(b)));
+        assert!(one
+            .cells
+            .iter()
+            .zip(&free.cells)
+            .all(|(a, b)| a.content_eq(b)));
         assert_eq!(one.to_json(), four.to_json(), "byte-identical JSON");
+        assert_eq!(one.to_json(), free.to_json(), "byte-identical JSON");
     }
 
     #[test]
@@ -222,6 +236,12 @@ mod tests {
             .find(|c| c.mechanism == "promesse_a100")
             .unwrap();
         assert_eq!(narrow.cells.len(), 1);
-        assert_eq!(&narrow.cells[0], from_full);
+        assert!(narrow.cells[0].content_eq(from_full));
+    }
+
+    #[test]
+    fn cells_carry_a_wall_clock_timing() {
+        let report = evaluate(&tiny_plan());
+        assert!(report.cells.iter().all(|c| c.wall_ms > 0.0));
     }
 }

@@ -1,0 +1,226 @@
+use std::collections::HashMap;
+
+use crate::{CellId, GeoError, Rect};
+
+/// A uniform spatial hash over planar rectangles (footprints).
+///
+/// Where [`GridIndex`](crate::GridIndex) buckets *points*,
+/// `FootprintIndex` buckets axis-aligned rectangles — typically the
+/// bounding boxes of polylines or traces — into every grid cell they
+/// overlap. [`candidates`](FootprintIndex::candidates) then returns the
+/// items whose footprint intersects a query rectangle by scanning only
+/// the cells the query covers, which turns all-pairs footprint joins
+/// into local ones.
+///
+/// Choose `cell_size` near the query inflation radius: a candidate
+/// search for footprints within `r` of a target is
+/// `candidates(target.inflated(r))` with `cell_size ≈ r`.
+///
+/// ```
+/// use mobipriv_geo::{FootprintIndex, Point, Rect};
+/// # fn main() -> Result<(), mobipriv_geo::GeoError> {
+/// let mut idx = FootprintIndex::new(100.0)?;
+/// idx.insert(Rect::new(Point::new(0.0, 0.0), Point::new(50.0, 50.0)), 0usize);
+/// idx.insert(Rect::new(Point::new(900.0, 0.0), Point::new(950.0, 50.0)), 1usize);
+/// let near = idx.candidates(Rect::centered(Point::new(25.0, 25.0), 100.0));
+/// assert_eq!(near, vec![0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FootprintIndex<T> {
+    cell_size: f64,
+    cells: HashMap<CellId, Vec<(Rect, T)>>,
+    len: usize,
+}
+
+impl<T> FootprintIndex<T> {
+    /// Creates an index with square cells of side `cell_size` meters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonPositive`] when `cell_size` is not a
+    /// strictly positive finite number.
+    pub fn new(cell_size: f64) -> Result<Self, GeoError> {
+        if !cell_size.is_finite() || cell_size <= 0.0 {
+            return Err(GeoError::NonPositive {
+                what: "cell size",
+                value: cell_size,
+            });
+        }
+        Ok(FootprintIndex {
+            cell_size,
+            cells: HashMap::new(),
+            len: 0,
+        })
+    }
+
+    /// The configured cell side in meters.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of inserted footprints.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no footprint has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The inclusive cell range covered by `rect`.
+    fn cover(&self, rect: Rect) -> (CellId, CellId) {
+        let lo = CellId::new(
+            (rect.min().x / self.cell_size).floor() as i64,
+            (rect.min().y / self.cell_size).floor() as i64,
+        );
+        let hi = CellId::new(
+            (rect.max().x / self.cell_size).floor() as i64,
+            (rect.max().y / self.cell_size).floor() as i64,
+        );
+        (lo, hi)
+    }
+
+    /// Inserts `item` with footprint `rect` into every cell the
+    /// footprint overlaps.
+    pub fn insert(&mut self, rect: Rect, item: T)
+    where
+        T: Clone,
+    {
+        let (lo, hi) = self.cover(rect);
+        for cy in lo.cy..=hi.cy {
+            for cx in lo.cx..=hi.cx {
+                self.cells
+                    .entry(CellId::new(cx, cy))
+                    .or_default()
+                    .push((rect, item.clone()));
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Removes the footprint inserted as `(rect, item)` from every cell
+    /// it covers; returns whether anything was removed.
+    pub fn remove(&mut self, rect: Rect, item: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        let (lo, hi) = self.cover(rect);
+        let mut removed = false;
+        for cy in lo.cy..=hi.cy {
+            for cx in lo.cx..=hi.cx {
+                if let Some(bucket) = self.cells.get_mut(&CellId::new(cx, cy)) {
+                    if let Some(pos) = bucket.iter().position(|(r, i)| *r == rect && i == item) {
+                        bucket.remove(pos);
+                        removed = true;
+                    }
+                }
+            }
+        }
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Visits every stored item whose footprint intersects `query`
+    /// (inclusive edges). An item inserted across several cells is
+    /// visited once *per covered cell* the query also overlaps — the
+    /// zero-allocation primitive for callers that deduplicate
+    /// themselves (e.g. with a stamp array);
+    /// [`candidates`](FootprintIndex::candidates) wraps it with set
+    /// semantics.
+    pub fn for_each_candidate<F: FnMut(&T)>(&self, query: Rect, mut f: F) {
+        let (lo, hi) = self.cover(query);
+        for cy in lo.cy..=hi.cy {
+            for cx in lo.cx..=hi.cx {
+                if let Some(bucket) = self.cells.get(&CellId::new(cx, cy)) {
+                    for (rect, item) in bucket {
+                        if rect.intersects(&query) {
+                            f(item);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// All items whose footprint intersects `query` (inclusive edges),
+    /// sorted and deduplicated — an item inserted across several cells
+    /// appears once.
+    pub fn candidates(&self, query: Rect) -> Vec<T>
+    where
+        T: Ord + Clone,
+    {
+        let mut out = Vec::new();
+        self.for_each_candidate(query, |item| out.push(item.clone()));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect::new(Point::new(x0, y0), Point::new(x1, y1))
+    }
+
+    #[test]
+    fn rejects_bad_cell_size() {
+        assert!(FootprintIndex::<u32>::new(0.0).is_err());
+        assert!(FootprintIndex::<u32>::new(-1.0).is_err());
+        assert!(FootprintIndex::<u32>::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deduped() {
+        let mut idx = FootprintIndex::new(10.0).unwrap();
+        // Spans many cells: must still appear once.
+        idx.insert(rect(0.0, 0.0, 95.0, 5.0), 7usize);
+        idx.insert(rect(50.0, 0.0, 60.0, 5.0), 3usize);
+        let got = idx.candidates(rect(-5.0, -5.0, 100.0, 10.0));
+        assert_eq!(got, vec![3, 7]);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn non_intersecting_footprints_are_filtered() {
+        let mut idx = FootprintIndex::new(100.0).unwrap();
+        // Same cell, but the rectangles do not touch the query.
+        idx.insert(rect(0.0, 0.0, 10.0, 10.0), 1usize);
+        idx.insert(rect(80.0, 80.0, 90.0, 90.0), 2usize);
+        assert_eq!(idx.candidates(rect(0.0, 0.0, 20.0, 20.0)), vec![1]);
+    }
+
+    #[test]
+    fn touching_edges_count_as_intersecting() {
+        let mut idx = FootprintIndex::new(50.0).unwrap();
+        idx.insert(rect(10.0, 0.0, 20.0, 10.0), 1usize);
+        assert_eq!(idx.candidates(rect(20.0, 10.0, 30.0, 30.0)), vec![1]);
+    }
+
+    #[test]
+    fn remove_clears_every_covered_cell() {
+        let mut idx = FootprintIndex::new(10.0).unwrap();
+        let r = rect(0.0, 0.0, 45.0, 5.0);
+        idx.insert(r, 1usize);
+        assert!(idx.remove(r, &1));
+        assert!(!idx.remove(r, &1));
+        assert!(idx.is_empty());
+        assert!(idx.candidates(rect(-10.0, -10.0, 60.0, 10.0)).is_empty());
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let mut idx = FootprintIndex::new(10.0).unwrap();
+        idx.insert(rect(-25.0, -25.0, -15.0, -15.0), 9usize);
+        assert_eq!(idx.candidates(rect(-20.0, -20.0, -18.0, -18.0)), vec![9]);
+        assert!(idx.candidates(rect(5.0, 5.0, 8.0, 8.0)).is_empty());
+    }
+}

@@ -203,14 +203,16 @@ fn anonymize(
     })
 }
 
-/// `GET /v1/evaluate[?preset=smoke|full][&scenario=…][&mechanism=…][&seed=…]`
+/// `GET /v1/evaluate[?preset=smoke|full][&scenario=…][&mechanism=…][&seed=…][&timings=1]`
 ///
 /// Runs the evaluation matrix (mechanisms × scenarios × attacks ×
 /// utility metrics) on synthetic workloads and returns the
 /// schema-versioned JSON [`mobipriv_eval::EvalReport`]. The response is
 /// a pure function of the query parameters — the same plan always
 /// produces byte-identical JSON, the same contract `mobipriv-eval`
-/// honours on the command line.
+/// honours on the command line. The one opt-out is `timings=1`, which
+/// appends each cell's `wall_ms` so callers can see where the time
+/// goes; timed bodies are inherently not byte-stable across runs.
 ///
 /// `scenario` and `mechanism` filter the plan to one row/column (ids as
 /// listed by `mobipriv-eval --help`); `seed` replaces the plan's seed
@@ -244,17 +246,31 @@ fn evaluate(head: &RequestHead) -> Result<Response, ServiceError> {
     if params.get("seed").is_some() {
         plan = plan.with_seed(params.parse_or("seed", 0)?);
     }
+    let timings = match params.get("timings") {
+        None | Some("0") => false,
+        Some("1") => true,
+        Some(other) => {
+            return Err(ServiceError::BadRequest(format!(
+                "invalid value `{other}` for parameter `timings` (expected 0|1)"
+            )))
+        }
+    };
     let report = mobipriv_eval::evaluate(&plan);
     let headers = vec![
         ("content-type", "application/json".to_owned()),
         ("x-mobipriv-eval-cells", report.cells.len().to_string()),
         ("x-mobipriv-eval-plan", report.plan.clone()),
     ];
+    let body = if timings {
+        report.to_json_timed()
+    } else {
+        report.to_json()
+    };
     Ok(Response {
         status: 200,
         reason: "OK",
         headers,
-        body: report.to_json().into_bytes(),
+        body: body.into_bytes(),
     })
 }
 

@@ -408,6 +408,23 @@ fn evaluate_endpoint_is_deterministic_and_honours_filters() {
 }
 
 #[test]
+fn evaluate_endpoint_exposes_timings_on_request() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let base = "/v1/evaluate?scenario=crossing_paths&mechanism=raw";
+    let (status, _, plain) = get(addr, base);
+    assert_eq!(status, 200);
+    assert!(!String::from_utf8(plain).unwrap().contains("wall_ms"));
+    let (status, _, timed) = get(addr, &format!("{base}&timings=1"));
+    assert_eq!(status, 200);
+    let text = String::from_utf8(timed).unwrap();
+    assert!(text.contains("\"wall_ms\":"), "{text}");
+    let report = mobipriv_eval::EvalReport::from_json(&text).unwrap();
+    assert!(report.cells[0].wall_ms > 0.0, "timing recovered from JSON");
+    server.shutdown();
+}
+
+#[test]
 fn evaluate_endpoint_rejects_bad_parameters() {
     let server = start(|_| {});
     let addr = server.addr();
@@ -416,6 +433,7 @@ fn evaluate_endpoint_rejects_bad_parameters() {
         "/v1/evaluate?mechanism=warp-drive",
         "/v1/evaluate?preset=gigantic",
         "/v1/evaluate?seed=banana",
+        "/v1/evaluate?timings=yes",
     ] {
         let (status, _, body) = get(addr, target);
         assert_eq!(status, 400, "{target}");

@@ -81,6 +81,9 @@ fn arb_cell() -> impl Strategy<Value = EvalCell> {
                 coverage_total_variation,
                 trip_length_ks,
                 trip_duration_ks,
+                // Zero so the canonical (timing-free) JSON form is a
+                // byte fixed point; the timed form is exercised below.
+                wall_ms: 0.0,
             },
         )
 }
@@ -127,6 +130,26 @@ proptest! {
         let back = EvalReport::from_json(&report.to_json()).unwrap();
         prop_assert!(report.diff(&back).is_empty());
     }
+
+    /// The timed form round-trips `wall_ms` exactly and never leaks
+    /// into the canonical form or the conformance diff.
+    #[test]
+    fn wall_ms_round_trips_in_the_timed_form_only(
+        report in arb_report(),
+        ms in proptest::collection::vec(0.0f64..60_000.0, 0..12),
+    ) {
+        let mut timed = report.clone();
+        for (cell, m) in timed.cells.iter_mut().zip(ms) {
+            cell.wall_ms = m;
+        }
+        // Canonical bytes are identical with or without timings…
+        prop_assert_eq!(timed.to_json(), report.to_json());
+        // …the conformance diff ignores them…
+        prop_assert!(report.diff(&timed).is_empty());
+        // …and the timed form recovers them bit for bit.
+        let back = EvalReport::from_json(&timed.to_json_timed()).unwrap();
+        prop_assert_eq!(back, timed);
+    }
 }
 
 /// Digests (and every other byte of the report) are stable across
@@ -139,7 +162,12 @@ fn digests_are_stable_across_thread_counts() {
         .expect("known scenario");
     let sequential = evaluate_with(&plan, Some(1));
     let parallel = evaluate_with(&plan, Some(4));
-    assert_eq!(sequential, parallel);
+    // Cell contents are identical (wall clocks aside — timings are the
+    // one field that may differ between otherwise identical runs).
+    assert_eq!(sequential.cells.len(), parallel.cells.len());
+    for (a, b) in sequential.cells.iter().zip(&parallel.cells) {
+        assert!(a.content_eq(b), "{}/{}", a.scenario, a.mechanism);
+    }
     assert_eq!(
         sequential.to_json(),
         parallel.to_json(),

@@ -1,6 +1,6 @@
 //! Property-based tests on the geometric substrate.
 
-use mobipriv::geo::{GridIndex, LatLng, LocalFrame, Meters, Point, Polyline};
+use mobipriv::geo::{chamfer_mean, GridIndex, LatLng, LocalFrame, Meters, Point, Polyline, Rect};
 use proptest::prelude::*;
 
 fn arb_latlng() -> impl Strategy<Value = LatLng> {
@@ -12,6 +12,29 @@ fn arb_latlng() -> impl Strategy<Value = LatLng> {
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
     proptest::collection::vec((-5_000.0f64..5_000.0, -5_000.0f64..5_000.0), 1..max)
         .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+/// Points snapped to a coarse lattice: distance ties become frequent,
+/// so the nearest-query tie-breaking is actually exercised.
+fn arb_lattice_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec((-20i32..20, -20i32..20), 1..max).prop_map(|v| {
+        v.into_iter()
+            .map(|(x, y)| Point::new(x as f64 * 100.0, y as f64 * 100.0))
+            .collect()
+    })
+}
+
+/// Brute-force reference for the nearest-item queries: the admissible
+/// item minimizing `(hypot distance, insertion index)`, with the same
+/// inclusive `distance_sq ≤ radius²` boundary rule as the grid.
+fn brute_nearest(points: &[Point], q: Point, radius: f64) -> Option<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !radius.is_finite() || p.distance_sq(q) <= radius.max(0.0).powi(2))
+        .map(|(i, p)| (p.distance(q).get(), i))
+        .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+        .map(|(_, i)| i)
 }
 
 proptest! {
@@ -124,6 +147,186 @@ proptest! {
             .collect();
         brute.sort_unstable();
         prop_assert_eq!(via_index, brute);
+    }
+
+    /// GridIndex::nearest_neighbour agrees with a brute-force linear
+    /// scan, including the earliest-inserted tie-break, for arbitrary
+    /// point sets and cell sizes.
+    #[test]
+    fn grid_nearest_neighbour_matches_brute_force(
+        points in arb_points(60),
+        qx in -6_000.0f64..6_000.0,
+        qy in -6_000.0f64..6_000.0,
+        cell in 10.0f64..1_000.0,
+    ) {
+        let mut index = GridIndex::new(cell).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            index.insert(*p, i);
+        }
+        let q = Point::new(qx, qy);
+        let got = index.nearest_neighbour(q).map(|(_, &i)| i);
+        prop_assert_eq!(got, brute_nearest(&points, q, f64::INFINITY));
+    }
+
+    /// Same agreement on lattice points, where exact distance ties are
+    /// common rather than measure-zero.
+    #[test]
+    fn grid_nearest_neighbour_matches_brute_force_on_ties(
+        points in arb_lattice_points(50),
+        qx in -20i32..20,
+        qy in -20i32..20,
+        cell in 10.0f64..500.0,
+    ) {
+        let mut index = GridIndex::new(cell).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            index.insert(*p, i);
+        }
+        let q = Point::new(qx as f64 * 100.0, qy as f64 * 100.0);
+        let got = index.nearest_neighbour(q).map(|(_, &i)| i);
+        prop_assert_eq!(got, brute_nearest(&points, q, f64::INFINITY));
+    }
+
+    /// GridIndex::nearest_within agrees with a brute-force linear scan
+    /// for arbitrary radii and cell sizes, including the inclusive
+    /// boundary rule.
+    #[test]
+    fn grid_nearest_within_matches_brute_force(
+        points in arb_points(60),
+        qx in -6_000.0f64..6_000.0,
+        qy in -6_000.0f64..6_000.0,
+        radius in 1.0f64..3_000.0,
+        cell in 10.0f64..1_000.0,
+    ) {
+        let mut index = GridIndex::new(cell).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            index.insert(*p, i);
+        }
+        let q = Point::new(qx, qy);
+        let got = index.nearest_within(q, radius).map(|(_, &i)| i);
+        prop_assert_eq!(got, brute_nearest(&points, q, radius));
+    }
+
+    /// nearest_within_by with an index key reproduces a sequential
+    /// filtered scan's `(distance, index)` minimum exactly.
+    #[test]
+    fn grid_nearest_within_by_matches_filtered_scan(
+        points in arb_lattice_points(50),
+        qx in -20i32..20,
+        qy in -20i32..20,
+        radius in 50.0f64..3_000.0,
+        cell in 10.0f64..500.0,
+        keep_mod in 1usize..4,
+    ) {
+        let mut index = GridIndex::new(cell).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            index.insert(*p, i);
+        }
+        let q = Point::new(qx as f64 * 100.0, qy as f64 * 100.0);
+        let admit = |i: usize| i.is_multiple_of(keep_mod);
+        let got = index
+            .nearest_within_by(q, radius, |_, _, &i| admit(i).then_some(i))
+            .map(|(_, &i)| i);
+        let brute = points
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| admit(*i) && p.distance_sq(q) <= radius * radius)
+            .map(|(i, p)| (p.distance(q).get(), i))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .map(|(_, i)| i);
+        prop_assert_eq!(got, brute);
+    }
+
+    /// chamfer_mean is bit-identical to the brute-force
+    /// fold-the-minimum mean.
+    #[test]
+    fn grid_chamfer_mean_matches_brute_force(
+        targets in arb_points(40),
+        queries in arb_points(20),
+        cell in 10.0f64..1_000.0,
+    ) {
+        let mut index = GridIndex::new(cell).unwrap();
+        for t in &targets {
+            index.insert(*t, ());
+        }
+        let brute: f64 = queries
+            .iter()
+            .map(|p| {
+                targets
+                    .iter()
+                    .map(|t| p.distance(*t).get())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>() / queries.len() as f64;
+        let got = chamfer_mean(&queries, &index).expect("both sides non-empty");
+        prop_assert_eq!(got.to_bits(), brute.to_bits(), "{} vs {}", got, brute);
+    }
+
+    /// Removal leaves the index agreeing with brute force over the
+    /// surviving points.
+    #[test]
+    fn grid_nearest_after_removals_matches_brute_force(
+        points in arb_lattice_points(40),
+        remove_mod in 2usize..5,
+        qx in -20i32..20,
+        qy in -20i32..20,
+        cell in 10.0f64..500.0,
+    ) {
+        let mut index = GridIndex::new(cell).unwrap();
+        for (i, p) in points.iter().enumerate() {
+            index.insert(*p, i);
+        }
+        for (i, p) in points.iter().enumerate() {
+            if i % remove_mod == 0 {
+                prop_assert!(index.remove(*p, &i));
+            }
+        }
+        let q = Point::new(qx as f64 * 100.0, qy as f64 * 100.0);
+        let got = index.nearest_neighbour(q).map(|(_, &i)| i);
+        let survivors: Vec<(usize, Point)> = points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % remove_mod != 0)
+            .map(|(i, p)| (i, *p))
+            .collect();
+        let brute = survivors
+            .iter()
+            .map(|&(i, p)| (p.distance(q).get(), i))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .map(|(_, i)| i);
+        prop_assert_eq!(got, brute);
+    }
+
+    /// FootprintIndex::candidates returns exactly the footprints a
+    /// linear rectangle-intersection scan finds.
+    #[test]
+    fn footprint_candidates_match_brute_force(
+        rects in proptest::collection::vec(
+            (-5_000.0f64..5_000.0, -5_000.0f64..5_000.0, 0.0f64..2_000.0, 0.0f64..2_000.0),
+            1..40,
+        ),
+        qx in -6_000.0f64..6_000.0,
+        qy in -6_000.0f64..6_000.0,
+        qw in 0.0f64..4_000.0,
+        qh in 0.0f64..4_000.0,
+        cell in 10.0f64..2_000.0,
+    ) {
+        let rects: Vec<Rect> = rects
+            .into_iter()
+            .map(|(x, y, w, h)| Rect::new(Point::new(x, y), Point::new(x + w, y + h)))
+            .collect();
+        let mut index = mobipriv::geo::FootprintIndex::new(cell).unwrap();
+        for (i, r) in rects.iter().enumerate() {
+            index.insert(*r, i);
+        }
+        let query = Rect::new(Point::new(qx, qy), Point::new(qx + qw, qy + qh));
+        let got = index.candidates(query);
+        let brute: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, brute);
     }
 
     /// Interpolation between coordinates stays between them.
