@@ -22,6 +22,8 @@ use rand::SeedableRng;
 
 use mobipriv_attacks::{HomeAttack, PoiAttack, ReidentAttack, Tracker};
 use mobipriv_core::{GeoInd, KDelta, Mechanism, Promesse};
+use mobipriv_model::{write_csv, Dataset};
+use mobipriv_service::{client, Server, ServerConfig};
 use mobipriv_synth::scenarios;
 
 const USAGE: &str = "\
@@ -91,6 +93,102 @@ fn parse_args() -> Result<Option<Args>, String> {
         }
     }
     Ok(Some(args))
+}
+
+/// Cold-vs-warm serving measurements for the `jobs_cache` section.
+struct JobsCacheBench {
+    register_s: f64,
+    cold_s: f64,
+    warm_s: f64,
+    hit_rate: f64,
+}
+
+/// One request against the in-process server (panics on I/O failure —
+/// loopback to our own process either works or the bench is broken).
+fn http(addr: std::net::SocketAddr, method: &str, target: &str, body: &[u8]) -> (u16, Vec<u8>) {
+    client::request(addr, method, target, body).expect("loopback request to in-process server")
+}
+
+fn json_str_field(body: &[u8], field: &str) -> String {
+    client::json_str_field(body, field)
+        .unwrap_or_else(|| panic!("no `{field}` in {}", String::from_utf8_lossy(body)))
+}
+
+fn json_u64_field(body: &[u8], field: &str) -> u64 {
+    client::json_u64_field(body, field)
+        .unwrap_or_else(|| panic!("no `{field}` in {}", String::from_utf8_lossy(body)))
+}
+
+/// Boots an in-process server and times the serving system's two
+/// regimes on the same workload and mechanism: *cold* = the one-shot
+/// full-body `POST /v1/anonymize` (upload + parse + compute +
+/// download — what every request cost before the dataset registry,
+/// made a guaranteed cache miss by a fresh seed per iteration), and
+/// *warm* = the registered-digest job cycle (`POST /v1/jobs` answered
+/// `done` from the content-addressed cache + `GET /v1/results`).
+/// Asserts warm bytes ≡ cold bytes for the shared key on every run.
+fn bench_jobs_cache(dataset: &Dataset, seed: u64, iters: usize) -> JobsCacheBench {
+    let server = Server::bind(ServerConfig::default())
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server");
+    let addr = server.addr();
+    let mut body = Vec::new();
+    write_csv(dataset, &mut body).expect("serialize workload");
+
+    let started = Instant::now();
+    let (status, response) = http(addr, "POST", "/v1/datasets", &body);
+    assert_eq!(status, 200, "dataset registration failed");
+    let register_s = started.elapsed().as_secs_f64();
+    let digest = json_str_field(&response, "digest");
+
+    // Cold: a fresh seed each iteration keeps every request a miss.
+    let mut cold_s = f64::INFINITY;
+    let mut reference = Vec::new();
+    for i in 0..iters {
+        let target = format!(
+            "/v1/anonymize?mechanism=promesse&alpha=100&seed={}",
+            seed.wrapping_add(i as u64)
+        );
+        let started = Instant::now();
+        let (status, out) = http(addr, "POST", &target, &body);
+        cold_s = cold_s.min(started.elapsed().as_secs_f64());
+        assert_eq!(status, 200, "cold anonymize failed");
+        if i == 0 {
+            reference = out;
+        }
+    }
+
+    // Warm: the job cycle for the first cold key — the sync path and
+    // the job engine share one cache, so the submission answers `done`.
+    let mut warm_s = f64::INFINITY;
+    let target = format!("/v1/jobs?dataset={digest}&mechanism=promesse&alpha=100&seed={seed}");
+    for _ in 0..iters {
+        let started = Instant::now();
+        let (status, job) = http(addr, "POST", &target, b"");
+        assert_eq!(status, 200, "warm submission was not answered done");
+        let id = json_str_field(&job, "id");
+        let (status, out) = http(addr, "GET", &format!("/v1/results/{id}"), b"");
+        warm_s = warm_s.min(started.elapsed().as_secs_f64());
+        assert_eq!(status, 200, "warm fetch failed");
+        assert_eq!(out, reference, "warm≡cold bytes violated");
+    }
+
+    let (_, stats) = http(addr, "GET", "/v1/stats", b"");
+    let hits = json_u64_field(&stats, "cache_hits");
+    let misses = json_u64_field(&stats, "cache_misses");
+    assert_eq!(
+        json_u64_field(&stats, "computations"),
+        iters as u64,
+        "warm requests recomputed"
+    );
+    server.shutdown();
+    JobsCacheBench {
+        register_s,
+        cold_s,
+        warm_s,
+        hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    }
 }
 
 /// Minimum wall time of `iters` runs, seconds. The closure's result is
@@ -189,6 +287,13 @@ fn main() -> ExitCode {
     let (t, _) = time_min(args.iters, || poi.run(&published, &world.truth));
     mechanisms.push(("poi_attack".to_owned(), t));
 
+    // The serving-system cache: cold (one-shot full-body request — what
+    // every request cost before the dataset registry) vs warm (job
+    // cycle answered by the content-addressed result cache), over a
+    // real socket against an in-process server.
+    eprintln!("timing jobs cache (cold one-shot vs warm job cycle)…");
+    let jobs_cache = bench_jobs_cache(dataset, args.seed, args.iters);
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -217,7 +322,17 @@ fn main() -> ExitCode {
             if i == 0 { "\n" } else { ",\n" },
         );
     }
-    json.push_str("\n]}\n");
+    let _ = write!(
+        json,
+        "\n],\"jobs_cache\":{{\"mechanism\":\"promesse alpha=100\",\"register_s\":{},\
+         \"cold_s\":{},\"warm_s\":{},\"speedup\":{},\"hit_rate\":{}}}",
+        jobs_cache.register_s,
+        jobs_cache.cold_s,
+        jobs_cache.warm_s,
+        jobs_cache.cold_s / jobs_cache.warm_s.max(1e-12),
+        jobs_cache.hit_rate,
+    );
+    json.push_str("}\n");
 
     for (name, naive_s, indexed_s) in &paths {
         eprintln!(
@@ -227,6 +342,14 @@ fn main() -> ExitCode {
             naive_s / indexed_s.max(1e-12),
         );
     }
+    eprintln!(
+        "    jobs_cache: cold  {:>9.2} ms, warm    {:>9.2} ms -> {:.2}x (register {:.2} ms, hit rate {:.0}%)",
+        jobs_cache.cold_s * 1e3,
+        jobs_cache.warm_s * 1e3,
+        jobs_cache.cold_s / jobs_cache.warm_s.max(1e-12),
+        jobs_cache.register_s * 1e3,
+        jobs_cache.hit_rate * 100.0,
+    );
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {

@@ -1,34 +1,15 @@
 //! Stable 64-bit digests for datasets and cell seeds.
 //!
-//! `std::hash` offers no stability guarantee across releases or
-//! processes, so the conformance corpus pins its own hash: FNV-1a over
-//! the dataset's canonical CSV serialization. The CSV writer quantizes
-//! coordinates and fixes trace order, so two datasets digest equal iff
-//! they publish equal — which is exactly the regression the golden
-//! corpus is meant to catch.
+//! The content digest itself (FNV-1a over the dataset's canonical CSV
+//! serialization) lives in [`mobipriv_model::digest`] so the service's
+//! content-addressed dataset registry and this crate's golden corpus
+//! address datasets *identically*; this module re-exports it and adds
+//! the eval-specific seed derivation.
 
-use mobipriv_model::{write_csv, Dataset};
+pub use mobipriv_model::digest::{dataset_digest, digest_hex, fnv1a64};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// FNV-1a over a byte slice.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash = FNV_OFFSET;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
-
-/// The canonical digest of a published dataset: FNV-1a over its CSV
-/// bytes, rendered as 16 lowercase hex digits.
-pub fn dataset_digest(dataset: &Dataset) -> String {
-    let mut bytes = Vec::new();
-    write_csv(dataset, &mut bytes).expect("serializing to memory cannot fail");
-    format!("{:016x}", fnv1a64(&bytes))
-}
 
 /// The RNG seed of one evaluation cell, derived from the plan seed and
 /// the cell's *names* rather than its position: filtering or reordering
@@ -53,18 +34,14 @@ pub fn cell_seed(plan_seed: u64, scenario: &str, mechanism: &str) -> u64 {
 mod tests {
     use super::*;
     use mobipriv_geo::LatLng;
-    use mobipriv_model::{Fix, Timestamp, Trace, UserId};
+    use mobipriv_model::{Dataset, Fix, Timestamp, Trace, UserId};
 
     #[test]
-    fn fnv_matches_reference_vectors() {
-        // Published FNV-1a test vectors.
+    fn reexported_digest_still_tracks_content() {
+        // The golden corpus depends on these exact values staying put
+        // across the move into mobipriv-model.
         assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
-    }
-
-    #[test]
-    fn dataset_digest_tracks_content() {
         let trace = |user: u64, lat: f64| {
             Trace::new(
                 UserId::new(user),

@@ -33,6 +33,7 @@
 #![deny(rust_2018_idioms)]
 
 mod dataset;
+pub mod digest;
 mod error;
 mod fix;
 mod io;

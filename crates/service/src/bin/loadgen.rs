@@ -1,22 +1,35 @@
 //! `mobipriv-loadgen` — closed-loop load generator for
 //! `mobipriv-serve`: replays a synthetic city at a configurable request
-//! rate and reports throughput and latency percentiles. Run with
-//! `--help` for usage.
+//! rate and reports throughput, latency percentiles and a per-status
+//! failure breakdown. The `--jobs` mode replays the paper's
+//! publish-once/query-many shape through the dataset registry and the
+//! async job engine, reporting cold-vs-warm latency and the cache hit
+//! rate. Run with `--help` for usage.
 
-use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mobipriv_model::write_csv;
+use mobipriv_service::client::{json_str_field, request};
 use mobipriv_synth::scenarios;
 
 const USAGE: &str = "\
 usage: mobipriv-loadgen [options]
 
 Generates a deterministic synthetic-city workload, POSTs it repeatedly
-to a running mobipriv-serve, and prints a throughput/latency summary.
+to a running mobipriv-serve, and prints a throughput/latency summary
+with a per-status failure breakdown (exit status 1 if any request
+failed).
+
+With --jobs the workload is registered once (POST /v1/datasets) and the
+requests become submit→poll→fetch cycles against the async job engine,
+cycling through --distinct different (mechanism, seed) keys: the first
+request for each key is a cold computation, repeats are cache hits. The
+summary splits cold vs warm latency and reports the server's cache hit
+rate.
 
 options:
   --addr HOST:PORT    server address (default 127.0.0.1:8645)
@@ -28,6 +41,9 @@ options:
   --mechanism NAME    mechanism to exercise (default promesse)
   --query EXTRA       extra query parameters, e.g. 'alpha=200&report=1'
   --seed N            workload + request seed (default 42)
+  --jobs              register-once/publish-many mode (see above)
+  --distinct N        distinct job keys the --jobs mode cycles through
+                      (default 4)
   --dump-workload     print the workload CSV to stdout and exit (used
                       by the CI smoke script)
   -h, --help          print this help
@@ -42,6 +58,8 @@ struct Options {
     mechanism: String,
     query: String,
     seed: u64,
+    jobs: bool,
+    distinct: usize,
     dump: bool,
 }
 
@@ -56,6 +74,8 @@ impl Default for Options {
             mechanism: "promesse".to_owned(),
             query: String::new(),
             seed: 42,
+            jobs: false,
+            distinct: 4,
             dump: false,
         }
     }
@@ -106,6 +126,14 @@ fn parse_args(args: &[String]) -> Options {
                 Ok(n) => opts.seed = n,
                 _ => fail("--seed expects an integer"),
             },
+            "--jobs" => {
+                opts.jobs = true;
+                consumed = 1;
+            }
+            "--distinct" => match value(i).parse() {
+                Ok(n) if n > 0 => opts.distinct = n,
+                _ => fail("--distinct expects a positive integer"),
+            },
             "--dump-workload" => {
                 opts.dump = true;
                 consumed = 1;
@@ -117,26 +145,37 @@ fn parse_args(args: &[String]) -> Options {
     opts
 }
 
-/// One POST over a fresh connection; returns (status, response bytes).
-fn post(addr: &str, target: &str, body: &[u8]) -> std::io::Result<(u16, usize)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
-    write!(
-        stream,
-        "POST {target} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: text/csv\r\ncontent-length: {}\r\n\r\n",
-        body.len()
-    )?;
-    stream.write_all(body)?;
-    stream.flush()?;
-    let mut response = Vec::new();
-    stream.read_to_end(&mut response)?;
-    let status = response
-        .split(|&b| b == b' ')
-        .nth(1)
-        .and_then(|s| std::str::from_utf8(s).ok())
-        .and_then(|s| s.parse::<u16>().ok())
-        .unwrap_or(0);
-    Ok((status, response.len()))
+/// Per-thread outcome accounting, merged into the summary.
+#[derive(Default)]
+struct Tally {
+    /// Successful request latencies (cold bucket in --jobs mode).
+    cold: Vec<Duration>,
+    /// Warm (cache-answered) latencies; empty in one-shot mode.
+    warm: Vec<Duration>,
+    /// Coalesced-onto-an-in-flight-job latencies; --jobs mode only.
+    coalesced: Vec<Duration>,
+    /// Transport failures (connect/read errors).
+    io_errors: usize,
+    /// Non-2xx responses by status code.
+    by_status: BTreeMap<u16, usize>,
+    bytes_in: usize,
+}
+
+impl Tally {
+    fn failures(&self) -> usize {
+        self.io_errors + self.by_status.values().sum::<usize>()
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.cold.extend(other.cold);
+        self.warm.extend(other.warm);
+        self.coalesced.extend(other.coalesced);
+        self.io_errors += other.io_errors;
+        self.bytes_in += other.bytes_in;
+        for (status, n) in other.by_status {
+            *self.by_status.entry(status).or_default() += n;
+        }
+    }
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample.
@@ -150,6 +189,99 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+fn latency_line(label: &str, latencies: &mut [Duration]) {
+    if latencies.is_empty() {
+        return;
+    }
+    latencies.sort_unstable();
+    let mean = latencies.iter().sum::<Duration>() / latencies.len() as u32;
+    println!(
+        "{label}: n {:>4}  mean {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}  (ms)",
+        latencies.len(),
+        ms(mean),
+        ms(percentile(latencies, 0.50)),
+        ms(percentile(latencies, 0.90)),
+        ms(percentile(latencies, 0.99)),
+        ms(*latencies.last().expect("non-empty")),
+    );
+}
+
+/// One submit→poll→fetch cycle against the job engine. Returns the
+/// submission classification (`enqueued`/`coalesced`/`cached`).
+fn job_cycle(addr: &str, submit_target: &str, tally: &mut Tally, sent: Instant) -> Option<String> {
+    let (status, body) = match request(addr, "POST", submit_target, b"") {
+        Ok(r) => r,
+        Err(_) => {
+            tally.io_errors += 1;
+            return None;
+        }
+    };
+    if status != 200 && status != 202 {
+        *tally.by_status.entry(status).or_default() += 1;
+        return None;
+    }
+    let Some(id) = json_str_field(&body, "id") else {
+        *tally.by_status.entry(0).or_default() += 1;
+        return None;
+    };
+    let submitted = json_str_field(&body, "submitted").unwrap_or_default();
+    let mut job_status = json_str_field(&body, "status").unwrap_or_default();
+    // Done at submission time = the cache answered; no computation was
+    // waited on, whether the record was fresh ("cached") or an old done
+    // job coalesced onto ("coalesced").
+    let warm = job_status == "done";
+    let poll_target = format!("/v1/jobs/{id}");
+    // A wedged job must fail the run with the breakdown, not hang the
+    // client (and the CI smoke job) forever.
+    let poll_deadline = Instant::now() + Duration::from_secs(120);
+    while job_status != "done" {
+        if job_status == "failed" {
+            *tally.by_status.entry(500).or_default() += 1;
+            return None;
+        }
+        if Instant::now() > poll_deadline {
+            tally.io_errors += 1;
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        match request(addr, "GET", &poll_target, b"") {
+            Ok((200, body)) => {
+                job_status = json_str_field(&body, "status").unwrap_or_default();
+            }
+            Ok((status, _)) => {
+                *tally.by_status.entry(status).or_default() += 1;
+                return None;
+            }
+            Err(_) => {
+                tally.io_errors += 1;
+                return None;
+            }
+        }
+    }
+    match request(addr, "GET", &format!("/v1/results/{id}"), b"") {
+        Ok((200, body)) => {
+            let latency = sent.elapsed();
+            tally.bytes_in += body.len();
+            if warm {
+                tally.warm.push(latency);
+            } else if submitted == "enqueued" {
+                tally.cold.push(latency);
+            } else {
+                tally.coalesced.push(latency);
+            }
+            Some(submitted)
+        }
+        Ok((status, _)) => {
+            *tally.by_status.entry(status).or_default() += 1;
+            None
+        }
+        Err(_) => {
+            tally.io_errors += 1;
+            None
+        }
+    }
 }
 
 fn main() {
@@ -167,27 +299,68 @@ fn main() {
     let fixes = workload.dataset.total_fixes();
     drop(workload);
 
-    let mut target = format!(
-        "/v1/anonymize?mechanism={}&seed={}",
-        opts.mechanism, opts.seed
-    );
-    if !opts.query.is_empty() {
-        target.push('&');
-        target.push_str(&opts.query);
-    }
-
     println!(
         "workload: {} users, {traces} traces, {fixes} fixes, {}-byte body (seed {})",
         opts.users,
         body.len(),
         opts.seed
     );
+
+    let digest = if opts.jobs {
+        // Register once; every job request references the digest.
+        let registered_at = Instant::now();
+        let (status, response) = match request(&opts.addr, "POST", "/v1/datasets", &body) {
+            Ok(r) => r,
+            Err(e) => fail(&format!("cannot reach {}: {e}", opts.addr)),
+        };
+        if status != 200 {
+            fail(&format!("dataset registration answered HTTP {status}"));
+        }
+        let digest = json_str_field(&response, "digest")
+            .unwrap_or_else(|| fail("registration response carries no digest"));
+        println!(
+            "registered: digest {digest} in {:.1} ms (register-once, publish-many)",
+            ms(registered_at.elapsed())
+        );
+        Some(digest)
+    } else {
+        None
+    };
+
+    // The target for request i. One-shot mode always POSTs the same
+    // anonymize query; --jobs mode cycles through `distinct` seeds so
+    // each key sees both a cold and (requests/distinct - 1) warm hits.
+    let make_target = {
+        let (digest, mechanism, extra) =
+            (digest.clone(), opts.mechanism.clone(), opts.query.clone());
+        let (seed, distinct) = (opts.seed, opts.distinct);
+        move |i: usize| -> String {
+            let mut target = match &digest {
+                Some(digest) => format!(
+                    "/v1/jobs?dataset={digest}&mechanism={mechanism}&seed={}",
+                    seed.wrapping_add((i % distinct) as u64)
+                ),
+                None => format!("/v1/anonymize?mechanism={mechanism}&seed={seed}"),
+            };
+            if !extra.is_empty() {
+                target.push('&');
+                target.push_str(&extra);
+            }
+            target
+        }
+    };
+
     println!(
-        "target:   http://{}{} — {} requests, concurrency {}{}",
+        "target:   http://{}{} — {} requests, concurrency {}{}{}",
         opts.addr,
-        target,
+        make_target(0),
         opts.requests,
         opts.concurrency,
+        if opts.jobs {
+            format!(" ({} distinct job keys)", opts.distinct)
+        } else {
+            String::new()
+        },
         if opts.rate > 0.0 {
             format!(", {} req/s", opts.rate)
         } else {
@@ -195,31 +368,68 @@ fn main() {
         }
     );
 
-    // Connectivity probe before unleashing the fleet.
-    match post(&opts.addr, &target, &body) {
-        Ok((200, _)) => {}
-        Ok((status, _)) => fail(&format!("probe request answered HTTP {status}")),
-        Err(e) => fail(&format!("cannot reach {}: {e}", opts.addr)),
+    if !opts.jobs {
+        // Connectivity probe before unleashing the fleet.
+        match request(&opts.addr, "POST", &make_target(0), &body) {
+            Ok((200, _)) => {}
+            Ok((status, _)) => fail(&format!("probe request answered HTTP {status}")),
+            Err(e) => fail(&format!("cannot reach {}: {e}", opts.addr)),
+        }
     }
 
     let body = Arc::new(body);
-    let target = Arc::new(target);
     let addr = Arc::new(opts.addr.clone());
-    let next = Arc::new(AtomicUsize::new(0));
+    let make_target = Arc::new(make_target);
     let started = Instant::now();
+
+    // --jobs: publish each distinct view once, sequentially, before the
+    // concurrent phase — the register-once/publish-many lifecycle. The
+    // cold pass goes through the *one-shot* surface (full body upload +
+    // parse + compute), i.e. what every request cost before the
+    // registry existed; because the sync path and the job engine share
+    // one content-addressed cache, it also warms every job key, so the
+    // concurrent phase measures pure publish-many serving.
+    let mut cold_tally = Tally::default();
+    let concurrent_from = if opts.jobs {
+        let cold = opts.distinct.min(opts.requests);
+        for i in 0..cold {
+            let mut target = format!(
+                "/v1/anonymize?mechanism={}&seed={}",
+                opts.mechanism,
+                opts.seed.wrapping_add((i % opts.distinct) as u64)
+            );
+            if !opts.query.is_empty() {
+                target.push('&');
+                target.push_str(&opts.query);
+            }
+            let sent = Instant::now();
+            match request(&opts.addr, "POST", &target, &body) {
+                Ok((200, response)) => {
+                    cold_tally.cold.push(sent.elapsed());
+                    cold_tally.bytes_in += response.len();
+                }
+                Ok((status, _)) => {
+                    *cold_tally.by_status.entry(status).or_default() += 1;
+                }
+                Err(_) => cold_tally.io_errors += 1,
+            }
+        }
+        cold
+    } else {
+        0
+    };
+    let next = Arc::new(AtomicUsize::new(concurrent_from));
     let mut clients = Vec::new();
     for _ in 0..opts.concurrency {
-        let (body, target, addr, next) = (
+        let (body, addr, next, make_target) = (
             Arc::clone(&body),
-            Arc::clone(&target),
             Arc::clone(&addr),
             Arc::clone(&next),
+            Arc::clone(&make_target),
         );
-        let (requests, rate) = (opts.requests, opts.rate);
+        let (requests, rate, jobs) = (opts.requests, opts.rate, opts.jobs);
         clients.push(std::thread::spawn(move || {
-            let mut latencies = Vec::new();
-            let mut failures = 0usize;
-            let mut bytes_in = 0usize;
+            let mut tally = Tally::default();
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= requests {
@@ -232,51 +442,107 @@ fn main() {
                         std::thread::sleep(wait);
                     }
                 }
+                let target = make_target(i);
                 let sent = Instant::now();
-                match post(&addr, &target, &body) {
-                    Ok((200, n)) => {
-                        latencies.push(sent.elapsed());
-                        bytes_in += n;
+                if jobs {
+                    job_cycle(&addr, &target, &mut tally, sent);
+                } else {
+                    match request(addr.as_str(), "POST", &target, &body) {
+                        Ok((200, response)) => {
+                            tally.cold.push(sent.elapsed());
+                            tally.bytes_in += response.len();
+                        }
+                        Ok((status, _)) => {
+                            *tally.by_status.entry(status).or_default() += 1;
+                        }
+                        Err(_) => tally.io_errors += 1,
                     }
-                    Ok(_) | Err(_) => failures += 1,
                 }
             }
-            (latencies, failures, bytes_in)
+            tally
         }));
     }
-    let mut latencies: Vec<Duration> = Vec::with_capacity(opts.requests);
-    let mut failures = 0usize;
-    let mut bytes_in = 0usize;
+    let mut tally = cold_tally;
     for client in clients {
-        let (l, f, b) = client.join().expect("client thread panicked");
-        latencies.extend(l);
-        failures += f;
-        bytes_in += b;
+        tally.merge(client.join().expect("client thread panicked"));
     }
     let elapsed = started.elapsed();
-    latencies.sort_unstable();
 
-    let ok = latencies.len();
+    // Sequential warm probe for the speedup line: under high
+    // concurrency the in-run warm latencies include queue wait, which
+    // measures saturation, not serving latency. One uncontended cycle
+    // per key is the like-for-like counterpart of the sequential cold
+    // pass. Probe requests are not counted in the run totals.
+    let mut probe = Tally::default();
+    if opts.jobs {
+        for i in 0..opts.distinct.min(opts.requests) {
+            job_cycle(&opts.addr, &make_target(i), &mut probe, Instant::now());
+        }
+    }
+
+    let ok = tally.cold.len() + tally.warm.len() + tally.coalesced.len();
+    let failures = tally.failures();
     println!(
         "result:   {ok} ok, {failures} failed in {:.2} s ({} B received)",
         elapsed.as_secs_f64(),
-        bytes_in
+        tally.bytes_in
     );
+    if failures > 0 {
+        let mut parts: Vec<String> = tally
+            .by_status
+            .iter()
+            .map(|(status, n)| {
+                if *status == 0 {
+                    format!("unparseable×{n}")
+                } else {
+                    format!("HTTP {status}×{n}")
+                }
+            })
+            .collect();
+        if tally.io_errors > 0 {
+            parts.push(format!("io×{}", tally.io_errors));
+        }
+        println!("errors:   {}", parts.join(", "));
+    }
     if ok > 0 {
         let throughput = ok as f64 / elapsed.as_secs_f64();
         println!(
             "throughput: {throughput:.1} req/s, {:.2} Mfix/s anonymized",
             throughput * fixes as f64 / 1e6
         );
-        let mean = latencies.iter().sum::<Duration>() / ok as u32;
-        println!(
-            "latency ms: mean {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}  max {:.1}",
-            ms(mean),
-            ms(percentile(&latencies, 0.50)),
-            ms(percentile(&latencies, 0.90)),
-            ms(percentile(&latencies, 0.99)),
-            ms(*latencies.last().expect("non-empty")),
-        );
+    }
+    if opts.jobs {
+        latency_line("cold  ", &mut tally.cold);
+        latency_line("warm  ", &mut tally.warm);
+        latency_line("coal  ", &mut tally.coalesced);
+        // `cold` = full-body one-shot (the pre-registry cost of any
+        // request), sequential; the warm side is the sequential probe
+        // so both sides measure serving latency, not queueing.
+        probe.warm.sort_unstable();
+        if !tally.cold.is_empty() && !probe.warm.is_empty() {
+            let cold_p50 = percentile(&tally.cold, 0.50);
+            let warm_p50 = percentile(&probe.warm, 0.50);
+            println!(
+                "speedup:  cold p50 / warm p50 = {:.1}x (sequential probe, n={})",
+                ms(cold_p50) / ms(warm_p50).max(1e-6),
+                probe.warm.len()
+            );
+        }
+        let hits = tally.warm.len() + tally.coalesced.len();
+        if ok > 0 {
+            println!(
+                "hit rate: {hits}/{ok} requests answered from cache ({:.1}%)",
+                100.0 * hits as f64 / ok as f64
+            );
+        }
+        // The server's own counters, when reachable.
+        if let Ok((200, stats)) = request(&opts.addr, "GET", "/v1/stats", b"") {
+            if let Ok(text) = std::str::from_utf8(&stats) {
+                println!("server:   {}", text.trim_end());
+            }
+        }
+    } else {
+        latency_line("latency", &mut tally.cold);
     }
     if failures > 0 {
         std::process::exit(1);

@@ -9,13 +9,21 @@ usage: mobipriv-serve [options]
 
 Serves the mobipriv mechanism matrix over HTTP/1.1:
 
-  POST /v1/anonymize?mechanism=<name>[&seed=N][&report=1][&format=csv|ndjson]
+  POST /v1/anonymize?mechanism=<name>[&seed=N][&dataset=DIGEST][&report=1]
+  POST /v1/datasets                  register a dataset once, get its digest
+  POST /v1/jobs?dataset=DIGEST&mechanism=<name>[&kind=anonymize|evaluate][&seed=N]
+  GET  /v1/jobs/<id>                 poll queued/running/done/failed + progress
+  GET  /v1/results/<key>             fetch the finished bytes
+  GET  /v1/datasets [/<digest>]      registry listing / one dataset's metadata
+  GET  /v1/stats                     cache + registry + job counters
   GET  /v1/mechanisms
   GET  /healthz
 
-The anonymize body is CSV (`user,trace,lat,lng,time`) or NDJSON rows,
-fixed-length or chunked; the response is the anonymized dataset as CSV.
-Responses are deterministic in (body, parameters, seed).
+Bodies are CSV (`user,trace,lat,lng,time`) or NDJSON rows, fixed-length
+or chunked. Responses are deterministic in (input content, canonical
+parameters, seed) — which is also the result-cache key: identical
+requests coalesce into one computation and repeats are cache hits
+(`x-mobipriv-cache: hit|miss`).
 
 options:
   --addr HOST:PORT     bind address (default 127.0.0.1:8645; port 0
@@ -24,6 +32,10 @@ options:
   --queue N            accept-queue depth before 503 load shedding
                        (default 64)
   --max-body-mb N      request-body limit in MiB (default 64)
+  --job-workers N      async job executor threads (default 2)
+  --job-queue N        job-queue depth before submissions 503 (default 64)
+  --dataset-budget-mb N  registry byte budget, LRU-evicted (default 512)
+  --result-budget-mb N   result-cache byte budget, LRU-evicted (default 256)
   --engine-threads N   run each request's per-trace fan-out on N engine
                        threads instead of sequentially (output is
                        identical; per-request parallelism only pays off
@@ -68,6 +80,22 @@ fn main() {
             "--max-body-mb" => match value(i).parse::<u64>() {
                 Ok(n) if n > 0 => config.max_body_bytes = n * 1024 * 1024,
                 _ => fail("--max-body-mb expects a positive integer"),
+            },
+            "--job-workers" => match value(i).parse() {
+                Ok(n) if n > 0 => config.job_workers = n,
+                _ => fail("--job-workers expects a positive integer"),
+            },
+            "--job-queue" => match value(i).parse() {
+                Ok(n) => config.job_queue_depth = n,
+                _ => fail("--job-queue expects a non-negative integer"),
+            },
+            "--dataset-budget-mb" => match value(i).parse::<u64>() {
+                Ok(n) if n > 0 => config.dataset_budget_bytes = n * 1024 * 1024,
+                _ => fail("--dataset-budget-mb expects a positive integer"),
+            },
+            "--result-budget-mb" => match value(i).parse::<u64>() {
+                Ok(n) if n > 0 => config.result_budget_bytes = n * 1024 * 1024,
+                _ => fail("--result-budget-mb expects a positive integer"),
             },
             "--engine-threads" => match value(i).parse() {
                 Ok(n) if n > 0 => config.engine = Engine::parallel().with_workers(n),

@@ -1,0 +1,446 @@
+//! The content-addressed result cache with single-flight computation.
+//!
+//! Results are keyed by the canonical description of the work —
+//! `(dataset digest, canonical mechanism params, seed, kind, …)` joined
+//! into one canonical key string (see [`result_key`] for the textual
+//! address derived from it). Because every computation in the system is
+//! a pure function of that key (the engine's determinism contract), a
+//! cached body is *the* answer, byte for byte; the cache can therefore:
+//!
+//! * **coalesce** concurrent identical requests into one computation —
+//!   the first caller computes, the rest block on a condvar and share
+//!   the leader's `Arc`'d result (single-flight); and
+//! * **serve** repeated requests without recomputation, marking them
+//!   with `x-mobipriv-cache: hit`.
+//!
+//! # Eviction
+//!
+//! Completed entries are LRU-evicted against a body-byte budget.
+//! In-flight entries are never evicted (they hold no body yet); a
+//! result larger than the whole budget is returned to its caller but
+//! not retained.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use mobipriv_model::digest::digest_hex;
+
+use crate::ServiceError;
+
+/// Derives the 16-hex-digit result address from a canonical key string.
+/// This is what `GET /v1/results/:key` takes and what job ids are.
+pub fn result_key(canonical: &str) -> String {
+    digest_hex(canonical.as_bytes())
+}
+
+/// A finished computation: the response body plus the headers that
+/// describe the computation itself (not the transport). Serving a hit
+/// replays these verbatim, so hits and misses are byte-identical in
+/// everything but the `x-mobipriv-cache` marker.
+#[derive(Debug)]
+pub struct CachedResult {
+    /// The canonical key string this result answers.
+    pub canonical: String,
+    /// Response `content-type`.
+    pub content_type: &'static str,
+    /// Computation-describing headers (mechanism, seed, counts, …).
+    pub headers: Vec<(&'static str, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+/// Shared cell the single-flight followers wait on.
+struct Flight {
+    done: Mutex<Option<Result<Arc<CachedResult>, String>>>,
+    cv: Condvar,
+}
+
+enum Slot {
+    InFlight(Arc<Flight>),
+    Done {
+        result: Arc<CachedResult>,
+        last_used: u64,
+    },
+}
+
+struct Inner {
+    // Keyed by the full canonical string (collision-proof); `by_key`
+    // maps the 16-hex textual address back to it for `GET /v1/results`.
+    slots: HashMap<String, Slot>,
+    by_key: HashMap<String, String>,
+    done_bytes: u64,
+}
+
+/// Whether a lookup was answered from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from a completed entry, or by joining an in-flight
+    /// computation some other request started.
+    Hit,
+    /// This request ran the computation.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// The `x-mobipriv-cache` header value.
+    pub fn header_value(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Bounded single-flight result cache.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    clock: AtomicU64,
+    max_bytes: u64,
+    computations: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to `max_bytes` of completed bodies.
+    pub fn new(max_bytes: u64) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                by_key: HashMap::new(),
+                done_bytes: 0,
+            }),
+            clock: AtomicU64::new(0),
+            max_bytes,
+            computations: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Times the computation has actually run (the single-flight
+    /// counter the stress tests assert on).
+    pub fn computations(&self) -> u64 {
+        self.computations.load(Ordering::SeqCst)
+    }
+
+    /// `(hits, misses)` over the cache's lifetime.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::SeqCst),
+            self.misses.load(Ordering::SeqCst),
+        )
+    }
+
+    /// `(completed entries, completed body bytes)`.
+    pub fn stats(&self) -> (usize, u64) {
+        let inner = self.inner.lock().expect("cache mutex poisoned");
+        let done = inner
+            .slots
+            .values()
+            .filter(|s| matches!(s, Slot::Done { .. }))
+            .count();
+        (done, inner.done_bytes)
+    }
+
+    /// Looks a completed result up by its 16-hex textual address.
+    /// A successful lookup counts as a cache hit.
+    pub fn lookup(&self, key: &str) -> Option<Arc<CachedResult>> {
+        let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        let canonical = inner.by_key.get(key)?.clone();
+        match inner.slots.get_mut(&canonical) {
+            Some(Slot::Done {
+                result,
+                last_used: lu,
+            }) => {
+                *lu = last_used;
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Some(Arc::clone(result))
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the cached result for `canonical`, or runs `compute`
+    /// exactly once across all concurrent callers of the same key
+    /// (single-flight) and caches its output.
+    ///
+    /// # Errors
+    ///
+    /// The leader's computation error propagates to every coalesced
+    /// caller (as [`ServiceError::Internal`] for followers, since the
+    /// original error type is not cloneable); a failed flight leaves no
+    /// cache entry behind, so the next request retries.
+    pub fn get_or_compute<F>(
+        &self,
+        canonical: &str,
+        compute: F,
+    ) -> Result<(Arc<CachedResult>, CacheOutcome), ServiceError>
+    where
+        F: FnOnce() -> Result<CachedResult, ServiceError>,
+    {
+        let flight = {
+            let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+            let mut inner = self.inner.lock().expect("cache mutex poisoned");
+            match inner.slots.get_mut(canonical) {
+                Some(Slot::Done {
+                    result,
+                    last_used: lu,
+                }) => {
+                    *lu = last_used;
+                    self.hits.fetch_add(1, Ordering::SeqCst);
+                    return Ok((Arc::clone(result), CacheOutcome::Hit));
+                }
+                Some(Slot::InFlight(flight)) => {
+                    // Follower: wait outside the cache lock.
+                    let flight = Arc::clone(flight);
+                    drop(inner);
+                    self.hits.fetch_add(1, Ordering::SeqCst);
+                    let mut done = flight.done.lock().expect("flight mutex poisoned");
+                    while done.is_none() {
+                        done = flight.cv.wait(done).expect("flight mutex poisoned");
+                    }
+                    return match done.as_ref().expect("loop exited on Some") {
+                        Ok(result) => Ok((Arc::clone(result), CacheOutcome::Hit)),
+                        Err(message) => Err(ServiceError::Internal(format!(
+                            "coalesced computation failed: {message}"
+                        ))),
+                    };
+                }
+                None => {
+                    let flight = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    inner
+                        .slots
+                        .insert(canonical.to_owned(), Slot::InFlight(Arc::clone(&flight)));
+                    flight
+                }
+            }
+        };
+        // Leader: compute outside the lock. A panicking computation
+        // must not leak the in-flight slot — that would wedge the key
+        // forever and strand every follower on the condvar (each one
+        // permanently consuming a pooled worker thread) — so unwinds
+        // are caught and published as an error like any other failure.
+        self.misses.fetch_add(1, Ordering::SeqCst);
+        self.computations.fetch_add(1, Ordering::SeqCst);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
+            .unwrap_or_else(|panic| {
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err(ServiceError::Internal(format!(
+                    "computation panicked: {message}"
+                )))
+            });
+        let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        let published = match outcome {
+            Ok(result) => {
+                let result = Arc::new(result);
+                let bytes = result.body.len() as u64;
+                if bytes <= self.max_bytes {
+                    // Evict completed LRU entries until this one fits.
+                    while inner.done_bytes + bytes > self.max_bytes {
+                        let victim = inner
+                            .slots
+                            .iter()
+                            .filter_map(|(k, s)| match s {
+                                Slot::Done { last_used, .. } => Some((*last_used, k.clone())),
+                                Slot::InFlight(_) => None,
+                            })
+                            .min()
+                            .map(|(_, k)| k)
+                            .expect("done_bytes > 0 implies a Done slot");
+                        if let Some(Slot::Done { result, .. }) = inner.slots.remove(&victim) {
+                            inner.done_bytes -= result.body.len() as u64;
+                            inner.by_key.remove(&result_key(&result.canonical));
+                        }
+                    }
+                    inner.done_bytes += bytes;
+                    inner
+                        .by_key
+                        .insert(result_key(canonical), canonical.to_owned());
+                    inner.slots.insert(
+                        canonical.to_owned(),
+                        Slot::Done {
+                            result: Arc::clone(&result),
+                            last_used,
+                        },
+                    );
+                } else {
+                    // Too big to retain: serve it, drop the flight slot.
+                    inner.slots.remove(canonical);
+                }
+                Ok(result)
+            }
+            Err(e) => {
+                inner.slots.remove(canonical);
+                Err(e)
+            }
+        };
+        drop(inner);
+        let mut done = flight.done.lock().expect("flight mutex poisoned");
+        *done = Some(match &published {
+            Ok(result) => Ok(Arc::clone(result)),
+            Err(e) => Err(e.to_string()),
+        });
+        drop(done);
+        flight.cv.notify_all();
+        published.map(|result| (result, CacheOutcome::Miss))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(canonical: &str, body: &[u8]) -> CachedResult {
+        CachedResult {
+            canonical: canonical.to_owned(),
+            content_type: "text/csv",
+            headers: vec![("x-mobipriv-seed", "1".to_owned())],
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn hit_after_miss_and_lookup_by_textual_key() {
+        let cache = ResultCache::new(1 << 20);
+        let (first, outcome) = cache
+            .get_or_compute("k1", || Ok(result("k1", b"abc")))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (second, outcome) = cache
+            .get_or_compute("k1", || panic!("must not recompute"))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(first.body, second.body);
+        assert_eq!(cache.computations(), 1);
+        assert_eq!(cache.hit_miss(), (1, 1));
+        let looked = cache.lookup(&result_key("k1")).expect("addressable");
+        assert_eq!(looked.body, b"abc");
+        assert!(cache.lookup("ffffffffffffffff").is_none());
+    }
+
+    #[test]
+    fn concurrent_identical_keys_coalesce_into_one_computation() {
+        let cache = Arc::new(ResultCache::new(1 << 20));
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    let (r, _) = cache
+                        .get_or_compute("shared", || {
+                            // Widen the race window so followers really
+                            // arrive while the leader is computing.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            Ok(result("shared", b"payload"))
+                        })
+                        .unwrap();
+                    r.body.clone()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"payload");
+        }
+        assert_eq!(cache.computations(), 1, "single-flight violated");
+    }
+
+    #[test]
+    fn panicking_leader_fails_followers_and_frees_the_key() {
+        let cache = Arc::new(ResultCache::new(1 << 20));
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let follower = {
+            let cache = Arc::clone(&cache);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Arrive while the leader is mid-panic-window; either
+                // join the flight (error) or become a fresh leader (ok)
+                // — both are fine, hanging is not.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                cache
+                    .get_or_compute("boom", || Ok(result("boom", b"recovered")))
+                    .map(|(r, _)| r.body.clone())
+            })
+        };
+        barrier.wait();
+        let err = cache
+            .get_or_compute("boom", || -> Result<CachedResult, ServiceError> {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("mechanism exploded");
+            })
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("panicked"),
+            "leader error names the panic: {err}"
+        );
+        // The follower thread terminates (no condvar hang) either way.
+        match follower.join().expect("follower thread finished") {
+            Ok(body) => assert_eq!(body, b"recovered"),
+            Err(e) => assert!(e.to_string().contains("panicked"), "{e}"),
+        }
+        // The key is not wedged: the next caller computes fresh.
+        let (r, outcome) = cache
+            .get_or_compute("boom", || Ok(result("boom", b"recovered")))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(r.body, b"recovered");
+    }
+
+    #[test]
+    fn failures_propagate_and_leave_no_entry() {
+        let cache = ResultCache::new(1 << 20);
+        let err = cache
+            .get_or_compute("bad", || {
+                Err::<CachedResult, _>(ServiceError::Internal("boom".into()))
+            })
+            .unwrap_err();
+        assert_eq!(err.status().0, 500);
+        // The key retries (no poisoned entry).
+        let (_, outcome) = cache
+            .get_or_compute("bad", || Ok(result("bad", b"ok now")))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert_eq!(cache.computations(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let cache = ResultCache::new(10);
+        cache
+            .get_or_compute("a", || Ok(result("a", b"aaaa")))
+            .unwrap();
+        cache
+            .get_or_compute("b", || Ok(result("b", b"bbbb")))
+            .unwrap();
+        // Touch `a`, then insert `c`: `b` is the LRU victim.
+        cache.get_or_compute("a", || panic!("cached")).unwrap();
+        cache
+            .get_or_compute("c", || Ok(result("c", b"cccc")))
+            .unwrap();
+        assert!(cache.lookup(&result_key("a")).is_some());
+        assert!(cache.lookup(&result_key("b")).is_none(), "LRU evicted");
+        assert!(cache.lookup(&result_key("c")).is_some());
+        let (count, bytes) = cache.stats();
+        assert_eq!(count, 2);
+        assert!(bytes <= 10);
+        // Oversized results are served but not retained.
+        let (r, outcome) = cache
+            .get_or_compute("huge", || Ok(result("huge", &[0u8; 64])))
+            .unwrap();
+        assert_eq!((r.body.len(), outcome), (64, CacheOutcome::Miss));
+        assert!(cache.lookup(&result_key("huge")).is_none());
+    }
+}

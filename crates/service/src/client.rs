@@ -1,0 +1,91 @@
+//! A minimal blocking HTTP/1.1 client for the service's own tooling —
+//! `mobipriv-loadgen`, the perf bench and the smoke harnesses all speak
+//! to the server through this one implementation instead of carrying
+//! private copies of the request/parse logic.
+//!
+//! One request per connection (`Connection: close` is what the server
+//! speaks), fixed-length bodies only, and a deliberately tiny JSON
+//! field scraper for the flat status documents the API returns — full
+//! documents go through [`mobipriv_eval::Json`] instead.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Sends one request over a fresh connection; returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a response without a parsable
+/// status line reports status `0` rather than erroring.
+pub fn request<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nhost: client\r\ncontent-type: text/csv\r\n\
+         content-length: {}\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let status = response
+        .split(|&b| b == b' ')
+        .nth(1)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .and_then(|s| s.parse::<u16>().ok())
+        .unwrap_or(0);
+    let body = response
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|split| response[split + 4..].to_vec())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Extracts `"field":"value"` from a flat JSON object.
+pub fn json_str_field(body: &[u8], field: &str) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let needle = format!("\"{field}\":\"");
+    let start = text.find(&needle)? + needle.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_owned())
+}
+
+/// Extracts `"field":123` (a non-negative integer) from a flat JSON
+/// object.
+pub fn json_u64_field(body: &[u8], field: &str) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    let needle = format!("\"{field}\":");
+    let start = text.find(&needle)? + needle.len();
+    let digits: String = text[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_scrapers_read_flat_documents() {
+        let doc = br#"{"id":"8c1a63df56032b9d","status":"done","computations":7,"nested":{"x":1}}"#;
+        assert_eq!(
+            json_str_field(doc, "id").as_deref(),
+            Some("8c1a63df56032b9d")
+        );
+        assert_eq!(json_str_field(doc, "status").as_deref(), Some("done"));
+        assert_eq!(json_str_field(doc, "missing"), None);
+        assert_eq!(json_u64_field(doc, "computations"), Some(7));
+        assert_eq!(json_u64_field(doc, "id"), None, "string is not a number");
+    }
+}

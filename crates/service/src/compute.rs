@@ -1,0 +1,198 @@
+//! The computations the result cache addresses: anonymization and
+//! utility evaluation as pure functions of `(dataset, canonical
+//! mechanism params, seed)`.
+//!
+//! Both the synchronous `POST /v1/anonymize` handler and the async job
+//! executor funnel through these functions *via the cache*, so the two
+//! surfaces coalesce with each other: a sync request and a job for the
+//! same key share one computation and one cached body.
+
+use mobipriv_core::{Engine, Mechanism};
+use mobipriv_eval::Json;
+use mobipriv_metrics::{coverage, spatial};
+use mobipriv_model::{write_csv, Dataset};
+
+use crate::cache::CachedResult;
+use crate::ServiceError;
+
+/// Grid-cell size used by the utility report, meters.
+pub(crate) const REPORT_CELL_M: f64 = 250.0;
+
+/// Versioned canonical cache-key string. Every field that changes the
+/// response bytes is in here; nothing transport-level (framing, wire
+/// format, header order) is. The `v1|` prefix lets a future revision
+/// invalidate the whole keyspace at once.
+pub(crate) fn canonical_key(
+    kind: &str,
+    dataset_digest: &str,
+    mechanism_canonical: &str,
+    seed: u64,
+    report: bool,
+) -> String {
+    format!(
+        "v1|{kind}|{dataset_digest}|{mechanism_canonical}|seed={seed}|report={}",
+        u8::from(report)
+    )
+}
+
+/// Runs a mechanism over the dataset and materializes the cacheable
+/// response: anonymized canonical CSV plus the computation-describing
+/// headers. `progress` receives coarse stage fractions in `[0, 1]`
+/// (protect ≈ the work; serialization and metrics the remainder).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn anonymize_result(
+    canonical: &str,
+    dataset: &Dataset,
+    mechanism: &dyn Mechanism,
+    mechanism_canonical: &str,
+    seed: u64,
+    report: bool,
+    engine: &Engine,
+    progress: &dyn Fn(f64),
+) -> Result<CachedResult, ServiceError> {
+    progress(0.05);
+    let output = engine.protect(mechanism, dataset, seed);
+    progress(0.8);
+    let mut body = Vec::new();
+    write_csv(&output, &mut body)
+        .map_err(|e| ServiceError::Internal(format!("serializing response: {e}")))?;
+    progress(0.9);
+    let mut headers = vec![
+        ("x-mobipriv-mechanism", mechanism_canonical.to_owned()),
+        ("x-mobipriv-seed", seed.to_string()),
+        ("x-mobipriv-input-traces", dataset.len().to_string()),
+        ("x-mobipriv-input-fixes", dataset.total_fixes().to_string()),
+        ("x-mobipriv-output-traces", output.len().to_string()),
+        ("x-mobipriv-output-fixes", output.total_fixes().to_string()),
+    ];
+    if report {
+        // Label-agnostic distortion: mechanisms may relabel users, which
+        // would break per-user matching.
+        let distortion = spatial::dataset_distortion_anonymous(dataset, &output);
+        let cover = coverage::coverage(dataset, &output, REPORT_CELL_M);
+        headers.push((
+            "x-mobipriv-distortion-mean-m",
+            format!("{:.3}", distortion.mean),
+        ));
+        headers.push((
+            "x-mobipriv-distortion-median-m",
+            format!("{:.3}", distortion.median),
+        ));
+        headers.push((
+            "x-mobipriv-distortion-p95-m",
+            format!("{:.3}", distortion.p95),
+        ));
+        headers.push((
+            "x-mobipriv-distortion-max-m",
+            format!("{:.3}", distortion.max),
+        ));
+        headers.push(("x-mobipriv-coverage-f1", format!("{:.4}", cover.f1)));
+    }
+    progress(1.0);
+    Ok(CachedResult {
+        canonical: canonical.to_owned(),
+        content_type: "text/csv",
+        headers,
+        body,
+    })
+}
+
+/// Runs a mechanism and materializes the utility report — the
+/// evaluation job's output — as canonical JSON (the eval crate's
+/// deterministic writer, so equal keys produce byte-equal documents).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_result(
+    canonical: &str,
+    dataset_digest: &str,
+    dataset: &Dataset,
+    mechanism: &dyn Mechanism,
+    mechanism_canonical: &str,
+    seed: u64,
+    engine: &Engine,
+    progress: &dyn Fn(f64),
+) -> Result<CachedResult, ServiceError> {
+    progress(0.05);
+    let output = engine.protect(mechanism, dataset, seed);
+    progress(0.6);
+    let distortion = spatial::dataset_distortion_anonymous(dataset, &output);
+    let cover = coverage::coverage(dataset, &output, REPORT_CELL_M);
+    progress(0.9);
+    let doc = Json::Obj(vec![
+        ("schema_version".into(), Json::UInt(1)),
+        ("kind".into(), Json::Str("utility_report".into())),
+        ("dataset".into(), Json::Str(dataset_digest.to_owned())),
+        (
+            "mechanism".into(),
+            Json::Str(mechanism_canonical.to_owned()),
+        ),
+        ("seed".into(), Json::UInt(seed)),
+        (
+            "input".into(),
+            Json::Obj(vec![
+                ("traces".into(), Json::UInt(dataset.len() as u64)),
+                ("fixes".into(), Json::UInt(dataset.total_fixes() as u64)),
+            ]),
+        ),
+        (
+            "output".into(),
+            Json::Obj(vec![
+                ("traces".into(), Json::UInt(output.len() as u64)),
+                ("fixes".into(), Json::UInt(output.total_fixes() as u64)),
+            ]),
+        ),
+        (
+            "distortion".into(),
+            Json::Obj(vec![
+                ("mean_m".into(), Json::Num(distortion.mean)),
+                ("median_m".into(), Json::Num(distortion.median)),
+                ("p95_m".into(), Json::Num(distortion.p95)),
+                ("max_m".into(), Json::Num(distortion.max)),
+            ]),
+        ),
+        (
+            "coverage".into(),
+            Json::Obj(vec![
+                ("precision".into(), Json::Num(cover.precision)),
+                ("recall".into(), Json::Num(cover.recall)),
+                ("f1".into(), Json::Num(cover.f1)),
+                ("total_variation".into(), Json::Num(cover.total_variation)),
+            ]),
+        ),
+    ]);
+    let mut body = String::new();
+    doc.write(&mut body);
+    body.push('\n');
+    progress(1.0);
+    Ok(CachedResult {
+        canonical: canonical.to_owned(),
+        content_type: "application/json",
+        headers: vec![
+            ("x-mobipriv-mechanism", mechanism_canonical.to_owned()),
+            ("x-mobipriv-seed", seed.to_string()),
+        ],
+        body: body.into_bytes(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_keys_separate_every_axis() {
+        let base = canonical_key("anonymize", "d1", "promesse alpha=100", 42, false);
+        for other in [
+            canonical_key("evaluate", "d1", "promesse alpha=100", 42, false),
+            canonical_key("anonymize", "d2", "promesse alpha=100", 42, false),
+            canonical_key("anonymize", "d1", "promesse alpha=200", 42, false),
+            canonical_key("anonymize", "d1", "promesse alpha=100", 43, false),
+            canonical_key("anonymize", "d1", "promesse alpha=100", 42, true),
+        ] {
+            assert_ne!(base, other);
+        }
+        assert_eq!(
+            base,
+            canonical_key("anonymize", "d1", "promesse alpha=100", 42, false)
+        );
+    }
+}

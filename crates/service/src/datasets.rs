@@ -1,0 +1,219 @@
+//! The content-addressed dataset registry behind `POST /v1/datasets`.
+//!
+//! A curator uploads a dataset once; the registry parses it through the
+//! streaming reader, serializes it back to *canonical CSV* and digests
+//! those bytes ([`mobipriv_model::digest`]) — so the same data arriving
+//! as CSV, NDJSON, chunked or fixed-length always lands under the same
+//! digest, and re-uploading is an idempotent no-op. Jobs and the
+//! result cache then address the dataset by digest alone: the paper's
+//! publish-once/query-many model, where one upload serves every
+//! protected view published from it.
+//!
+//! # Eviction
+//!
+//! The registry is bounded by a canonical-byte budget. Admission
+//! evicts least-recently-used entries until the newcomer fits; an entry
+//! larger than the whole budget is rejected outright (413 upstream).
+//! Jobs hold an `Arc` to their dataset from submission, so eviction
+//! never yanks data out from under a queued or running job — it only
+//! makes *future* submissions against that digest 404 until re-upload.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mobipriv_model::{digest::digest_hex, write_csv, Dataset};
+
+/// One registered dataset plus the metadata the API reports.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    /// Content digest of the canonical CSV form (16 hex digits).
+    pub digest: String,
+    /// The parsed dataset, shared with any job that references it.
+    pub dataset: Arc<Dataset>,
+    /// Canonical CSV size in bytes (the unit the byte budget counts).
+    pub bytes: u64,
+    /// Number of traces.
+    pub traces: usize,
+    /// Number of fixes across all traces.
+    pub fixes: u64,
+}
+
+struct Slot {
+    entry: Arc<DatasetEntry>,
+    last_used: u64,
+}
+
+struct Inner {
+    slots: HashMap<String, Slot>,
+    total_bytes: u64,
+}
+
+/// Bounded, content-addressed, LRU-evicting dataset store.
+pub struct DatasetRegistry {
+    inner: Mutex<Inner>,
+    clock: AtomicU64,
+    max_bytes: u64,
+}
+
+/// What [`DatasetRegistry::register`] did with the upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Registered {
+    /// First time this content was seen.
+    New,
+    /// The digest was already present (idempotent re-upload).
+    Exists,
+}
+
+impl DatasetRegistry {
+    /// Creates a registry bounded to `max_bytes` of canonical CSV.
+    pub fn new(max_bytes: u64) -> Self {
+        DatasetRegistry {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                total_bytes: 0,
+            }),
+            clock: AtomicU64::new(0),
+            max_bytes,
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a parsed dataset, returning its entry and whether the
+    /// content was new. `None` when the dataset's canonical form alone
+    /// exceeds the registry budget (nothing is evicted in that case).
+    pub fn register(&self, dataset: Dataset) -> Option<(Arc<DatasetEntry>, Registered)> {
+        let mut canonical = Vec::new();
+        write_csv(&dataset, &mut canonical).expect("serializing to memory cannot fail");
+        let digest = digest_hex(&canonical);
+        let bytes = canonical.len() as u64;
+        drop(canonical);
+        if bytes > self.max_bytes {
+            return None;
+        }
+        let last_used = self.tick();
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        if let Some(slot) = inner.slots.get_mut(&digest) {
+            slot.last_used = last_used;
+            return Some((Arc::clone(&slot.entry), Registered::Exists));
+        }
+        // Evict least-recently-used entries until the newcomer fits.
+        while inner.total_bytes + bytes > self.max_bytes {
+            let victim = inner
+                .slots
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(digest, _)| digest.clone())
+                .expect("non-empty: total_bytes > 0 implies a slot exists");
+            let slot = inner.slots.remove(&victim).expect("victim exists");
+            inner.total_bytes -= slot.entry.bytes;
+        }
+        let entry = Arc::new(DatasetEntry {
+            digest: digest.clone(),
+            traces: dataset.len(),
+            fixes: dataset.total_fixes() as u64,
+            bytes,
+            dataset: Arc::new(dataset),
+        });
+        inner.total_bytes += bytes;
+        inner.slots.insert(
+            digest,
+            Slot {
+                entry: Arc::clone(&entry),
+                last_used,
+            },
+        );
+        Some((entry, Registered::New))
+    }
+
+    /// Looks a dataset up by digest (refreshes its LRU position).
+    pub fn get(&self, digest: &str) -> Option<Arc<DatasetEntry>> {
+        let last_used = self.tick();
+        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        inner.slots.get_mut(digest).map(|slot| {
+            slot.last_used = last_used;
+            Arc::clone(&slot.entry)
+        })
+    }
+
+    /// Snapshot of every entry's metadata, most recently used first.
+    pub fn list(&self) -> Vec<Arc<DatasetEntry>> {
+        let inner = self.inner.lock().expect("registry mutex poisoned");
+        let mut slots: Vec<(&u64, &Arc<DatasetEntry>)> = inner
+            .slots
+            .values()
+            .map(|slot| (&slot.last_used, &slot.entry))
+            .collect();
+        slots.sort_by(|a, b| b.0.cmp(a.0));
+        slots.into_iter().map(|(_, e)| Arc::clone(e)).collect()
+    }
+
+    /// The registry's canonical-byte budget.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// `(entry count, total canonical bytes)`.
+    pub fn stats(&self) -> (usize, u64) {
+        let inner = self.inner.lock().expect("registry mutex poisoned");
+        (inner.slots.len(), inner.total_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobipriv_geo::LatLng;
+    use mobipriv_model::{Fix, Timestamp, Trace, UserId};
+
+    fn dataset(user: u64, lat: f64) -> Dataset {
+        Dataset::from_traces(vec![Trace::new(
+            UserId::new(user),
+            vec![Fix::new(LatLng::new(lat, 5.0).unwrap(), Timestamp::new(0))],
+        )
+        .unwrap()])
+    }
+
+    #[test]
+    fn register_is_idempotent_and_content_addressed() {
+        let registry = DatasetRegistry::new(1 << 20);
+        let (a, fresh) = registry.register(dataset(1, 45.0)).unwrap();
+        assert_eq!(fresh, Registered::New);
+        let (b, again) = registry.register(dataset(1, 45.0)).unwrap();
+        assert_eq!(again, Registered::Exists);
+        assert_eq!(a.digest, b.digest);
+        assert!(Arc::ptr_eq(&a.dataset, &b.dataset), "no duplicate storage");
+        let (c, _) = registry.register(dataset(1, 46.0)).unwrap();
+        assert_ne!(a.digest, c.digest);
+        assert_eq!(registry.stats().0, 2);
+        assert!(registry.get(&a.digest).is_some());
+        assert!(registry.get("0000000000000000").is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let (probe, _) = DatasetRegistry::new(1 << 20)
+            .register(dataset(1, 45.0))
+            .unwrap();
+        let one = probe.bytes;
+        // Room for two entries of this size, not three.
+        let registry = DatasetRegistry::new(one * 2 + one / 2);
+        let (a, _) = registry.register(dataset(1, 45.0)).unwrap();
+        let (b, _) = registry.register(dataset(2, 45.0)).unwrap();
+        // Touch `a` so `b` is the LRU victim.
+        registry.get(&a.digest).unwrap();
+        let (c, _) = registry.register(dataset(3, 45.0)).unwrap();
+        assert!(registry.get(&a.digest).is_some());
+        assert!(registry.get(&b.digest).is_none(), "LRU entry evicted");
+        assert!(registry.get(&c.digest).is_some());
+        let (count, bytes) = registry.stats();
+        assert_eq!(count, 2);
+        assert!(bytes <= one * 2 + one / 2);
+        // An upload that can never fit is rejected, not evict-everything.
+        let tiny = DatasetRegistry::new(8);
+        assert!(tiny.register(dataset(1, 45.0)).is_none());
+    }
+}

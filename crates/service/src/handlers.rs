@@ -1,24 +1,56 @@
-//! Route dispatch and the anonymize endpoint.
+//! Route dispatch and the endpoint handlers.
+//!
+//! The serving surface has two shapes:
+//!
+//! * **one-shot** — `POST /v1/anonymize` carries the dataset in the
+//!   request body and answers synchronously (rewired through the
+//!   result cache, so identical requests coalesce and repeat hits skip
+//!   recomputation entirely);
+//! * **publish-once/query-many** — `POST /v1/datasets` registers a
+//!   dataset under its content digest, `POST /v1/jobs` submits async
+//!   work against a digest, `GET /v1/jobs/:id` polls it and
+//!   `GET /v1/results/:key` fetches the finished bytes.
+//!
+//! Every cacheable response carries `x-mobipriv-cache: hit|miss`.
 
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
-use mobipriv_metrics::{coverage, spatial};
-use mobipriv_model::{write_csv, DatasetStream, WireFormat};
+use mobipriv_eval::Json;
+use mobipriv_model::{digest::digest_hex, write_csv, Dataset, DatasetStream, WireFormat};
 
+use crate::cache::{result_key, CacheOutcome, CachedResult};
+use crate::compute;
+use crate::datasets::Registered;
 use crate::http::{read_head, stream_body, write_response, DeadlineReader, RequestHead};
-use crate::registry::{build_mechanism, mechanisms_json, Params};
+use crate::jobs::{JobKind, JobSpec, JobStatus, Submitted};
+use crate::registry::{mechanisms_json, resolve_mechanism, Params};
 use crate::server::ServerConfig;
+use crate::state::AppState;
 use crate::ServiceError;
-
-/// Grid-cell size used by the optional coverage report, meters.
-const REPORT_CELL_M: f64 = 250.0;
 
 /// Per-read timeout *and* overall deadline while draining unread body
 /// after responding: bounds a stalled or trickling client's hold on a
 /// worker once its response is on the wire.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A response body: built for this request, or shared out of the
+/// result cache (hits serve the cached bytes without copying them).
+enum Body {
+    Owned(Vec<u8>),
+    Cached(Arc<CachedResult>),
+}
+
+impl Body {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Body::Owned(bytes) => bytes,
+            Body::Cached(result) => &result.body,
+        }
+    }
+}
 
 /// A fully materialized response, written in one shot after the handler
 /// finishes (so an error can still replace the whole response).
@@ -26,7 +58,7 @@ struct Response {
     status: u16,
     reason: &'static str,
     headers: Vec<(&'static str, String)>,
-    body: Vec<u8>,
+    body: Body,
 }
 
 impl Response {
@@ -35,7 +67,19 @@ impl Response {
             status: 200,
             reason: "OK",
             headers: vec![("content-type", content_type.to_owned())],
-            body,
+            body: Body::Owned(body),
+        }
+    }
+
+    fn json(status: u16, reason: &'static str, doc: &Json) -> Response {
+        let mut body = String::new();
+        doc.write(&mut body);
+        body.push('\n');
+        Response {
+            status,
+            reason,
+            headers: vec![("content-type", "application/json".to_owned())],
+            body: Body::Owned(body.into_bytes()),
         }
     }
 
@@ -49,7 +93,24 @@ impl Response {
             status,
             reason,
             headers,
-            body: format!("{error}\n").into_bytes(),
+            body: Body::Owned(format!("{error}\n").into_bytes()),
+        }
+    }
+
+    /// A 200 serving a cached result's bytes and computation headers,
+    /// plus the cache-outcome marker.
+    fn from_cached(result: Arc<CachedResult>, outcome: CacheOutcome) -> Response {
+        let mut headers = vec![("content-type", result.content_type.to_owned())];
+        for (name, value) in &result.headers {
+            headers.push((name, value.clone()));
+        }
+        headers.push(("x-mobipriv-cache", outcome.header_value().to_owned()));
+        headers.push(("x-mobipriv-key", result_key(&result.canonical)));
+        Response {
+            status: 200,
+            reason: "OK",
+            headers,
+            body: Body::Cached(result),
         }
     }
 }
@@ -57,7 +118,7 @@ impl Response {
 /// Serves one connection end to end: parse, route, respond. All errors
 /// become status-mapped responses; I/O failures while responding are
 /// dropped with the connection.
-pub fn handle_connection(stream: TcpStream, config: &ServerConfig) {
+pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppState) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -79,7 +140,7 @@ pub fn handle_connection(stream: TcpStream, config: &ServerConfig) {
                 let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
                 let _ = writer.flush();
             }
-            route(&head, &mut reader, config).unwrap_or_else(|e| Response::from_error(&e))
+            route(&head, &mut reader, config, state).unwrap_or_else(|e| Response::from_error(&e))
         }
         Err(e) => Response::from_error(&e),
     };
@@ -88,7 +149,7 @@ pub fn handle_connection(stream: TcpStream, config: &ServerConfig) {
         response.status,
         response.reason,
         &response.headers,
-        &response.body,
+        response.body.bytes(),
     );
     // Half-close, then drain any unread body (bounded by the body limit
     // plus slack, and by an overall wall-clock deadline): dropping the
@@ -112,6 +173,7 @@ fn route(
     head: &RequestHead,
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
     config: &ServerConfig,
+    state: &AppState,
 ) -> Result<Response, ServiceError> {
     match (head.method.as_str(), head.path.as_str()) {
         ("GET", "/healthz") => Ok(Response::ok("text/plain", b"ok\n".to_vec())),
@@ -120,87 +182,338 @@ fn route(
             mechanisms_json().into_bytes(),
         )),
         ("GET", "/v1/evaluate") => evaluate(head),
-        ("POST", "/v1/anonymize") => anonymize(head, reader, config),
-        (_, "/healthz" | "/v1/mechanisms" | "/v1/evaluate") => {
+        ("GET", "/v1/stats") => Ok(stats(state)),
+        ("POST", "/v1/anonymize") => anonymize(head, reader, config, state),
+        ("POST", "/v1/datasets") => register_dataset(head, reader, config, state),
+        ("GET", "/v1/datasets") => Ok(list_datasets(state)),
+        ("POST", "/v1/jobs") => submit_job(head, state),
+        ("GET", "/v1/jobs") => Ok(list_jobs(state)),
+        ("GET", path) if path.strip_prefix("/v1/datasets/").is_some() => {
+            dataset_meta(path.strip_prefix("/v1/datasets/").expect("guarded"), state)
+        }
+        ("GET", path) if path.strip_prefix("/v1/jobs/").is_some() => {
+            job_status(path.strip_prefix("/v1/jobs/").expect("guarded"), state)
+        }
+        ("GET", path) if path.strip_prefix("/v1/results/").is_some() => {
+            fetch_result(path.strip_prefix("/v1/results/").expect("guarded"), state)
+        }
+        (_, "/healthz" | "/v1/mechanisms" | "/v1/evaluate" | "/v1/stats") => {
             Err(ServiceError::MethodNotAllowed("GET"))
         }
         (_, "/v1/anonymize") => Err(ServiceError::MethodNotAllowed("POST")),
+        (_, "/v1/datasets" | "/v1/jobs") => Err(ServiceError::MethodNotAllowed("GET, POST")),
+        (_, path) if path.starts_with("/v1/datasets/") || path.starts_with("/v1/jobs/") => {
+            Err(ServiceError::MethodNotAllowed("GET"))
+        }
+        (_, path) if path.starts_with("/v1/results/") => Err(ServiceError::MethodNotAllowed("GET")),
         (_, path) => Err(ServiceError::NotFound(path.to_owned())),
     }
 }
 
-/// `POST /v1/anonymize?mechanism=…[&seed=…][&format=csv|ndjson][&report=1]`
-///
-/// The body (CSV or NDJSON trace rows; fixed-length or chunked) streams
-/// through the incremental dataset reader, runs through the engine under
-/// the request seed, and comes back as CSV. Responses are a pure
-/// function of `(body, mechanism parameters, seed)` — the determinism
-/// contract the integration tests assert against the batch engine.
-fn anonymize(
+/// Streams and parses a request body into a dataset.
+fn read_body_dataset(
     head: &RequestHead,
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
     config: &ServerConfig,
-) -> Result<Response, ServiceError> {
-    let params = Params(&head.query);
-    let mechanism = build_mechanism(params)?;
-    let seed: u64 = params.parse_or("seed", 0)?;
+) -> Result<(Dataset, u64), ServiceError> {
     let format = body_format(head)?;
     let framing = head.framing()?;
-
     let mut stream = DatasetStream::new(format);
     let received = stream_body(reader, framing, config.max_body_bytes, |chunk| {
         stream.push_chunk(chunk).map_err(ServiceError::from)
     })?;
-    let input = stream.finish()?;
+    Ok((stream.finish()?, received))
+}
 
-    let output = config.engine.protect(mechanism.as_ref(), &input, seed);
+/// `POST /v1/anonymize?mechanism=…[&seed=…][&dataset=…][&format=…][&report=1]`
+///
+/// The input is either the request body (CSV or NDJSON trace rows;
+/// fixed-length or chunked) or, with `dataset=<digest>`, a dataset
+/// previously registered via `POST /v1/datasets` (no body). Responses
+/// are a pure function of `(input content, canonical mechanism
+/// parameters, seed)` — which is exactly the result-cache key, so
+/// repeated and concurrent identical requests are served from one
+/// computation with byte-identical bodies (`x-mobipriv-cache` says
+/// which happened).
+fn anonymize(
+    head: &RequestHead,
+    reader: &mut DeadlineReader<BufReader<TcpStream>>,
+    config: &ServerConfig,
+    state: &AppState,
+) -> Result<Response, ServiceError> {
+    let params = Params(&head.query);
+    let resolved = resolve_mechanism(params)?;
+    let seed: u64 = params.parse_or("seed", 0)?;
+    let report = wants_report(params);
 
-    let mut body = Vec::new();
-    write_csv(&output, &mut body)
-        .map_err(|e| ServiceError::Internal(format!("serializing response: {e}")))?;
+    let (dataset, digest, received): (Arc<Dataset>, String, u64) =
+        if let Some(digest) = params.get("dataset") {
+            let entry = state.datasets.get(digest).ok_or_else(|| {
+                ServiceError::NotFound(format!("/v1/datasets/{digest} (register it first)"))
+            })?;
+            (Arc::clone(&entry.dataset), entry.digest.clone(), 0)
+        } else {
+            let (dataset, received) = read_body_dataset(head, reader, config)?;
+            // Digest the *canonical* serialization: CSV, NDJSON and
+            // chunked uploads of the same data share one cache entry.
+            let mut canonical = Vec::new();
+            write_csv(&dataset, &mut canonical)
+                .map_err(|e| ServiceError::Internal(format!("canonicalizing input: {e}")))?;
+            let digest = digest_hex(&canonical);
+            (Arc::new(dataset), digest, received)
+        };
 
-    let mut headers = vec![
-        ("content-type", "text/csv".to_owned()),
-        (
-            "x-mobipriv-mechanism",
-            params.get("mechanism").unwrap_or("?").to_owned(),
-        ),
-        ("x-mobipriv-seed", seed.to_string()),
-        ("x-mobipriv-body-bytes", received.to_string()),
-        ("x-mobipriv-input-traces", input.len().to_string()),
-        ("x-mobipriv-input-fixes", input.total_fixes().to_string()),
-        ("x-mobipriv-output-traces", output.len().to_string()),
-        ("x-mobipriv-output-fixes", output.total_fixes().to_string()),
-    ];
-    if wants_report(params) {
-        // Label-agnostic distortion: mechanisms may relabel users, which
-        // would break per-user matching.
-        let distortion = spatial::dataset_distortion_anonymous(&input, &output);
-        let cover = coverage::coverage(&input, &output, REPORT_CELL_M);
-        headers.push((
-            "x-mobipriv-distortion-mean-m",
-            format!("{:.3}", distortion.mean),
+    let key = compute::canonical_key("anonymize", &digest, &resolved.canonical, seed, report);
+    let (result, outcome) = state.results.get_or_compute(&key, || {
+        compute::anonymize_result(
+            &key,
+            &dataset,
+            resolved.mechanism.as_ref(),
+            &resolved.canonical,
+            seed,
+            report,
+            &state.engine,
+            &|_| {},
+        )
+    })?;
+    let mut response = Response::from_cached(result, outcome);
+    response
+        .headers
+        .push(("x-mobipriv-body-bytes", received.to_string()));
+    Ok(response)
+}
+
+/// `POST /v1/datasets[?format=csv|ndjson]` — register-once ingestion.
+///
+/// Parses the body through the streaming reader, stores it under the
+/// digest of its canonical CSV form and reports the digest. Re-uploads
+/// of the same content are idempotent (`registered: "exists"`).
+fn register_dataset(
+    head: &RequestHead,
+    reader: &mut DeadlineReader<BufReader<TcpStream>>,
+    config: &ServerConfig,
+    state: &AppState,
+) -> Result<Response, ServiceError> {
+    let (dataset, received) = read_body_dataset(head, reader, config)?;
+    if dataset.is_empty() {
+        return Err(ServiceError::BadRequest(
+            "dataset body is empty (nothing to register)".into(),
         ));
-        headers.push((
-            "x-mobipriv-distortion-median-m",
-            format!("{:.3}", distortion.median),
-        ));
-        headers.push((
-            "x-mobipriv-distortion-p95-m",
-            format!("{:.3}", distortion.p95),
-        ));
-        headers.push((
-            "x-mobipriv-distortion-max-m",
-            format!("{:.3}", distortion.max),
-        ));
-        headers.push(("x-mobipriv-coverage-f1", format!("{:.4}", cover.f1)));
     }
-    Ok(Response {
-        status: 200,
-        reason: "OK",
-        headers,
-        body,
+    let Some((entry, registered)) = state.datasets.register(dataset) else {
+        // A single dataset larger than the whole registry budget.
+        return Err(ServiceError::PayloadTooLarge(state.datasets.max_bytes()));
+    };
+    let doc = Json::Obj(vec![
+        ("digest".into(), Json::Str(entry.digest.clone())),
+        (
+            "registered".into(),
+            Json::Str(
+                match registered {
+                    Registered::New => "new",
+                    Registered::Exists => "exists",
+                }
+                .into(),
+            ),
+        ),
+        ("traces".into(), Json::UInt(entry.traces as u64)),
+        ("fixes".into(), Json::UInt(entry.fixes)),
+        ("bytes".into(), Json::UInt(entry.bytes)),
+        ("received_bytes".into(), Json::UInt(received)),
+    ]);
+    let mut response = Response::json(200, "OK", &doc);
+    response
+        .headers
+        .push(("x-mobipriv-digest", entry.digest.clone()));
+    Ok(response)
+}
+
+fn dataset_json(entry: &crate::datasets::DatasetEntry) -> Json {
+    Json::Obj(vec![
+        ("digest".into(), Json::Str(entry.digest.clone())),
+        ("traces".into(), Json::UInt(entry.traces as u64)),
+        ("fixes".into(), Json::UInt(entry.fixes)),
+        ("bytes".into(), Json::UInt(entry.bytes)),
+    ])
+}
+
+/// `GET /v1/datasets` — the registry listing, most recently used first.
+fn list_datasets(state: &AppState) -> Response {
+    let entries: Vec<Json> = state
+        .datasets
+        .list()
+        .iter()
+        .map(|e| dataset_json(e))
+        .collect();
+    Response::json(200, "OK", &Json::Arr(entries))
+}
+
+/// `GET /v1/datasets/:digest` — one registered dataset's metadata.
+fn dataset_meta(digest: &str, state: &AppState) -> Result<Response, ServiceError> {
+    let entry = state
+        .datasets
+        .get(digest)
+        .ok_or_else(|| ServiceError::NotFound(format!("/v1/datasets/{digest}")))?;
+    Ok(Response::json(200, "OK", &dataset_json(&entry)))
+}
+
+/// `POST /v1/jobs?dataset=…&mechanism=…[&kind=anonymize|evaluate][&seed=…][&report=1]`
+///
+/// Submits async work against a registered dataset. The job id is the
+/// content address of the work — identical submissions coalesce onto
+/// one job and one computation. Answers `202 Accepted` while the job
+/// is queued or running, `200` when the result is already available.
+fn submit_job(head: &RequestHead, state: &AppState) -> Result<Response, ServiceError> {
+    let params = Params(&head.query);
+    let digest = params
+        .get("dataset")
+        .ok_or_else(|| ServiceError::BadRequest("missing required parameter `dataset`".into()))?;
+    let entry = state.datasets.get(digest).ok_or_else(|| {
+        ServiceError::NotFound(format!("/v1/datasets/{digest} (register it first)"))
+    })?;
+    let kind = match params.get("kind").unwrap_or("anonymize") {
+        "anonymize" => JobKind::Anonymize,
+        "evaluate" => JobKind::Evaluate,
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "invalid value `{other}` for parameter `kind` (expected anonymize|evaluate)"
+            )))
+        }
+    };
+    let resolved = resolve_mechanism(params)?; // validates before enqueueing
+    let seed: u64 = params.parse_or("seed", 0)?;
+    let report = kind == JobKind::Anonymize && wants_report(params);
+    let canonical = compute::canonical_key(
+        kind.name(),
+        &entry.digest,
+        &resolved.canonical,
+        seed,
+        report,
+    );
+    let spec = JobSpec {
+        kind,
+        dataset: entry,
+        query: head.query.clone(),
+        mechanism_canonical: resolved.canonical,
+        seed,
+        report,
+        canonical,
+    };
+    // Warm shortcut: a result that is already cached answers `done`
+    // without a queue round trip. When it is *not* cached, tell the
+    // board so — a stale `done` record whose body was LRU-evicted must
+    // be replaced and recomputed, not coalesced onto.
+    let (job, submitted) = if state.results.lookup(&result_key(&spec.canonical)).is_some() {
+        state.jobs.insert_done(spec)
+    } else {
+        state.jobs.submit(spec, /* result_evicted= */ true)?
+    };
+    let done = job.status() == JobStatus::Done;
+    let mut doc = match job.to_json() {
+        Json::Obj(members) => members,
+        _ => unreachable!("job status document is an object"),
+    };
+    doc.push((
+        "submitted".into(),
+        Json::Str(
+            match submitted {
+                Submitted::Enqueued => "enqueued",
+                Submitted::Coalesced => "coalesced",
+                Submitted::Cached => "cached",
+            }
+            .into(),
+        ),
+    ));
+    let doc = Json::Obj(doc);
+    Ok(if done {
+        Response::json(200, "OK", &doc)
+    } else {
+        Response::json(202, "Accepted", &doc)
     })
+}
+
+/// `GET /v1/jobs` — every live job record.
+fn list_jobs(state: &AppState) -> Response {
+    let jobs: Vec<Json> = state.jobs.list().iter().map(|j| j.to_json()).collect();
+    Response::json(200, "OK", &Json::Arr(jobs))
+}
+
+/// `GET /v1/jobs/:id` — one job's status document.
+fn job_status(id: &str, state: &AppState) -> Result<Response, ServiceError> {
+    let job = state
+        .jobs
+        .get(id)
+        .ok_or_else(|| ServiceError::NotFound(format!("/v1/jobs/{id}")))?;
+    Ok(Response::json(200, "OK", &job.to_json()))
+}
+
+/// `GET /v1/results/:key` — the finished bytes for a content address.
+///
+/// `200` with the body when the result is cached; `202` with the job's
+/// status document while the job is still queued/running; `404` for an
+/// address nothing is computing; the job's error for a failed job.
+fn fetch_result(key: &str, state: &AppState) -> Result<Response, ServiceError> {
+    if let Some(result) = state.results.lookup(key) {
+        return Ok(Response::from_cached(result, CacheOutcome::Hit));
+    }
+    match state.jobs.get(key) {
+        Some(job) => match job.status() {
+            JobStatus::Done => {
+                // Done but evicted from the cache since: gone.
+                Err(ServiceError::NotFound(format!(
+                    "/v1/results/{key} (evicted; resubmit the job)"
+                )))
+            }
+            JobStatus::Failed => Err(ServiceError::Internal(format!(
+                "job {key} failed (see /v1/jobs/{key})"
+            ))),
+            JobStatus::Queued | JobStatus::Running => {
+                Ok(Response::json(202, "Accepted", &job.to_json()))
+            }
+        },
+        None => Err(ServiceError::NotFound(format!("/v1/results/{key}"))),
+    }
+}
+
+/// `GET /v1/stats` — registry/cache/job counters, including the
+/// single-flight computation counter the stress tests assert on.
+fn stats(state: &AppState) -> Response {
+    let (dataset_count, dataset_bytes) = state.datasets.stats();
+    let (result_count, result_bytes) = state.results.stats();
+    let (hits, misses) = state.results.hit_miss();
+    let (queued, running, done, failed) = state.jobs.counts();
+    let doc = Json::Obj(vec![
+        (
+            "computations".into(),
+            Json::UInt(state.results.computations()),
+        ),
+        ("cache_hits".into(), Json::UInt(hits)),
+        ("cache_misses".into(), Json::UInt(misses)),
+        (
+            "datasets".into(),
+            Json::Obj(vec![
+                ("count".into(), Json::UInt(dataset_count as u64)),
+                ("bytes".into(), Json::UInt(dataset_bytes)),
+            ]),
+        ),
+        (
+            "results".into(),
+            Json::Obj(vec![
+                ("count".into(), Json::UInt(result_count as u64)),
+                ("bytes".into(), Json::UInt(result_bytes)),
+            ]),
+        ),
+        (
+            "jobs".into(),
+            Json::Obj(vec![
+                ("queued".into(), Json::UInt(queued as u64)),
+                ("running".into(), Json::UInt(running as u64)),
+                ("done".into(), Json::UInt(done as u64)),
+                ("failed".into(), Json::UInt(failed as u64)),
+            ]),
+        ),
+    ]);
+    Response::json(200, "OK", &doc)
 }
 
 /// `GET /v1/evaluate[?preset=smoke|full][&scenario=…][&mechanism=…][&seed=…][&timings=1]`
@@ -270,7 +583,7 @@ fn evaluate(head: &RequestHead) -> Result<Response, ServiceError> {
         status: 200,
         reason: "OK",
         headers,
-        body: body.into_bytes(),
+        body: Body::Owned(body.into_bytes()),
     })
 }
 

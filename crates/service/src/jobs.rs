@@ -1,0 +1,505 @@
+//! The async job engine behind `POST /v1/jobs` / `GET /v1/jobs/:id`.
+//!
+//! A job is a *content-addressed* unit of work: its id is the 16-hex
+//! result key derived from the canonical cache-key string, so two
+//! submissions describing the same `(dataset digest, mechanism,
+//! canonical params, seed)` are **the same job** — the board coalesces
+//! them onto one entry, and the executor funnels the computation
+//! through the single-flight result cache it shares with the
+//! synchronous `POST /v1/anonymize` path. Polling `GET /v1/jobs/:id`
+//! reports `queued → running → done` (or `failed`) with a coarse
+//! progress fraction; the finished body is fetched from
+//! `GET /v1/results/:id`.
+//!
+//! Jobs hold an `Arc` to their dataset from submission time, so
+//! registry eviction never invalidates queued work. Finished job
+//! records are themselves bounded (oldest finished records are dropped
+//! past a cap) — the *results* live in the cache, the job record is
+//! only the status page.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use mobipriv_core::Engine;
+use mobipriv_eval::Json;
+
+use crate::cache::{result_key, CacheOutcome, ResultCache};
+use crate::compute;
+use crate::datasets::DatasetEntry;
+use crate::registry::{resolve_mechanism, Params};
+use crate::ServiceError;
+
+/// Finished job records kept before the oldest are dropped.
+const MAX_FINISHED_JOBS: usize = 4096;
+
+/// What a job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Anonymize the dataset; result is canonical CSV.
+    Anonymize,
+    /// Utility evaluation of a mechanism on the dataset; result is JSON.
+    Evaluate,
+}
+
+impl JobKind {
+    /// The `kind=` wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Anonymize => "anonymize",
+            JobKind::Evaluate => "evaluate",
+        }
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for an executor.
+    Queued,
+    /// An executor is computing (or joining an in-flight computation).
+    Running,
+    /// The result is in the cache under the job id.
+    Done,
+    /// The computation failed; `error` has the message. Resubmitting
+    /// the same spec retries.
+    Failed,
+}
+
+impl JobStatus {
+    /// The wire name reported by the status endpoint.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+}
+
+/// The immutable description of what a job runs.
+#[derive(Debug)]
+pub struct JobSpec {
+    /// What to compute.
+    pub kind: JobKind,
+    /// The registered dataset (pinned from submission).
+    pub dataset: Arc<DatasetEntry>,
+    /// Decoded query pairs, kept to rebuild the mechanism executor-side.
+    pub query: Vec<(String, String)>,
+    /// Canonical mechanism parameter string.
+    pub mechanism_canonical: String,
+    /// Request seed.
+    pub seed: u64,
+    /// Whether the anonymize result carries utility-report headers.
+    pub report: bool,
+    /// The full canonical cache-key string.
+    pub canonical: String,
+}
+
+#[derive(Debug, Clone)]
+struct JobState {
+    status: JobStatus,
+    progress: f64,
+    error: Option<String>,
+    wall_ms: f64,
+    cache: Option<CacheOutcome>,
+}
+
+/// One submitted job: spec + mutable status.
+#[derive(Debug)]
+pub struct Job {
+    /// Content-addressed id — equal to the result key.
+    pub id: String,
+    /// What this job computes.
+    pub spec: JobSpec,
+    state: Mutex<JobState>,
+}
+
+impl Job {
+    fn new(spec: JobSpec) -> Job {
+        Job {
+            id: result_key(&spec.canonical),
+            spec,
+            state: Mutex::new(JobState {
+                status: JobStatus::Queued,
+                progress: 0.0,
+                error: None,
+                wall_ms: 0.0,
+                cache: None,
+            }),
+        }
+    }
+
+    fn state(&self) -> JobState {
+        self.state.lock().expect("job mutex poisoned").clone()
+    }
+
+    /// Current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.state().status
+    }
+
+    fn set_progress(&self, progress: f64) {
+        let mut state = self.state.lock().expect("job mutex poisoned");
+        state.progress = progress.clamp(state.progress, 1.0);
+    }
+
+    /// The status document `GET /v1/jobs/:id` serves.
+    pub fn to_json(&self) -> Json {
+        let state = self.state();
+        let mut members = vec![
+            ("id".into(), Json::Str(self.id.clone())),
+            ("kind".into(), Json::Str(self.spec.kind.name().into())),
+            ("status".into(), Json::Str(state.status.name().into())),
+            ("progress".into(), Json::Num(state.progress)),
+            (
+                "dataset".into(),
+                Json::Str(self.spec.dataset.digest.clone()),
+            ),
+            (
+                "mechanism".into(),
+                Json::Str(self.spec.mechanism_canonical.clone()),
+            ),
+            ("seed".into(), Json::UInt(self.spec.seed)),
+            (
+                "result".into(),
+                Json::Str(format!("/v1/results/{}", self.id)),
+            ),
+        ];
+        if state.status == JobStatus::Done || state.status == JobStatus::Failed {
+            members.push(("wall_ms".into(), Json::Num(state.wall_ms)));
+        }
+        if let Some(outcome) = state.cache {
+            members.push(("cache".into(), Json::Str(outcome.header_value().into())));
+        }
+        if let Some(error) = state.error {
+            members.push(("error".into(), Json::Str(error)));
+        }
+        Json::Obj(members)
+    }
+}
+
+/// What [`JobBoard::submit`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submitted {
+    /// A new job record was enqueued.
+    Enqueued,
+    /// An equivalent job already existed (queued, running or done);
+    /// the caller was coalesced onto it.
+    Coalesced,
+    /// The result was already in the cache — the job record was born
+    /// `done` without touching the queue.
+    Cached,
+}
+
+struct BoardInner {
+    jobs: HashMap<String, Arc<Job>>,
+    finished: VecDeque<String>,
+}
+
+/// The job registry + submission queue.
+pub struct JobBoard {
+    inner: Mutex<BoardInner>,
+    sender: Mutex<Option<SyncSender<Arc<Job>>>>,
+}
+
+impl JobBoard {
+    /// Creates the board and the bounded submission queue; the receiver
+    /// goes to the executor threads.
+    pub fn new(queue_depth: usize) -> (JobBoard, Receiver<Arc<Job>>) {
+        let (sender, receiver) = std::sync::mpsc::sync_channel(queue_depth.max(1));
+        (
+            JobBoard {
+                inner: Mutex::new(BoardInner {
+                    jobs: HashMap::new(),
+                    finished: VecDeque::new(),
+                }),
+                sender: Mutex::new(Some(sender)),
+            },
+            receiver,
+        )
+    }
+
+    /// Submits a job, coalescing onto an existing equivalent one.
+    /// A previously failed job with the same id is retried, and — when
+    /// the caller observed the result missing from the cache
+    /// (`result_evicted`) — so is a `done` record whose body was
+    /// LRU-evicted; coalescing onto it instead would 200 `done` while
+    /// `GET /v1/results` keeps 404ing, a permanent livelock for the key.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Unavailable`] when the job queue is full or the
+    /// server is shutting down.
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        result_evicted: bool,
+    ) -> Result<(Arc<Job>, Submitted), ServiceError> {
+        let mut inner = self.inner.lock().expect("job board mutex poisoned");
+        let id = result_key(&spec.canonical);
+        if let Some(existing) = inner.jobs.get(&id) {
+            let replace = match existing.status() {
+                JobStatus::Failed => true,
+                JobStatus::Done => result_evicted,
+                JobStatus::Queued | JobStatus::Running => false,
+            };
+            if !replace {
+                return Ok((Arc::clone(existing), Submitted::Coalesced));
+            }
+        }
+        let job = Arc::new(Job::new(spec));
+        self.enqueue(Arc::clone(&job))?;
+        inner.jobs.insert(id, Arc::clone(&job));
+        // Bound the record map: drop the oldest finished records past
+        // the cap (their results stay addressable in the cache).
+        while inner.jobs.len() > MAX_FINISHED_JOBS {
+            let Some(old) = inner.finished.pop_front() else {
+                break; // everything live is queued/running; keep them all
+            };
+            if inner
+                .jobs
+                .get(&old)
+                .is_some_and(|j| matches!(j.status(), JobStatus::Done | JobStatus::Failed))
+            {
+                inner.jobs.remove(&old);
+            }
+        }
+        Ok((job, Submitted::Enqueued))
+    }
+
+    fn enqueue(&self, job: Arc<Job>) -> Result<(), ServiceError> {
+        let sender = self.sender.lock().expect("job sender mutex poisoned");
+        let Some(sender) = sender.as_ref() else {
+            return Err(ServiceError::Unavailable("server is shutting down".into()));
+        };
+        sender.try_send(job).map_err(|e| match e {
+            TrySendError::Full(_) => ServiceError::Unavailable("job queue is full".into()),
+            TrySendError::Disconnected(_) => {
+                ServiceError::Unavailable("server is shutting down".into())
+            }
+        })
+    }
+
+    /// Records a job whose result is already cached: the record is born
+    /// `done` (cache hit) and never touches the queue. If an
+    /// equivalent live job exists the caller is coalesced onto it
+    /// instead.
+    pub fn insert_done(&self, spec: JobSpec) -> (Arc<Job>, Submitted) {
+        let mut inner = self.inner.lock().expect("job board mutex poisoned");
+        let id = result_key(&spec.canonical);
+        if let Some(existing) = inner.jobs.get(&id) {
+            if existing.status() != JobStatus::Failed {
+                return (Arc::clone(existing), Submitted::Coalesced);
+            }
+        }
+        let job = Arc::new(Job::new(spec));
+        {
+            let mut state = job.state.lock().expect("job mutex poisoned");
+            state.status = JobStatus::Done;
+            state.progress = 1.0;
+            state.cache = Some(CacheOutcome::Hit);
+        }
+        inner.jobs.insert(id.clone(), Arc::clone(&job));
+        inner.finished.push_back(id);
+        (job, Submitted::Cached)
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<Job>> {
+        let inner = self.inner.lock().expect("job board mutex poisoned");
+        inner.jobs.get(id).map(Arc::clone)
+    }
+
+    /// Snapshot of every job record.
+    pub fn list(&self) -> Vec<Arc<Job>> {
+        let inner = self.inner.lock().expect("job board mutex poisoned");
+        let mut jobs: Vec<Arc<Job>> = inner.jobs.values().map(Arc::clone).collect();
+        jobs.sort_by(|a, b| a.id.cmp(&b.id));
+        jobs
+    }
+
+    /// Counts by status: `(queued, running, done, failed)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let inner = self.inner.lock().expect("job board mutex poisoned");
+        let mut counts = (0, 0, 0, 0);
+        for job in inner.jobs.values() {
+            match job.status() {
+                JobStatus::Queued => counts.0 += 1,
+                JobStatus::Running => counts.1 += 1,
+                JobStatus::Done => counts.2 += 1,
+                JobStatus::Failed => counts.3 += 1,
+            }
+        }
+        counts
+    }
+
+    /// Closes the submission queue: executors drain what is queued and
+    /// exit; new submissions answer 503.
+    pub fn close(&self) {
+        self.sender
+            .lock()
+            .expect("job sender mutex poisoned")
+            .take();
+    }
+
+    fn record_finished(&self, id: &str) {
+        let mut inner = self.inner.lock().expect("job board mutex poisoned");
+        inner.finished.push_back(id.to_owned());
+    }
+}
+
+/// Runs one job to completion on the shared cache + engine. This is the
+/// executor-thread body; it never panics outward (failures land in the
+/// job record).
+pub(crate) fn run_job(job: &Arc<Job>, board: &JobBoard, cache: &ResultCache, engine: &Engine) {
+    let started = Instant::now();
+    {
+        let mut state = job.state.lock().expect("job mutex poisoned");
+        state.status = JobStatus::Running;
+    }
+    let spec = &job.spec;
+    let progress = |p: f64| job.set_progress(p);
+    let outcome = cache.get_or_compute(&spec.canonical, || {
+        // Rebuilding the mechanism from the stored query keeps the
+        // job spec `Send` without demanding it of `dyn Mechanism`.
+        let resolved = resolve_mechanism(Params(&spec.query))?;
+        match spec.kind {
+            JobKind::Anonymize => compute::anonymize_result(
+                &spec.canonical,
+                &spec.dataset.dataset,
+                resolved.mechanism.as_ref(),
+                &resolved.canonical,
+                spec.seed,
+                spec.report,
+                engine,
+                &progress,
+            ),
+            JobKind::Evaluate => compute::evaluate_result(
+                &spec.canonical,
+                &spec.dataset.digest,
+                &spec.dataset.dataset,
+                resolved.mechanism.as_ref(),
+                &resolved.canonical,
+                spec.seed,
+                engine,
+                &progress,
+            ),
+        }
+    });
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let mut state = job.state.lock().expect("job mutex poisoned");
+    state.wall_ms = wall_ms;
+    match outcome {
+        Ok((_, cache_outcome)) => {
+            state.status = JobStatus::Done;
+            state.progress = 1.0;
+            state.cache = Some(cache_outcome);
+        }
+        Err(e) => {
+            state.status = JobStatus::Failed;
+            state.error = Some(e.to_string());
+        }
+    }
+    drop(state);
+    board.record_finished(&job.id);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobipriv_geo::LatLng;
+    use mobipriv_model::{Dataset, Fix, Timestamp, Trace, UserId};
+
+    fn entry() -> Arc<DatasetEntry> {
+        let dataset = Dataset::from_traces(vec![Trace::new(
+            UserId::new(1),
+            vec![
+                Fix::new(LatLng::new(45.76, 4.84).unwrap(), Timestamp::new(0)),
+                Fix::new(LatLng::new(45.77, 4.85).unwrap(), Timestamp::new(60)),
+            ],
+        )
+        .unwrap()]);
+        Arc::new(DatasetEntry {
+            digest: "abcdef0123456789".into(),
+            traces: dataset.len(),
+            fixes: dataset.total_fixes() as u64,
+            bytes: 0,
+            dataset: Arc::new(dataset),
+        })
+    }
+
+    fn spec(seed: u64) -> JobSpec {
+        let query = vec![("mechanism".to_owned(), "raw".to_owned())];
+        JobSpec {
+            kind: JobKind::Anonymize,
+            dataset: entry(),
+            query,
+            mechanism_canonical: "raw".into(),
+            seed,
+            report: false,
+            canonical: compute::canonical_key("anonymize", "abcdef0123456789", "raw", seed, false),
+        }
+    }
+
+    #[test]
+    fn identical_specs_coalesce_and_run_once() {
+        let (board, receiver) = JobBoard::new(8);
+        let (a, first) = board.submit(spec(1), false).unwrap();
+        let (b, second) = board.submit(spec(1), false).unwrap();
+        assert_eq!(first, Submitted::Enqueued);
+        assert_eq!(second, Submitted::Coalesced);
+        assert!(Arc::ptr_eq(&a, &b));
+        let (c, third) = board.submit(spec(2), false).unwrap();
+        assert_eq!(third, Submitted::Enqueued);
+        assert_ne!(a.id, c.id);
+        // Exactly the two distinct jobs sit in the queue.
+        let cache = ResultCache::new(1 << 20);
+        let engine = Engine::sequential();
+        for _ in 0..2 {
+            let job = receiver.try_recv().expect("queued job");
+            run_job(&job, &board, &cache, &engine);
+            assert_eq!(job.status(), JobStatus::Done);
+        }
+        assert!(receiver.try_recv().is_err(), "no third enqueue");
+        assert_eq!(cache.computations(), 2);
+        // Both results are addressable under their job ids.
+        assert!(cache.lookup(&a.id).is_some());
+        assert!(cache.lookup(&c.id).is_some());
+    }
+
+    #[test]
+    fn failed_jobs_report_and_can_retry() {
+        let (board, receiver) = JobBoard::new(8);
+        let mut bad = spec(3);
+        bad.query = vec![("mechanism".to_owned(), "warp-drive".to_owned())];
+        let (job, _) = board.submit(bad, false).unwrap();
+        let cache = ResultCache::new(1 << 20);
+        run_job(
+            &receiver.try_recv().unwrap(),
+            &board,
+            &cache,
+            &Engine::sequential(),
+        );
+        assert_eq!(job.status(), JobStatus::Failed);
+        let mut text = String::new();
+        job.to_json().write(&mut text);
+        assert!(text.contains("\"status\":\"failed\""), "{text}");
+        assert!(text.contains("unknown mechanism"), "{text}");
+        // Resubmission of a failed id enqueues a fresh attempt.
+        let mut retry = spec(3);
+        retry.query = vec![("mechanism".to_owned(), "warp-drive".to_owned())];
+        let (_, submitted) = board.submit(retry, false).unwrap();
+        assert_eq!(submitted, Submitted::Enqueued);
+    }
+
+    #[test]
+    fn closed_board_rejects_submissions() {
+        let (board, _receiver) = JobBoard::new(2);
+        board.close();
+        let err = board.submit(spec(9), false).unwrap_err();
+        assert_eq!(err.status().0, 503);
+    }
+}

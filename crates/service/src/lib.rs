@@ -11,26 +11,38 @@
 //!
 //! | route | description |
 //! |---|---|
-//! | `POST /v1/anonymize?mechanism=…&seed=…` | stream a CSV/NDJSON body through a mechanism, get CSV back |
+//! | `POST /v1/anonymize?mechanism=…&seed=…` | stream a CSV/NDJSON body (or reference a registered `dataset=…`) through a mechanism, get CSV back |
+//! | `POST /v1/datasets` | register a dataset once under its content digest (publish-once/query-many ingestion) |
+//! | `GET /v1/datasets[/:digest]` | the registry listing / one dataset's metadata |
+//! | `POST /v1/jobs?dataset=…&mechanism=…` | submit an async anonymization or evaluation job against a registered digest |
+//! | `GET /v1/jobs[/:id]` | job records / one job's `queued→running→done|failed` status with progress |
+//! | `GET /v1/results/:key` | the finished bytes for a content address |
+//! | `GET /v1/stats` | registry, cache and job counters (incl. the single-flight computation counter) |
 //! | `GET /v1/mechanisms` | the mechanism catalogue with parameters and defaults |
 //! | `GET /v1/evaluate?scenario=…&mechanism=…` | run the evaluation matrix (attacks + utility metrics) on synthetic workloads, get the JSON [`EvalReport`](mobipriv_eval::EvalReport) |
 //! | `GET /healthz` | liveness probe |
 //!
 //! # Guarantees
 //!
-//! * **Determinism** — a response is a pure function of `(body,
-//!   mechanism parameters, seed)`: the handler calls the same
-//!   [`Engine`](mobipriv_core::Engine) as the batch tooling, whose
-//!   output is schedule-independent. Replaying a request reproduces the
-//!   release byte for byte.
+//! * **Determinism** — a response is a pure function of `(input
+//!   content, canonical mechanism parameters, seed)`: the handler
+//!   calls the same [`Engine`](mobipriv_core::Engine) as the batch
+//!   tooling, whose output is schedule-independent. Replaying a
+//!   request reproduces the release byte for byte.
+//! * **Content-addressed results** — that same tuple is the result
+//!   cache's key: repeated and concurrent identical requests coalesce
+//!   into one computation (single-flight) and hits serve byte-identical
+//!   bodies without recomputation (`x-mobipriv-cache: hit|miss`).
 //! * **Bounded memory** — bodies stream through
 //!   [`DatasetStream`](mobipriv_model::DatasetStream) chunk by chunk;
 //!   the server never buffers a raw body, holds at most one partial
 //!   line of text per request, and enforces explicit head/body/line
-//!   size limits.
+//!   size limits. The dataset registry and result cache are LRU-bounded
+//!   byte budgets.
 //! * **Load shedding** — a bounded accept queue in front of a fixed
-//!   worker pool: past the limit, clients get an immediate `503`
-//!   instead of an ever-growing backlog.
+//!   worker pool, and a bounded job queue in front of the executors:
+//!   past either limit, clients get an immediate `503` instead of an
+//!   ever-growing backlog.
 //!
 //! # Example
 //!
@@ -49,12 +61,22 @@
 #![deny(missing_docs)]
 #![deny(rust_2018_idioms)]
 
+pub mod cache;
+pub mod client;
+mod compute;
+pub mod datasets;
 mod error;
 mod handlers;
 pub mod http;
+pub mod jobs;
 pub mod registry;
 mod server;
+mod state;
 
+pub use cache::{result_key, CacheOutcome, ResultCache};
+pub use datasets::DatasetRegistry;
 pub use error::ServiceError;
-pub use registry::{build_mechanism, MechanismInfo, MECHANISMS};
+pub use jobs::{JobBoard, JobKind, JobStatus};
+pub use registry::{build_mechanism, resolve_mechanism, MechanismInfo, MECHANISMS};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use state::AppState;

@@ -125,35 +125,88 @@ impl<'a> Params<'a> {
 /// names an unknown mechanism, or carries invalid values (the
 /// `CoreError` from the mechanism constructor is passed through).
 pub fn build_mechanism(params: Params<'_>) -> Result<Box<dyn Mechanism>, ServiceError> {
+    resolve_mechanism(params).map(|r| r.mechanism)
+}
+
+/// A mechanism together with the canonical form of its parameters —
+/// the piece of the result-cache key that identifies *what* runs.
+pub struct ResolvedMechanism {
+    /// The constructed mechanism.
+    pub mechanism: Box<dyn Mechanism>,
+    /// Canonical parameter serialization: mechanism name followed by
+    /// every knob in a fixed order with its *resolved* value (defaults
+    /// made explicit, numbers printed through Rust's shortest
+    /// round-trip `Display`). Two queries get the same canonical string
+    /// iff they build the same mechanism — `alpha=100`, `alpha=100.0`
+    /// and an omitted default all canonicalize to `alpha=100` — and
+    /// distinct resolved parameters always produce distinct strings
+    /// (`Display` on `f64`/`usize` is injective), which is what makes
+    /// the string safe to key a content-addressed cache with. The
+    /// injectivity proptests in `tests/properties_service.rs` pin this.
+    pub canonical: String,
+}
+
+/// Builds the mechanism *and* its canonical parameter string.
+///
+/// # Errors
+///
+/// Same surface as [`build_mechanism`].
+pub fn resolve_mechanism(params: Params<'_>) -> Result<ResolvedMechanism, ServiceError> {
     let name = params
         .get("mechanism")
         .ok_or_else(|| ServiceError::BadRequest("missing required parameter `mechanism`".into()))?;
-    match name {
-        "raw" | "identity" => Ok(Box::new(Identity)),
-        "pseudonymize" => match params.get("per").unwrap_or("user") {
-            "user" => Ok(Box::new(Pseudonymize::new())),
-            "trace" => Ok(Box::new(Pseudonymize::new().per_trace())),
-            other => Err(ServiceError::BadRequest(format!(
-                "invalid value `{other}` for parameter `per` (expected user|trace)"
-            ))),
-        },
+    let (mechanism, canonical): (Box<dyn Mechanism>, String) = match name {
+        "raw" | "identity" => (Box::new(Identity), "raw".to_owned()),
+        "pseudonymize" => {
+            let per = match params.get("per").unwrap_or("user") {
+                "user" => "user",
+                "trace" => "trace",
+                other => {
+                    return Err(ServiceError::BadRequest(format!(
+                        "invalid value `{other}` for parameter `per` (expected user|trace)"
+                    )))
+                }
+            };
+            let mechanism = if per == "trace" {
+                Pseudonymize::new().per_trace()
+            } else {
+                Pseudonymize::new()
+            };
+            (Box::new(mechanism), format!("pseudonymize per={per}"))
+        }
         "promesse" => {
-            let alpha = params.parse_or("alpha", 100.0)?;
-            Ok(Box::new(Promesse::new(alpha)?))
+            let alpha: f64 = params.parse_or("alpha", 100.0)?;
+            (
+                Box::new(Promesse::new(alpha)?),
+                format!("promesse alpha={alpha}"),
+            )
         }
         "geoind" => {
-            let epsilon = params.parse_or("epsilon", 0.01)?;
+            let epsilon: f64 = params.parse_or("epsilon", 0.01)?;
             let mechanism = GeoInd::new(epsilon)?;
-            match params.get("budget").unwrap_or("point") {
-                "point" => Ok(Box::new(mechanism.with_budget(NoiseBudget::PerPoint))),
-                "trace" => Ok(Box::new(mechanism.with_budget(NoiseBudget::PerTrace))),
-                other => Err(ServiceError::BadRequest(format!(
-                    "invalid value `{other}` for parameter `budget` (expected point|trace)"
-                ))),
-            }
+            let (mechanism, budget): (Box<dyn Mechanism>, &str) =
+                match params.get("budget").unwrap_or("point") {
+                    "point" => (
+                        Box::new(mechanism.with_budget(NoiseBudget::PerPoint)),
+                        "point",
+                    ),
+                    "trace" => (
+                        Box::new(mechanism.with_budget(NoiseBudget::PerTrace)),
+                        "trace",
+                    ),
+                    other => {
+                        return Err(ServiceError::BadRequest(format!(
+                            "invalid value `{other}` for parameter `budget` (expected point|trace)"
+                        )))
+                    }
+                };
+            (
+                mechanism,
+                format!("geoind epsilon={epsilon} budget={budget}"),
+            )
         }
         "grid" => {
-            let cell = params.parse_or("cell", 250.0)?;
+            let cell: f64 = params.parse_or("cell", 250.0)?;
             let time_round: f64 = params.parse_or("time_round", 0.0)?;
             if !time_round.is_finite() || time_round < 0.0 {
                 return Err(ServiceError::BadRequest(format!(
@@ -162,28 +215,53 @@ pub fn build_mechanism(params: Params<'_>) -> Result<Box<dyn Mechanism>, Service
                 )));
             }
             let mechanism = GridGeneralization::new(cell)?;
-            if time_round > 0.0 {
-                Ok(Box::new(
-                    mechanism.with_time_rounding(Seconds::new(time_round))?,
-                ))
+            let mechanism: Box<dyn Mechanism> = if time_round > 0.0 {
+                Box::new(mechanism.with_time_rounding(Seconds::new(time_round))?)
             } else {
-                Ok(Box::new(mechanism))
-            }
+                Box::new(mechanism)
+            };
+            (
+                mechanism,
+                format!("grid cell={cell} time_round={time_round}"),
+            )
         }
-        "mixzones" => Ok(Box::new(MixZones::new(mixzone_config(&params)?)?)),
+        "mixzones" => {
+            let config = mixzone_config(&params)?;
+            let canonical = format!(
+                "mixzones radius={} window={}",
+                config.radius_m,
+                config.zone_window.get()
+            );
+            (Box::new(MixZones::new(config)?), canonical)
+        }
         "kdelta" => {
-            let k = params.parse_or("k", 2usize)?;
-            let delta = params.parse_or("delta", 200.0)?;
-            Ok(Box::new(KDelta::new(k, delta)?))
+            let k: usize = params.parse_or("k", 2usize)?;
+            let delta: f64 = params.parse_or("delta", 200.0)?;
+            (
+                Box::new(KDelta::new(k, delta)?),
+                format!("kdelta k={k} delta={delta}"),
+            )
         }
         "pipeline" => {
-            let alpha = params.parse_or("alpha", 100.0)?;
-            Ok(Box::new(Pipeline::new(alpha, mixzone_config(&params)?)?))
+            let alpha: f64 = params.parse_or("alpha", 100.0)?;
+            let config = mixzone_config(&params)?;
+            let canonical = format!(
+                "pipeline alpha={alpha} radius={} window={}",
+                config.radius_m,
+                config.zone_window.get()
+            );
+            (Box::new(Pipeline::new(alpha, config)?), canonical)
         }
-        other => Err(ServiceError::BadRequest(format!(
-            "unknown mechanism `{other}` (see GET /v1/mechanisms)"
-        ))),
-    }
+        other => {
+            return Err(ServiceError::BadRequest(format!(
+                "unknown mechanism `{other}` (see GET /v1/mechanisms)"
+            )))
+        }
+    };
+    Ok(ResolvedMechanism {
+        mechanism,
+        canonical,
+    })
 }
 
 fn mixzone_config(params: &Params<'_>) -> Result<MixZoneConfig, ServiceError> {
@@ -274,6 +352,36 @@ mod tests {
                 Ok(m) => panic!("{q:?} unexpectedly built `{}`", m.name()),
             };
             assert_eq!(err.status().0, 400, "{q:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn canonical_params_resolve_defaults_and_numeric_variants() {
+        // Omitted default, explicit default, and a numeric spelling
+        // variant all canonicalize identically…
+        let forms = [
+            params(&[("mechanism", "promesse")]),
+            params(&[("mechanism", "promesse"), ("alpha", "100")]),
+            params(&[("mechanism", "promesse"), ("alpha", "100.0")]),
+        ];
+        let canon: Vec<String> = forms
+            .iter()
+            .map(|q| resolve_mechanism(Params(q)).unwrap().canonical)
+            .collect();
+        assert_eq!(canon[0], "promesse alpha=100");
+        assert!(canon.iter().all(|c| c == &canon[0]), "{canon:?}");
+        // …while a genuinely different value produces a different string.
+        let q = params(&[("mechanism", "promesse"), ("alpha", "100.5")]);
+        assert_eq!(
+            resolve_mechanism(Params(&q)).unwrap().canonical,
+            "promesse alpha=100.5"
+        );
+        // Every catalogued mechanism has a canonical form that starts
+        // with its name (the cross-mechanism injectivity anchor).
+        for info in MECHANISMS {
+            let q = params(&[("mechanism", info.name)]);
+            let canonical = resolve_mechanism(Params(&q)).unwrap().canonical;
+            assert!(canonical.starts_with(info.name), "{canonical}");
         }
     }
 

@@ -30,6 +30,7 @@ use mobipriv_core::Engine;
 
 use crate::handlers::handle_connection;
 use crate::http::write_response;
+use crate::state::AppState;
 use crate::ServiceError;
 
 /// Tunables for [`Server::bind`].
@@ -51,6 +52,17 @@ pub struct ServerConfig {
     pub engine: Engine,
     /// Per-socket read/write timeout.
     pub timeout: Duration,
+    /// Executor threads draining the async job queue.
+    pub job_workers: usize,
+    /// Jobs the board may queue ahead of the executors before
+    /// submissions shed load with `503`s.
+    pub job_queue_depth: usize,
+    /// Byte budget for the dataset registry (canonical CSV bytes;
+    /// least-recently-used datasets are evicted past it).
+    pub dataset_budget_bytes: u64,
+    /// Byte budget for the result cache (completed response bodies;
+    /// least-recently-used results are evicted past it).
+    pub result_budget_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +74,10 @@ impl Default for ServerConfig {
             max_body_bytes: 64 * 1024 * 1024,
             engine: Engine::sequential(),
             timeout: Duration::from_secs(30),
+            job_workers: 2,
+            job_queue_depth: 64,
+            dataset_budget_bytes: 512 * 1024 * 1024,
+            result_budget_bytes: 256 * 1024 * 1024,
         }
     }
 }
@@ -104,15 +120,33 @@ impl Server {
         let addr = self.local_addr()?;
         let config = Arc::new(self.config);
         let shutdown = Arc::new(AtomicBool::new(false));
+        let (state, job_receiver) = AppState::new(
+            config.engine,
+            config.dataset_budget_bytes,
+            config.result_budget_bytes,
+            config.job_queue_depth,
+        );
+        let job_receiver = Arc::new(Mutex::new(job_receiver));
+        let job_workers: Vec<JoinHandle<()>> = (0..config.job_workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&job_receiver);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("mobipriv-job-{i}"))
+                    .spawn(move || job_loop(&receiver, &state))
+                    .expect("spawn job executor thread")
+            })
+            .collect();
         let (sender, receiver) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
         let receiver = Arc::new(Mutex::new(receiver));
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|i| {
                 let receiver = Arc::clone(&receiver);
                 let config = Arc::clone(&config);
+                let state = Arc::clone(&state);
                 std::thread::Builder::new()
                     .name(format!("mobipriv-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &config))
+                    .spawn(move || worker_loop(&receiver, &config, &state))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -130,6 +164,8 @@ impl Server {
             shutdown,
             acceptor,
             workers,
+            job_workers,
+            state,
         })
     }
 
@@ -147,12 +183,21 @@ impl Server {
 }
 
 /// Control handle for a running server.
-#[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+    job_workers: Vec<JoinHandle<()>>,
+    state: Arc<AppState>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerHandle {
@@ -161,10 +206,17 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The shared serving state (registry, cache, job board) — exposed
+    /// for in-process tests and benchmarks.
+    pub fn state(&self) -> &AppState {
+        &self.state
+    }
+
     /// Graceful shutdown: stops accepting, finishes queued and
-    /// in-flight requests, joins every thread.
+    /// in-flight requests *and jobs*, joins every thread.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.state.jobs.close();
         // Wake the blocking accept() with a throwaway connection. A
         // wildcard bind (0.0.0.0 / ::) is not connectable everywhere,
         // so aim the wake-up at loopback on the bound port.
@@ -189,6 +241,13 @@ impl ServerHandle {
     fn join(self) {
         let _ = self.acceptor.join();
         for worker in self.workers {
+            let _ = worker.join();
+        }
+        // The HTTP workers are gone, so no new submissions can arrive;
+        // closing the board (idempotent) unblocks the executors once
+        // the queued jobs drain.
+        self.state.jobs.close();
+        for worker in self.job_workers {
             let _ = worker.join();
         }
     }
@@ -278,7 +337,7 @@ fn shed(stream: TcpStream) {
         .spawn(run);
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, config: &ServerConfig) {
+fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, config: &ServerConfig, state: &AppState) {
     loop {
         let stream = {
             let guard = receiver.lock().expect("queue mutex poisoned");
@@ -289,10 +348,29 @@ fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, config: &ServerConfig) {
                 // A panicking handler must not shrink the fixed pool:
                 // the connection is lost, the worker survives.
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(stream, config);
+                    handle_connection(stream, config, state);
                 }));
             }
             Err(_) => break, // acceptor gone: shutdown
+        }
+    }
+}
+
+fn job_loop(receiver: &Mutex<Receiver<Arc<crate::jobs::Job>>>, state: &AppState) {
+    loop {
+        let job = {
+            let guard = receiver.lock().expect("job queue mutex poisoned");
+            guard.recv()
+        };
+        match job {
+            Ok(job) => {
+                // Same panic containment as the HTTP pool: a panicking
+                // computation loses that job, not the executor.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::jobs::run_job(&job, &state.jobs, &state.results, &state.engine);
+                }));
+            }
+            Err(_) => break, // board closed and queue drained: shutdown
         }
     }
 }

@@ -1,0 +1,45 @@
+//! Shared serving state: the dataset registry, the result cache and
+//! the job board, wired together once per [`Server`](crate::Server).
+
+use mobipriv_core::Engine;
+
+use crate::cache::ResultCache;
+use crate::datasets::DatasetRegistry;
+use crate::jobs::JobBoard;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// Everything request handlers and job executors share.
+pub struct AppState {
+    /// Content-addressed dataset store (`POST /v1/datasets`).
+    pub datasets: DatasetRegistry,
+    /// Single-flight result cache (`GET /v1/results/:key`).
+    pub results: ResultCache,
+    /// Job records + submission queue (`POST /v1/jobs`).
+    pub jobs: JobBoard,
+    /// The engine computations run on (copied from the server config;
+    /// `Engine` is `Copy`).
+    pub engine: Engine,
+}
+
+impl AppState {
+    /// Builds the state and hands back the job receiver the executor
+    /// threads drain.
+    pub(crate) fn new(
+        engine: Engine,
+        dataset_budget_bytes: u64,
+        result_budget_bytes: u64,
+        job_queue_depth: usize,
+    ) -> (Arc<AppState>, Receiver<Arc<crate::jobs::Job>>) {
+        let (jobs, receiver) = JobBoard::new(job_queue_depth);
+        (
+            Arc::new(AppState {
+                datasets: DatasetRegistry::new(dataset_budget_bytes),
+                results: ResultCache::new(result_budget_bytes),
+                jobs,
+                engine,
+            }),
+            receiver,
+        )
+    }
+}

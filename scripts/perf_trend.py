@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Perf-trend gate: compare a regenerated BENCH_perf.json against the
+committed baseline and fail when any path's *speedup ratio* regresses
+below a floor fraction of the committed value.
+
+Ratios (naive/indexed, cold/warm) divide out machine speed, so the gate
+catches accidental de-indexing or cache-bypassing without flaking on
+slow or noisy CI runners the way absolute-time gates do.
+
+The jobs_cache section is gated differently: its cold side is
+CPU-bound (parse + compute) while its warm side is bounded by loopback
+round trips, so the cold/warm ratio scales with machine shape and a
+committed-ratio gate would flake on faster runners. It gets an
+*absolute* floor instead (default 10x, the PR 5 acceptance threshold):
+any machine that skips the upload + parse + compute on a warm hit
+clears it by an order of magnitude.
+
+usage: perf_trend.py BASELINE NEW [--floor=0.6] [--jobs-floor=10]
+
+Exit status: 0 = no regression, 1 = regression (or a baseline path
+missing from the regenerated file), 2 = usage/parse error.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_trend: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main(argv):
+    args = [a for a in argv if not a.startswith("--")]
+    floor = 0.6
+    jobs_floor = 10.0
+    for a in argv:
+        if a.startswith("--floor="):
+            floor = float(a.split("=", 1)[1])
+        if a.startswith("--jobs-floor="):
+            jobs_floor = float(a.split("=", 1)[1])
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline, fresh = load(args[0]), load(args[1])
+
+    def speedups(doc):
+        return {p["name"]: p["speedup"] for p in doc.get("paths", [])}
+
+    base, new = speedups(baseline), speedups(fresh)
+    if not base:
+        print("perf_trend: baseline has no paths", file=sys.stderr)
+        return 2
+
+    failed = False
+    print(f"{'path':>16} {'committed':>10} {'regenerated':>11} {'ratio':>7}  gate (>= {floor:.2f})")
+    for name, committed in sorted(base.items()):
+        got = new.get(name)
+        if got is None:
+            print(f"{name:>16} {committed:>10.2f} {'MISSING':>11}      -  FAIL")
+            failed = True
+            continue
+        ratio = got / committed
+        verdict = "ok" if ratio >= floor else "FAIL"
+        failed = failed or ratio < floor
+        print(f"{name:>16} {committed:>10.2f}x {got:>10.2f}x {ratio:>6.2f}  {verdict}")
+    for name in sorted(set(new) - set(base)):
+        print(f"{name:>16} {'(new)':>10} {new[name]:>10.2f}x      -  ok (no baseline)")
+
+    # jobs_cache: absolute floor (machine-shape-independent, see above).
+    jobs = fresh.get("jobs_cache")
+    if jobs is None:
+        print(f"{'jobs_cache':>16} {'-':>10} {'MISSING':>11}      -  FAIL")
+        failed = True
+    else:
+        got = jobs["speedup"]
+        verdict = "ok" if got >= jobs_floor else "FAIL"
+        failed = failed or got < jobs_floor
+        print(f"{'jobs_cache':>16} {'(abs)':>10} {got:>10.2f}x      -  {verdict} (>= {jobs_floor:.0f}x cold/warm)")
+
+    if failed:
+        print(
+            "perf_trend: speedup regression — a spatial index or the result cache "
+            "stopped engaging (see DESIGN.md §9/§10). If the change is intentional, "
+            "regenerate BENCH_perf.json with: "
+            "cargo run --release -p mobipriv-bench --bin mobipriv-bench-perf -- "
+            "--users 1000 --out BENCH_perf.json",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,7 +6,12 @@
 #   2. POSTs a small synthetic dataset through each per-trace mechanism,
 #   3. asserts HTTP 200 + parseable CSV back,
 #   4. GETs /v1/evaluate matrix cells and asserts parseable JSON back,
-#   5. kills the server on exit.
+#   5. exercises the registry + job engine end to end: register a
+#      dataset, submit two identical jobs concurrently, poll to done,
+#      assert both result bodies are byte-identical, assert repeat
+#      requests are cache hits (x-mobipriv-cache) with zero failures,
+#   6. runs loadgen --jobs and asserts zero failed requests,
+#   7. kills the server on exit.
 set -euo pipefail
 
 BIN=${BIN:-target/release}
@@ -101,5 +106,137 @@ if [ "$STATUS" != 400 ]; then
   exit 1
 fi
 echo "ok        /v1/evaluate rejects unknown scenario with 400"
+
+# ---- registry + job engine --------------------------------------------
+
+# Register the dataset once; the digest is its content address.
+curl -fsS --data-binary @"$WORK/body.csv" "http://$ADDR/v1/datasets" > "$WORK/register.json"
+DIGEST=$(sed -n 's/.*"digest":"\([0-9a-f]\{16\}\)".*/\1/p' "$WORK/register.json")
+if [ -z "$DIGEST" ]; then
+  echo "FAIL /v1/datasets returned no digest:" >&2
+  cat "$WORK/register.json" >&2
+  exit 1
+fi
+echo "ok        /v1/datasets registered digest $DIGEST"
+
+# Re-upload is idempotent.
+curl -fsS --data-binary @"$WORK/body.csv" "http://$ADDR/v1/datasets" \
+  | grep -q '"registered":"exists"' || {
+  echo "FAIL re-upload was not idempotent" >&2
+  exit 1
+}
+echo "ok        /v1/datasets re-upload reports exists"
+
+# Two identical jobs submitted concurrently must be one job.
+JOB_Q="dataset=$DIGEST&mechanism=promesse&alpha=100&seed=5"
+curl -s -X POST "http://$ADDR/v1/jobs?$JOB_Q" -o "$WORK/job1.json" &
+PID1=$!
+curl -s -X POST "http://$ADDR/v1/jobs?$JOB_Q" -o "$WORK/job2.json" &
+PID2=$!
+wait "$PID1" "$PID2"
+ID1=$(sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p' "$WORK/job1.json")
+ID2=$(sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p' "$WORK/job2.json")
+if [ -z "$ID1" ] || [ "$ID1" != "$ID2" ]; then
+  echo "FAIL concurrent identical submissions got ids '$ID1' vs '$ID2'" >&2
+  cat "$WORK/job1.json" "$WORK/job2.json" >&2
+  exit 1
+fi
+echo "ok        concurrent identical submissions coalesced onto job $ID1"
+
+# Poll to done.
+for _ in $(seq 100); do
+  curl -fsS "http://$ADDR/v1/jobs/$ID1" > "$WORK/job_status.json"
+  grep -q '"status":"done"' "$WORK/job_status.json" && break
+  grep -q '"status":"failed"' "$WORK/job_status.json" && {
+    echo "FAIL job failed:" >&2
+    cat "$WORK/job_status.json" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+grep -q '"status":"done"' "$WORK/job_status.json" || {
+  echo "FAIL job never reached done:" >&2
+  cat "$WORK/job_status.json" >&2
+  exit 1
+}
+echo "ok        job $ID1 polled to done"
+
+# Both fetches serve byte-identical bodies, marked as cache hits.
+curl -fsS -D "$WORK/result1.head" "http://$ADDR/v1/results/$ID1" -o "$WORK/result1.csv"
+curl -fsS -D "$WORK/result2.head" "http://$ADDR/v1/results/$ID1" -o "$WORK/result2.csv"
+cmp -s "$WORK/result1.csv" "$WORK/result2.csv" || {
+  echo "FAIL result fetches are not byte-identical" >&2
+  exit 1
+}
+grep -qi '^x-mobipriv-cache: hit' "$WORK/result2.head" || {
+  echo "FAIL second result fetch is not a cache hit:" >&2
+  cat "$WORK/result2.head" >&2
+  exit 1
+}
+head -1 "$WORK/result1.csv" | grep -q '^user,trace,lat,lng,time$' || {
+  echo "FAIL job result is not CSV" >&2
+  exit 1
+}
+echo "ok        /v1/results/$ID1 byte-identical across fetches, cache hit"
+
+# The synchronous path shares the same cache: an identical one-shot
+# request is a hit with the identical body; a fresh key is a miss.
+curl -s -D "$WORK/sync.head" --data-binary @"$WORK/body.csv" \
+  "http://$ADDR/v1/anonymize?mechanism=promesse&alpha=100&seed=5" -o "$WORK/sync.csv"
+grep -qi '^x-mobipriv-cache: hit' "$WORK/sync.head" || {
+  echo "FAIL sync request for the job's key was not a cache hit:" >&2
+  cat "$WORK/sync.head" >&2
+  exit 1
+}
+cmp -s "$WORK/sync.csv" "$WORK/result1.csv" || {
+  echo "FAIL sync and job bodies differ for one key" >&2
+  exit 1
+}
+curl -s -D "$WORK/sync_cold.head" --data-binary @"$WORK/body.csv" \
+  "http://$ADDR/v1/anonymize?mechanism=promesse&alpha=100&seed=6" -o /dev/null
+grep -qi '^x-mobipriv-cache: miss' "$WORK/sync_cold.head" || {
+  echo "FAIL fresh-key sync request was not a miss:" >&2
+  cat "$WORK/sync_cold.head" >&2
+  exit 1
+}
+echo "ok        sync /v1/anonymize shares the cache (hit on job key, miss on fresh key)"
+
+# Server-side accounting: no failed jobs, and the job key computed once.
+curl -fsS "http://$ADDR/v1/stats" > "$WORK/stats.json"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -c "
+import json
+d = json.load(open('$WORK/stats.json'))
+assert d['jobs']['failed'] == 0, d
+assert d['jobs']['done'] >= 1, d
+assert d['cache_hits'] >= 3, d
+" || {
+    echo "FAIL /v1/stats accounting:" >&2
+    cat "$WORK/stats.json" >&2
+    exit 1
+  }
+fi
+grep -q '"failed":0' "$WORK/stats.json" || {
+  echo "FAIL /v1/stats reports failed jobs:" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+}
+echo "ok        /v1/stats reports zero failed jobs"
+
+# loadgen --jobs: register-once/publish-many replay must see zero
+# failures (exit 1 + per-status breakdown otherwise).
+"$BIN/mobipriv-loadgen" --addr "$ADDR" --users 20 --seed 7 \
+  --requests 8 --distinct 2 --concurrency 2 --jobs \
+  --mechanism promesse --query 'alpha=100' > "$WORK/loadgen.out" || {
+  echo "FAIL loadgen --jobs reported failures:" >&2
+  cat "$WORK/loadgen.out" >&2
+  exit 1
+}
+grep -q 'hit rate:' "$WORK/loadgen.out" || {
+  echo "FAIL loadgen --jobs printed no hit rate:" >&2
+  cat "$WORK/loadgen.out" >&2
+  exit 1
+}
+echo "ok        loadgen --jobs replay, zero failures ($(grep 'hit rate:' "$WORK/loadgen.out"))"
 
 echo "service smoke passed"

@@ -81,6 +81,88 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A uniform choice between boxed strategies — what [`prop_oneof!`]
+/// builds (the real crate supports weights; the stand-in draws each
+/// arm with equal probability).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given arms. Panics on an empty list.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Boxes a strategy for [`Union`] (a helper the [`prop_oneof!`] macro
+/// expands to, so arm types unify without explicit casts).
+pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Uniform choice between strategies, mirroring `proptest::prop_oneof!`
+/// (unweighted arms only).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// Types with a canonical whole-domain strategy (`proptest::arbitrary`,
+/// reduced to the primitives the test suites draw).
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u32(rng) & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        })+
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy [`any`] returns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Whole-domain strategy for a primitive, mirroring `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
@@ -321,10 +403,43 @@ macro_rules! prop_assert_eq {
     };
 }
 
+/// `assert_ne!` that fails the current generated case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "assertion failed: `{} != {}`\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                        "{}\n  both: {:?}",
+                        format!($($fmt)+),
+                        __l
+                    )));
+                }
+            }
+        }
+    };
+}
+
 /// Everything a test module needs, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 
