@@ -2,7 +2,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use mobipriv_geo::{chamfer_mean, GridIndex, Point};
+use mobipriv_geo::{chamfer_mean, GridIndex, Point, Rect};
 use mobipriv_model::{Dataset, UserId};
 use mobipriv_poi::PoiExtractor;
 
@@ -97,12 +97,32 @@ impl ReidentAttack {
     /// Links every label of `protected` to its most similar user from
     /// `training` (raw data).
     ///
-    /// Each per-user profile is indexed in a [`GridIndex`] once, and the
-    /// directed chamfer distance resolves every observed POI through a
-    /// grid nearest-neighbour query instead of a scan over the whole
-    /// profile. The linking is bit-identical to
+    /// POI extraction on both sides reads the datasets' cached
+    /// per-trace planar columns (projection hoisted to once per
+    /// dataset, radius comparisons pruned — see
+    /// [`PoiExtractor::extract_dataset`]).
+    ///
+    /// The profile store is column-oriented: all profile POIs live in
+    /// two flat `x`/`y` arrays with per-user offset ranges (ascending
+    /// user order), so the chamfer scan streams contiguous memory
+    /// instead of chasing one heap `Vec` per user. Profiles large
+    /// enough for a [`GridIndex`] to pay off are still indexed (built
+    /// straight from the column slices). The scan itself is pruned:
+    /// the profile whose centroid is nearest the label's centroid is
+    /// scored first to seed a tight incumbent, and every other profile
+    /// is skipped outright — or abandoned mid-sweep — once a
+    /// bounding-box lower bound on its chamfer sum provably exceeds the
+    /// incumbent. All of it leaves the selected link bit-identical to
     /// [`run_naive`](ReidentAttack::run_naive).
     pub fn run(&self, training: &Dataset, protected: &Dataset) -> ReidentOutcome {
+        self.run_soa(training, protected)
+    }
+
+    /// The pre-columnar pointer-chasing implementation (one `Vec<Point>`
+    /// per profile behind a `BTreeMap`). Kept public for the SoA≡AoS
+    /// equivalence tests and the `mobipriv-bench-perf` `layout`
+    /// before/after comparison.
+    pub fn run_aos(&self, training: &Dataset, protected: &Dataset) -> ReidentOutcome {
         self.run_inner(training, protected, true)
     }
 
@@ -114,9 +134,196 @@ impl ReidentAttack {
         self.run_inner(training, protected, false)
     }
 
-    fn run_inner(&self, training: &Dataset, protected: &Dataset, indexed: bool) -> ReidentOutcome {
+    /// Column-oriented linking (see [`run`](ReidentAttack::run)).
+    fn run_soa(&self, training: &Dataset, protected: &Dataset) -> ReidentOutcome {
         let profiles = self.extractor.extract_dataset(training);
         let observed = self.extractor.extract_dataset(protected);
+        let frame = match training.local_frame() {
+            Ok(f) => f,
+            Err(_) => return ReidentOutcome::default(),
+        };
+        // Flatten the profiles into parallel coordinate columns with
+        // CSR offsets, in ascending user order — the order the AoS
+        // `BTreeMap` iteration visited, so first-wins tie-breaking is
+        // unchanged. Empty profiles are dropped here (the AoS scan
+        // skipped them per label).
+        let mut users: Vec<UserId> = Vec::with_capacity(profiles.len());
+        let mut offsets: Vec<usize> = Vec::with_capacity(profiles.len() + 1);
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        offsets.push(0);
+        for (user, pois) in &profiles {
+            if pois.is_empty() {
+                continue;
+            }
+            for poi in pois {
+                let p = frame.project(poi.centroid);
+                xs.push(p.x);
+                ys.push(p.y);
+            }
+            users.push(*user);
+            offsets.push(xs.len());
+        }
+        // Same grid threshold as the AoS path; the grid is built from
+        // the column slices (insertion order = column order).
+        let grids: Vec<Option<GridIndex<usize>>> = (0..users.len())
+            .map(|i| {
+                let span = offsets[i]..offsets[i + 1];
+                (span.len() >= GRID_PROFILE_MIN)
+                    .then(|| profile_grid_xy(&xs[span.clone()], &ys[span]))
+            })
+            .collect();
+        // Per-profile summaries driving the pruned scan: the bounding
+        // box yields the chamfer lower bound, the centroid picks the
+        // first profile to score.
+        let boxes: Vec<Rect> = (0..users.len())
+            .map(|i| {
+                let span = offsets[i]..offsets[i + 1];
+                Rect::of(span.map(|j| Point::new(xs[j], ys[j]))).expect("non-empty profile")
+            })
+            .collect();
+        let centroids: Vec<Point> = (0..users.len())
+            .map(|i| {
+                let span = offsets[i]..offsets[i + 1];
+                let len = span.len() as f64;
+                let (mut sx, mut sy) = (0.0, 0.0);
+                for j in span {
+                    sx += xs[j];
+                    sy += ys[j];
+                }
+                Point::new(sx / len, sy / len)
+            })
+            .collect();
+        let cols = ProfileColumns {
+            users,
+            offsets,
+            xs,
+            ys,
+            grids,
+            boxes,
+            centroids,
+        };
+        let mut links = BTreeMap::new();
+        for label in protected.users() {
+            let points: Vec<Point> = observed
+                .get(&label)
+                .map(|ps| ps.iter().map(|p| frame.project(p.centroid)).collect())
+                .unwrap_or_default();
+            links.insert(label, self.best_match_columns(&points, &cols));
+        }
+        ReidentOutcome { links }
+    }
+
+    /// Pruned column scan of the flat profile store. Bit-identical to
+    /// [`best_match`](ReidentAttack::best_match):
+    ///
+    /// * Per-point minima (linear over the column slice, or the grid
+    ///   query — both return the exact [`Point::distance`] a scan would
+    ///   see) and point-order summation are computed in the same fold
+    ///   order, so any profile that finishes its sweep produces the
+    ///   very mean the AoS scan produced.
+    /// * Profiles are scored centroid-nearest first instead of in
+    ///   ascending user order, and the winner is selected as the
+    ///   lexicographic minimum of `(mean, user)` — exactly the profile
+    ///   the ascending-order strict-`<` fold kept (lowest mean, lowest
+    ///   user among exact ties), independent of evaluation order.
+    /// * A profile is skipped (or abandoned mid-sweep) only when
+    ///   `partial sum + Σ gap(pⱼ, bbox)` over its unswept points
+    ///   exceeds `incumbent · n` *plus slack*: the Chebyshev gap to the
+    ///   profile's bounding box never exceeds the true nearest-POI
+    ///   distance, and the `1e-9` relative + `1e-6` absolute slack
+    ///   (same contract as the `KDelta` sweep cutoff) absorbs f64
+    ///   summation-order wiggle, so only profiles whose full mean
+    ///   provably exceeds the incumbent — losers even under the
+    ///   tie-break — are ever dropped.
+    fn best_match_columns(&self, points: &[Point], cols: &ProfileColumns) -> Option<UserId> {
+        if points.is_empty() {
+            return None;
+        }
+        let n = points.len();
+        let nf = n as f64;
+        // Score the profile whose centroid is nearest the label's
+        // centroid first: with a near-optimal incumbent in place, the
+        // bounding-box cutoff prunes almost every other profile before
+        // any exact distance is computed. Pure evaluation-order
+        // heuristic — the selected link does not depend on it.
+        let label_centroid = {
+            let (mut sx, mut sy) = (0.0, 0.0);
+            for p in points {
+                sx += p.x;
+                sy += p.y;
+            }
+            Point::new(sx / nf, sy / nf)
+        };
+        let first = (0..cols.users.len())
+            .map(|i| (label_centroid.distance(cols.centroids[i]).get(), i))
+            .fold(None, |acc: Option<(f64, usize)>, cand| match acc {
+                Some((d, _)) if d <= cand.0 => acc,
+                _ => Some(cand),
+            })
+            .map(|(_, i)| i);
+        // suffix[k] = lower bound on the chamfer sum over points[k..]
+        // for the profile currently being considered.
+        let mut suffix = vec![0.0; n + 1];
+        let mut best: Option<(f64, UserId)> = None;
+        let order = first
+            .into_iter()
+            .chain((0..cols.users.len()).filter(|i| Some(*i) != first));
+        'profiles: for i in order {
+            let user = cols.users[i];
+            let cutoff = best.map(|(d, _)| d * nf * (1.0 + 1e-9) + 1e-6);
+            if let Some(cutoff) = cutoff {
+                let mut s = 0.0;
+                for k in (0..n).rev() {
+                    s += point_rect_gap(points[k], &cols.boxes[i]);
+                    suffix[k] = s;
+                }
+                if suffix[0] > cutoff {
+                    continue 'profiles;
+                }
+            }
+            let span = cols.offsets[i]..cols.offsets[i + 1];
+            let mut total = 0.0;
+            for (k, p) in points.iter().enumerate() {
+                let min = match &cols.grids[i] {
+                    // Same fold [`chamfer_mean`] computes: the grid
+                    // returns the nearest stored point, distance taken
+                    // identically.
+                    Some(grid) => {
+                        let (q, _) = grid.nearest_neighbour(*p).expect("non-empty profile");
+                        p.distance(q).get()
+                    }
+                    None => {
+                        let mut min = f64::INFINITY;
+                        for j in span.clone() {
+                            min =
+                                f64::min(min, p.distance(Point::new(cols.xs[j], cols.ys[j])).get());
+                        }
+                        min
+                    }
+                };
+                total += min;
+                if let Some(cutoff) = cutoff {
+                    if total + suffix[k + 1] > cutoff {
+                        continue 'profiles;
+                    }
+                }
+            }
+            let mean = total / nf;
+            let better = match best {
+                None => true,
+                Some((d, u)) => mean < d || (mean == d && user < u),
+            };
+            if better {
+                best = Some((mean, user));
+            }
+        }
+        best.and_then(|(d, u)| (d <= self.max_link_distance_m).then_some(u))
+    }
+
+    fn run_inner(&self, training: &Dataset, protected: &Dataset, indexed: bool) -> ReidentOutcome {
+        let profiles = self.extractor.extract_dataset_aos(training);
+        let observed = self.extractor.extract_dataset_aos(protected);
         let frame = match training.local_frame() {
             Ok(f) => f,
             Err(_) => return ReidentOutcome::default(),
@@ -191,6 +398,31 @@ impl ReidentAttack {
     }
 }
 
+/// The flattened profile store of the column-oriented scan: every
+/// profile POI in two contiguous coordinate columns with CSR offsets
+/// (ascending user order), plus the per-profile summaries the pruned
+/// scan consumes — optional [`GridIndex`], bounding box, centroid.
+struct ProfileColumns {
+    users: Vec<UserId>,
+    offsets: Vec<usize>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    grids: Vec<Option<GridIndex<usize>>>,
+    boxes: Vec<Rect>,
+    centroids: Vec<Point>,
+}
+
+/// Chebyshev gap between a point and an axis-aligned box: zero inside,
+/// otherwise the larger axis overshoot. Never exceeds the Euclidean
+/// distance from `p` to *any* point of the box — in particular to the
+/// nearest profile POI, all of which lie inside — so summing gaps lower
+/// bounds a profile's chamfer sum while staying free of square roots.
+fn point_rect_gap(p: Point, r: &Rect) -> f64 {
+    let gx = (r.min().x - p.x).max(p.x - r.max().x).max(0.0);
+    let gy = (r.min().y - p.y).max(p.y - r.max().y).max(0.0);
+    gx.max(gy)
+}
+
 /// Profiles below this many POIs are matched by linear scan — the grid
 /// query's ring bookkeeping only pays off past it.
 const GRID_PROFILE_MIN: usize = 16;
@@ -207,6 +439,17 @@ fn profile_grid(points: &[Point]) -> GridIndex<()> {
         grid.insert(*p, ());
     }
     grid
+}
+
+/// [`profile_grid`] over one profile's column slices — same cell-size
+/// formula, grid populated in column order via [`GridIndex::from_xy`]
+/// so tie-breaking matches the point-loop insertion exactly.
+fn profile_grid_xy(xs: &[f64], ys: &[f64]) -> GridIndex<usize> {
+    let extent = mobipriv_geo::Rect::of(xs.iter().zip(ys).map(|(&x, &y)| Point::new(x, y)))
+        .expect("non-empty profile");
+    let diag = extent.width().hypot(extent.height());
+    let cell = (diag / 4.0).clamp(100.0, 10_000.0);
+    GridIndex::from_xy(cell, xs, ys).expect("positive cell size")
 }
 
 #[cfg(test)]
@@ -250,6 +493,51 @@ mod tests {
         let outcome = ReidentAttack::tuned_for_noise(200.0).run(&train, &protected);
         let acc = outcome.accuracy_identity();
         assert!(acc > 0.4, "geoind accuracy {acc}");
+    }
+
+    #[test]
+    fn soa_aos_and_naive_agree_link_for_link() {
+        let (train, test) = split();
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = GeoInd::new(0.01).unwrap().protect(&test, &mut rng);
+        for protected in [&test, &noisy] {
+            for attack in [
+                ReidentAttack::default(),
+                ReidentAttack::tuned_for_noise(200.0),
+            ] {
+                let soa = attack.run(&train, protected);
+                assert_eq!(soa, attack.run_aos(&train, protected));
+                assert_eq!(soa, attack.run_naive(&train, protected));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_profile_ties_resolve_to_lowest_user_id() {
+        use mobipriv_model::{Fix, Timestamp, Trace};
+        // A trace with a 30-minute dwell, so the extractor finds a POI.
+        let dwell_trace = |user: u64| {
+            let fixes = (0..60)
+                .map(|i| {
+                    Fix::new(
+                        mobipriv_geo::LatLng::new(45.01, 5.0).unwrap(),
+                        Timestamp::new(i * 30),
+                    )
+                })
+                .collect();
+            Trace::new(UserId::new(user), fixes).unwrap()
+        };
+        // Users 5 and 2 have byte-identical profiles: every candidate
+        // mean ties exactly, and the ascending-order strict-< fold of
+        // the reference implementations keeps the lowest user id. The
+        // pruned out-of-order scan must agree.
+        let train = Dataset::from_traces(vec![dwell_trace(5), dwell_trace(2)]);
+        let protected = Dataset::from_traces(vec![dwell_trace(9)]);
+        let attack = ReidentAttack::default();
+        let outcome = attack.run(&train, &protected);
+        assert_eq!(outcome.links[&UserId::new(9)], Some(UserId::new(2)));
+        assert_eq!(outcome, attack.run_aos(&train, &protected));
+        assert_eq!(outcome, attack.run_naive(&train, &protected));
     }
 
     #[test]

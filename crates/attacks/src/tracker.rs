@@ -66,16 +66,26 @@ impl Tracker {
     /// Runs the attack on `dataset` (labels are used only for scoring,
     /// never for the assignment itself) and reports tracking quality.
     ///
-    /// Open tracks live in an incrementally-updated [`GridIndex`] keyed
-    /// by their last position: each sample queries only the tracks the
-    /// speed gate could possibly admit (within
-    /// `max_speed × max_silence`), expanding outward and stopping at
-    /// the first ring that cannot beat the best gated match. The
-    /// association is bit-identical to
+    /// Samples are assembled straight from the dataset's cached
+    /// [`columns`](Dataset::columns) — the per-dataset projection is
+    /// reused, not recomputed. Open tracks live in an
+    /// incrementally-updated [`GridIndex`] keyed by their last position:
+    /// each sample queries only the tracks the speed gate could possibly
+    /// admit (within `max_speed × max_silence`), expanding outward and
+    /// stopping at the first ring that cannot beat the best gated match.
+    /// The association is bit-identical to
     /// [`run_naive`](Tracker::run_naive) — ties in distance resolve to
     /// the lowest track index, exactly like the sequential scan.
     pub fn run(&self, dataset: &Dataset) -> TrackerOutcome {
-        self.run_inner(dataset, true)
+        self.run_inner(dataset, true, true)
+    }
+
+    /// The indexed association fed by per-fix projection of the
+    /// row-oriented traces instead of the column cache. Kept public for
+    /// the SoA≡AoS equivalence tests and the `mobipriv-bench-perf`
+    /// `layout` before/after comparison.
+    pub fn run_aos(&self, dataset: &Dataset) -> TrackerOutcome {
+        self.run_inner(dataset, true, false)
     }
 
     /// Brute-force reference implementation: every sample is tested
@@ -83,26 +93,36 @@ impl Tracker {
     /// equivalence tests and the `mobipriv-bench-perf` before/after
     /// comparison.
     pub fn run_naive(&self, dataset: &Dataset) -> TrackerOutcome {
-        self.run_inner(dataset, false)
+        self.run_inner(dataset, false, false)
     }
 
-    fn run_inner(&self, dataset: &Dataset, indexed: bool) -> TrackerOutcome {
-        let frame = match dataset.local_frame() {
-            Ok(f) => f,
-            Err(_) => {
-                return TrackerOutcome {
-                    continuity: 0.0,
-                    purity: 0.0,
-                    tracks: 0,
-                    samples: 0,
+    fn run_inner(&self, dataset: &Dataset, indexed: bool, columnar: bool) -> TrackerOutcome {
+        if dataset.local_frame().is_err() {
+            return TrackerOutcome {
+                continuity: 0.0,
+                purity: 0.0,
+                tracks: 0,
+                samples: 0,
+            };
+        }
+        // Anonymous samples: (time, position, true trace index).
+        let mut samples: Vec<(Timestamp, Point, usize)> = Vec::with_capacity(dataset.total_fixes());
+        if columnar {
+            // The column cache already holds every fix projected into
+            // the canonical frame; sample assembly is a pure copy.
+            let cols = dataset.columns();
+            let (time, x, y) = (cols.time(), cols.x(), cols.y());
+            for idx in 0..cols.trace_count() {
+                for i in cols.span(idx) {
+                    samples.push((Timestamp::new(time[i]), Point::new(x[i], y[i]), idx));
                 }
             }
-        };
-        // Anonymous samples: (time, position, true trace index).
-        let mut samples: Vec<(Timestamp, Point, usize)> = Vec::new();
-        for (idx, trace) in dataset.traces().iter().enumerate() {
-            for fix in trace.fixes() {
-                samples.push((fix.time, frame.project(fix.position), idx));
+        } else {
+            let frame = dataset.local_frame().expect("non-empty dataset");
+            for (idx, trace) in dataset.traces().iter().enumerate() {
+                for fix in trace.fixes() {
+                    samples.push((fix.time, frame.project(fix.position), idx));
+                }
             }
         }
         samples.sort_by_key(|(t, _, _)| *t);
@@ -344,6 +364,19 @@ mod tests {
             outcome.purity < 1.0 || outcome.continuity < 1.0,
             "no confusion at a perfect crossing: {outcome:?}"
         );
+    }
+
+    #[test]
+    fn columnar_assembly_matches_aos_and_naive() {
+        let d = Dataset::from_traces(vec![
+            lane_trace(1, 0.0, 5.0),
+            lane_trace(2, 40.0, 5.0),
+            lane_trace(3, 5_000.0, 8.0),
+        ]);
+        let tracker = Tracker::default();
+        let soa = tracker.run(&d);
+        assert_eq!(soa, tracker.run_aos(&d));
+        assert_eq!(soa, tracker.run_naive(&d));
     }
 
     #[test]

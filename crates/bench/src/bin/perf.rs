@@ -21,8 +21,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use mobipriv_attacks::{HomeAttack, PoiAttack, ReidentAttack, Tracker};
-use mobipriv_core::{GeoInd, KDelta, Mechanism, Promesse};
-use mobipriv_model::{write_csv, Dataset};
+use mobipriv_core::{GeoInd, GridGeneralization, KDelta, Mechanism, Promesse};
+use mobipriv_model::{
+    read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, WireFormat,
+};
 use mobipriv_service::{client, Server, ServerConfig};
 use mobipriv_synth::scenarios;
 
@@ -287,6 +289,72 @@ fn main() -> ExitCode {
     let (t, _) = time_min(args.iters, || poi.run(&published, &world.truth));
     mechanisms.push(("poi_attack".to_owned(), t));
 
+    // Wire formats: parse and serialize throughput per format, measured
+    // on the canonical parse of the workload (so the Bin bytes describe
+    // the same 7-decimal-quantized data as the text formats and every
+    // round trip can be asserted equal).
+    eprintln!("timing wire formats (csv vs ndjson vs bin)…");
+    let canon = {
+        let mut buf = Vec::new();
+        write_csv(dataset, &mut buf).expect("canonicalize workload");
+        read_csv(buf.as_slice()).expect("reparse canonical workload")
+    };
+    let mfix = canon.total_fixes() as f64 / 1e6;
+    // (name, read_mfix_s, write_mfix_s, bytes_per_fix)
+    let mut parse_rows: Vec<(&str, f64, f64, f64)> = Vec::new();
+    for fmt in [WireFormat::Csv, WireFormat::NdJson, WireFormat::Bin] {
+        let (write_s, bytes) = time_min(args.iters, || {
+            let mut buf = Vec::new();
+            match fmt {
+                WireFormat::Csv => write_csv(&canon, &mut buf),
+                WireFormat::NdJson => write_ndjson(&canon, &mut buf),
+                WireFormat::Bin => write_bin(&canon, &mut buf),
+            }
+            .expect("serialize workload");
+            buf
+        });
+        let (read_s, parsed) = time_min(args.iters, || {
+            match fmt {
+                WireFormat::Csv => read_csv(bytes.as_slice()),
+                WireFormat::NdJson => read_ndjson(bytes.as_slice()),
+                WireFormat::Bin => read_bin(bytes.as_slice()),
+            }
+            .expect("parse workload")
+        });
+        assert_eq!(parsed, canon, "{} round trip diverged", fmt.name());
+        parse_rows.push((
+            fmt.name(),
+            mfix / read_s.max(1e-12),
+            mfix / write_s.max(1e-12),
+            bytes.len() as f64 / canon.total_fixes().max(1) as f64,
+        ));
+    }
+
+    // Data layout: the row-oriented (AoS) implementations against the
+    // column-oriented (SoA) hot paths, same outputs asserted. The
+    // column cache builds on the first timed iteration and is reused
+    // after — exactly the once-per-dataset amortization the cache is
+    // for (`time_min` reports the warm minimum).
+    eprintln!("timing data layout (AoS vs SoA)…");
+    let mut layout = Vec::new();
+    let grid_mech = GridGeneralization::new(250.0).expect("valid cell");
+    let (aos_s, aos_out) = time_min(args.iters, || grid_mech.protect_aos(dataset));
+    let (soa_s, soa_out) = time_min(args.iters, || {
+        grid_mech.protect(dataset, &mut StdRng::seed_from_u64(args.seed))
+    });
+    assert_eq!(aos_out, soa_out, "grid_snap AoS≡SoA violated");
+    layout.push(("grid_snap_c250".to_owned(), aos_s, soa_s));
+
+    let (aos_s, aos_out) = time_min(args.iters, || reident.run_aos(dataset, &published));
+    let (soa_s, soa_out) = time_min(args.iters, || reident.run(dataset, &published));
+    assert_eq!(aos_out, soa_out, "reident AoS≡SoA violated");
+    layout.push(("reident".to_owned(), aos_s, soa_s));
+
+    let (aos_s, aos_out) = time_min(args.iters, || tracker.run_aos(&published));
+    let (soa_s, soa_out) = time_min(args.iters, || tracker.run(&published));
+    assert_eq!(aos_out, soa_out, "tracker AoS≡SoA violated");
+    layout.push(("tracker".to_owned(), aos_s, soa_s));
+
     // The serving-system cache: cold (one-shot full-body request — what
     // every request cost before the dataset registry) vs warm (job
     // cycle answered by the content-addressed result cache), over a
@@ -322,6 +390,26 @@ fn main() -> ExitCode {
             if i == 0 { "\n" } else { ",\n" },
         );
     }
+    let _ = write!(json, "\n],\"parse\":[");
+    for (i, (name, read_mfix, write_mfix, bytes_per_fix)) in parse_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"name\":\"{name}\",\"read_mfix_s\":{read_mfix},\"write_mfix_s\":{write_mfix},\
+             \"bytes_per_fix\":{bytes_per_fix}}}",
+            if i == 0 { "\n" } else { ",\n" },
+        );
+    }
+    let _ = write!(json, "\n],\"layout\":[");
+    for (i, (name, aos_s, soa_s)) in layout.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}{{\"name\":\"{name}\",\"aos_s\":{aos_s},\"soa_s\":{soa_s},\"speedup\":{},\
+             \"soa_mfix_s\":{}}}",
+            if i == 0 { "\n" } else { ",\n" },
+            aos_s / soa_s.max(1e-12),
+            mfix / soa_s.max(1e-12),
+        );
+    }
     let _ = write!(
         json,
         "\n],\"jobs_cache\":{{\"mechanism\":\"promesse alpha=100\",\"register_s\":{},\
@@ -340,6 +428,19 @@ fn main() -> ExitCode {
             naive_s * 1e3,
             indexed_s * 1e3,
             naive_s / indexed_s.max(1e-12),
+        );
+    }
+    for (name, read_mfix, write_mfix, bytes_per_fix) in &parse_rows {
+        eprintln!(
+            "  parse {name:>7}: read {read_mfix:>7.1} Mfix/s, write {write_mfix:>7.1} Mfix/s, {bytes_per_fix:.1} B/fix"
+        );
+    }
+    for (name, aos_s, soa_s) in &layout {
+        eprintln!(
+            " layout {name:>14}: aos {:>9.2} ms, soa     {:>9.2} ms -> {:.2}x",
+            aos_s * 1e3,
+            soa_s * 1e3,
+            aos_s / soa_s.max(1e-12),
         );
     }
     eprintln!(

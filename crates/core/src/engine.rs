@@ -213,6 +213,11 @@ impl Engine {
     /// returning the releases in mechanism order. Each mechanism `i`
     /// runs under `seed + i`, matching the convention the experiment
     /// tables use for their per-row seeds.
+    ///
+    /// Mechanisms that read the dataset's column cache
+    /// ([`Dataset::columns`]) share one build across the whole sweep:
+    /// the cache is keyed to the input dataset, and the engine never
+    /// mutates the input.
     pub fn sweep(
         &self,
         mechanisms: &[Box<dyn Mechanism>],

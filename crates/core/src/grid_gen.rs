@@ -1,7 +1,9 @@
+use std::collections::HashMap;
+
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use mobipriv_geo::{Point, Seconds};
+use mobipriv_geo::{LatLng, Point, Seconds};
 use mobipriv_model::{Dataset, Fix, Timestamp, TraceBuilder};
 
 use crate::error::require_positive;
@@ -73,17 +75,12 @@ impl GridGeneralization {
         let s = self.cell_m;
         Point::new(((p.x / s).floor() + 0.5) * s, ((p.y / s).floor() + 0.5) * s)
     }
-}
 
-impl Mechanism for GridGeneralization {
-    fn name(&self) -> String {
-        match self.time_round {
-            Some(g) => format!("grid({}m,{}s)", self.cell_m, g.get()),
-            None => format!("grid({}m)", self.cell_m),
-        }
-    }
-
-    fn protect(&self, dataset: &Dataset, _rng: &mut dyn RngCore) -> Dataset {
+    /// The pre-columnar implementation: every fix is projected through
+    /// the frame individually and every snapped center unprojected anew.
+    /// Kept public for the SoA≡AoS equivalence tests and the
+    /// `mobipriv-bench-perf` `layout` before/after comparison.
+    pub fn protect_aos(&self, dataset: &Dataset) -> Dataset {
         let frame = match dataset.local_frame() {
             Ok(f) => f,
             Err(_) => return Dataset::new(),
@@ -103,6 +100,65 @@ impl Mechanism for GridGeneralization {
             }
             builder.build().ok()
         })
+    }
+}
+
+impl Mechanism for GridGeneralization {
+    fn name(&self) -> String {
+        match self.time_round {
+            Some(g) => format!("grid({}m,{}s)", self.cell_m, g.get()),
+            None => format!("grid({}m)", self.cell_m),
+        }
+    }
+
+    /// Reads positions straight from the dataset's cached
+    /// [`columns`](Dataset::columns) — the canonical projection is
+    /// computed once per dataset, not once per protect call — and
+    /// memoizes the unprojection of every snapped cell center seen so
+    /// far, keyed on the center's exact bit pattern: the dwell clusters
+    /// this mechanism collapses revisit the same cells across fixes and
+    /// traces, so the spherical trig runs once per distinct *cell*
+    /// instead of once per fix. Bit-identical to
+    /// [`protect_aos`](GridGeneralization::protect_aos) (`unproject` is
+    /// deterministic and the memo key is exact `Point` equality).
+    fn protect(&self, dataset: &Dataset, _rng: &mut dyn RngCore) -> Dataset {
+        let cols = dataset.columns();
+        let Some(frame) = cols.frame() else {
+            return Dataset::new();
+        };
+        let (x, y, time) = (cols.x(), cols.y(), cols.time());
+        let granularity = self.time_round.map(|g| g.get() as i64);
+        // Two-level memo: the last cell catches the within-dwell runs
+        // without hashing; the map catches revisits of a cell across
+        // runs and traces.
+        let mut last: Option<(Point, LatLng)> = None;
+        let mut memo: HashMap<(u64, u64), LatLng> = HashMap::new();
+        let mut traces = Vec::with_capacity(cols.trace_count());
+        for idx in 0..cols.trace_count() {
+            let mut builder = TraceBuilder::with_capacity(cols.user(idx), cols.span(idx).len());
+            for i in cols.span(idx) {
+                let snapped = self.snap(Point::new(x[i], y[i]));
+                let position = match last {
+                    Some((p, ll)) if p == snapped => ll,
+                    _ => {
+                        let ll = *memo
+                            .entry((snapped.x.to_bits(), snapped.y.to_bits()))
+                            .or_insert_with(|| frame.unproject(snapped));
+                        last = Some((snapped, ll));
+                        ll
+                    }
+                };
+                let t = match granularity {
+                    Some(g) => Timestamp::new(time[i].div_euclid(g) * g),
+                    None => Timestamp::new(time[i]),
+                };
+                builder.push_lenient(Fix::new(position, t));
+            }
+            if let Ok(trace) = builder.build() {
+                traces.push(trace);
+            }
+        }
+        Dataset::from_traces(traces)
     }
 }
 
@@ -184,6 +240,21 @@ mod tests {
         }
         // Coarse time + coarse space can merge fixes; count shrinks.
         assert!(out.total_fixes() <= d.total_fixes());
+    }
+
+    #[test]
+    fn columnar_protect_matches_aos_bit_for_bit() {
+        let d = dataset();
+        for mech in [
+            GridGeneralization::new(250.0).unwrap(),
+            GridGeneralization::new(500.0)
+                .unwrap()
+                .with_time_rounding(Seconds::new(100.0))
+                .unwrap(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(0);
+            assert_eq!(mech.protect(&d, &mut rng), mech.protect_aos(&d));
+        }
     }
 
     #[test]

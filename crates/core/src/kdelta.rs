@@ -158,9 +158,11 @@ impl KDelta {
     }
 
     fn protect_inner(&self, dataset: &Dataset, indexed: bool) -> (Dataset, KDeltaReport) {
-        let frame = match dataset.local_frame() {
-            Ok(f) => f,
-            Err(_) => return (Dataset::new(), KDeltaReport::default()),
+        // Frame reuse only: the aggregation works on resampled
+        // (interpolated) positions, so the per-fix projection columns do
+        // not apply — but the canonical frame itself is shared.
+        let Some(frame) = dataset.columns().frame().copied() else {
+            return (Dataset::new(), KDeltaReport::default());
         };
         // 1. Align on the absolute grid.
         let grid = self.resample.get() as i64;

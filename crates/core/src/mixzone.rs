@@ -191,9 +191,11 @@ struct Meeting {
 /// construction).
 pub fn detect_mix_zones(dataset: &Dataset, config: &MixZoneConfig) -> Vec<MixZone> {
     config.validate().expect("invalid mix-zone config");
-    let frame = match dataset.local_frame() {
-        Ok(f) => f,
-        Err(_) => return Vec::new(),
+    // Frame reuse only: zone detection works on *interpolated* positions,
+    // so the cached per-fix projection columns do not apply here — but
+    // the canonical frame itself (one bounding-box scan) is shared.
+    let Some(frame) = dataset.columns().frame().copied() else {
+        return Vec::new();
     };
     let meetings = find_meetings(dataset, config, &frame);
     build_zones(dataset, config, &frame, &meetings)
@@ -404,9 +406,8 @@ impl MixZones {
         dataset: &Dataset,
         rng: &mut dyn RngCore,
     ) -> (Dataset, SwapReport) {
-        let frame = match dataset.local_frame() {
-            Ok(f) => f,
-            Err(_) => return (Dataset::new(), SwapReport::default()),
+        let Some(frame) = dataset.columns().frame().copied() else {
+            return (Dataset::new(), SwapReport::default());
         };
         let zones = detect_mix_zones(dataset, &self.config);
         let crossings = self.find_crossings(dataset, &frame, &zones);

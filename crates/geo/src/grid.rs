@@ -78,6 +78,33 @@ pub struct GridIndex<T> {
     extent: Option<(CellId, CellId)>,
 }
 
+impl GridIndex<usize> {
+    /// Bulk-builds an index over parallel coordinate columns (the
+    /// struct-of-arrays layout used by `mobipriv-model`'s dataset
+    /// columns): item `i` sits at `(xs[i], ys[i])`. Insertion order —
+    /// and with it every order-sensitive query tie-break — is the
+    /// column order, so an index built this way behaves exactly like
+    /// one filled by looping [`insert`](GridIndex::insert) over the
+    /// same points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::NonPositive`] when `cell_size` is not a
+    /// strictly positive finite number.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the columns differ in length.
+    pub fn from_xy(cell_size: f64, xs: &[f64], ys: &[f64]) -> Result<Self, GeoError> {
+        assert_eq!(xs.len(), ys.len(), "coordinate columns must align");
+        let mut grid = GridIndex::new(cell_size)?;
+        for (i, (&x, &y)) in xs.iter().zip(ys).enumerate() {
+            grid.insert(Point::new(x, y), i);
+        }
+        Ok(grid)
+    }
+}
+
 impl<T> GridIndex<T> {
     /// Creates an index with square cells of side `cell_size` meters.
     ///
@@ -122,6 +149,12 @@ impl<T> GridIndex<T> {
             (p.x / self.cell_size).floor() as i64,
             (p.y / self.cell_size).floor() as i64,
         )
+    }
+
+    /// Inserts `item` at `(x, y)` — the column-slice spelling of
+    /// [`insert`](GridIndex::insert) for struct-of-arrays callers.
+    pub fn insert_xy(&mut self, x: f64, y: f64, item: T) {
+        self.insert(Point::new(x, y), item);
     }
 
     /// Inserts `item` at location `p`.
@@ -583,5 +616,23 @@ mod tests {
         assert_eq!(chamfer_mean(&[], &idx), None);
         let empty = GridIndex::<()>::new(40.0).unwrap();
         assert_eq!(chamfer_mean(&queries, &empty), None);
+    }
+
+    #[test]
+    fn from_xy_matches_loop_insertion() {
+        let xs = [0.0, 100.0, -70.0, 12.5];
+        let ys = [0.0, 35.0, 220.0, -8.0];
+        let bulk = GridIndex::from_xy(40.0, &xs, &ys).unwrap();
+        let mut looped = GridIndex::new(40.0).unwrap();
+        for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+            looped.insert_xy(x, y, i);
+        }
+        assert_eq!(bulk.len(), looped.len());
+        let q = Point::new(5.0, 5.0);
+        assert_eq!(bulk.nearest_neighbour(q), looped.nearest_neighbour(q));
+        let b: Vec<&usize> = bulk.neighbours_within(q, 500.0).collect();
+        let l: Vec<&usize> = looped.neighbours_within(q, 500.0).collect();
+        assert_eq!(b, l);
+        assert!(GridIndex::from_xy(0.0, &xs, &ys).is_err());
     }
 }

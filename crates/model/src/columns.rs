@@ -1,0 +1,337 @@
+//! Struct-of-arrays mirror of a [`Dataset`], built once and cached.
+//!
+//! Every hot scan in the toolkit walks *fields* of fixes, not whole
+//! fixes: the tracker wants projected `x`/`y` and `time`, grid
+//! generalization wants `x`/`y`, parsers and writers want `lat`/`lng`.
+//! [`DatasetColumns`] lays those fields out as contiguous parallel
+//! arrays with CSR-style per-trace offset ranges, and — crucially —
+//! projects every fix into the dataset's canonical
+//! [`local_frame`](Dataset::local_frame) **once**, so consumers of the
+//! canonical frame read precomputed `x`/`y` instead of re-projecting
+//! per call.
+//!
+//! Bit-identity invariant: `x[i]`/`y[i]` are exactly
+//! `frame.project(fix.position)` for the dataset's own canonical frame.
+//! Consumers that project with any *other* frame (per-trace frames, a
+//! training dataset's frame) must keep projecting themselves — see
+//! DESIGN.md §11.
+
+use std::ops::Range;
+
+use mobipriv_geo::{LocalFrame, Point};
+
+use crate::{Dataset, Fix, Timestamp, UserId};
+
+/// Columnar (struct-of-arrays) snapshot of a dataset: parallel
+/// `lat`/`lng`/`time` arrays plus `x`/`y` projected in the dataset's
+/// canonical local frame, with per-trace offset ranges.
+///
+/// Obtained through [`Dataset::columns`], which builds it lazily and
+/// caches it; any mutation of the dataset invalidates the cache.
+///
+/// ```
+/// use mobipriv_model::{Dataset, Fix, Timestamp, Trace, UserId};
+/// use mobipriv_geo::LatLng;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = Trace::new(
+///     UserId::new(1),
+///     vec![Fix::new(LatLng::new(45.0, 5.0)?, Timestamp::new(0))],
+/// )?;
+/// let dataset = Dataset::from_traces(vec![trace]);
+/// let cols = dataset.columns();
+/// assert_eq!(cols.len(), 1);
+/// assert_eq!(cols.lat()[0], 45.0);
+/// let frame = dataset.local_frame()?;
+/// let p = frame.project(LatLng::new(45.0, 5.0)?);
+/// assert_eq!((cols.x()[0], cols.y()[0]), (p.x, p.y));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetColumns {
+    lat: Vec<f64>,
+    lng: Vec<f64>,
+    time: Vec<i64>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Every fix projected into its *own trace's* frame (anchored at
+    /// the trace's first fix) — the projection stay-point detection
+    /// performs, hoisted here so it runs once per dataset.
+    planar: Vec<Point>,
+    /// CSR offsets: trace `i` owns fixes `offsets[i]..offsets[i + 1]`.
+    offsets: Vec<usize>,
+    users: Vec<UserId>,
+    frame: Option<LocalFrame>,
+}
+
+impl DatasetColumns {
+    /// Builds the columnar mirror of `dataset` (one pass; projection
+    /// included). Called by [`Dataset::columns`] — not usually directly.
+    pub fn build(dataset: &Dataset) -> Self {
+        let total = dataset.total_fixes();
+        let frame = dataset.local_frame().ok();
+        let mut cols = DatasetColumns {
+            lat: Vec::with_capacity(total),
+            lng: Vec::with_capacity(total),
+            time: Vec::with_capacity(total),
+            x: Vec::with_capacity(total),
+            y: Vec::with_capacity(total),
+            planar: Vec::with_capacity(total),
+            offsets: Vec::with_capacity(dataset.len() + 1),
+            users: Vec::with_capacity(dataset.len()),
+            frame,
+        };
+        cols.offsets.push(0);
+        for trace in dataset.traces() {
+            // The trace's own frame — the one stay-point detection
+            // anchors at the first fix.
+            let own = LocalFrame::new(trace.first().position);
+            for fix in trace.fixes() {
+                cols.lat.push(fix.position.lat());
+                cols.lng.push(fix.position.lng());
+                cols.time.push(fix.time.get());
+                cols.planar.push(own.project(fix.position));
+                if let Some(frame) = &cols.frame {
+                    let p = frame.project(fix.position);
+                    cols.x.push(p.x);
+                    cols.y.push(p.y);
+                }
+            }
+            cols.offsets.push(cols.lat.len());
+            cols.users.push(trace.user());
+        }
+        cols
+    }
+
+    /// Total number of fixes across all traces.
+    pub fn len(&self) -> usize {
+        self.lat.len()
+    }
+
+    /// Returns `true` when the dataset had no fixes.
+    pub fn is_empty(&self) -> bool {
+        self.lat.is_empty()
+    }
+
+    /// Number of traces.
+    pub fn trace_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Latitudes (degrees) of every fix, trace-major.
+    pub fn lat(&self) -> &[f64] {
+        &self.lat
+    }
+
+    /// Longitudes (degrees) of every fix, trace-major.
+    pub fn lng(&self) -> &[f64] {
+        &self.lng
+    }
+
+    /// Timestamps (Unix seconds) of every fix, trace-major.
+    pub fn time(&self) -> &[i64] {
+        &self.time
+    }
+
+    /// Planar x (meters east) of every fix in the canonical frame.
+    /// Empty for an empty dataset (no frame exists).
+    pub fn x(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Planar y (meters north) of every fix in the canonical frame.
+    /// Empty for an empty dataset (no frame exists).
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Every fix projected into its own trace's frame (anchored at the
+    /// trace's first fix), trace-major — bit-identical to what
+    /// stay-point detection computes per call, sliced per trace via
+    /// [`span`](DatasetColumns::span). Unlike `x`/`y` this column
+    /// always exists (every trace has a first fix).
+    pub fn trace_planar(&self) -> &[Point] {
+        &self.planar
+    }
+
+    /// The canonical frame the `x`/`y` columns were projected in —
+    /// identical to [`Dataset::local_frame`]. `None` for an empty
+    /// dataset.
+    pub fn frame(&self) -> Option<&LocalFrame> {
+        self.frame.as_ref()
+    }
+
+    /// The column range owned by trace `index`.
+    pub fn span(&self, index: usize) -> Range<usize> {
+        self.offsets[index]..self.offsets[index + 1]
+    }
+
+    /// The user owning trace `index`.
+    pub fn user(&self, index: usize) -> UserId {
+        self.users[index]
+    }
+
+    /// Per-trace user ids, in trace order.
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// Column slices of trace `index` — the per-trace view kernels scan.
+    pub fn trace(&self, index: usize) -> TraceColumns<'_> {
+        let span = self.span(index);
+        TraceColumns {
+            user: self.users[index],
+            lat: &self.lat[span.clone()],
+            lng: &self.lng[span.clone()],
+            time: &self.time[span.clone()],
+            x: if self.x.is_empty() {
+                &[]
+            } else {
+                &self.x[span.clone()]
+            },
+            y: if self.y.is_empty() {
+                &[]
+            } else {
+                &self.y[span]
+            },
+        }
+    }
+
+    /// Reconstructs the fix at column `i` (positions are exact — the
+    /// columns carry the original `f64` coordinates).
+    pub fn fix(&self, i: usize) -> Fix {
+        Fix::new(
+            mobipriv_geo::LatLng::new(self.lat[i], self.lng[i]).expect("columns hold valid fixes"),
+            Timestamp::new(self.time[i]),
+        )
+    }
+
+    /// The projected point at column `i` in the canonical frame.
+    /// Panics for an empty dataset (no projection exists).
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.x[i], self.y[i])
+    }
+}
+
+/// Borrowed column slices of one trace (see [`DatasetColumns::trace`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceColumns<'a> {
+    /// The trace's user id.
+    pub user: UserId,
+    /// Latitudes (degrees), time-ordered.
+    pub lat: &'a [f64],
+    /// Longitudes (degrees), time-ordered.
+    pub lng: &'a [f64],
+    /// Timestamps (Unix seconds), strictly increasing.
+    pub time: &'a [i64],
+    /// Planar x in the dataset's canonical frame (empty if no frame).
+    pub x: &'a [f64],
+    /// Planar y in the dataset's canonical frame (empty if no frame).
+    pub y: &'a [f64],
+}
+
+impl TraceColumns<'_> {
+    /// Number of fixes in the trace.
+    pub fn len(&self) -> usize {
+        self.lat.len()
+    }
+
+    /// Returns `true` for a zero-fix view (never produced by
+    /// [`DatasetColumns::trace`] — traces are non-empty by invariant).
+    pub fn is_empty(&self) -> bool {
+        self.lat.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+    use mobipriv_geo::LatLng;
+
+    fn dataset() -> Dataset {
+        let mk = |user: u64, n: i64| {
+            Trace::new(
+                UserId::new(user),
+                (0..n)
+                    .map(|i| {
+                        Fix::new(
+                            LatLng::new(45.0 + 1e-3 * i as f64, 5.0).unwrap(),
+                            Timestamp::new(i * 10),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        Dataset::from_traces(vec![mk(1, 3), mk(2, 5)])
+    }
+
+    #[test]
+    fn columns_mirror_the_dataset() {
+        let d = dataset();
+        let cols = d.columns();
+        assert_eq!(cols.len(), 8);
+        assert_eq!(cols.trace_count(), 2);
+        assert_eq!(cols.span(0), 0..3);
+        assert_eq!(cols.span(1), 3..8);
+        assert_eq!(cols.user(1), UserId::new(2));
+        let frame = d.local_frame().unwrap();
+        let mut i = 0;
+        for trace in d.traces() {
+            let own = LocalFrame::new(trace.first().position);
+            for fix in trace.fixes() {
+                assert_eq!(cols.trace_planar()[i], own.project(fix.position));
+                assert_eq!(cols.lat()[i], fix.position.lat());
+                assert_eq!(cols.lng()[i], fix.position.lng());
+                assert_eq!(cols.time()[i], fix.time.get());
+                let p = frame.project(fix.position);
+                // Bit-identity: the cached projection is *the* value
+                // every canonical-frame consumer would have computed.
+                assert_eq!(cols.x()[i], p.x);
+                assert_eq!(cols.y()[i], p.y);
+                assert_eq!(cols.fix(i), *fix);
+                i += 1;
+            }
+        }
+        assert_eq!(cols.frame().unwrap(), &frame);
+    }
+
+    #[test]
+    fn trace_view_slices_align() {
+        let d = dataset();
+        let cols = d.columns();
+        let view = cols.trace(1);
+        assert_eq!(view.user, UserId::new(2));
+        assert_eq!(view.len(), 5);
+        assert!(!view.is_empty());
+        assert_eq!(view.time, &[0, 10, 20, 30, 40]);
+        assert_eq!(view.x.len(), 5);
+    }
+
+    #[test]
+    fn cache_is_shared_and_invalidated() {
+        let mut d = dataset();
+        let first = d.columns() as *const DatasetColumns;
+        let again = d.columns() as *const DatasetColumns;
+        assert_eq!(first, again, "repeated access reuses the cache");
+        let clone = d.clone();
+        assert_eq!(clone.columns() as *const DatasetColumns, first);
+        let extra = d.traces()[0].clone();
+        d.push(extra);
+        let rebuilt = d.columns();
+        assert_eq!(rebuilt.trace_count(), 3, "push invalidates the cache");
+        let _ = d.traces_mut();
+        assert_eq!(d.columns().trace_count(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_has_no_frame() {
+        let d = Dataset::new();
+        let cols = d.columns();
+        assert!(cols.is_empty());
+        assert_eq!(cols.trace_count(), 0);
+        assert!(cols.frame().is_none());
+        assert!(cols.x().is_empty());
+    }
+}

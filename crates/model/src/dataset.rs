@@ -1,10 +1,9 @@
 use std::collections::BTreeMap;
-
-use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 
 use mobipriv_geo::{BoundingBox, GeoError, LocalFrame, Seconds};
 
-use crate::{Timestamp, Trace, UserId};
+use crate::{DatasetColumns, Timestamp, Trace, UserId};
 
 /// A collection of traces — the unit of publication.
 ///
@@ -25,25 +24,43 @@ use crate::{Timestamp, Trace, UserId};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Default)]
 pub struct Dataset {
     traces: Vec<Trace>,
+    /// Lazily built struct-of-arrays mirror (see [`DatasetColumns`]).
+    /// Shared by clones via `Arc`; reset by every mutation.
+    columns: OnceLock<Arc<DatasetColumns>>,
 }
 
 impl Dataset {
     /// Creates an empty dataset.
     pub fn new() -> Self {
-        Dataset { traces: Vec::new() }
+        Dataset::default()
     }
 
     /// Creates a dataset from traces.
     pub fn from_traces(traces: Vec<Trace>) -> Self {
-        Dataset { traces }
+        Dataset {
+            traces,
+            columns: OnceLock::new(),
+        }
     }
 
     /// Appends a trace.
     pub fn push(&mut self, trace: Trace) {
+        self.columns = OnceLock::new();
         self.traces.push(trace);
+    }
+
+    /// The columnar struct-of-arrays mirror of this dataset, built on
+    /// first access and cached (clones share the cache; mutation
+    /// through [`push`](Dataset::push), [`traces_mut`](Dataset::traces_mut)
+    /// or [`Extend`] resets it). This is where the per-dataset
+    /// projection into the canonical [`local_frame`](Dataset::local_frame)
+    /// happens exactly once.
+    pub fn columns(&self) -> &DatasetColumns {
+        self.columns
+            .get_or_init(|| Arc::new(DatasetColumns::build(self)))
     }
 
     /// The traces in insertion order.
@@ -52,8 +69,9 @@ impl Dataset {
     }
 
     /// Mutable access to the traces (invariants are per-trace and cannot
-    /// be violated through this slice).
+    /// be violated through this slice). Drops the cached columns.
     pub fn traces_mut(&mut self) -> &mut [Trace] {
+        self.columns = OnceLock::new();
         &mut self.traces
     }
 
@@ -155,17 +173,13 @@ impl Dataset {
     /// Applies `f` to every trace, producing a new dataset (the shape of
     /// every per-trace protection mechanism).
     pub fn map<F: FnMut(&Trace) -> Trace>(&self, f: F) -> Dataset {
-        Dataset {
-            traces: self.traces.iter().map(f).collect(),
-        }
+        Dataset::from_traces(self.traces.iter().map(f).collect())
     }
 
     /// Applies `f` to every trace, keeping only the `Some` results (the
     /// shape of mechanisms that may suppress whole traces).
     pub fn filter_map<F: FnMut(&Trace) -> Option<Trace>>(&self, f: F) -> Dataset {
-        Dataset {
-            traces: self.traces.iter().filter_map(f).collect(),
-        }
+        Dataset::from_traces(self.traces.iter().filter_map(f).collect())
     }
 
     /// Iterates over the traces.
@@ -174,16 +188,46 @@ impl Dataset {
     }
 }
 
+// The column cache is derived state: identity, equality, ordering and
+// debugging all see only the traces. Clones share the already-built
+// cache (it is immutable behind an `Arc`), and every mutating method
+// resets it.
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        Dataset {
+            traces: self.traces.clone(),
+            columns: self.columns.clone(),
+        }
+    }
+}
+
+impl PartialEq for Dataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.traces == other.traces
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("traces", &self.traces)
+            .finish()
+    }
+}
+
+impl serde::Serialize for Dataset {}
+impl<'de> serde::Deserialize<'de> for Dataset {}
+
 impl FromIterator<Trace> for Dataset {
     fn from_iter<I: IntoIterator<Item = Trace>>(iter: I) -> Self {
-        Dataset {
-            traces: iter.into_iter().collect(),
-        }
+        Dataset::from_traces(iter.into_iter().collect())
     }
 }
 
 impl Extend<Trace> for Dataset {
     fn extend<I: IntoIterator<Item = Trace>>(&mut self, iter: I) {
+        self.columns = OnceLock::new();
         self.traces.extend(iter);
     }
 }

@@ -17,10 +17,21 @@ pub enum ModelError {
     },
     /// A trace must contain at least one fix.
     EmptyTrace,
-    /// A CSV line could not be parsed.
+    /// A CSV or NDJSON line could not be parsed.
     Parse {
         /// 1-based line number.
         line: usize,
+        /// Byte offset of the start of the offending line within the
+        /// input stream (0-based).
+        offset: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A binary (`Bin`) payload could not be decoded.
+    BinParse {
+        /// Byte offset of the offending frame (or of the stream start
+        /// for a bad magic) within the input stream (0-based).
+        offset: usize,
         /// Description of what went wrong.
         message: String,
     },
@@ -39,8 +50,15 @@ impl fmt::Display for ModelError {
                 )
             }
             ModelError::EmptyTrace => write!(f, "a trace requires at least one fix"),
-            ModelError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
+            ModelError::Parse {
+                line,
+                offset,
+                message,
+            } => {
+                write!(f, "parse error at line {line} (byte {offset}): {message}")
+            }
+            ModelError::BinParse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
             }
             ModelError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -83,9 +101,16 @@ mod tests {
             .contains("index 3"));
         let p = ModelError::Parse {
             line: 7,
+            offset: 120,
             message: "bad latitude".into(),
         };
         assert!(p.to_string().contains("line 7"));
+        assert!(p.to_string().contains("byte 120"));
+        let b = ModelError::BinParse {
+            offset: 46,
+            message: "invalid record length".into(),
+        };
+        assert!(b.to_string().contains("byte 46"));
     }
 
     #[test]

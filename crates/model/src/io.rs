@@ -14,6 +14,15 @@
 //! object per line (`{"user":1,"trace":0,"lat":45.764,"lng":4.8357,
 //! "time":1000}`).
 //!
+//! The binary format ([`WireFormat::Bin`]) carries the same five fields
+//! as length-prefixed little-endian records — a 4-byte magic (`MPB1`)
+//! followed by frames of a `u16` length prefix (always
+//! [`BIN_RECORD_BYTES`]) and a fixed 40-byte record
+//! (`user: u64, trace: u64, lat: f64, lng: f64, time: i64`). Unlike the
+//! text formats it is not line-oriented, carries full `f64` coordinate
+//! precision, and parses without any number formatting — see
+//! `DESIGN.md` §11 for the full frame grammar.
+//!
 //! `user` and `trace` are non-negative integers, `lat`/`lng` are degrees,
 //! `time` is Unix seconds. Rows may appear in any order: fixes are grouped
 //! by `(user, trace)` and each group is sorted by time
@@ -55,6 +64,17 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024;
 /// Read chunk size used by the whole-file readers.
 const DEFAULT_CHUNK: usize = 64 * 1024;
 
+/// Magic bytes opening every [`WireFormat::Bin`] stream.
+pub const BIN_MAGIC: [u8; 4] = *b"MPB1";
+
+/// Payload size of one binary record: `user: u64, trace: u64, lat: f64,
+/// lng: f64, time: i64`, all little-endian.
+pub const BIN_RECORD_BYTES: usize = 40;
+
+/// One binary frame: a `u16` little-endian length prefix (always
+/// [`BIN_RECORD_BYTES`]) plus the record payload.
+const BIN_FRAME_BYTES: usize = 2 + BIN_RECORD_BYTES;
+
 /// The wire encodings understood by [`DatasetStream`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum WireFormat {
@@ -63,15 +83,41 @@ pub enum WireFormat {
     Csv,
     /// One flat JSON object per line with the same five fields.
     NdJson,
+    /// Length-prefixed little-endian binary frames (magic `MPB1`); same
+    /// five fields, full `f64` coordinate precision.
+    Bin,
 }
 
 impl WireFormat {
-    /// A short lowercase name (`csv` / `ndjson`), used in diagnostics
-    /// and content negotiation.
+    /// A short lowercase name (`csv` / `ndjson` / `bin`), used in
+    /// diagnostics and content negotiation.
     pub fn name(self) -> &'static str {
         match self {
             WireFormat::Csv => "csv",
             WireFormat::NdJson => "ndjson",
+            WireFormat::Bin => "bin",
+        }
+    }
+}
+
+/// Where in the input stream a row came from, for error reporting.
+/// Text rows carry a line number and the line's starting byte offset;
+/// binary records carry the frame's byte offset.
+#[derive(Debug, Clone, Copy)]
+enum At {
+    Line { line: usize, offset: usize },
+    Byte { offset: usize },
+}
+
+impl At {
+    fn err(self, message: String) -> ModelError {
+        match self {
+            At::Line { line, offset } => ModelError::Parse {
+                line,
+                offset,
+                message,
+            },
+            At::Byte { offset } => ModelError::BinParse { offset, message },
         }
     }
 }
@@ -111,6 +157,11 @@ pub struct DatasetStream {
     format: WireFormat,
     carry: Vec<u8>,
     lineno: usize,
+    /// Byte offset of the first unconsumed unit (line or frame) — i.e.
+    /// where the bytes currently in `carry` started.
+    consumed: usize,
+    /// Binary mode: the 4-byte magic has been seen and verified.
+    magic_ok: bool,
     fixes: usize,
     groups: BTreeMap<(u64, u64), Vec<Fix>>,
 }
@@ -130,20 +181,33 @@ impl DatasetStream {
     }
 
     /// Number of complete lines consumed so far (including headers and
-    /// blanks).
+    /// blanks). Always 0 in binary mode, which is not line-oriented.
     pub fn lines_seen(&self) -> usize {
         self.lineno
     }
 
+    /// Byte offset of the first byte not yet consumed as a complete
+    /// line or frame — the offset error reports are anchored to.
+    pub fn bytes_consumed(&self) -> usize {
+        self.consumed
+    }
+
     /// Feeds the next chunk of the body. Chunk boundaries are arbitrary;
-    /// lines spanning chunks are reassembled internally.
+    /// lines (or binary frames) spanning chunks are reassembled
+    /// internally.
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::Parse`] (with the 1-based line number) on
-    /// the first malformed or out-of-range row, or when a single line
-    /// exceeds [`MAX_LINE_BYTES`].
+    /// Returns [`ModelError::Parse`] (with the 1-based line number and
+    /// the line's byte offset) on the first malformed or out-of-range
+    /// text row, or when a single line exceeds [`MAX_LINE_BYTES`];
+    /// returns [`ModelError::BinParse`] (with the frame's byte offset)
+    /// on a bad magic, an invalid length prefix or an out-of-range
+    /// binary record.
     pub fn push_chunk(&mut self, chunk: &[u8]) -> Result<(), ModelError> {
+        if self.format == WireFormat::Bin {
+            return self.push_bin(chunk);
+        }
         let mut rest = chunk;
         while let Some(pos) = rest.iter().position(|&b| b == b'\n') {
             let (head, tail) = rest.split_at(pos);
@@ -151,10 +215,12 @@ impl DatasetStream {
             self.check_line_budget(head.len())?;
             if self.carry.is_empty() {
                 self.consume_line(head)?;
+                self.consumed += head.len() + 1;
             } else {
                 self.carry.extend_from_slice(head);
                 let line = std::mem::take(&mut self.carry);
                 self.consume_line(&line)?;
+                self.consumed += line.len() + 1;
             }
         }
         if !rest.is_empty() {
@@ -171,11 +237,16 @@ impl DatasetStream {
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::Parse`] if the trailing line is malformed.
+    /// Returns [`ModelError::Parse`] if the trailing line is malformed,
+    /// or [`ModelError::BinParse`] if a binary stream ends mid-magic,
+    /// mid-prefix or mid-record.
     pub fn finish(mut self) -> Result<Dataset, ModelError> {
-        if !self.carry.is_empty() {
+        if self.format == WireFormat::Bin {
+            self.finish_bin()?;
+        } else if !self.carry.is_empty() {
             let line = std::mem::take(&mut self.carry);
             self.consume_line(&line)?;
+            self.consumed += line.len();
         }
         let mut dataset = Dataset::new();
         for ((user, _), fixes) in self.groups {
@@ -188,6 +259,7 @@ impl DatasetStream {
         if self.carry.len() + incoming > MAX_LINE_BYTES {
             return Err(ModelError::Parse {
                 line: self.lineno + 1,
+                offset: self.consumed,
                 message: format!("line exceeds {MAX_LINE_BYTES} bytes"),
             });
         }
@@ -196,30 +268,147 @@ impl DatasetStream {
 
     fn consume_line(&mut self, raw: &[u8]) -> Result<(), ModelError> {
         self.lineno += 1;
-        let lineno = self.lineno;
-        let line = std::str::from_utf8(raw).map_err(|_| ModelError::Parse {
-            line: lineno,
-            message: "line is not valid UTF-8".into(),
-        })?;
+        let at = At::Line {
+            line: self.lineno,
+            offset: self.consumed,
+        };
+        let line =
+            std::str::from_utf8(raw).map_err(|_| at.err("line is not valid UTF-8".into()))?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             return Ok(());
         }
         let row = match self.format {
             WireFormat::Csv => {
-                if lineno == 1 && trimmed.starts_with("user") {
+                if self.lineno == 1 && trimmed.starts_with("user") {
                     return Ok(()); // header
                 }
-                parse_csv_row(trimmed, lineno)?
+                parse_csv_row(trimmed, at)?
             }
-            WireFormat::NdJson => parse_ndjson_row(trimmed, lineno)?,
+            WireFormat::NdJson => parse_ndjson_row(trimmed, at)?,
+            WireFormat::Bin => unreachable!("binary chunks never reach the line parser"),
         };
+        self.push_row(row);
+        Ok(())
+    }
+
+    fn push_row(&mut self, row: Row) {
         self.fixes += 1;
         self.groups
             .entry((row.user, row.trace))
             .or_default()
             .push(row.fix);
+    }
+
+    /// Binary-mode chunk ingestion: verify the magic, then consume
+    /// whole frames directly from the chunk, holding at most one
+    /// partial frame in `carry` across chunk boundaries.
+    fn push_bin(&mut self, mut chunk: &[u8]) -> Result<(), ModelError> {
+        if !self.magic_ok {
+            let need = BIN_MAGIC.len() - self.carry.len();
+            let take = need.min(chunk.len());
+            self.carry.extend_from_slice(&chunk[..take]);
+            chunk = &chunk[take..];
+            if self.carry.len() < BIN_MAGIC.len() {
+                return Ok(());
+            }
+            if self.carry != BIN_MAGIC {
+                return Err(ModelError::BinParse {
+                    offset: 0,
+                    message: format!(
+                        "bad magic {:?}, expected {BIN_MAGIC:?} (`MPB1`)",
+                        self.carry
+                    ),
+                });
+            }
+            self.carry.clear();
+            self.magic_ok = true;
+            self.consumed = BIN_MAGIC.len();
+        }
+        while !chunk.is_empty() {
+            if self.carry.is_empty() && chunk.len() >= BIN_FRAME_BYTES {
+                // Fast path: a whole frame available without copying.
+                let (frame, rest) = chunk.split_at(BIN_FRAME_BYTES);
+                chunk = rest;
+                self.consume_frame(frame)?;
+            } else {
+                let need = BIN_FRAME_BYTES - self.carry.len();
+                let take = need.min(chunk.len());
+                self.carry.extend_from_slice(&chunk[..take]);
+                chunk = &chunk[take..];
+                if self.carry.len() >= 2 {
+                    // Validate the prefix as soon as it is complete so a
+                    // bad length is reported at its own offset even if
+                    // the stream is later truncated.
+                    self.check_frame_len(u16::from_le_bytes([self.carry[0], self.carry[1]]))?;
+                }
+                if self.carry.len() == BIN_FRAME_BYTES {
+                    let frame = std::mem::take(&mut self.carry);
+                    self.consume_frame(&frame)?;
+                }
+            }
+        }
         Ok(())
+    }
+
+    fn check_frame_len(&self, len: u16) -> Result<(), ModelError> {
+        if usize::from(len) != BIN_RECORD_BYTES {
+            return Err(ModelError::BinParse {
+                offset: self.consumed,
+                message: format!("invalid record length {len} (expected {BIN_RECORD_BYTES})"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Decodes one complete `prefix + record` frame starting at
+    /// `self.consumed`.
+    fn consume_frame(&mut self, frame: &[u8]) -> Result<(), ModelError> {
+        debug_assert_eq!(frame.len(), BIN_FRAME_BYTES);
+        self.check_frame_len(u16::from_le_bytes([frame[0], frame[1]]))?;
+        let f = |r: std::ops::Range<usize>| frame[r].try_into().expect("8-byte field");
+        let user = u64::from_le_bytes(f(2..10));
+        let trace = u64::from_le_bytes(f(10..18));
+        let lat = f64::from_le_bytes(f(18..26));
+        let lng = f64::from_le_bytes(f(26..34));
+        let time = i64::from_le_bytes(f(34..42));
+        let at = At::Byte {
+            offset: self.consumed,
+        };
+        let row = build_row(user, trace, lat, lng, time, at)?;
+        self.push_row(row);
+        self.consumed += BIN_FRAME_BYTES;
+        Ok(())
+    }
+
+    /// End-of-stream checks for binary mode: an empty stream is an
+    /// empty dataset, but a stream that stops mid-magic, mid-prefix or
+    /// mid-record is truncated.
+    fn finish_bin(&mut self) -> Result<(), ModelError> {
+        if !self.magic_ok {
+            if self.carry.is_empty() {
+                return Ok(()); // zero bytes: empty dataset
+            }
+            return Err(ModelError::BinParse {
+                offset: 0,
+                message: format!(
+                    "truncated stream: {} of {} magic bytes",
+                    self.carry.len(),
+                    BIN_MAGIC.len()
+                ),
+            });
+        }
+        match self.carry.len() {
+            0 => Ok(()),
+            1 => Err(ModelError::BinParse {
+                offset: self.consumed,
+                message: "truncated length prefix (1 of 2 bytes)".into(),
+            }),
+            n => Err(ModelError::BinParse {
+                offset: self.consumed,
+                message: format!("truncated record ({} of {BIN_RECORD_BYTES} bytes)", n - 2),
+            }),
+        }
     }
 }
 
@@ -270,6 +459,42 @@ pub fn write_ndjson<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), ModelEr
     Ok(())
 }
 
+/// Writes `dataset` as length-prefixed binary frames (see the module
+/// docs for the layout). Coordinates keep their full `f64` precision —
+/// unlike the text writers there is no 7-decimal quantization, so
+/// `read_bin ∘ write_bin` is lossless.
+///
+/// # Errors
+///
+/// Returns [`ModelError::Io`] when the underlying writer fails.
+pub fn write_bin<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), ModelError> {
+    w.write_all(&BIN_MAGIC)?;
+    let prefix = (BIN_RECORD_BYTES as u16).to_le_bytes();
+    let mut frame = [0u8; BIN_FRAME_BYTES];
+    frame[0..2].copy_from_slice(&prefix);
+    for (trace_idx, trace) in dataset.traces().iter().enumerate() {
+        for fix in trace.fixes() {
+            frame[2..10].copy_from_slice(&trace.user().get().to_le_bytes());
+            frame[10..18].copy_from_slice(&(trace_idx as u64).to_le_bytes());
+            frame[18..26].copy_from_slice(&fix.position.lat().to_le_bytes());
+            frame[26..34].copy_from_slice(&fix.position.lng().to_le_bytes());
+            frame[34..42].copy_from_slice(&fix.time.get().to_le_bytes());
+            w.write_all(&frame)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a dataset from the binary wire format (see the module docs).
+///
+/// # Errors
+///
+/// Returns [`ModelError::BinParse`] with a byte offset on malformed
+/// input and [`ModelError::Io`] on reader failure.
+pub fn read_bin<R: Read>(r: R) -> Result<Dataset, ModelError> {
+    read_with(r, WireFormat::Bin, DEFAULT_CHUNK)
+}
+
 /// Reads a dataset from CSV (see the module docs for the format). A
 /// `&mut` reference works as the reader.
 ///
@@ -316,49 +541,39 @@ fn read_with<R: Read>(mut r: R, format: WireFormat, chunk: usize) -> Result<Data
     stream.finish()
 }
 
-fn parse_csv_row(trimmed: &str, lineno: usize) -> Result<Row, ModelError> {
+fn parse_csv_row(trimmed: &str, at: At) -> Result<Row, ModelError> {
     let mut parts = trimmed.split(',');
-    let user = parse_field::<u64>(parts.next(), "user", lineno)?;
-    let trace = parse_field::<u64>(parts.next(), "trace", lineno)?;
-    let lat = parse_field::<f64>(parts.next(), "lat", lineno)?;
-    let lng = parse_field::<f64>(parts.next(), "lng", lineno)?;
-    let time = parse_field::<i64>(parts.next(), "time", lineno)?;
+    let user = parse_field::<u64>(parts.next(), "user", at)?;
+    let trace = parse_field::<u64>(parts.next(), "trace", at)?;
+    let lat = parse_field::<f64>(parts.next(), "lat", at)?;
+    let lng = parse_field::<f64>(parts.next(), "lng", at)?;
+    let time = parse_field::<i64>(parts.next(), "time", at)?;
     if parts.next().is_some() {
-        return Err(ModelError::Parse {
-            line: lineno,
-            message: "too many fields (expected 5)".into(),
-        });
+        return Err(at.err("too many fields (expected 5)".into()));
     }
-    build_row(user, trace, lat, lng, time, lineno)
+    build_row(user, trace, lat, lng, time, at)
 }
 
 /// Validates coordinates and assembles the row. Ranges are checked here
 /// — before [`LatLng::new`] — so the error names the field, the value
 /// and the accepted range, with [`LatLng::new`] kept as a backstop.
+/// Shared by all three wire formats; `at` carries the text or binary
+/// position the error is anchored to.
 fn build_row(
     user: u64,
     trace: u64,
     lat: f64,
     lng: f64,
     time: i64,
-    lineno: usize,
+    at: At,
 ) -> Result<Row, ModelError> {
     if !lat.is_finite() || !(-90.0..=90.0).contains(&lat) {
-        return Err(ModelError::Parse {
-            line: lineno,
-            message: format!("latitude {lat} outside [-90, 90]"),
-        });
+        return Err(at.err(format!("latitude {lat} outside [-90, 90]")));
     }
     if !lng.is_finite() || !(-180.0..=180.0).contains(&lng) {
-        return Err(ModelError::Parse {
-            line: lineno,
-            message: format!("longitude {lng} outside [-180, 180]"),
-        });
+        return Err(at.err(format!("longitude {lng} outside [-180, 180]")));
     }
-    let position = LatLng::new(lat, lng).map_err(|e| ModelError::Parse {
-        line: lineno,
-        message: e.to_string(),
-    })?;
+    let position = LatLng::new(lat, lng).map_err(|e| at.err(e.to_string()))?;
     Ok(Row {
         user,
         trace,
@@ -369,27 +584,20 @@ fn build_row(
 fn parse_field<T: std::str::FromStr>(
     field: Option<&str>,
     name: &str,
-    line: usize,
+    at: At,
 ) -> Result<T, ModelError> {
-    let raw = field.ok_or_else(|| ModelError::Parse {
-        line,
-        message: format!("missing field `{name}`"),
-    })?;
-    raw.trim().parse::<T>().map_err(|_| ModelError::Parse {
-        line,
-        message: format!("invalid value `{raw}` for field `{name}`"),
-    })
+    let raw = field.ok_or_else(|| at.err(format!("missing field `{name}`")))?;
+    raw.trim()
+        .parse::<T>()
+        .map_err(|_| at.err(format!("invalid value `{raw}` for field `{name}`")))
 }
 
 /// Parses one flat NDJSON object. Only the exact five known keys with
 /// numeric values are accepted — nested values, strings, duplicates and
 /// unknown keys are rejected (the parser fronts an untrusted network
 /// surface, so it is strict by design).
-fn parse_ndjson_row(trimmed: &str, lineno: usize) -> Result<Row, ModelError> {
-    let bad = |message: String| ModelError::Parse {
-        line: lineno,
-        message,
-    };
+fn parse_ndjson_row(trimmed: &str, at: At) -> Result<Row, ModelError> {
+    let bad = |message: String| at.err(message);
     let inner = trimmed
         .strip_prefix('{')
         .and_then(|s| s.strip_suffix('}'))
@@ -425,12 +633,12 @@ fn parse_ndjson_row(trimmed: &str, lineno: usize) -> Result<Row, ModelError> {
             return Err(bad(format!("duplicate field `{key}`")));
         }
     }
-    let user = parse_field::<u64>(user, "user", lineno)?;
-    let trace = parse_field::<u64>(trace, "trace", lineno)?;
-    let lat = parse_field::<f64>(lat, "lat", lineno)?;
-    let lng = parse_field::<f64>(lng, "lng", lineno)?;
-    let time = parse_field::<i64>(time, "time", lineno)?;
-    build_row(user, trace, lat, lng, time, lineno)
+    let user = parse_field::<u64>(user, "user", at)?;
+    let trace = parse_field::<u64>(trace, "trace", at)?;
+    let lat = parse_field::<f64>(lat, "lat", at)?;
+    let lng = parse_field::<f64>(lng, "lng", at)?;
+    let time = parse_field::<i64>(time, "time", at)?;
+    build_row(user, trace, lat, lng, time, at)
 }
 
 #[cfg(test)]
@@ -656,5 +864,107 @@ user,trace,lat,lng,time
         assert!(d.is_empty());
         let d = DatasetStream::new(WireFormat::NdJson).finish().unwrap();
         assert!(d.is_empty());
+        let d = read_bin("".as_bytes()).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn bin_round_trip_is_lossless() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_bin(&d, &mut buf).unwrap();
+        assert_eq!(buf.len(), 4 + d.total_fixes() * BIN_FRAME_BYTES);
+        let back = read_bin(buf.as_slice()).unwrap();
+        // Full f64 precision: the parsed dataset is *equal*, not just
+        // within quantization distance.
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn bin_chunked_agrees_with_whole_file_for_every_chunk_size() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_bin(&d, &mut buf).unwrap();
+        for chunk in [1, 2, 3, 5, 41, 42, 43, buf.len()] {
+            let mut s = DatasetStream::new(WireFormat::Bin);
+            for piece in buf.chunks(chunk) {
+                s.push_chunk(piece).unwrap();
+            }
+            assert_eq!(s.finish().unwrap(), d, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn bin_rejects_bad_magic_at_offset_zero() {
+        let err = read_bin(&b"NOPE"[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad magic"), "{msg}");
+        assert!(msg.contains("byte 0"), "{msg}");
+    }
+
+    #[test]
+    fn bin_rejects_truncations_with_offsets() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_bin(&d, &mut buf).unwrap();
+        // Mid-magic.
+        let err = read_bin(&buf[..2]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        // Mid-prefix: one byte into the second frame.
+        let cut = 4 + BIN_FRAME_BYTES + 1;
+        let err = read_bin(&buf[..cut]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated length prefix"), "{msg}");
+        assert!(
+            msg.contains(&format!("byte {}", 4 + BIN_FRAME_BYTES)),
+            "{msg}"
+        );
+        // Mid-record.
+        let err = read_bin(&buf[..cut + 10]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated record"), "{msg}");
+        assert!(
+            msg.contains(&format!("byte {}", 4 + BIN_FRAME_BYTES)),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn bin_rejects_wrong_record_length_at_frame_offset() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        write_bin(&d, &mut buf).unwrap();
+        // Corrupt the second frame's prefix to claim an overlong record.
+        let at = 4 + BIN_FRAME_BYTES;
+        buf[at..at + 2].copy_from_slice(&999u16.to_le_bytes());
+        let err = read_bin(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("invalid record length 999"), "{msg}");
+        assert!(msg.contains(&format!("byte {at}")), "{msg}");
+    }
+
+    #[test]
+    fn bin_validates_coordinates_like_the_text_formats() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&BIN_MAGIC);
+        buf.extend_from_slice(&(BIN_RECORD_BYTES as u16).to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&95.0f64.to_le_bytes());
+        buf.extend_from_slice(&5.0f64.to_le_bytes());
+        buf.extend_from_slice(&100i64.to_le_bytes());
+        let err = read_bin(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("latitude 95 outside [-90, 90]"), "{msg}");
+        assert!(msg.contains("byte 4"), "{msg}");
+    }
+
+    #[test]
+    fn text_errors_carry_line_start_byte_offsets() {
+        let csv = "user,trace,lat,lng,time\n1,0,45.0,5.0,99\n1,0,95.0,5.0,100\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+        assert!(msg.contains("byte 40"), "{msg}");
     }
 }

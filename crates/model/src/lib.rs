@@ -32,6 +32,7 @@
 #![deny(missing_docs)]
 #![deny(rust_2018_idioms)]
 
+mod columns;
 mod dataset;
 pub mod digest;
 mod error;
@@ -41,12 +42,13 @@ mod timestamp;
 mod trace;
 mod user;
 
+pub use columns::{DatasetColumns, TraceColumns};
 pub use dataset::Dataset;
 pub use error::ModelError;
 pub use fix::Fix;
 pub use io::{
-    read_csv, read_csv_chunked, read_ndjson, write_csv, write_ndjson, DatasetStream, WireFormat,
-    MAX_LINE_BYTES,
+    read_bin, read_csv, read_csv_chunked, read_ndjson, write_bin, write_csv, write_ndjson,
+    DatasetStream, WireFormat, BIN_MAGIC, BIN_RECORD_BYTES, MAX_LINE_BYTES,
 };
 pub use timestamp::Timestamp;
 pub use trace::{Trace, TraceBuilder};

@@ -347,6 +347,15 @@ impl TraceBuilder {
         }
     }
 
+    /// Starts an empty builder for `user` with room for `capacity`
+    /// fixes, for callers that know the output size up front.
+    pub fn with_capacity(user: UserId, capacity: usize) -> Self {
+        TraceBuilder {
+            user,
+            fixes: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Appends a fix.
     ///
     /// # Errors

@@ -1,0 +1,185 @@
+//! Property tests for the wire formats: canonicalization fixed points,
+//! cross-format agreement, chunk-boundary independence, and precise
+//! error offsets on malformed binary streams.
+
+use mobipriv_model::{
+    read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, DatasetStream,
+    Fix, ModelError, Timestamp, Trace, UserId, WireFormat, BIN_MAGIC, BIN_RECORD_BYTES,
+};
+
+use mobipriv_geo::LatLng;
+use proptest::prelude::*;
+
+const FRAME: usize = 2 + BIN_RECORD_BYTES;
+const HEADER: usize = BIN_MAGIC.len();
+
+/// Coordinates on the 7-decimal grid the text writers quantize to, so
+/// CSV, NDJSON and Bin all carry the exact same values and the
+/// three-format agreement property is exact rather than approximate.
+fn arb_fix() -> impl Strategy<Value = Fix> {
+    (
+        -80_0000000i64..80_0000000,
+        -179_0000000i64..179_0000000,
+        0i64..1_000_000,
+    )
+        .prop_map(|(lat_e7, lng_e7, t)| {
+            let pos = LatLng::new(lat_e7 as f64 / 1e7, lng_e7 as f64 / 1e7).expect("in range");
+            Fix::new(pos, Timestamp::new(t))
+        })
+}
+
+/// Datasets with `traces` traces of 1-19 fixes each (traces get
+/// time-sorted and deduplicated by `Trace::from_unsorted`, exactly like
+/// ingestion does).
+fn arb_dataset(traces: std::ops::Range<usize>) -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(
+        (0u64..6, proptest::collection::vec(arb_fix(), 1..20)),
+        traces,
+    )
+    .prop_map(|traces| {
+        let mut d = Dataset::new();
+        for (user, fixes) in traces {
+            d.push(Trace::from_unsorted(UserId::new(user), fixes).expect("non-empty"));
+        }
+        d
+    })
+}
+
+fn to_bytes<F: Fn(&Dataset, &mut Vec<u8>) -> Result<(), ModelError>>(
+    d: &Dataset,
+    write: F,
+) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write(d, &mut buf).expect("Vec<u8> writer cannot fail");
+    buf
+}
+
+/// Feeds `bytes` through a [`DatasetStream`] split at the given cut
+/// points (arbitrary, possibly mid-line / mid-frame / empty chunks).
+fn feed_split(format: WireFormat, bytes: &[u8], cuts: &[usize]) -> Result<Dataset, ModelError> {
+    let mut at: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    at.push(0);
+    at.push(bytes.len());
+    at.sort_unstable();
+    let mut stream = DatasetStream::new(format);
+    for pair in at.windows(2) {
+        stream.push_chunk(&bytes[pair[0]..pair[1]])?;
+    }
+    stream.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `write_bin ∘ read_bin` reaches a byte fixed point after one
+    /// canonicalization pass: the first round trip may reorder traces
+    /// into canonical `(user, trace)` order, after which the bytes are
+    /// stable forever. No fixes are gained or lost on the way.
+    #[test]
+    fn bin_round_trip_is_a_byte_fixed_point(d in arb_dataset(0..8)) {
+        let bytes1 = to_bytes(&d, |d, w| write_bin(d, w));
+        let d2 = read_bin(&bytes1[..]).expect("own output parses");
+        prop_assert_eq!(d2.total_fixes(), d.total_fixes());
+        let bytes2 = to_bytes(&d2, |d, w| write_bin(d, w));
+        let d3 = read_bin(&bytes2[..]).expect("own output parses");
+        let bytes3 = to_bytes(&d3, |d, w| write_bin(d, w));
+        prop_assert_eq!(&bytes2, &bytes3, "not a fixed point after one canonicalization");
+        prop_assert_eq!(d2, d3);
+    }
+
+    /// The same dataset serialized as CSV, NDJSON and Bin parses back to
+    /// the same `Dataset` (coordinates restricted to the 7-decimal grid
+    /// shared by all three encodings).
+    #[test]
+    fn formats_agree_on_grid_coordinates(d in arb_dataset(0..8)) {
+        let from_csv = read_csv(&to_bytes(&d, |d, w| write_csv(d, w))[..]).expect("csv parses");
+        let from_nd =
+            read_ndjson(&to_bytes(&d, |d, w| write_ndjson(d, w))[..]).expect("ndjson parses");
+        let from_bin = read_bin(&to_bytes(&d, |d, w| write_bin(d, w))[..]).expect("bin parses");
+        prop_assert_eq!(&from_csv, &from_nd);
+        prop_assert_eq!(&from_csv, &from_bin);
+        prop_assert_eq!(from_csv.total_fixes(), d.total_fixes());
+    }
+
+    /// `DatasetStream` output is independent of how the body is split
+    /// into chunks, for every wire format — mid-line, mid-magic and
+    /// mid-frame boundaries included.
+    #[test]
+    fn chunk_splits_never_change_the_result(
+        d in arb_dataset(0..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        for format in [WireFormat::Csv, WireFormat::NdJson, WireFormat::Bin] {
+            let bytes = match format {
+                WireFormat::Csv => to_bytes(&d, |d, w| write_csv(d, w)),
+                WireFormat::NdJson => to_bytes(&d, |d, w| write_ndjson(d, w)),
+                WireFormat::Bin => to_bytes(&d, |d, w| write_bin(d, w)),
+            };
+            let whole = feed_split(format, &bytes, &[]).expect("unsplit body parses");
+            let split = feed_split(format, &bytes, &cuts).expect("split body parses");
+            prop_assert_eq!(&split, &whole, "format {} split-dependent", format.name());
+        }
+    }
+
+    /// A corrupted magic is rejected at byte offset 0 no matter where
+    /// the corruption sits inside the 4-byte magic.
+    #[test]
+    fn bad_magic_is_rejected_at_offset_zero(
+        d in arb_dataset(0..8),
+        which in 0usize..HEADER,
+        flip in 1u16..256,
+    ) {
+        let mut bytes = to_bytes(&d, |d, w| write_bin(d, w));
+        bytes[which] ^= flip as u8;
+        match read_bin(&bytes[..]) {
+            Err(ModelError::BinParse { offset, .. }) => prop_assert_eq!(offset, 0),
+            other => prop_assert!(false, "expected BinParse at 0, got {other:?}"),
+        }
+    }
+
+    /// A wrong length prefix in frame `k` is rejected at exactly that
+    /// frame's byte offset.
+    #[test]
+    fn bad_length_prefix_is_rejected_at_its_frame_offset(
+        d in arb_dataset(1..8),
+        frame in any::<usize>(),
+        len in 0u16..u16::MAX,
+    ) {
+        let len = if usize::from(len) == BIN_RECORD_BYTES { len + 1 } else { len };
+        let mut bytes = to_bytes(&d, |d, w| write_bin(d, w));
+        let at = HEADER + (frame % d.total_fixes()) * FRAME;
+        bytes[at..at + 2].copy_from_slice(&len.to_le_bytes());
+        match read_bin(&bytes[..]) {
+            Err(ModelError::BinParse { offset, .. }) => prop_assert_eq!(offset, at),
+            other => prop_assert!(false, "expected BinParse at {at}, got {other:?}"),
+        }
+    }
+
+    /// Truncating a binary stream mid-magic, mid-prefix or mid-record is
+    /// rejected with the offset of the first incomplete unit; cutting on
+    /// a frame boundary just yields a shorter valid dataset.
+    #[test]
+    fn truncation_errors_point_at_the_incomplete_unit(
+        d in arb_dataset(1..8),
+        cut in any::<usize>(),
+    ) {
+        let bytes = to_bytes(&d, |d, w| write_bin(d, w));
+        let cut = 1 + cut % (bytes.len() - 1); // 1..len: strictly truncated
+        let result = read_bin(&bytes[..cut]);
+        if cut < HEADER {
+            match result {
+                Err(ModelError::BinParse { offset, .. }) => prop_assert_eq!(offset, 0),
+                other => prop_assert!(false, "expected BinParse at 0, got {other:?}"),
+            }
+        } else if (cut - HEADER).is_multiple_of(FRAME) {
+            let parsed = result.expect("frame-aligned cut is a valid shorter stream");
+            prop_assert_eq!(parsed.total_fixes(), (cut - HEADER) / FRAME);
+        } else {
+            let expect = HEADER + ((cut - HEADER) / FRAME) * FRAME;
+            match result {
+                Err(ModelError::BinParse { offset, .. }) => prop_assert_eq!(offset, expect),
+                other => prop_assert!(false, "expected BinParse at {expect}, got {other:?}"),
+            }
+        }
+    }
+}

@@ -5,7 +5,10 @@ use serde::{Deserialize, Serialize};
 use mobipriv_geo::{LatLng, Seconds};
 use mobipriv_model::{Dataset, Trace, UserId};
 
-use crate::{cluster_stay_points, detect_stay_points, ClusterConfig, StayPointConfig};
+use crate::{
+    cluster_stay_points, detect_stay_points, detect_stay_points_planar, ClusterConfig, StayPoint,
+    StayPointConfig,
+};
 
 /// An extracted point of interest.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -66,7 +69,37 @@ impl PoiExtractor {
     /// Extracts POIs per user over a whole dataset: stay points of every
     /// trace of a user are pooled, then clustered together, so recurring
     /// visits across days reinforce each other.
+    ///
+    /// Stay-point detection reads each trace's projection from the
+    /// dataset's cached [`trace_planar`] column (computed once per
+    /// dataset) through the pruned scan — pooling order per user is
+    /// dataset order, exactly the order the per-user grouping visited,
+    /// so the extracted POIs are bit-identical to
+    /// [`extract_dataset_aos`](PoiExtractor::extract_dataset_aos).
+    ///
+    /// [`trace_planar`]: mobipriv_model::DatasetColumns::trace_planar
     pub fn extract_dataset(&self, dataset: &Dataset) -> BTreeMap<UserId, Vec<Poi>> {
+        let cols = dataset.columns();
+        let planar = cols.trace_planar();
+        let mut stays: BTreeMap<UserId, Vec<StayPoint>> = BTreeMap::new();
+        for idx in 0..cols.trace_count() {
+            let trace = &dataset.traces()[idx];
+            let detected =
+                detect_stay_points_planar(trace, &planar[cols.span(idx)], &self.staypoints);
+            stays.entry(cols.user(idx)).or_default().extend(detected);
+        }
+        stays
+            .into_iter()
+            .map(|(user, s)| (user, cluster_stay_points(&s, &self.clusters)))
+            .collect()
+    }
+
+    /// The pre-columnar implementation of
+    /// [`extract_dataset`](PoiExtractor::extract_dataset): every trace
+    /// re-projected per call, radius comparisons unpruned. Kept public
+    /// for the SoA≡AoS equivalence tests and the `mobipriv-bench-perf`
+    /// `layout` before/after comparison.
+    pub fn extract_dataset_aos(&self, dataset: &Dataset) -> BTreeMap<UserId, Vec<Poi>> {
         let mut out = BTreeMap::new();
         for (user, traces) in dataset.by_user() {
             let mut stays = Vec::new();

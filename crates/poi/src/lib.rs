@@ -41,4 +41,4 @@ mod staypoint;
 pub use cluster::{cluster_stay_points, ClusterConfig};
 pub use extractor::{Poi, PoiExtractor};
 pub use matching::{match_pois, MatchReport};
-pub use staypoint::{detect_stay_points, StayPoint, StayPointConfig};
+pub use staypoint::{detect_stay_points, detect_stay_points_planar, StayPoint, StayPointConfig};

@@ -89,6 +89,76 @@ pub fn detect_stay_points(trace: &Trace, config: &StayPointConfig) -> Vec<StayPo
     out
 }
 
+/// [`detect_stay_points`] over a precomputed planar projection of the
+/// trace — `planar[k]` must equal the trace's own-frame projection of
+/// fix `k`, which is exactly what
+/// [`DatasetColumns::trace_planar`](mobipriv_model::DatasetColumns::trace_planar)
+/// caches — with the radius comparisons pruned through
+/// [`within_radius`].
+///
+/// Output is bit-identical to [`detect_stay_points`]: the projection is
+/// the same values read instead of recomputed, and the pruned
+/// comparison settles exactly the same way the exact one does.
+pub fn detect_stay_points_planar(
+    trace: &Trace,
+    planar: &[Point],
+    config: &StayPointConfig,
+) -> Vec<StayPoint> {
+    let fixes = trace.fixes();
+    let mut out = Vec::new();
+    if fixes.is_empty() {
+        return out;
+    }
+    debug_assert_eq!(planar.len(), fixes.len());
+    let frame = LocalFrame::new(fixes[0].position);
+    let radius = Meters::new(config.max_radius_m.max(0.0));
+    let mut i = 0;
+    while i < fixes.len() {
+        // Extend j while fix j stays within the radius of anchor i.
+        let mut j = i;
+        while j + 1 < fixes.len() && within_radius(planar[i], planar[j + 1], radius.get()) {
+            j += 1;
+        }
+        let dwell = fixes[j].time - fixes[i].time;
+        if j > i && dwell.get() >= config.min_dwell.get() {
+            let n = (j - i + 1) as f64;
+            let centroid_planar = planar[i..=j].iter().fold(Point::ORIGIN, |acc, p| acc + *p) / n;
+            out.push(StayPoint {
+                centroid: frame.unproject(centroid_planar),
+                arrival: fixes[i].time,
+                departure: fixes[j].time,
+                fix_count: j - i + 1,
+            });
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decides `a.distance(b) <= radius` without the `hypot` call whenever
+/// a cheap bound already settles it: an axis gap beyond the radius
+/// proves the distance exceeds it (`d ≥ max(|dx|, |dy|)`), a 1-norm
+/// within the radius proves it does not (`d ≤ |dx| + |dy|`). The
+/// `1e-12` relative + `1e-9` absolute slack keeps both shortcuts clear
+/// of the exact comparison's few-ulp rounding, so boundary pairs fall
+/// through to the very same `distance` call — the decision is
+/// bit-identical to the unpruned comparison.
+fn within_radius(a: Point, b: Point, radius: f64) -> bool {
+    let dx = (a.x - b.x).abs();
+    let dy = (a.y - b.y).abs();
+    let hi = radius * (1.0 + 1e-12) + 1e-9;
+    if dx > hi || dy > hi {
+        return false;
+    }
+    let lo = radius * (1.0 - 1e-12) - 1e-9;
+    if dx + dy <= lo {
+        return true;
+    }
+    a.distance(b).get() <= radius
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +285,40 @@ mod tests {
         let sps = detect_stay_points(&trace, &cfg);
         assert_eq!(sps.len(), 1);
         assert_eq!(sps[0].fix_count, 2);
+    }
+
+    #[test]
+    fn planar_variant_matches_exactly_including_boundary_hops() {
+        // Hops straddling the 100 m radius from several directions, so
+        // both cheap shortcuts of `within_radius` and the exact
+        // fall-through all fire.
+        let mut fixes = Vec::new();
+        for i in 0..40 {
+            let (dlat, dlng) = match i % 4 {
+                0 => (0.0, 0.0),
+                1 => (0.00089, 0.0),             // ~99 m north: inside
+                2 => (0.0, 0.00127),             // ~100 m east: boundary
+                _ => (0.0009 * i as f64, 0.001), // far: outside
+            };
+            fixes.push(fix(45.0 + dlat, 5.0 + dlng, i * 120));
+        }
+        let trace = Trace::new(UserId::new(1), fixes).unwrap();
+        for radius in [50.0, 100.0, 250.0] {
+            let cfg = StayPointConfig {
+                max_radius_m: radius,
+                min_dwell: Seconds::new(0.0),
+            };
+            let frame = LocalFrame::new(trace.first().position);
+            let planar: Vec<Point> = trace
+                .fixes()
+                .iter()
+                .map(|f| frame.project(f.position))
+                .collect();
+            assert_eq!(
+                detect_stay_points_planar(&trace, &planar, &cfg),
+                detect_stay_points(&trace, &cfg),
+                "radius {radius}"
+            );
+        }
     }
 }

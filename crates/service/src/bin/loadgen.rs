@@ -12,7 +12,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mobipriv_model::write_csv;
+use mobipriv_model::{
+    read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, WireFormat,
+};
 use mobipriv_service::client::{json_str_field, request};
 use mobipriv_synth::scenarios;
 
@@ -41,11 +43,16 @@ options:
   --mechanism NAME    mechanism to exercise (default promesse)
   --query EXTRA       extra query parameters, e.g. 'alpha=200&report=1'
   --seed N            workload + request seed (default 42)
+  --format FMT        wire format for bodies: csv|ndjson|bin (default
+                      csv). One-shot requests upload and download in
+                      this format; --jobs mode registers the dataset
+                      with it. Also prints the client-side parse and
+                      serialize throughput of the chosen format.
   --jobs              register-once/publish-many mode (see above)
   --distinct N        distinct job keys the --jobs mode cycles through
                       (default 4)
-  --dump-workload     print the workload CSV to stdout and exit (used
-                      by the CI smoke script)
+  --dump-workload     print the workload in the chosen --format to
+                      stdout and exit (used by the CI smoke script)
   -h, --help          print this help
 ";
 
@@ -58,6 +65,7 @@ struct Options {
     mechanism: String,
     query: String,
     seed: u64,
+    format: WireFormat,
     jobs: bool,
     distinct: usize,
     dump: bool,
@@ -74,6 +82,7 @@ impl Default for Options {
             mechanism: "promesse".to_owned(),
             query: String::new(),
             seed: 42,
+            format: WireFormat::Csv,
             jobs: false,
             distinct: 4,
             dump: false,
@@ -126,6 +135,14 @@ fn parse_args(args: &[String]) -> Options {
                 Ok(n) => opts.seed = n,
                 _ => fail("--seed expects an integer"),
             },
+            "--format" => {
+                opts.format = match value(i) {
+                    "csv" => WireFormat::Csv,
+                    "ndjson" => WireFormat::NdJson,
+                    "bin" => WireFormat::Bin,
+                    _ => fail("--format expects csv|ndjson|bin"),
+                }
+            }
             "--jobs" => {
                 opts.jobs = true;
                 consumed = 1;
@@ -289,8 +306,13 @@ fn main() {
     let opts = parse_args(&args);
 
     let workload = scenarios::serving_day(opts.users, opts.seed);
+    let serialize = |dataset: &Dataset, out: &mut Vec<u8>| match opts.format {
+        WireFormat::Csv => write_csv(dataset, out),
+        WireFormat::NdJson => write_ndjson(dataset, out),
+        WireFormat::Bin => write_bin(dataset, out),
+    };
     let mut body = Vec::new();
-    write_csv(&workload.dataset, &mut body).expect("serialize workload");
+    serialize(&workload.dataset, &mut body).expect("serialize workload");
     if opts.dump {
         std::io::stdout().write_all(&body).expect("write workload");
         return;
@@ -300,16 +322,43 @@ fn main() {
     drop(workload);
 
     println!(
-        "workload: {} users, {traces} traces, {fixes} fixes, {}-byte body (seed {})",
+        "workload: {} users, {traces} traces, {fixes} fixes, {}-byte {} body (seed {})",
         opts.users,
         body.len(),
+        opts.format.name(),
         opts.seed
     );
 
+    // Client-side wire-format throughput: how fast this machine parses
+    // and re-serializes the chosen format, independent of the server —
+    // the number to compare across --format runs.
+    {
+        let mfix = fixes as f64 / 1e6;
+        let t = Instant::now();
+        let reparsed = match opts.format {
+            WireFormat::Csv => read_csv(body.as_slice()),
+            WireFormat::NdJson => read_ndjson(body.as_slice()),
+            WireFormat::Bin => read_bin(body.as_slice()),
+        }
+        .expect("reparse workload");
+        let parse = mfix / t.elapsed().as_secs_f64().max(1e-9);
+        let t = Instant::now();
+        let mut rewritten = Vec::with_capacity(body.len());
+        serialize(&reparsed, &mut rewritten).expect("reserialize workload");
+        let write = mfix / t.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "format:   {} — parse {parse:.1} Mfix/s, serialize {write:.1} Mfix/s ({:.1} B/fix)",
+            opts.format.name(),
+            body.len() as f64 / fixes.max(1) as f64
+        );
+    }
+
     let digest = if opts.jobs {
-        // Register once; every job request references the digest.
+        // Register once (in the chosen wire format — the digest is
+        // format-independent); every job request references the digest.
+        let register_target = format!("/v1/datasets?format={}", opts.format.name());
         let registered_at = Instant::now();
-        let (status, response) = match request(&opts.addr, "POST", "/v1/datasets", &body) {
+        let (status, response) = match request(&opts.addr, "POST", &register_target, &body) {
             Ok(r) => r,
             Err(e) => fail(&format!("cannot reach {}: {e}", opts.addr)),
         };
@@ -333,14 +382,17 @@ fn main() {
     let make_target = {
         let (digest, mechanism, extra) =
             (digest.clone(), opts.mechanism.clone(), opts.query.clone());
-        let (seed, distinct) = (opts.seed, opts.distinct);
+        let (seed, distinct, format) = (opts.seed, opts.distinct, opts.format);
         move |i: usize| -> String {
             let mut target = match &digest {
                 Some(digest) => format!(
                     "/v1/jobs?dataset={digest}&mechanism={mechanism}&seed={}",
                     seed.wrapping_add((i % distinct) as u64)
                 ),
-                None => format!("/v1/anonymize?mechanism={mechanism}&seed={seed}"),
+                None => format!(
+                    "/v1/anonymize?mechanism={mechanism}&seed={seed}&format={}",
+                    format.name()
+                ),
             };
             if !extra.is_empty() {
                 target.push('&');
@@ -387,16 +439,20 @@ fn main() {
     // cold pass goes through the *one-shot* surface (full body upload +
     // parse + compute), i.e. what every request cost before the
     // registry existed; because the sync path and the job engine share
-    // one content-addressed cache, it also warms every job key, so the
-    // concurrent phase measures pure publish-many serving.
+    // one content-addressed cache, it also warms every job key (with
+    // --format csv/ndjson — jobs materialize CSV, so a `bin` cold pass
+    // lives in its own `wire=bin` keyspace and the first job per key
+    // computes cold), so the concurrent phase measures pure
+    // publish-many serving.
     let mut cold_tally = Tally::default();
     let concurrent_from = if opts.jobs {
         let cold = opts.distinct.min(opts.requests);
         for i in 0..cold {
             let mut target = format!(
-                "/v1/anonymize?mechanism={}&seed={}",
+                "/v1/anonymize?mechanism={}&seed={}&format={}",
                 opts.mechanism,
-                opts.seed.wrapping_add((i % opts.distinct) as u64)
+                opts.seed.wrapping_add((i % opts.distinct) as u64),
+                opts.format.name()
             );
             if !opts.query.is_empty() {
                 target.push('&');

@@ -10,7 +10,7 @@
 use mobipriv_core::{Engine, Mechanism};
 use mobipriv_eval::Json;
 use mobipriv_metrics::{coverage, spatial};
-use mobipriv_model::{write_csv, Dataset};
+use mobipriv_model::{write_bin, write_csv, Dataset, WireFormat};
 
 use crate::cache::CachedResult;
 use crate::ServiceError;
@@ -19,26 +19,37 @@ use crate::ServiceError;
 pub(crate) const REPORT_CELL_M: f64 = 250.0;
 
 /// Versioned canonical cache-key string. Every field that changes the
-/// response bytes is in here; nothing transport-level (framing, wire
-/// format, header order) is. The `v1|` prefix lets a future revision
-/// invalidate the whole keyspace at once.
+/// response bytes is in here; nothing transport-level (framing, header
+/// order) is. The *input* wire format is deliberately absent — CSV,
+/// NDJSON and Bin uploads of the same data share one digest and one
+/// entry — but the *output* format changes the response bytes, so Bin
+/// responses get a `|wire=bin` suffix (CSV, the historical default,
+/// stays unsuffixed to keep existing keys stable). The `v1|` prefix
+/// lets a future revision invalidate the whole keyspace at once.
 pub(crate) fn canonical_key(
     kind: &str,
     dataset_digest: &str,
     mechanism_canonical: &str,
     seed: u64,
     report: bool,
+    wire: WireFormat,
 ) -> String {
+    let suffix = match wire {
+        WireFormat::Bin => "|wire=bin",
+        _ => "",
+    };
     format!(
-        "v1|{kind}|{dataset_digest}|{mechanism_canonical}|seed={seed}|report={}",
+        "v1|{kind}|{dataset_digest}|{mechanism_canonical}|seed={seed}|report={}{suffix}",
         u8::from(report)
     )
 }
 
 /// Runs a mechanism over the dataset and materializes the cacheable
-/// response: anonymized canonical CSV plus the computation-describing
-/// headers. `progress` receives coarse stage fractions in `[0, 1]`
-/// (protect ≈ the work; serialization and metrics the remainder).
+/// response: the anonymized dataset in the requested wire format
+/// (canonical CSV, or the length-prefixed Bin frames for
+/// `wire = Bin`) plus the computation-describing headers. `progress`
+/// receives coarse stage fractions in `[0, 1]` (protect ≈ the work;
+/// serialization and metrics the remainder).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn anonymize_result(
     canonical: &str,
@@ -47,6 +58,7 @@ pub(crate) fn anonymize_result(
     mechanism_canonical: &str,
     seed: u64,
     report: bool,
+    wire: WireFormat,
     engine: &Engine,
     progress: &dyn Fn(f64),
 ) -> Result<CachedResult, ServiceError> {
@@ -54,8 +66,11 @@ pub(crate) fn anonymize_result(
     let output = engine.protect(mechanism, dataset, seed);
     progress(0.8);
     let mut body = Vec::new();
-    write_csv(&output, &mut body)
-        .map_err(|e| ServiceError::Internal(format!("serializing response: {e}")))?;
+    let (serialized, content_type) = match wire {
+        WireFormat::Bin => (write_bin(&output, &mut body), "application/octet-stream"),
+        _ => (write_csv(&output, &mut body), "text/csv"),
+    };
+    serialized.map_err(|e| ServiceError::Internal(format!("serializing response: {e}")))?;
     progress(0.9);
     let mut headers = vec![
         ("x-mobipriv-mechanism", mechanism_canonical.to_owned()),
@@ -91,7 +106,7 @@ pub(crate) fn anonymize_result(
     progress(1.0);
     Ok(CachedResult {
         canonical: canonical.to_owned(),
-        content_type: "text/csv",
+        content_type,
         headers,
         body,
     })
@@ -180,19 +195,35 @@ mod tests {
 
     #[test]
     fn canonical_keys_separate_every_axis() {
-        let base = canonical_key("anonymize", "d1", "promesse alpha=100", 42, false);
+        let m = "promesse alpha=100";
+        let base = canonical_key("anonymize", "d1", m, 42, false, WireFormat::Csv);
         for other in [
-            canonical_key("evaluate", "d1", "promesse alpha=100", 42, false),
-            canonical_key("anonymize", "d2", "promesse alpha=100", 42, false),
-            canonical_key("anonymize", "d1", "promesse alpha=200", 42, false),
-            canonical_key("anonymize", "d1", "promesse alpha=100", 43, false),
-            canonical_key("anonymize", "d1", "promesse alpha=100", 42, true),
+            canonical_key("evaluate", "d1", m, 42, false, WireFormat::Csv),
+            canonical_key("anonymize", "d2", m, 42, false, WireFormat::Csv),
+            canonical_key(
+                "anonymize",
+                "d1",
+                "promesse alpha=200",
+                42,
+                false,
+                WireFormat::Csv,
+            ),
+            canonical_key("anonymize", "d1", m, 43, false, WireFormat::Csv),
+            canonical_key("anonymize", "d1", m, 42, true, WireFormat::Csv),
+            canonical_key("anonymize", "d1", m, 42, false, WireFormat::Bin),
         ] {
             assert_ne!(base, other);
         }
         assert_eq!(
             base,
-            canonical_key("anonymize", "d1", "promesse alpha=100", 42, false)
+            canonical_key("anonymize", "d1", m, 42, false, WireFormat::Csv)
+        );
+        // Pre-Bin keys must be stable: the default wire leaves no trace.
+        assert!(!base.contains("wire="));
+        // NDJSON uploads answered in CSV share the CSV keyspace.
+        assert_eq!(
+            base,
+            canonical_key("anonymize", "d1", m, 42, false, WireFormat::NdJson)
         );
     }
 }

@@ -97,6 +97,7 @@ mod tests {
     fn model_parse_errors_are_bad_requests_with_line_numbers() {
         let parse = ModelError::Parse {
             line: 7,
+            offset: 118,
             message: "latitude 95 outside [-90, 90]".into(),
         };
         let e = ServiceError::from(parse);

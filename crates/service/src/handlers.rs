@@ -227,14 +227,16 @@ fn read_body_dataset(
 
 /// `POST /v1/anonymize?mechanism=…[&seed=…][&dataset=…][&format=…][&report=1]`
 ///
-/// The input is either the request body (CSV or NDJSON trace rows;
-/// fixed-length or chunked) or, with `dataset=<digest>`, a dataset
-/// previously registered via `POST /v1/datasets` (no body). Responses
-/// are a pure function of `(input content, canonical mechanism
-/// parameters, seed)` — which is exactly the result-cache key, so
-/// repeated and concurrent identical requests are served from one
-/// computation with byte-identical bodies (`x-mobipriv-cache` says
-/// which happened).
+/// The input is either the request body (CSV, NDJSON or binary `bin`
+/// trace rows; fixed-length or chunked) or, with `dataset=<digest>`, a
+/// dataset previously registered via `POST /v1/datasets` (no body).
+/// `format=bin` also switches the *response* to the compact binary
+/// frames (`application/octet-stream`); the text formats answer in
+/// canonical CSV as always. Responses are a pure function of `(input
+/// content, canonical mechanism parameters, seed, response format)` —
+/// which is exactly the result-cache key, so repeated and concurrent
+/// identical requests are served from one computation with
+/// byte-identical bodies (`x-mobipriv-cache` says which happened).
 fn anonymize(
     head: &RequestHead,
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
@@ -245,6 +247,12 @@ fn anonymize(
     let resolved = resolve_mechanism(params)?;
     let seed: u64 = params.parse_or("seed", 0)?;
     let report = wants_report(params);
+    // `format=bin` selects binary for both directions; the text formats
+    // all answer in canonical CSV (the historical contract).
+    let wire = match body_format(head)? {
+        WireFormat::Bin => WireFormat::Bin,
+        _ => WireFormat::Csv,
+    };
 
     let (dataset, digest, received): (Arc<Dataset>, String, u64) =
         if let Some(digest) = params.get("dataset") {
@@ -263,7 +271,14 @@ fn anonymize(
             (Arc::new(dataset), digest, received)
         };
 
-    let key = compute::canonical_key("anonymize", &digest, &resolved.canonical, seed, report);
+    let key = compute::canonical_key(
+        "anonymize",
+        &digest,
+        &resolved.canonical,
+        seed,
+        report,
+        wire,
+    );
     let (result, outcome) = state.results.get_or_compute(&key, || {
         compute::anonymize_result(
             &key,
@@ -272,6 +287,7 @@ fn anonymize(
             &resolved.canonical,
             seed,
             report,
+            wire,
             &state.engine,
             &|_| {},
         )
@@ -283,11 +299,13 @@ fn anonymize(
     Ok(response)
 }
 
-/// `POST /v1/datasets[?format=csv|ndjson]` — register-once ingestion.
+/// `POST /v1/datasets[?format=csv|ndjson|bin]` — register-once ingestion.
 ///
 /// Parses the body through the streaming reader, stores it under the
-/// digest of its canonical CSV form and reports the digest. Re-uploads
-/// of the same content are idempotent (`registered: "exists"`).
+/// digest of its canonical CSV form and reports the digest. The digest
+/// is format-independent: CSV, NDJSON and Bin uploads of the same data
+/// register the same entry. Re-uploads of the same content are
+/// idempotent (`registered: "exists"`).
 fn register_dataset(
     head: &RequestHead,
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
@@ -383,12 +401,15 @@ fn submit_job(head: &RequestHead, state: &AppState) -> Result<Response, ServiceE
     let resolved = resolve_mechanism(params)?; // validates before enqueueing
     let seed: u64 = params.parse_or("seed", 0)?;
     let report = kind == JobKind::Anonymize && wants_report(params);
+    // Jobs always materialize the canonical CSV body; a Bin rendering
+    // of the same result is a separate one-shot request.
     let canonical = compute::canonical_key(
         kind.name(),
         &entry.digest,
         &resolved.canonical,
         seed,
         report,
+        WireFormat::Csv,
     );
     let spec = JobSpec {
         kind,
@@ -592,13 +613,15 @@ fn body_format(head: &RequestHead) -> Result<WireFormat, ServiceError> {
         return match fmt {
             "csv" => Ok(WireFormat::Csv),
             "ndjson" => Ok(WireFormat::NdJson),
+            "bin" => Ok(WireFormat::Bin),
             other => Err(ServiceError::BadRequest(format!(
-                "invalid value `{other}` for parameter `format` (expected csv|ndjson)"
+                "invalid value `{other}` for parameter `format` (expected csv|ndjson|bin)"
             ))),
         };
     }
     match head.header("content-type") {
         Some(ct) if ct.contains("ndjson") || ct.contains("jsonl") => Ok(WireFormat::NdJson),
+        Some(ct) if ct.contains("octet-stream") => Ok(WireFormat::Bin),
         _ => Ok(WireFormat::Csv),
     }
 }

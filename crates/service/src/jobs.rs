@@ -374,6 +374,7 @@ pub(crate) fn run_job(job: &Arc<Job>, board: &JobBoard, cache: &ResultCache, eng
                 &resolved.canonical,
                 spec.seed,
                 spec.report,
+                mobipriv_model::WireFormat::Csv,
                 engine,
                 &progress,
             ),
@@ -440,7 +441,14 @@ mod tests {
             mechanism_canonical: "raw".into(),
             seed,
             report: false,
-            canonical: compute::canonical_key("anonymize", "abcdef0123456789", "raw", seed, false),
+            canonical: compute::canonical_key(
+                "anonymize",
+                "abcdef0123456789",
+                "raw",
+                seed,
+                false,
+                mobipriv_model::WireFormat::Csv,
+            ),
         }
     }
 

@@ -8,7 +8,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use mobipriv_core::{Engine, Mechanism};
-use mobipriv_model::{read_csv, write_csv, write_ndjson, Dataset};
+use mobipriv_model::{read_bin, read_csv, write_bin, write_csv, write_ndjson, Dataset};
 use mobipriv_service::registry::{build_mechanism, Params};
 use mobipriv_service::{Server, ServerConfig, ServerHandle};
 use mobipriv_synth::scenarios;
@@ -227,6 +227,53 @@ fn chunked_and_ndjson_bodies_match_fixed_length_csv() {
     let (status, _, from_ndjson) = exchange(addr, &request);
     assert_eq!(status, 200);
     assert_eq!(from_ndjson, fixed, "ndjson ingestion changed the release");
+    server.shutdown();
+}
+
+#[test]
+fn bin_wire_format_round_trips_end_to_end() {
+    let workload = scenarios::serving_day(5, 2);
+    let csv = csv_of(&workload.dataset);
+    // The Bin upload carries the *canonical parse* of the CSV, so both
+    // uploads describe byte-for-byte the same dataset.
+    let canonical = read_csv(csv.as_slice()).unwrap();
+    let mut bin = Vec::new();
+    write_bin(&canonical, &mut bin).unwrap();
+    let server = start(|_| {});
+    let addr = server.addr();
+
+    // Format-independent digests: the Bin re-upload is idempotent.
+    let (status, headers, _) = post(addr, "/v1/datasets", &csv);
+    assert_eq!(status, 200);
+    let digest = headers["x-mobipriv-digest"].clone();
+    let (status, headers, body) = post(addr, "/v1/datasets?format=bin", &bin);
+    assert_eq!(status, 200);
+    assert_eq!(headers["x-mobipriv-digest"], digest, "bin digest diverges");
+    let text = String::from_utf8(body).unwrap();
+    assert!(
+        text.contains("exists"),
+        "bin re-upload not idempotent: {text}"
+    );
+
+    // `format=bin` switches both directions; the release is the same —
+    // re-rendering the Bin response as canonical CSV reproduces the CSV
+    // response byte for byte.
+    let target = "/v1/anonymize?mechanism=promesse&alpha=100&seed=4";
+    let (status, _, from_csv) = post(addr, target, &csv);
+    assert_eq!(status, 200);
+    let (status, headers, from_bin) = post(addr, &format!("{target}&format=bin"), &bin);
+    assert_eq!(status, 200);
+    assert_eq!(headers["content-type"], "application/octet-stream");
+    assert_eq!(&from_bin[..4], b"MPB1");
+    let release = read_bin(from_bin.as_slice()).unwrap();
+    let mut recanonicalized = Vec::new();
+    write_csv(&release, &mut recanonicalized).unwrap();
+    assert_eq!(recanonicalized, from_csv, "bin release diverges from csv");
+
+    // Replaying the Bin request hits the bin-suffixed cache entry.
+    let (_, headers, again) = post(addr, &format!("{target}&format=bin"), &bin);
+    assert_eq!(again, from_bin);
+    assert_eq!(headers["x-mobipriv-cache"], "hit");
     server.shutdown();
 }
 

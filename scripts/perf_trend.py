@@ -15,7 +15,20 @@ committed-ratio gate would flake on faster runners. It gets an
 any machine that skips the upload + parse + compute on a warm hit
 clears it by an order of magnitude.
 
+The parse section is likewise gated on a machine-independent ratio:
+binary read throughput must stay at least `--bin-floor` (default 3x)
+times CSV read throughput — the wire format's reason to exist — rather
+than on absolute Mfix/s, which scales with the runner.
+
+The layout section (AoS vs SoA speedups) is gated exactly like paths
+(committed-ratio floor), plus a hard floor on the reident entry
+(`--reident-floor`, default 1.01): the column-oriented profile scan
+must keep beating the pre-columnar implementation, not slide back to
+the historical ~1.01x plateau. The same hard floor applies to the
+reident paths entry.
+
 usage: perf_trend.py BASELINE NEW [--floor=0.6] [--jobs-floor=10]
+                     [--bin-floor=3] [--reident-floor=1.01]
 
 Exit status: 0 = no regression, 1 = regression (or a baseline path
 missing from the regenerated file), 2 = usage/parse error.
@@ -38,11 +51,17 @@ def main(argv):
     args = [a for a in argv if not a.startswith("--")]
     floor = 0.6
     jobs_floor = 10.0
+    bin_floor = 3.0
+    reident_floor = 1.01
     for a in argv:
         if a.startswith("--floor="):
             floor = float(a.split("=", 1)[1])
         if a.startswith("--jobs-floor="):
             jobs_floor = float(a.split("=", 1)[1])
+        if a.startswith("--bin-floor="):
+            bin_floor = float(a.split("=", 1)[1])
+        if a.startswith("--reident-floor="):
+            reident_floor = float(a.split("=", 1)[1])
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -70,6 +89,52 @@ def main(argv):
         print(f"{name:>16} {committed:>10.2f}x {got:>10.2f}x {ratio:>6.2f}  {verdict}")
     for name in sorted(set(new) - set(base)):
         print(f"{name:>16} {'(new)':>10} {new[name]:>10.2f}x      -  ok (no baseline)")
+
+    # layout: AoS-vs-SoA speedups, gated like paths, with the hard
+    # reident floor on top (see module docstring).
+    def layouts(doc):
+        return {p["name"]: p["speedup"] for p in doc.get("layout", [])}
+
+    base_layout, new_layout = layouts(baseline), layouts(fresh)
+    for name, committed in sorted(base_layout.items()):
+        got = new_layout.get(name)
+        if got is None:
+            print(f"{name:>16} {committed:>10.2f} {'MISSING':>11}      -  FAIL (layout)")
+            failed = True
+            continue
+        ratio = got / committed
+        verdict = "ok" if ratio >= floor else "FAIL"
+        failed = failed or ratio < floor
+        print(f"{name:>16} {committed:>10.2f}x {got:>10.2f}x {ratio:>6.2f}  {verdict} (layout)")
+    for name in sorted(set(new_layout) - set(base_layout)):
+        print(f"{name:>16} {'(new)':>10} {new_layout[name]:>10.2f}x      -  ok (layout, no baseline)")
+    for label, got in (("paths", new.get("reident")), ("layout", new_layout.get("reident"))):
+        if got is not None:
+            verdict = "ok" if got > reident_floor else "FAIL"
+            failed = failed or got <= reident_floor
+            print(
+                f"{'reident':>16} {'(abs)':>10} {got:>10.2f}x      -  "
+                f"{verdict} ({label} > {reident_floor:.2f}x plateau)"
+            )
+
+    # parse: gate the bin-vs-csv read-throughput ratio, not absolute
+    # Mfix/s (see module docstring).
+    parse = {p["name"]: p for p in fresh.get("parse", [])}
+    base_parse = {p["name"]: p for p in baseline.get("parse", [])}
+    for name in sorted(set(base_parse) - set(parse)):
+        print(f"{name:>16} {'-':>10} {'MISSING':>11}      -  FAIL (parse)")
+        failed = True
+    if "bin" in parse and "csv" in parse:
+        got = parse["bin"]["read_mfix_s"] / parse["csv"]["read_mfix_s"]
+        verdict = "ok" if got >= bin_floor else "FAIL"
+        failed = failed or got < bin_floor
+        print(
+            f"{'parse bin/csv':>16} {'(abs)':>10} {got:>10.2f}x      -  "
+            f"{verdict} (>= {bin_floor:.0f}x read throughput)"
+        )
+    elif base_parse:
+        print(f"{'parse bin/csv':>16} {'-':>10} {'MISSING':>11}      -  FAIL (parse)")
+        failed = True
 
     # jobs_cache: absolute floor (machine-shape-independent, see above).
     jobs = fresh.get("jobs_cache")

@@ -201,6 +201,60 @@ grep -qi '^x-mobipriv-cache: miss' "$WORK/sync_cold.head" || {
 }
 echo "ok        sync /v1/anonymize shares the cache (hit on job key, miss on fresh key)"
 
+# ---- binary wire format ------------------------------------------------
+
+# The same dataset serialized as Bin must content-address to the same
+# digest as its CSV rendering (digests are computed over the parsed
+# dataset, not the wire bytes).
+"$BIN/mobipriv-loadgen" --users 20 --seed 7 --dump-workload --format bin > "$WORK/body.bin"
+curl -fsS -H 'Content-Type: application/octet-stream' \
+  --data-binary @"$WORK/body.bin" "http://$ADDR/v1/datasets?format=bin" > "$WORK/register_bin.json"
+BIN_DIGEST=$(sed -n 's/.*"digest":"\([0-9a-f]\{16\}\)".*/\1/p' "$WORK/register_bin.json")
+if [ "$BIN_DIGEST" != "$DIGEST" ]; then
+  echo "FAIL bin upload digest '$BIN_DIGEST' != csv digest '$DIGEST'" >&2
+  cat "$WORK/register_bin.json" >&2
+  exit 1
+fi
+grep -q '"registered":"exists"' "$WORK/register_bin.json" || {
+  echo "FAIL bin re-upload of a known dataset did not report exists" >&2
+  cat "$WORK/register_bin.json" >&2
+  exit 1
+}
+echo "ok        /v1/datasets?format=bin digest matches CSV ($DIGEST)"
+
+# Bin-in, Bin-out anonymization: 200, octet-stream, MPB1-framed body,
+# and the replay served from the result cache.
+STATUS=$(curl -s -D "$WORK/bin1.head" -o "$WORK/bin1.out" -w '%{http_code}' \
+  --data-binary @"$WORK/body.bin" \
+  "http://$ADDR/v1/anonymize?mechanism=promesse&alpha=100&seed=5&format=bin")
+if [ "$STATUS" != 200 ]; then
+  echo "FAIL format=bin anonymize -> HTTP $STATUS" >&2
+  cat "$WORK/bin1.out" >&2
+  exit 1
+fi
+grep -qi '^content-type: application/octet-stream' "$WORK/bin1.head" || {
+  echo "FAIL format=bin response is not octet-stream:" >&2
+  cat "$WORK/bin1.head" >&2
+  exit 1
+}
+[ "$(head -c 4 "$WORK/bin1.out")" = "MPB1" ] || {
+  echo "FAIL format=bin response lacks the MPB1 magic" >&2
+  exit 1
+}
+curl -s -D "$WORK/bin2.head" -o "$WORK/bin2.out" \
+  --data-binary @"$WORK/body.bin" \
+  "http://$ADDR/v1/anonymize?mechanism=promesse&alpha=100&seed=5&format=bin"
+cmp -s "$WORK/bin1.out" "$WORK/bin2.out" || {
+  echo "FAIL bin responses are not byte-identical across fetches" >&2
+  exit 1
+}
+grep -qi '^x-mobipriv-cache: hit' "$WORK/bin2.head" || {
+  echo "FAIL bin replay was not a cache hit:" >&2
+  cat "$WORK/bin2.head" >&2
+  exit 1
+}
+echo "ok        format=bin anonymize round-trip (MPB1 body, cache hit on replay)"
+
 # Server-side accounting: no failed jobs, and the job key computed once.
 curl -fsS "http://$ADDR/v1/stats" > "$WORK/stats.json"
 if command -v python3 > /dev/null 2>&1; then
