@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use mobipriv_attacks::{HomeAttack, PoiAttack, ReidentAttack, Tracker};
-use mobipriv_core::{GeoInd, GridGeneralization, KDelta, Mechanism, Promesse};
+use mobipriv_core::{Engine, GeoInd, GridGeneralization, KDelta, Mechanism, Promesse};
 use mobipriv_model::{
     read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, WireFormat,
 };
@@ -30,6 +30,7 @@ use mobipriv_synth::scenarios;
 
 const USAGE: &str = "\
 usage: mobipriv-bench-perf [--users N] [--seed N] [--iters N] [--out FILE]
+                           [--no-obs] [--profile]
 
 Times each mechanism and attack on the serving_day(N) workload and, for
 the spatially-indexed hot paths, the brute-force reference against the
@@ -41,6 +42,10 @@ options:
   --iters N   timed repetitions per measurement; the minimum wall time
               is reported (default 3)
   --out FILE  write the JSON to FILE instead of stdout
+  --no-obs    disable the observability hooks for the whole run (the
+              obs_overhead section still measures both states)
+  --profile   after the run, print the per-mechanism engine timing
+              table accumulated by the observability hooks to stderr
   -h, --help  print this help
 ";
 
@@ -49,6 +54,8 @@ struct Args {
     seed: u64,
     iters: usize,
     out: Option<String>,
+    no_obs: bool,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -58,6 +65,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         seed: 42,
         iters: 3,
         out: None,
+        no_obs: false,
+        profile: false,
     };
     let mut iter = raw.iter();
     while let Some(arg) = iter.next() {
@@ -91,6 +100,8 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .ok_or_else(|| format!("--iters expects a positive integer, got `{v}`"))?;
             }
             "--out" => args.out = Some(value_of("--out")?),
+            "--no-obs" => args.no_obs = true,
+            "--profile" => args.profile = true,
             other => return Err(format!("unexpected argument: {other}")),
         }
     }
@@ -221,6 +232,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.no_obs {
+        mobipriv_obs::set_enabled(false);
+    }
     eprintln!(
         "generating serving_day({}) with seed {}…",
         args.users, args.seed
@@ -362,6 +376,24 @@ fn main() -> ExitCode {
     eprintln!("timing jobs cache (cold one-shot vs warm job cycle)…");
     let jobs_cache = bench_jobs_cache(dataset, args.seed, args.iters);
 
+    // Observability overhead: the same engine run with the metric and
+    // profiling hooks live vs disabled. The hooks cost two clock reads
+    // and a handful of atomic increments per protect() — the min-of-N
+    // ratio on a multi-millisecond run is what CI gates at ≤ 1.05x.
+    // Outputs are asserted identical: observability reads the
+    // computation, never the other way around.
+    eprintln!("timing observability overhead (hooks on vs off)…");
+    let engine = Engine::sequential();
+    let obs_iters = args.iters.max(5);
+    mobipriv_obs::set_enabled(true);
+    let (obs_on_s, on_out) = time_min(obs_iters, || engine.protect(&promesse, dataset, args.seed));
+    mobipriv_obs::set_enabled(false);
+    let (obs_off_s, off_out) =
+        time_min(obs_iters, || engine.protect(&promesse, dataset, args.seed));
+    mobipriv_obs::set_enabled(!args.no_obs);
+    assert_eq!(on_out, off_out, "observability changed engine output");
+    let obs_ratio = obs_on_s / obs_off_s.max(1e-12);
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -420,6 +452,11 @@ fn main() -> ExitCode {
         jobs_cache.cold_s / jobs_cache.warm_s.max(1e-12),
         jobs_cache.hit_rate,
     );
+    let _ = write!(
+        json,
+        ",\"obs_overhead\":{{\"mechanism\":\"promesse alpha=100\",\"obs_on_s\":{obs_on_s},\
+         \"obs_off_s\":{obs_off_s},\"ratio\":{obs_ratio}}}",
+    );
     json.push_str("}\n");
 
     for (name, naive_s, indexed_s) in &paths {
@@ -451,6 +488,21 @@ fn main() -> ExitCode {
         jobs_cache.register_s * 1e3,
         jobs_cache.hit_rate * 100.0,
     );
+    eprintln!(
+        "  obs_overhead: on    {:>9.2} ms, off     {:>9.2} ms -> {:.3}x",
+        obs_on_s * 1e3,
+        obs_off_s * 1e3,
+        obs_ratio,
+    );
+    if args.profile {
+        let table = mobipriv_obs::profile::stage_table(
+            mobipriv_obs::global(),
+            "mobipriv_engine_protect_seconds",
+        );
+        if !table.is_empty() {
+            eprintln!("mobipriv_engine_protect_seconds:\n{table}");
+        }
+    }
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {

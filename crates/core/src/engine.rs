@@ -177,7 +177,51 @@ impl Engine {
     /// stream per trace (see [`trace_seed`]); dataset-level mechanisms
     /// run through [`Mechanism::protect`] with a single stream seeded
     /// from `seed`. Output is identical across [`ExecutionMode`]s.
+    ///
+    /// When global observability is on (the default; see
+    /// [`mobipriv_obs::set_enabled`]), each run records its wall time
+    /// into the `mobipriv_engine_protect_seconds{mechanism}` histogram
+    /// and the input fix count and throughput into the global registry.
+    /// The instrumentation only *reads* the computation — it is a
+    /// couple of clock reads and atomic adds around the unchanged
+    /// kernel dispatch, so output bytes are identical either way.
     pub fn protect(&self, mechanism: &dyn Mechanism, dataset: &Dataset, seed: u64) -> Dataset {
+        if !mobipriv_obs::enabled() {
+            return self.protect_inner(mechanism, dataset, seed);
+        }
+        let started = std::time::Instant::now();
+        let output = self.protect_inner(mechanism, dataset, seed);
+        let elapsed = started.elapsed();
+        let registry = mobipriv_obs::global();
+        registry
+            .histogram(
+                "mobipriv_engine_protect_seconds",
+                &[("mechanism", &mechanism.name())],
+                "Wall time of Engine::protect per mechanism",
+            )
+            .observe_duration(elapsed);
+        let fixes = dataset.total_fixes() as u64;
+        registry
+            .counter(
+                "mobipriv_engine_fixes_total",
+                &[],
+                "Input fixes processed by Engine::protect",
+            )
+            .add(fixes);
+        let seconds = elapsed.as_secs_f64();
+        if seconds > 0.0 {
+            registry
+                .gauge(
+                    "mobipriv_engine_fix_per_s",
+                    &[],
+                    "Fix throughput of the most recent Engine::protect run",
+                )
+                .set((fixes as f64 / seconds) as i64);
+        }
+        output
+    }
+
+    fn protect_inner(&self, mechanism: &dyn Mechanism, dataset: &Dataset, seed: u64) -> Dataset {
         match mechanism.as_trace_kernel() {
             Some(kernel) => {
                 let run = |(index, trace): (usize, &Trace)| -> Option<Trace> {

@@ -11,7 +11,8 @@ use mobipriv_eval::{evaluate_with, EvalPlan, EvalReport};
 
 const USAGE: &str = "\
 usage: mobipriv-eval [--smoke|--full] [--scenario NAME] [--mechanism ID]
-                     [--seed N] [--threads N] [--timings] [--out FILE]
+                     [--seed N] [--threads N] [--timings] [--profile]
+                     [--out FILE]
                      [--bless | --check] [--golden DIR] [--bench-out FILE]
 
 Runs the mechanism × scenario × attack × utility-metric matrix on the
@@ -35,6 +36,10 @@ options:
                     the matrix shows where the time goes (timed output
                     is not byte-stable across runs; --bless/--check
                     always use the canonical timing-free form)
+  --profile         after the run, print per-stage wall-time tables
+                    (build/protect/attacks/metrics and per-mechanism
+                    engine timings) to stderr; the report bytes are
+                    unchanged
   --out FILE        write the report to FILE instead of stdout
   --bless           (re)write the golden corpus, one file per scenario
                     (smoke preset only; composes with --scenario, not
@@ -59,6 +64,7 @@ struct Args {
     plan: EvalPlan,
     threads: Option<usize>,
     timings: bool,
+    profile: bool,
     out: Option<PathBuf>,
     bless: bool,
     check: bool,
@@ -74,6 +80,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut seed = None;
     let mut threads = None;
     let mut timings = false;
+    let mut profile = false;
     let mut out = None;
     let mut bless = false;
     let mut check = false;
@@ -107,6 +114,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 }
             }
             "--timings" => timings = true,
+            "--profile" => profile = true,
             "--out" => out = Some(PathBuf::from(value_of("--out")?)),
             "--bless" => bless = true,
             "--check" => check = true,
@@ -150,6 +158,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         plan,
         threads,
         timings,
+        profile,
         out,
         bless,
         check,
@@ -174,6 +183,19 @@ fn main() -> ExitCode {
     let started = Instant::now();
     let report = evaluate_with(&args.plan, args.threads);
     let elapsed = started.elapsed();
+
+    if args.profile {
+        let registry = mobipriv_obs::global();
+        for family in [
+            "mobipriv_eval_stage_seconds",
+            "mobipriv_engine_protect_seconds",
+        ] {
+            let table = mobipriv_obs::profile::stage_table(registry, family);
+            if !table.is_empty() {
+                eprintln!("{family}:\n{table}");
+            }
+        }
+    }
 
     if let Some(path) = &args.bench_out {
         let seconds = elapsed.as_secs_f64();

@@ -76,6 +76,26 @@ pub fn evaluate_with(plan: &EvalPlan, threads: Option<usize>) -> EvalReport {
     }
 }
 
+/// Times `f` and, when observability is on, folds the wall time into
+/// the global `mobipriv_eval_stage_seconds{stage=…}` histogram. The
+/// result bytes never depend on it: timing reads the clock around the
+/// stage and writes to a sink the computation cannot see.
+fn timed_stage<T>(stage: &'static str, f: impl FnOnce() -> T) -> T {
+    if !mobipriv_obs::enabled() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    mobipriv_obs::global()
+        .histogram(
+            "mobipriv_eval_stage_seconds",
+            &[("stage", stage)],
+            "Wall time per evaluation-cell stage",
+        )
+        .observe_duration(start.elapsed());
+    out
+}
+
 /// Runs one cell: protect, attack four ways, measure utility.
 fn run_cell(
     scenario: ScenarioSpec,
@@ -86,27 +106,39 @@ fn run_cell(
     let started = std::time::Instant::now();
     let mechanism_id = mechanism.id();
     let cseed = cell_seed(seed, scenario.name(), &mechanism_id);
-    let built = mechanism.build();
+    let built = timed_stage("build", || mechanism.build());
     // The engine runs sequentially *within* a cell — the harness
     // parallelizes at cell granularity, and engine output is
     // schedule-independent anyway, so nothing changes but the thread
     // accounting.
-    let published = Engine::sequential().protect(built.as_ref(), &world.dataset, cseed);
+    let published = timed_stage("protect", || {
+        Engine::sequential().protect(built.as_ref(), &world.dataset, cseed)
+    });
 
     // Kerckhoffs: every profile/stay-based adversary knows the
     // mechanism and widens its clustering radii to the expected noise.
     // (The tracker has no such knob — its gate is kinematic.)
     let noise = mechanism.expected_noise_m();
-    let poi = PoiAttack::tuned_for_noise(noise).run(&published, &world.truth);
+    let poi = timed_stage("attack_poi", || {
+        PoiAttack::tuned_for_noise(noise).run(&published, &world.truth)
+    });
     // Threat model: the adversary saw the raw data once (e.g. a prior
     // unprotected release) and links the protected release back to it.
-    let reident = ReidentAttack::tuned_for_noise(noise).run(&world.dataset, &published);
-    let tracker = Tracker::default().run(&published);
-    let home = HomeAttack::tuned_for_noise(noise).run(&published, &world.truth);
+    let reident = timed_stage("attack_reident", || {
+        ReidentAttack::tuned_for_noise(noise).run(&world.dataset, &published)
+    });
+    let tracker = timed_stage("attack_tracker", || Tracker::default().run(&published));
+    let home = timed_stage("attack_home", || {
+        HomeAttack::tuned_for_noise(noise).run(&published, &world.truth)
+    });
 
-    let distortion = spatial::dataset_distortion_anonymous(&world.dataset, &published);
-    let cover = coverage::coverage(&world.dataset, &published, COVERAGE_CELL_M);
-    let trip = trips::trip_report(&world.dataset, &published);
+    let (distortion, cover, trip) = timed_stage("metrics", || {
+        (
+            spatial::dataset_distortion_anonymous(&world.dataset, &published),
+            coverage::coverage(&world.dataset, &published, COVERAGE_CELL_M),
+            trips::trip_report(&world.dataset, &published),
+        )
+    });
 
     EvalCell {
         scenario: scenario.name().to_owned(),

@@ -1,0 +1,188 @@
+//! A leveled JSON-lines logger on stderr.
+//!
+//! The maximum level comes from `MOBIPRIV_LOG`
+//! (`off|error|warn|info|debug|trace`, default `info`), read once per
+//! process. Each event is a single JSON object on one line —
+//! timestamp, level, target, message, optional trace id, then the
+//! event's structured fields — so `grep`/`jq` pipelines work on the
+//! raw stream. Level checks are one atomic-free comparison against a
+//! cached value; disabled events cost nothing else.
+
+use std::io::Write;
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed.
+    Error,
+    /// Something surprising that the server absorbed.
+    Warn,
+    /// Lifecycle events.
+    Info,
+    /// Per-request detail.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// `None` means logging is off.
+fn max_level() -> Option<Level> {
+    static MAX: OnceLock<Option<Level>> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        match std::env::var("MOBIPRIV_LOG")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "off" | "none" => None,
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => Some(Level::Info),
+        }
+    })
+}
+
+/// Whether an event at `level` would be emitted — guard any costly
+/// field construction behind this.
+pub fn enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// A structured field value.
+#[derive(Debug, Clone, Copy)]
+pub enum FieldValue<'a> {
+    /// A string field.
+    Str(&'a str),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A float field.
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emits one structured event. `target` names the subsystem
+/// (`service::http`, `service::jobs`, …); `trace` carries the request's
+/// trace id when there is one.
+pub fn log(
+    level: Level,
+    target: &str,
+    trace: Option<&str>,
+    message: &str,
+    fields: &[(&str, FieldValue<'_>)],
+) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut line = String::with_capacity(128);
+    line.push_str(&format!(
+        "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"target\":\"",
+        level.name()
+    ));
+    escape_json_into(&mut line, target);
+    line.push_str("\",\"msg\":\"");
+    escape_json_into(&mut line, message);
+    line.push('"');
+    if let Some(trace) = trace {
+        line.push_str(",\"trace\":\"");
+        escape_json_into(&mut line, trace);
+        line.push('"');
+    }
+    for (key, value) in fields {
+        line.push_str(",\"");
+        escape_json_into(&mut line, key);
+        line.push_str("\":");
+        match value {
+            FieldValue::Str(s) => {
+                line.push('"');
+                escape_json_into(&mut line, s);
+                line.push('"');
+            }
+            FieldValue::U64(v) => line.push_str(&v.to_string()),
+            FieldValue::I64(v) => line.push_str(&v.to_string()),
+            FieldValue::F64(v) => {
+                if v.is_finite() {
+                    line.push_str(&v.to_string());
+                } else {
+                    line.push_str("null");
+                }
+            }
+            FieldValue::Bool(v) => line.push_str(if *v { "true" } else { "false" }),
+        }
+    }
+    line.push_str("}\n");
+    // One write per event keeps concurrent lines whole.
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(line.as_bytes());
+}
+
+/// Emits a warn-level event.
+pub fn warn(target: &str, trace: Option<&str>, message: &str, fields: &[(&str, FieldValue<'_>)]) {
+    log(Level::Warn, target, trace, message, fields);
+}
+
+/// Emits an info-level event.
+pub fn info(target: &str, trace: Option<&str>, message: &str, fields: &[(&str, FieldValue<'_>)]) {
+    log(Level::Info, target, trace, message, fields);
+}
+
+/// Emits a debug-level event.
+pub fn debug(target: &str, trace: Option<&str>, message: &str, fields: &[(&str, FieldValue<'_>)]) {
+    log(Level::Debug, target, trace, message, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn json_escaping_covers_control_characters() {
+        let mut out = String::new();
+        escape_json_into(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

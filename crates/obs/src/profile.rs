@@ -1,0 +1,82 @@
+//! Profiling presentation: per-stage breakdown tables built from a
+//! registry's histogram families — what `mobipriv-eval --profile` and
+//! `mobipriv-bench-perf --profile` print.
+
+use crate::metrics::{Registry, Value};
+
+/// Renders every histogram series of the family `name` as an aligned
+/// table: one row per label set with count, total, mean and p50/p99
+/// estimates. Empty string when the family has no observations.
+pub fn stage_table(registry: &Registry, name: &str) -> String {
+    let mut rows: Vec<(String, u64, f64, f64, f64)> = Vec::new();
+    for sample in registry.snapshot() {
+        if sample.name != name {
+            continue;
+        }
+        let Value::Histogram(h) = &sample.value else {
+            continue;
+        };
+        if h.count == 0 {
+            continue;
+        }
+        let label = if sample.labels.is_empty() {
+            "(all)".to_owned()
+        } else {
+            sample
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        rows.push((
+            label,
+            h.count,
+            h.sum_seconds(),
+            h.quantile(0.5).unwrap_or(0.0),
+            h.quantile(0.99).unwrap_or(0.0),
+        ));
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    let width = rows.iter().map(|r| r.0.len()).max().unwrap_or(5).max(5);
+    let mut out = String::new();
+    out.push_str(&format!("{name}\n"));
+    out.push_str(&format!(
+        "  {:width$}  {:>8}  {:>12}  {:>10}  {:>10}  {:>10}\n",
+        "series", "count", "total_ms", "mean_ms", "p50_ms", "p99_ms",
+    ));
+    for (label, count, total_s, p50, p99) in rows {
+        out.push_str(&format!(
+            "  {label:width$}  {count:>8}  {:>12.3}  {:>10.3}  {:>10.3}  {:>10.3}\n",
+            total_s * 1e3,
+            total_s * 1e3 / count as f64,
+            p50 * 1e3,
+            p99 * 1e3,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lists_series_sorted_by_total_time() {
+        let registry = Registry::new();
+        let slow = registry.histogram("stage_seconds", &[("stage", "compute")], "t");
+        let fast = registry.histogram("stage_seconds", &[("stage", "parse")], "t");
+        slow.observe(0.3);
+        fast.observe(0.001);
+        fast.observe(0.001);
+        let table = stage_table(&registry, "stage_seconds");
+        let compute = table.find("stage=compute").unwrap();
+        let parse = table.find("stage=parse").unwrap();
+        assert!(compute < parse, "slowest first:\n{table}");
+        assert!(table.contains("count"), "{table}");
+        assert_eq!(stage_table(&registry, "missing"), "");
+    }
+}

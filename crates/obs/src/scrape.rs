@@ -1,0 +1,308 @@
+//! A parser for the Prometheus text exposition format — enough for the
+//! workspace's own tooling (`mobipriv-loadgen`, the smoke harness, the
+//! socket tests) to read back what [`crate::metrics`] renders.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::BUCKET_BOUNDS;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapedSample {
+    /// Sample name (for histograms this is the suffixed
+    /// `…_bucket`/`…_sum`/`…_count` name).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value (`+Inf` in a *value* position parses as infinity).
+    pub value: f64,
+}
+
+/// A parsed scrape.
+#[derive(Debug, Clone, Default)]
+pub struct Scrape {
+    samples: Vec<ScrapedSample>,
+}
+
+/// Parses a text exposition document.
+///
+/// # Errors
+///
+/// Returns a one-line description naming the first malformed line.
+pub fn parse(text: &str) -> Result<Scrape, String> {
+    let mut samples = Vec::new();
+    for (number, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample =
+            parse_sample(line).map_err(|e| format!("line {}: {e}: `{line}`", number + 1))?;
+        samples.push(sample);
+    }
+    Ok(Scrape { samples })
+}
+
+fn parse_sample(line: &str) -> Result<ScrapedSample, String> {
+    let (name, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unclosed label block")?;
+            (
+                &line[..brace],
+                (&line[brace + 1..close], &line[close + 1..]),
+            )
+        }
+        None => {
+            let space = line.find(' ').ok_or("missing value")?;
+            (&line[..space], ("", &line[space..]))
+        }
+    };
+    if name.is_empty() {
+        return Err("empty metric name".into());
+    }
+    let (label_block, value_part) = rest;
+    let mut labels = parse_labels(label_block)?;
+    labels.sort();
+    let value_text = value_part.trim();
+    let value = match value_text {
+        "+Inf" | "Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse::<f64>().map_err(|_| "unparsable value")?,
+    };
+    Ok(ScrapedSample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = block.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err("label value must be quoted".into());
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err("bad escape in label value".into()),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+impl Scrape {
+    /// All parsed samples.
+    pub fn samples(&self) -> &[ScrapedSample] {
+        &self.samples
+    }
+
+    /// The value of `name{labels}` (labels must match exactly, in any
+    /// order).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        want.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| s.value)
+    }
+
+    /// Sum of `name` across every label set (e.g. requests regardless
+    /// of status).
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// The label sets carrying `name`, with their values — e.g. the
+    /// per-status request counts.
+    pub fn by_label(&self, name: &str, label: &str) -> Vec<(String, f64)> {
+        let mut out: BTreeMap<String, f64> = BTreeMap::new();
+        for s in self.samples.iter().filter(|s| s.name == name) {
+            if let Some((_, v)) = s.labels.iter().find(|(k, _)| k == label) {
+                *out.entry(v.clone()).or_insert(0.0) += s.value;
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// Estimates a quantile of histogram `name{labels}` from its
+    /// cumulative `_bucket` samples, optionally relative to a
+    /// `baseline` scrape (the delta isolates one run's observations
+    /// from a server's lifetime totals). `None` when the histogram is
+    /// absent or empty over the window.
+    pub fn histogram_quantile(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        q: f64,
+        baseline: Option<&Scrape>,
+    ) -> Option<f64> {
+        let bucket_name = format!("{name}_bucket");
+        // Cumulative counts per `le`, current minus baseline.
+        let mut cumulative: Vec<(f64, f64)> = Vec::new();
+        for s in self.samples.iter().filter(|s| s.name == bucket_name) {
+            let (le, others): (Vec<_>, Vec<_>) =
+                s.labels.iter().cloned().partition(|(k, _)| k == "le");
+            let want: bool = {
+                let mut want_labels: Vec<(String, String)> = labels
+                    .iter()
+                    .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                    .collect();
+                want_labels.sort();
+                others == want_labels
+            };
+            if !want {
+                continue;
+            }
+            let le_value = match le.first().map(|(_, v)| v.as_str()) {
+                Some("+Inf") | Some("Inf") => f64::INFINITY,
+                Some(v) => v.parse::<f64>().ok()?,
+                None => continue,
+            };
+            let mut count = s.value;
+            if let Some(base) = baseline {
+                let mut base_labels: Vec<(&str, &str)> = labels.to_vec();
+                let le_text = le.first().map(|(_, v)| v.clone()).unwrap_or_default();
+                base_labels.push(("le", &le_text));
+                count -= base.value(&bucket_name, &base_labels).unwrap_or(0.0);
+            }
+            cumulative.push((le_value, count));
+        }
+        if cumulative.is_empty() {
+            return None;
+        }
+        cumulative.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("le values are not NaN"));
+        let total = cumulative.last()?.1;
+        if total <= 0.0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total).ceil().max(1.0);
+        for (le, cum) in &cumulative {
+            if *cum >= rank {
+                return Some(*le);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// The smallest bucket width containing `value` — the resolution of
+    /// a quantile estimate at that magnitude.
+    pub fn bucket_width_at(value: f64) -> f64 {
+        let mut lower = 0.0;
+        for &bound in &BUCKET_BOUNDS {
+            if value <= bound {
+                return bound - lower;
+            }
+            lower = bound;
+        }
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn round_trips_rendered_output() {
+        let registry = Registry::new();
+        registry
+            .counter("req_total", &[("status", "200")], "requests")
+            .add(7);
+        registry
+            .counter("req_total", &[("status", "503")], "requests")
+            .add(2);
+        registry.gauge("depth", &[], "queue").set(-1);
+        let h = registry.histogram("lat_seconds", &[("stage", "compute")], "latency");
+        h.observe(3e-3);
+        h.observe(3e-3);
+        h.observe(0.2);
+        let scrape = parse(&registry.render_prometheus()).expect("parses");
+        assert_eq!(scrape.value("req_total", &[("status", "200")]), Some(7.0));
+        assert_eq!(scrape.total("req_total"), 9.0);
+        assert_eq!(scrape.value("depth", &[]), Some(-1.0));
+        assert_eq!(
+            scrape.by_label("req_total", "status"),
+            vec![("200".to_owned(), 7.0), ("503".to_owned(), 2.0)]
+        );
+        assert_eq!(
+            scrape.value("lat_seconds_count", &[("stage", "compute")]),
+            Some(3.0)
+        );
+        assert_eq!(
+            scrape.histogram_quantile("lat_seconds", &[("stage", "compute")], 0.5, None),
+            Some(5e-3)
+        );
+        assert_eq!(
+            scrape.histogram_quantile("lat_seconds", &[("stage", "compute")], 0.99, None),
+            Some(0.2)
+        );
+    }
+
+    #[test]
+    fn escaped_labels_round_trip() {
+        let registry = Registry::new();
+        registry
+            .counter("c_total", &[("k", "a\"b\\c\nd")], "escapes")
+            .inc();
+        let scrape = parse(&registry.render_prometheus()).expect("parses");
+        assert_eq!(scrape.value("c_total", &[("k", "a\"b\\c\nd")]), Some(1.0));
+    }
+
+    #[test]
+    fn baseline_subtraction_isolates_a_window() {
+        let registry = Registry::new();
+        let h = registry.histogram("w_seconds", &[], "window");
+        h.observe(1e-3);
+        let before = parse(&registry.render_prometheus()).unwrap();
+        for _ in 0..10 {
+            h.observe(0.4);
+        }
+        let after = parse(&registry.render_prometheus()).unwrap();
+        // Lifetime p50 is polluted by the 1 ms sample; the windowed
+        // quantile sees only the ten 0.4 s observations.
+        assert_eq!(
+            after.histogram_quantile("w_seconds", &[], 0.5, Some(&before)),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = parse("ok_total 1\nbroken{x=unquoted} 2\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 use mobipriv_model::{
     read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, WireFormat,
 };
+use mobipriv_obs::scrape::{parse as parse_scrape, Scrape};
 use mobipriv_service::client::{json_str_field, request};
+use mobipriv_service::telemetry::STAGES;
 use mobipriv_synth::scenarios;
 
 const USAGE: &str = "\
@@ -225,6 +227,87 @@ fn latency_line(label: &str, latencies: &mut [Duration]) {
     );
 }
 
+/// Scrapes `GET /metrics` into a parsed document. Any failure —
+/// transport, non-200, or a malformed exposition — aborts the run with
+/// exit 1: a server whose metrics endpoint is broken fails the load
+/// test even if every request succeeded.
+fn scrape_metrics(addr: &str) -> Scrape {
+    let scrape_failed = |message: &str| -> ! {
+        eprintln!("scraping /metrics: {message}");
+        std::process::exit(1);
+    };
+    let (status, body) = match request(addr, "GET", "/metrics", b"") {
+        Ok(r) => r,
+        Err(e) => scrape_failed(&e.to_string()),
+    };
+    if status != 200 {
+        scrape_failed(&format!("HTTP {status}"));
+    }
+    match std::str::from_utf8(&body)
+        .map_err(|e| e.to_string())
+        .and_then(parse_scrape)
+    {
+        Ok(scrape) => scrape,
+        Err(e) => scrape_failed(&e),
+    }
+}
+
+/// Prints what the *server* observed over the run — the before/after
+/// delta of its `/metrics` counters, as a cross-check of the
+/// client-side tallies (queue waits and sheds show up here first).
+fn print_server_delta(before: &Scrape, after: &Scrape) {
+    let request_parts: Vec<String> = after
+        .by_label("mobipriv_http_requests_total", "status")
+        .into_iter()
+        .filter_map(|(status, count)| {
+            let base = before
+                .value("mobipriv_http_requests_total", &[("status", &status)])
+                .unwrap_or(0.0);
+            let delta = count - base;
+            (delta > 0.0).then(|| format!("{status}×{delta:.0}"))
+        })
+        .collect();
+    if !request_parts.is_empty() {
+        println!("server:   requests {}", request_parts.join(", "));
+    }
+    let hits = after.total("mobipriv_cache_hits_total") - before.total("mobipriv_cache_hits_total");
+    let misses =
+        after.total("mobipriv_cache_misses_total") - before.total("mobipriv_cache_misses_total");
+    if hits + misses > 0.0 {
+        println!(
+            "server:   cache {hits:.0}/{:.0} lookups hit ({:.1}%)",
+            hits + misses,
+            100.0 * hits / (hits + misses)
+        );
+    }
+    if let Some(peak) = after.value("mobipriv_http_queue_depth_peak", &[]) {
+        println!("server:   queue depth high-water {peak:.0}");
+    }
+    let stage_parts: Vec<String> = STAGES
+        .iter()
+        .filter_map(|&stage| {
+            // Quantiles over the run's window only (bucket deltas); the
+            // value is the bucket's upper bound, hence the ≤.
+            let p50 = after.histogram_quantile(
+                "mobipriv_stage_seconds",
+                &[("stage", stage)],
+                0.50,
+                Some(before),
+            )?;
+            let p99 = after.histogram_quantile(
+                "mobipriv_stage_seconds",
+                &[("stage", stage)],
+                0.99,
+                Some(before),
+            )?;
+            Some(format!("{stage} p50≤{:.1} p99≤{:.1}", p50 * 1e3, p99 * 1e3))
+        })
+        .collect();
+    if !stage_parts.is_empty() {
+        println!("server:   stages (ms) {}", stage_parts.join(", "));
+    }
+}
+
 /// One submit→poll→fetch cycle against the job engine. Returns the
 /// submission classification (`enqueued`/`coalesced`/`cached`).
 fn job_cycle(addr: &str, submit_target: &str, tally: &mut Tally, sent: Instant) -> Option<String> {
@@ -429,6 +512,10 @@ fn main() {
         }
     }
 
+    // Server-side baseline: the /metrics counters before the run, so
+    // the summary can print exactly what this run added.
+    let metrics_before = scrape_metrics(&opts.addr);
+
     let body = Arc::new(body);
     let addr = Arc::new(opts.addr.clone());
     let make_target = Arc::new(make_target);
@@ -600,6 +687,8 @@ fn main() {
     } else {
         latency_line("latency", &mut tally.cold);
     }
+    let metrics_after = scrape_metrics(&opts.addr);
+    print_server_delta(&metrics_before, &metrics_after);
     if failures > 0 {
         std::process::exit(1);
     }

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use mobipriv_model::digest::digest_hex;
+use mobipriv_obs::metrics::{Counter, Registry};
 
 use crate::ServiceError;
 
@@ -93,13 +94,18 @@ impl CacheOutcome {
 }
 
 /// Bounded single-flight result cache.
+///
+/// The hit/miss/computation counters are [`mobipriv_obs`] counter
+/// handles: [`ResultCache::register_metrics`] exposes the *same*
+/// atomics on a metrics registry, so `/v1/stats`, `/metrics` and the
+/// accessor methods here can never disagree.
 pub struct ResultCache {
     inner: Mutex<Inner>,
     clock: AtomicU64,
     max_bytes: u64,
-    computations: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    computations: Counter,
+    hits: Counter,
+    misses: Counter,
 }
 
 impl ResultCache {
@@ -113,24 +119,45 @@ impl ResultCache {
             }),
             clock: AtomicU64::new(0),
             max_bytes,
-            computations: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            computations: Counter::new(),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
+    }
+
+    /// Exposes the cache's own counters on `registry`
+    /// (`mobipriv_cache_{hits,misses,computations}_total`) — one set of
+    /// atomics backing both the API and the exposition.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "mobipriv_cache_hits_total",
+            &[],
+            "Result-cache hits (completed entries and joined flights)",
+            &self.hits,
+        );
+        registry.register_counter(
+            "mobipriv_cache_misses_total",
+            &[],
+            "Result-cache misses (computations led by the caller)",
+            &self.misses,
+        );
+        registry.register_counter(
+            "mobipriv_cache_computations_total",
+            &[],
+            "Computations actually run (single-flight leader count)",
+            &self.computations,
+        );
     }
 
     /// Times the computation has actually run (the single-flight
     /// counter the stress tests assert on).
     pub fn computations(&self) -> u64 {
-        self.computations.load(Ordering::SeqCst)
+        self.computations.get()
     }
 
     /// `(hits, misses)` over the cache's lifetime.
     pub fn hit_miss(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::SeqCst),
-            self.misses.load(Ordering::SeqCst),
-        )
+        (self.hits.get(), self.misses.get())
     }
 
     /// `(completed entries, completed body bytes)`.
@@ -156,7 +183,7 @@ impl ResultCache {
                 last_used: lu,
             }) => {
                 *lu = last_used;
-                self.hits.fetch_add(1, Ordering::SeqCst);
+                self.hits.inc();
                 Some(Arc::clone(result))
             }
             _ => None,
@@ -190,14 +217,14 @@ impl ResultCache {
                     last_used: lu,
                 }) => {
                     *lu = last_used;
-                    self.hits.fetch_add(1, Ordering::SeqCst);
+                    self.hits.inc();
                     return Ok((Arc::clone(result), CacheOutcome::Hit));
                 }
                 Some(Slot::InFlight(flight)) => {
                     // Follower: wait outside the cache lock.
                     let flight = Arc::clone(flight);
                     drop(inner);
-                    self.hits.fetch_add(1, Ordering::SeqCst);
+                    self.hits.inc();
                     let mut done = flight.done.lock().expect("flight mutex poisoned");
                     while done.is_none() {
                         done = flight.cv.wait(done).expect("flight mutex poisoned");
@@ -226,8 +253,8 @@ impl ResultCache {
         // forever and strand every follower on the condvar (each one
         // permanently consuming a pooled worker thread) — so unwinds
         // are caught and published as an error like any other failure.
-        self.misses.fetch_add(1, Ordering::SeqCst);
-        self.computations.fetch_add(1, Ordering::SeqCst);
+        self.misses.inc();
+        self.computations.inc();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute))
             .unwrap_or_else(|panic| {
                 let message = panic

@@ -12,6 +12,9 @@ use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// Response header pairs, names lowercased — see [`request_full`].
+pub type Headers = Vec<(String, String)>;
+
 /// Sends one request over a fresh connection; returns `(status, body)`.
 ///
 /// # Errors
@@ -24,6 +27,25 @@ pub fn request<A: ToSocketAddrs>(
     target: &str,
     body: &[u8],
 ) -> std::io::Result<(u16, Vec<u8>)> {
+    let (status, _, body) = request_full(addr, method, target, body)?;
+    Ok((status, body))
+}
+
+/// Sends one request over a fresh connection; returns
+/// `(status, headers, body)` with header names lowercased — the variant
+/// for callers that read response metadata such as `x-mobipriv-trace`
+/// or `x-mobipriv-cache`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a response without a parsable
+/// status line reports status `0` rather than erroring.
+pub fn request_full<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> std::io::Result<(u16, Headers, Vec<u8>)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     write!(
@@ -42,12 +64,32 @@ pub fn request<A: ToSocketAddrs>(
         .and_then(|s| std::str::from_utf8(s).ok())
         .and_then(|s| s.parse::<u16>().ok())
         .unwrap_or(0);
-    let body = response
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
+    let split = response.windows(4).position(|w| w == b"\r\n\r\n");
+    let headers = split
+        .and_then(|split| std::str::from_utf8(&response[..split]).ok())
+        .map(|head| {
+            head.lines()
+                .skip(1) // status line
+                .filter_map(|line| {
+                    let (name, value) = line.split_once(':')?;
+                    Some((name.trim().to_ascii_lowercase(), value.trim().to_owned()))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let body = split
         .map(|split| response[split + 4..].to_vec())
         .unwrap_or_default();
-    Ok((status, body))
+    Ok((status, headers, body))
+}
+
+/// The first value of `name` (lowercase) in a [`request_full`] header
+/// list.
+pub fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
 }
 
 /// Extracts `"field":"value"` from a flat JSON object.

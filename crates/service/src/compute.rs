@@ -7,10 +7,13 @@
 //! surfaces coalesce with each other: a sync request and a job for the
 //! same key share one computation and one cached body.
 
+use std::time::Instant;
+
 use mobipriv_core::{Engine, Mechanism};
 use mobipriv_eval::Json;
 use mobipriv_metrics::{coverage, spatial};
 use mobipriv_model::{write_bin, write_csv, Dataset, WireFormat};
+use mobipriv_obs::trace::SpanRecorder;
 
 use crate::cache::CachedResult;
 use crate::ServiceError;
@@ -49,7 +52,9 @@ pub(crate) fn canonical_key(
 /// (canonical CSV, or the length-prefixed Bin frames for
 /// `wire = Bin`) plus the computation-describing headers. `progress`
 /// receives coarse stage fractions in `[0, 1]` (protect ≈ the work;
-/// serialization and metrics the remainder).
+/// serialization and metrics the remainder). `spans` collects the
+/// `compute`/`serialize` stage timings for the request's (or job's)
+/// trace — observability only, never part of the cached bytes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn anonymize_result(
     canonical: &str,
@@ -61,16 +66,21 @@ pub(crate) fn anonymize_result(
     wire: WireFormat,
     engine: &Engine,
     progress: &dyn Fn(f64),
+    spans: &SpanRecorder,
 ) -> Result<CachedResult, ServiceError> {
     progress(0.05);
+    let compute_start = Instant::now();
     let output = engine.protect(mechanism, dataset, seed);
+    spans.record("compute", compute_start);
     progress(0.8);
+    let serialize_start = Instant::now();
     let mut body = Vec::new();
     let (serialized, content_type) = match wire {
         WireFormat::Bin => (write_bin(&output, &mut body), "application/octet-stream"),
         _ => (write_csv(&output, &mut body), "text/csv"),
     };
     serialized.map_err(|e| ServiceError::Internal(format!("serializing response: {e}")))?;
+    spans.record("serialize", serialize_start);
     progress(0.9);
     let mut headers = vec![
         ("x-mobipriv-mechanism", mechanism_canonical.to_owned()),
@@ -125,10 +135,14 @@ pub(crate) fn evaluate_result(
     seed: u64,
     engine: &Engine,
     progress: &dyn Fn(f64),
+    spans: &SpanRecorder,
 ) -> Result<CachedResult, ServiceError> {
     progress(0.05);
+    let compute_start = Instant::now();
     let output = engine.protect(mechanism, dataset, seed);
+    spans.record("compute", compute_start);
     progress(0.6);
+    let serialize_start = Instant::now();
     let distortion = spatial::dataset_distortion_anonymous(dataset, &output);
     let cover = coverage::coverage(dataset, &output, REPORT_CELL_M);
     progress(0.9);
@@ -177,6 +191,7 @@ pub(crate) fn evaluate_result(
     let mut body = String::new();
     doc.write(&mut body);
     body.push('\n');
+    spans.record("serialize", serialize_start);
     progress(1.0);
     Ok(CachedResult {
         canonical: canonical.to_owned(),

@@ -16,10 +16,15 @@
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mobipriv_eval::Json;
-use mobipriv_model::{digest::digest_hex, write_csv, Dataset, DatasetStream, WireFormat};
+use mobipriv_model::{
+    digest::digest_hex, write_csv, Dataset, DatasetStream, ModelError, WireFormat,
+};
+use mobipriv_obs::logging::{self, FieldValue};
+use mobipriv_obs::metrics::{render_merged, Value};
+use mobipriv_obs::trace::{next_trace_id, SpanRecorder};
 
 use crate::cache::{result_key, CacheOutcome, CachedResult};
 use crate::compute;
@@ -119,6 +124,15 @@ impl Response {
 /// become status-mapped responses; I/O failures while responding are
 /// dropped with the connection.
 pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppState) {
+    let started = Instant::now();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_owned());
+    // One trace per request, created at accept and carried through the
+    // handler → cache → compute chain; the id always reaches the client
+    // via `x-mobipriv-trace`, whether or not the timeline is sampled.
+    let rec = SpanRecorder::new(next_trace_id());
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -127,7 +141,10 @@ pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppSt
     // trickling client could hold the worker indefinitely.
     let mut reader = DeadlineReader::new(BufReader::new(read_half), config.timeout);
     let mut writer = stream;
-    let response = match read_head(&mut reader) {
+    let parse_start = Instant::now();
+    let head = read_head(&mut reader);
+    rec.record("parse", parse_start);
+    let mut response = match head {
         Ok(head) => {
             // Clients that announce `Expect: 100-continue` (curl does
             // for any body over 1 KiB) hold the body back until the
@@ -140,10 +157,15 @@ pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppSt
                 let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
                 let _ = writer.flush();
             }
-            route(&head, &mut reader, config, state).unwrap_or_else(|e| Response::from_error(&e))
+            route(&head, &mut reader, config, state, &rec, &peer)
+                .unwrap_or_else(|e| Response::from_error(&e))
         }
         Err(e) => Response::from_error(&e),
     };
+    response
+        .headers
+        .push(("x-mobipriv-trace", rec.id().to_owned()));
+    let write_start = Instant::now();
     let _ = write_response(
         &mut writer,
         response.status,
@@ -151,6 +173,12 @@ pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppSt
         &response.headers,
         response.body.bytes(),
     );
+    rec.record("write", write_start);
+    state
+        .metrics
+        .record_request(response.status, started.elapsed());
+    state.metrics.record_spans(&rec);
+    state.traces.store(&rec);
     // Half-close, then drain any unread body (bounded by the body limit
     // plus slack, and by an overall wall-clock deadline): dropping the
     // socket with bytes still in the receive buffer makes the kernel
@@ -174,17 +202,20 @@ fn route(
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
     config: &ServerConfig,
     state: &AppState,
+    rec: &SpanRecorder,
+    peer: &str,
 ) -> Result<Response, ServiceError> {
     match (head.method.as_str(), head.path.as_str()) {
         ("GET", "/healthz") => Ok(Response::ok("text/plain", b"ok\n".to_vec())),
+        ("GET", "/metrics") => Ok(metrics_text(state)),
         ("GET", "/v1/mechanisms") => Ok(Response::ok(
             "application/json",
             mechanisms_json().into_bytes(),
         )),
         ("GET", "/v1/evaluate") => evaluate(head),
         ("GET", "/v1/stats") => Ok(stats(state)),
-        ("POST", "/v1/anonymize") => anonymize(head, reader, config, state),
-        ("POST", "/v1/datasets") => register_dataset(head, reader, config, state),
+        ("POST", "/v1/anonymize") => anonymize(head, reader, config, state, rec, peer),
+        ("POST", "/v1/datasets") => register_dataset(head, reader, config, state, rec, peer),
         ("GET", "/v1/datasets") => Ok(list_datasets(state)),
         ("POST", "/v1/jobs") => submit_job(head, state),
         ("GET", "/v1/jobs") => Ok(list_jobs(state)),
@@ -197,7 +228,10 @@ fn route(
         ("GET", path) if path.strip_prefix("/v1/results/").is_some() => {
             fetch_result(path.strip_prefix("/v1/results/").expect("guarded"), state)
         }
-        (_, "/healthz" | "/v1/mechanisms" | "/v1/evaluate" | "/v1/stats") => {
+        ("GET", path) if path.strip_prefix("/v1/traces/").is_some() => {
+            trace_detail(path.strip_prefix("/v1/traces/").expect("guarded"), state)
+        }
+        (_, "/healthz" | "/metrics" | "/v1/mechanisms" | "/v1/evaluate" | "/v1/stats") => {
             Err(ServiceError::MethodNotAllowed("GET"))
         }
         (_, "/v1/anonymize") => Err(ServiceError::MethodNotAllowed("POST")),
@@ -205,24 +239,57 @@ fn route(
         (_, path) if path.starts_with("/v1/datasets/") || path.starts_with("/v1/jobs/") => {
             Err(ServiceError::MethodNotAllowed("GET"))
         }
-        (_, path) if path.starts_with("/v1/results/") => Err(ServiceError::MethodNotAllowed("GET")),
+        (_, path) if path.starts_with("/v1/results/") || path.starts_with("/v1/traces/") => {
+            Err(ServiceError::MethodNotAllowed("GET"))
+        }
         (_, path) => Err(ServiceError::NotFound(path.to_owned())),
     }
 }
 
-/// Streams and parses a request body into a dataset.
+/// Streams and parses a request body into a dataset. Parse rejections
+/// (the 400s) are logged as structured warnings carrying the trace id,
+/// the byte offset of the offending line or frame and the remote peer —
+/// enough to find the bad row in the client's upload without replaying
+/// it.
 fn read_body_dataset(
     head: &RequestHead,
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
     config: &ServerConfig,
+    rec: &SpanRecorder,
+    peer: &str,
 ) -> Result<(Dataset, u64), ServiceError> {
     let format = body_format(head)?;
     let framing = head.framing()?;
+    let parse_start = Instant::now();
     let mut stream = DatasetStream::new(format);
     let received = stream_body(reader, framing, config.max_body_bytes, |chunk| {
-        stream.push_chunk(chunk).map_err(ServiceError::from)
+        stream
+            .push_chunk(chunk)
+            .map_err(|e| parse_reject(e, rec, peer))
     })?;
-    Ok((stream.finish()?, received))
+    let dataset = stream.finish().map_err(|e| parse_reject(e, rec, peer))?;
+    rec.record("parse", parse_start);
+    Ok((dataset, received))
+}
+
+/// Converts a body-parse failure into its `ServiceError` (a 400) while
+/// emitting the structured warning operators grep for.
+fn parse_reject(error: ModelError, rec: &SpanRecorder, peer: &str) -> ServiceError {
+    let offset = match &error {
+        ModelError::Parse { offset, .. } | ModelError::BinParse { offset, .. } => *offset as u64,
+        _ => 0,
+    };
+    logging::warn(
+        "service::handlers",
+        Some(rec.id()),
+        "rejecting request body: parse error",
+        &[
+            ("peer", FieldValue::Str(peer)),
+            ("offset", FieldValue::U64(offset)),
+            ("error", FieldValue::Str(&error.to_string())),
+        ],
+    );
+    ServiceError::from(error)
 }
 
 /// `POST /v1/anonymize?mechanism=…[&seed=…][&dataset=…][&format=…][&report=1]`
@@ -242,6 +309,8 @@ fn anonymize(
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
     config: &ServerConfig,
     state: &AppState,
+    rec: &SpanRecorder,
+    peer: &str,
 ) -> Result<Response, ServiceError> {
     let params = Params(&head.query);
     let resolved = resolve_mechanism(params)?;
@@ -261,13 +330,15 @@ fn anonymize(
             })?;
             (Arc::clone(&entry.dataset), entry.digest.clone(), 0)
         } else {
-            let (dataset, received) = read_body_dataset(head, reader, config)?;
+            let (dataset, received) = read_body_dataset(head, reader, config, rec, peer)?;
             // Digest the *canonical* serialization: CSV, NDJSON and
             // chunked uploads of the same data share one cache entry.
+            let digest_start = Instant::now();
             let mut canonical = Vec::new();
             write_csv(&dataset, &mut canonical)
                 .map_err(|e| ServiceError::Internal(format!("canonicalizing input: {e}")))?;
             let digest = digest_hex(&canonical);
+            rec.record("digest", digest_start);
             (Arc::new(dataset), digest, received)
         };
 
@@ -279,6 +350,7 @@ fn anonymize(
         report,
         wire,
     );
+    let lookup_start = Instant::now();
     let (result, outcome) = state.results.get_or_compute(&key, || {
         compute::anonymize_result(
             &key,
@@ -290,8 +362,10 @@ fn anonymize(
             wire,
             &state.engine,
             &|_| {},
+            rec,
         )
     })?;
+    rec.record("cache_lookup", lookup_start);
     let mut response = Response::from_cached(result, outcome);
     response
         .headers
@@ -311,8 +385,10 @@ fn register_dataset(
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
     config: &ServerConfig,
     state: &AppState,
+    rec: &SpanRecorder,
+    peer: &str,
 ) -> Result<Response, ServiceError> {
-    let (dataset, received) = read_body_dataset(head, reader, config)?;
+    let (dataset, received) = read_body_dataset(head, reader, config, rec, peer)?;
     if dataset.is_empty() {
         return Err(ServiceError::BadRequest(
             "dataset body is empty (nothing to register)".into(),
@@ -496,9 +572,87 @@ fn fetch_result(key: &str, state: &AppState) -> Result<Response, ServiceError> {
     }
 }
 
+/// `GET /metrics` — the Prometheus text exposition of the per-server
+/// registry merged with the process-global engine/eval registry. Gauges
+/// are refreshed from their owning components at scrape time, so this
+/// endpoint and `/v1/stats` always agree.
+fn metrics_text(state: &AppState) -> Response {
+    state.refresh_gauges();
+    let text = render_merged(&[&state.metrics.registry, mobipriv_obs::global()]);
+    Response::ok("text/plain; version=0.0.4", text.into_bytes())
+}
+
+/// `GET /v1/traces/:id` — one stored span timeline, as recorded for the
+/// trace id a response's `x-mobipriv-trace` header (or a job document's
+/// `trace` field) named. Timelines live in a bounded ring buffer, so
+/// old ids age out (`404`).
+fn trace_detail(id: &str, state: &AppState) -> Result<Response, ServiceError> {
+    let stored = state
+        .traces
+        .get(id)
+        .ok_or_else(|| ServiceError::NotFound(format!("/v1/traces/{id}")))?;
+    let spans: Vec<Json> = stored
+        .spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("stage".into(), Json::Str(s.stage.to_owned())),
+                ("start_us".into(), Json::UInt(s.start_us)),
+                ("dur_us".into(), Json::UInt(s.dur_us)),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("id".into(), Json::Str(stored.id.clone())),
+        ("spans".into(), Json::Arr(spans)),
+    ]);
+    Ok(Response::json(200, "OK", &doc))
+}
+
+/// The registry snapshot as a flat JSON object (`name{labels}` keys),
+/// embedded in `/v1/stats` so JSON-speaking clients get the full metric
+/// set without parsing the Prometheus text format.
+fn metrics_json(state: &AppState) -> Json {
+    let mut samples = state.metrics.registry.snapshot();
+    samples.extend(mobipriv_obs::global().snapshot());
+    let members = samples
+        .into_iter()
+        .map(|sample| {
+            let mut key = sample.name;
+            if !sample.labels.is_empty() {
+                key.push('{');
+                for (i, (name, value)) in sample.labels.iter().enumerate() {
+                    if i > 0 {
+                        key.push(',');
+                    }
+                    key.push_str(name);
+                    key.push('=');
+                    key.push_str(value);
+                }
+                key.push('}');
+            }
+            let value = match sample.value {
+                Value::Counter(v) => Json::UInt(v),
+                Value::Gauge(v) if v >= 0 => Json::UInt(v as u64),
+                Value::Gauge(v) => Json::Num(v as f64),
+                Value::Histogram(h) => Json::Obj(vec![
+                    ("count".into(), Json::UInt(h.count)),
+                    ("sum_seconds".into(), Json::Num(h.sum_seconds())),
+                ]),
+            };
+            (key, value)
+        })
+        .collect();
+    Json::Obj(members)
+}
+
 /// `GET /v1/stats` — registry/cache/job counters, including the
-/// single-flight computation counter the stress tests assert on.
+/// single-flight computation counter the stress tests assert on. The
+/// historical top-level fields read the same registry handles as
+/// `GET /metrics` (one source of truth); the `metrics` member embeds
+/// the full snapshot for JSON-speaking clients.
 fn stats(state: &AppState) -> Response {
+    state.refresh_gauges();
     let (dataset_count, dataset_bytes) = state.datasets.stats();
     let (result_count, result_bytes) = state.results.stats();
     let (hits, misses) = state.results.hit_miss();
@@ -533,6 +687,7 @@ fn stats(state: &AppState) -> Response {
                 ("failed".into(), Json::UInt(failed as u64)),
             ]),
         ),
+        ("metrics".into(), metrics_json(state)),
     ]);
     Response::json(200, "OK", &doc)
 }

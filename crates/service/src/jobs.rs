@@ -24,11 +24,14 @@ use std::time::Instant;
 
 use mobipriv_core::Engine;
 use mobipriv_eval::Json;
+use mobipriv_obs::logging::{self, FieldValue};
+use mobipriv_obs::trace::{next_trace_id, SpanRecorder, TraceStore};
 
 use crate::cache::{result_key, CacheOutcome, ResultCache};
 use crate::compute;
 use crate::datasets::DatasetEntry;
 use crate::registry::{resolve_mechanism, Params};
+use crate::telemetry::ServiceMetrics;
 use crate::ServiceError;
 
 /// Finished job records kept before the oldest are dropped.
@@ -105,6 +108,9 @@ struct JobState {
     error: Option<String>,
     wall_ms: f64,
     cache: Option<CacheOutcome>,
+    /// Trace id of the executor run (set when the job starts running);
+    /// its span timeline is served by `GET /v1/traces/:id`.
+    trace: Option<String>,
 }
 
 /// One submitted job: spec + mutable status.
@@ -128,6 +134,7 @@ impl Job {
                 error: None,
                 wall_ms: 0.0,
                 cache: None,
+                trace: None,
             }),
         }
     }
@@ -173,6 +180,9 @@ impl Job {
         }
         if let Some(outcome) = state.cache {
             members.push(("cache".into(), Json::Str(outcome.header_value().into())));
+        }
+        if let Some(trace) = state.trace {
+            members.push(("trace".into(), Json::Str(trace)));
         }
         if let Some(error) = state.error {
             members.push(("error".into(), Json::Str(error)));
@@ -353,15 +363,27 @@ impl JobBoard {
 
 /// Runs one job to completion on the shared cache + engine. This is the
 /// executor-thread body; it never panics outward (failures land in the
-/// job record).
-pub(crate) fn run_job(job: &Arc<Job>, board: &JobBoard, cache: &ResultCache, engine: &Engine) {
+/// job record). `obs` carries the owning server's metrics and trace
+/// store when there is one (in-process unit tests pass `None`): the
+/// executor records its own span timeline under a fresh trace id,
+/// exposed through the job document's `trace` field.
+pub(crate) fn run_job(
+    job: &Arc<Job>,
+    board: &JobBoard,
+    cache: &ResultCache,
+    engine: &Engine,
+    obs: Option<(&ServiceMetrics, &TraceStore)>,
+) {
     let started = Instant::now();
+    let spans = SpanRecorder::new(next_trace_id());
     {
         let mut state = job.state.lock().expect("job mutex poisoned");
         state.status = JobStatus::Running;
+        state.trace = Some(spans.id().to_owned());
     }
     let spec = &job.spec;
     let progress = |p: f64| job.set_progress(p);
+    let lookup_start = Instant::now();
     let outcome = cache.get_or_compute(&spec.canonical, || {
         // Rebuilding the mechanism from the stored query keeps the
         // job spec `Send` without demanding it of `dyn Mechanism`.
@@ -377,6 +399,7 @@ pub(crate) fn run_job(job: &Arc<Job>, board: &JobBoard, cache: &ResultCache, eng
                 mobipriv_model::WireFormat::Csv,
                 engine,
                 &progress,
+                &spans,
             ),
             JobKind::Evaluate => compute::evaluate_result(
                 &spec.canonical,
@@ -387,25 +410,60 @@ pub(crate) fn run_job(job: &Arc<Job>, board: &JobBoard, cache: &ResultCache, eng
                 spec.seed,
                 engine,
                 &progress,
+                &spans,
             ),
         }
     });
+    spans.record("cache_lookup", lookup_start);
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let mut state = job.state.lock().expect("job mutex poisoned");
     state.wall_ms = wall_ms;
-    match outcome {
+    let error = match outcome {
         Ok((_, cache_outcome)) => {
             state.status = JobStatus::Done;
             state.progress = 1.0;
             state.cache = Some(cache_outcome);
+            None
         }
         Err(e) => {
             state.status = JobStatus::Failed;
             state.error = Some(e.to_string());
+            Some(e.to_string())
         }
-    }
+    };
     drop(state);
     board.record_finished(&job.id);
+    if let Some((metrics, traces)) = obs {
+        metrics.record_spans(&spans);
+        traces.store(&spans);
+        match &error {
+            None => metrics.jobs_done_total.inc(),
+            Some(_) => metrics.jobs_failed_total.inc(),
+        }
+    }
+    match &error {
+        None => logging::debug(
+            "service::jobs",
+            Some(spans.id()),
+            "job done",
+            &[
+                ("id", FieldValue::Str(&job.id)),
+                ("kind", FieldValue::Str(spec.kind.name())),
+                ("wall_ms", FieldValue::F64(wall_ms)),
+            ],
+        ),
+        Some(message) => logging::warn(
+            "service::jobs",
+            Some(spans.id()),
+            "job failed",
+            &[
+                ("id", FieldValue::Str(&job.id)),
+                ("kind", FieldValue::Str(spec.kind.name())),
+                ("wall_ms", FieldValue::F64(wall_ms)),
+                ("error", FieldValue::Str(message)),
+            ],
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -468,7 +526,7 @@ mod tests {
         let engine = Engine::sequential();
         for _ in 0..2 {
             let job = receiver.try_recv().expect("queued job");
-            run_job(&job, &board, &cache, &engine);
+            run_job(&job, &board, &cache, &engine, None);
             assert_eq!(job.status(), JobStatus::Done);
         }
         assert!(receiver.try_recv().is_err(), "no third enqueue");
@@ -490,6 +548,7 @@ mod tests {
             &board,
             &cache,
             &Engine::sequential(),
+            None,
         );
         assert_eq!(job.status(), JobStatus::Failed);
         let mut text = String::new();

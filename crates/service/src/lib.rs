@@ -17,9 +17,11 @@
 //! | `POST /v1/jobs?dataset=…&mechanism=…` | submit an async anonymization or evaluation job against a registered digest |
 //! | `GET /v1/jobs[/:id]` | job records / one job's `queued→running→done|failed` status with progress |
 //! | `GET /v1/results/:key` | the finished bytes for a content address |
-//! | `GET /v1/stats` | registry, cache and job counters (incl. the single-flight computation counter) |
+//! | `GET /v1/stats` | registry, cache and job counters (incl. the single-flight computation counter), with the full metric registry embedded under `"metrics"` |
 //! | `GET /v1/mechanisms` | the mechanism catalogue with parameters and defaults |
 //! | `GET /v1/evaluate?scenario=…&mechanism=…` | run the evaluation matrix (attacks + utility metrics) on synthetic workloads, get the JSON [`EvalReport`](mobipriv_eval::EvalReport) |
+//! | `GET /metrics` | Prometheus text exposition: request/cache/job/queue counters and per-stage latency histograms ([`telemetry`]) |
+//! | `GET /v1/traces/:id` | the span timeline behind an `x-mobipriv-trace` response header |
 //! | `GET /healthz` | liveness probe |
 //!
 //! # Guarantees
@@ -72,6 +74,7 @@ pub mod jobs;
 pub mod registry;
 mod server;
 mod state;
+pub mod telemetry;
 
 pub use cache::{result_key, CacheOutcome, ResultCache};
 pub use datasets::DatasetRegistry;

@@ -27,6 +27,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use mobipriv_core::Engine;
+use mobipriv_obs::logging::{self, FieldValue};
 
 use crate::handlers::handle_connection;
 use crate::http::write_response;
@@ -153,12 +154,26 @@ impl Server {
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let config = Arc::clone(&config);
+            let state = Arc::clone(&state);
             let listener = self.listener;
             std::thread::Builder::new()
                 .name("mobipriv-acceptor".to_owned())
-                .spawn(move || accept_loop(&listener, sender, &shutdown, &config))
+                .spawn(move || accept_loop(&listener, sender, &shutdown, &config, &state))
                 .expect("spawn acceptor thread")
         };
+        logging::info(
+            "service::server",
+            None,
+            "server listening",
+            &[
+                ("addr", FieldValue::Str(&addr.to_string())),
+                ("workers", FieldValue::U64(config.workers.max(1) as u64)),
+                (
+                    "job_workers",
+                    FieldValue::U64(config.job_workers.max(1) as u64),
+                ),
+            ],
+        );
         Ok(ServerHandle {
             addr,
             shutdown,
@@ -215,6 +230,12 @@ impl ServerHandle {
     /// Graceful shutdown: stops accepting, finishes queued and
     /// in-flight requests *and jobs*, joins every thread.
     pub fn shutdown(self) {
+        logging::info(
+            "service::server",
+            None,
+            "server shutting down",
+            &[("addr", FieldValue::Str(&self.addr.to_string()))],
+        );
         self.shutdown.store(true, Ordering::SeqCst);
         self.state.jobs.close();
         // Wake the blocking accept() with a throwaway connection. A
@@ -258,6 +279,7 @@ fn accept_loop(
     sender: SyncSender<TcpStream>,
     shutdown: &AtomicBool,
     config: &ServerConfig,
+    state: &AppState,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -278,10 +300,21 @@ fn accept_loop(
         }
         let _ = stream.set_read_timeout(Some(config.timeout));
         let _ = stream.set_write_timeout(Some(config.timeout));
-        if let Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) =
-            sender.try_send(stream)
-        {
-            shed(stream);
+        match sender.try_send(stream) {
+            Ok(()) => {
+                let depth = state.metrics.queue_depth.add(1);
+                state.metrics.queue_depth_peak.record_max(depth);
+            }
+            Err(TrySendError::Full(stream)) | Err(TrySendError::Disconnected(stream)) => {
+                state.metrics.shed_total.inc();
+                logging::warn(
+                    "service::server",
+                    None,
+                    "connection shed: request queue full",
+                    &[("queue_depth", FieldValue::U64(config.queue_depth as u64))],
+                );
+                shed(stream);
+            }
         }
     }
     // Dropping the sender lets the workers drain the queue and exit.
@@ -345,6 +378,7 @@ fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, config: &ServerConfig, sta
         };
         match stream {
             Ok(stream) => {
+                state.metrics.queue_depth.add(-1);
                 // A panicking handler must not shrink the fixed pool:
                 // the connection is lost, the worker survives.
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -367,7 +401,13 @@ fn job_loop(receiver: &Mutex<Receiver<Arc<crate::jobs::Job>>>, state: &AppState)
                 // Same panic containment as the HTTP pool: a panicking
                 // computation loses that job, not the executor.
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    crate::jobs::run_job(&job, &state.jobs, &state.results, &state.engine);
+                    crate::jobs::run_job(
+                        &job,
+                        &state.jobs,
+                        &state.results,
+                        &state.engine,
+                        Some((&state.metrics, &state.traces)),
+                    );
                 }));
             }
             Err(_) => break, // board closed and queue drained: shutdown

@@ -2,12 +2,17 @@
 //! the job board, wired together once per [`Server`](crate::Server).
 
 use mobipriv_core::Engine;
+use mobipriv_obs::trace::TraceStore;
 
 use crate::cache::ResultCache;
 use crate::datasets::DatasetRegistry;
 use crate::jobs::JobBoard;
+use crate::telemetry::ServiceMetrics;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
+
+/// Span timelines kept for `GET /v1/traces/:id`.
+const TRACE_CAPACITY: usize = 512;
 
 /// Everything request handlers and job executors share.
 pub struct AppState {
@@ -20,6 +25,10 @@ pub struct AppState {
     /// The engine computations run on (copied from the server config;
     /// `Engine` is `Copy`).
     pub engine: Engine,
+    /// Per-server metrics (`GET /metrics`, embedded in `/v1/stats`).
+    pub metrics: ServiceMetrics,
+    /// Recent span timelines (`GET /v1/traces/:id`).
+    pub traces: TraceStore,
 }
 
 impl AppState {
@@ -32,14 +41,42 @@ impl AppState {
         job_queue_depth: usize,
     ) -> (Arc<AppState>, Receiver<Arc<crate::jobs::Job>>) {
         let (jobs, receiver) = JobBoard::new(job_queue_depth);
+        let metrics = ServiceMetrics::new();
+        let results = ResultCache::new(result_budget_bytes);
+        results.register_metrics(&metrics.registry);
+        let traces = TraceStore::new(TRACE_CAPACITY);
+        if std::env::var("MOBIPRIV_TRACE").as_deref() == Ok("0") {
+            traces.set_enabled(false);
+        }
         (
             Arc::new(AppState {
                 datasets: DatasetRegistry::new(dataset_budget_bytes),
-                results: ResultCache::new(result_budget_bytes),
+                results,
                 jobs,
                 engine,
+                metrics,
+                traces,
             }),
             receiver,
         )
+    }
+
+    /// Refreshes the point-in-time gauges (dataset/result/job/trace
+    /// populations) from their owning components — called before every
+    /// registry render so `/metrics` and `/v1/stats` read one source
+    /// of truth.
+    pub fn refresh_gauges(&self) {
+        let (dataset_count, dataset_bytes) = self.datasets.stats();
+        self.metrics.datasets_count.set(dataset_count as i64);
+        self.metrics.datasets_bytes.set(dataset_bytes as i64);
+        let (result_count, result_bytes) = self.results.stats();
+        self.metrics.results_count.set(result_count as i64);
+        self.metrics.results_bytes.set(result_bytes as i64);
+        let counts = self.jobs.counts();
+        let by_state = [counts.0, counts.1, counts.2, counts.3];
+        for ((gauge, _), value) in self.metrics.jobs_state.iter().zip(by_state) {
+            gauge.set(value as i64);
+        }
+        self.metrics.traces_stored.set(self.traces.len() as i64);
     }
 }

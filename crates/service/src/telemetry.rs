@@ -1,0 +1,203 @@
+//! The server's observability surface: one per-server metrics registry
+//! (plus handles for the hot-path series) and the span-timeline store
+//! behind `GET /v1/traces/:id`.
+//!
+//! Request/cache/job/queue metrics are **per server**, owned by
+//! [`AppState`](crate::AppState): the workspace's tests and benches
+//! spawn several servers per process and assert exact per-server
+//! counts, which a process-global registry would conflate. Engine and
+//! eval profiling live in [`mobipriv_obs::global`] instead (the `Copy`
+//! engine cannot carry a handle); `GET /metrics` renders both merged.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mobipriv_obs::metrics::{Counter, Gauge, Histogram, Registry};
+use mobipriv_obs::trace::SpanRecorder;
+
+/// The request stages recorded as spans and as
+/// `mobipriv_stage_seconds{stage=…}` histogram series.
+pub const STAGES: [&str; 6] = [
+    "parse",
+    "digest",
+    "cache_lookup",
+    "compute",
+    "serialize",
+    "write",
+];
+
+/// Per-server metric handles. Everything here is an atomic behind an
+/// `Arc` — updating a metric never takes the registry lock.
+pub struct ServiceMetrics {
+    /// The server's registry, rendered by `GET /metrics`.
+    pub registry: Registry,
+    /// Connections shed with `503` before parsing (queue full).
+    pub shed_total: Counter,
+    /// Connections currently queued between acceptor and workers.
+    pub queue_depth: Gauge,
+    /// High-water mark of [`ServiceMetrics::queue_depth`].
+    pub queue_depth_peak: Gauge,
+    /// End-to-end request wall time (accept to response written).
+    pub request_seconds: Histogram,
+    /// Jobs that reached `done`.
+    pub jobs_done_total: Counter,
+    /// Jobs that reached `failed`.
+    pub jobs_failed_total: Counter,
+    /// Registered-dataset count (refreshed at scrape time).
+    pub datasets_count: Gauge,
+    /// Registered-dataset bytes (refreshed at scrape time).
+    pub datasets_bytes: Gauge,
+    /// Completed result-cache entries (refreshed at scrape time).
+    pub results_count: Gauge,
+    /// Completed result-cache body bytes (refreshed at scrape time).
+    pub results_bytes: Gauge,
+    /// Job records by state (refreshed at scrape time).
+    pub jobs_state: [(Gauge, &'static str); 4],
+    /// Stored span timelines (refreshed at scrape time).
+    pub traces_stored: Gauge,
+    stage_seconds: HashMap<&'static str, Histogram>,
+    requests_by_status: Mutex<HashMap<u16, Counter>>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Builds the registry and registers every always-present family.
+    pub fn new() -> ServiceMetrics {
+        let registry = Registry::new();
+        let shed_total = registry.counter(
+            "mobipriv_http_shed_total",
+            &[],
+            "Connections answered 503 before parsing because the accept queue was full",
+        );
+        let queue_depth = registry.gauge(
+            "mobipriv_http_queue_depth",
+            &[],
+            "Connections currently queued between the acceptor and the worker pool",
+        );
+        let queue_depth_peak = registry.gauge(
+            "mobipriv_http_queue_depth_peak",
+            &[],
+            "High-water mark of the accept queue depth",
+        );
+        let request_seconds = registry.histogram(
+            "mobipriv_http_request_seconds",
+            &[],
+            "End-to-end request wall time, accept to response written",
+        );
+        let jobs_done_total = registry.counter(
+            "mobipriv_jobs_done_total",
+            &[],
+            "Jobs that reached the done state",
+        );
+        let jobs_failed_total = registry.counter(
+            "mobipriv_jobs_failed_total",
+            &[],
+            "Jobs that reached the failed state",
+        );
+        let datasets_count =
+            registry.gauge("mobipriv_datasets", &[], "Datasets currently registered");
+        let datasets_bytes = registry.gauge(
+            "mobipriv_dataset_bytes",
+            &[],
+            "Canonical bytes held by the dataset registry",
+        );
+        let results_count = registry.gauge(
+            "mobipriv_cache_entries",
+            &[],
+            "Completed entries in the result cache",
+        );
+        let results_bytes = registry.gauge(
+            "mobipriv_cache_bytes",
+            &[],
+            "Body bytes held by the result cache",
+        );
+        let jobs_state = ["queued", "running", "done", "failed"].map(|state| {
+            (
+                registry.gauge(
+                    "mobipriv_jobs",
+                    &[("state", state)],
+                    "Job records by lifecycle state",
+                ),
+                state,
+            )
+        });
+        let traces_stored = registry.gauge(
+            "mobipriv_traces_stored",
+            &[],
+            "Span timelines held by the trace ring buffer",
+        );
+        let stage_seconds = STAGES
+            .iter()
+            .map(|&stage| {
+                (
+                    stage,
+                    registry.histogram(
+                        "mobipriv_stage_seconds",
+                        &[("stage", stage)],
+                        "Wall time per request stage",
+                    ),
+                )
+            })
+            .collect();
+        ServiceMetrics {
+            registry,
+            shed_total,
+            queue_depth,
+            queue_depth_peak,
+            request_seconds,
+            jobs_done_total,
+            jobs_failed_total,
+            datasets_count,
+            datasets_bytes,
+            results_count,
+            results_bytes,
+            jobs_state,
+            traces_stored,
+            stage_seconds,
+            requests_by_status: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Counts one finished request under its status code and records
+    /// its end-to-end wall time.
+    pub fn record_request(&self, status: u16, elapsed: Duration) {
+        let mut by_status = self
+            .requests_by_status
+            .lock()
+            .expect("status counters poisoned");
+        by_status
+            .entry(status)
+            .or_insert_with(|| {
+                self.registry.counter(
+                    "mobipriv_http_requests_total",
+                    &[("status", &status.to_string())],
+                    "Requests served, by response status",
+                )
+            })
+            .inc();
+        drop(by_status);
+        self.request_seconds.observe_duration(elapsed);
+    }
+
+    /// Folds a finished recorder's spans into the per-stage latency
+    /// histograms.
+    pub fn record_spans(&self, recorder: &SpanRecorder) {
+        for span in recorder.spans() {
+            let histogram = match self.stage_seconds.get(span.stage) {
+                Some(h) => h.clone(),
+                None => self.registry.histogram(
+                    "mobipriv_stage_seconds",
+                    &[("stage", span.stage)],
+                    "Wall time per request stage",
+                ),
+            };
+            histogram.observe(span.dur_us as f64 / 1e6);
+        }
+    }
+}

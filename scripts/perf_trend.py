@@ -27,8 +27,15 @@ must keep beating the pre-columnar implementation, not slide back to
 the historical ~1.01x plateau. The same hard floor applies to the
 reident paths entry.
 
+The obs_overhead section is an absolute ceiling (`--obs-ceiling`,
+default 1.05): the engine run with observability hooks enabled must
+stay within 5% of the run with them disabled — the zero-cost-when-idle
+contract of the metrics/tracing layer, measured as a min-of-N ratio so
+it divides out machine speed.
+
 usage: perf_trend.py BASELINE NEW [--floor=0.6] [--jobs-floor=10]
                      [--bin-floor=3] [--reident-floor=1.01]
+                     [--obs-ceiling=1.05]
 
 Exit status: 0 = no regression, 1 = regression (or a baseline path
 missing from the regenerated file), 2 = usage/parse error.
@@ -53,6 +60,7 @@ def main(argv):
     jobs_floor = 10.0
     bin_floor = 3.0
     reident_floor = 1.01
+    obs_ceiling = 1.05
     for a in argv:
         if a.startswith("--floor="):
             floor = float(a.split("=", 1)[1])
@@ -62,6 +70,8 @@ def main(argv):
             bin_floor = float(a.split("=", 1)[1])
         if a.startswith("--reident-floor="):
             reident_floor = float(a.split("=", 1)[1])
+        if a.startswith("--obs-ceiling="):
+            obs_ceiling = float(a.split("=", 1)[1])
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -146,6 +156,21 @@ def main(argv):
         verdict = "ok" if got >= jobs_floor else "FAIL"
         failed = failed or got < jobs_floor
         print(f"{'jobs_cache':>16} {'(abs)':>10} {got:>10.2f}x      -  {verdict} (>= {jobs_floor:.0f}x cold/warm)")
+
+    # obs_overhead: absolute ceiling on the enabled/disabled engine-run
+    # ratio (the zero-cost-when-idle contract, see module docstring).
+    obs = fresh.get("obs_overhead")
+    if obs is None:
+        print(f"{'obs_overhead':>16} {'-':>10} {'MISSING':>11}      -  FAIL")
+        failed = True
+    else:
+        got = obs["ratio"]
+        verdict = "ok" if got <= obs_ceiling else "FAIL"
+        failed = failed or got > obs_ceiling
+        print(
+            f"{'obs_overhead':>16} {'(abs)':>10} {got:>10.3f}x      -  "
+            f"{verdict} (<= {obs_ceiling:.2f}x with hooks enabled)"
+        )
 
     if failed:
         print(

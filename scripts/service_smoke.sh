@@ -11,7 +11,9 @@
 #      assert both result bodies are byte-identical, assert repeat
 #      requests are cache hits (x-mobipriv-cache) with zero failures,
 #   6. runs loadgen --jobs and asserts zero failed requests,
-#   7. kills the server on exit.
+#   7. scrapes GET /metrics and asserts the run moved the request,
+#      cache and job counters (and that no job failed),
+#   8. kills the server on exit.
 set -euo pipefail
 
 BIN=${BIN:-target/release}
@@ -292,5 +294,60 @@ grep -q 'hit rate:' "$WORK/loadgen.out" || {
   exit 1
 }
 echo "ok        loadgen --jobs replay, zero failures ($(grep 'hit rate:' "$WORK/loadgen.out"))"
+
+# loadgen scrapes /metrics itself and prints the server-side delta.
+grep -q '^server:   requests ' "$WORK/loadgen.out" || {
+  echo "FAIL loadgen printed no server-side metrics delta:" >&2
+  cat "$WORK/loadgen.out" >&2
+  exit 1
+}
+echo "ok        loadgen printed the server-side /metrics delta"
+
+# ---- observability -----------------------------------------------------
+
+# After everything above, the server's own counters must have moved:
+# requests served, at least one cache hit, zero failed jobs, and at
+# least one latency histogram with observations.
+curl -fsS "http://$ADDR/metrics" > "$WORK/metrics.txt"
+grep -q '^# TYPE mobipriv_http_requests_total counter' "$WORK/metrics.txt" || {
+  echo "FAIL /metrics lacks the requests_total family:" >&2
+  head -40 "$WORK/metrics.txt" >&2
+  exit 1
+}
+awk '$1 ~ /^mobipriv_http_requests_total/ { sum += $2 } END { exit !(sum > 0) }' \
+  "$WORK/metrics.txt" || {
+  echo "FAIL /metrics reports zero requests served" >&2
+  exit 1
+}
+awk '$1 == "mobipriv_cache_hits_total" { hits = $2 } END { exit !(hits >= 1) }' \
+  "$WORK/metrics.txt" || {
+  echo "FAIL /metrics reports no cache hits" >&2
+  exit 1
+}
+awk '$1 == "mobipriv_jobs_failed_total" { failed = $2 } END { exit !(failed == 0) }' \
+  "$WORK/metrics.txt" || {
+  echo "FAIL /metrics reports failed jobs" >&2
+  exit 1
+}
+awk '$1 ~ /_count(\{|$)/ { if ($2 > 0) found = 1 } END { exit !found }' \
+  "$WORK/metrics.txt" || {
+  echo "FAIL /metrics has no histogram with observations" >&2
+  exit 1
+}
+echo "ok        /metrics counters moved (requests > 0, hits >= 1, failed jobs == 0)"
+
+# A trace id handed out on a response resolves to a span timeline.
+TRACE=$(curl -s -D - --data-binary @"$WORK/body.csv" \
+  "http://$ADDR/v1/anonymize?mechanism=raw&seed=42" -o /dev/null \
+  | sed -n 's/^x-mobipriv-trace: \([0-9a-f]*\).*/\1/p')
+if [ -z "$TRACE" ]; then
+  echo "FAIL response carried no x-mobipriv-trace header" >&2
+  exit 1
+fi
+curl -fsS "http://$ADDR/v1/traces/$TRACE" | grep -q '"stage":"parse"' || {
+  echo "FAIL /v1/traces/$TRACE has no parse span" >&2
+  exit 1
+}
+echo "ok        trace $TRACE resolves to a span timeline"
 
 echo "service smoke passed"

@@ -57,6 +57,7 @@ pub use mobipriv_eval as eval;
 pub use mobipriv_geo as geo;
 pub use mobipriv_metrics as metrics;
 pub use mobipriv_model as model;
+pub use mobipriv_obs as obs;
 pub use mobipriv_poi as poi;
 pub use mobipriv_service as service;
 pub use mobipriv_synth as synth;

@@ -1,0 +1,214 @@
+//! Property-based tests on the observability layer's data structures:
+//! the fixed-bucket histogram and the Prometheus text rendering.
+//!
+//! The histogram backs the CI perf gate and the loadgen summary, so its
+//! invariants are load-bearing:
+//!
+//! * **bucket monotonicity** — cumulative bucket counts never decrease
+//!   with the bound (the exposition format's contract);
+//! * **count/sum consistency** — `count` equals the observations and
+//!   `sum` their total, independent of observation order;
+//! * **merge associativity** — merging per-thread histograms in any
+//!   grouping yields the same snapshot (the registry may merge in any
+//!   order);
+//! * **quantile error bound** — a quantile estimate is never below the
+//!   exact order statistic and overshoots by at most one bucket width.
+//!
+//! Rendering must be byte-deterministic (equal registry state ⇒ equal
+//! text) and must round-trip through the scrape parser even with label
+//! values that need escaping.
+
+use mobipriv::obs::metrics::{Histogram, Registry, BUCKET_BOUNDS};
+use mobipriv::obs::scrape;
+use proptest::prelude::*;
+
+/// Observations spanning the ladder (1 µs .. 500 s) plus the overflow
+/// and underflow edges.
+fn arb_observations() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0.0f64..2.0,
+            (-9i32..3).prop_map(|exp| 10f64.powi(exp)),
+            Just(0.0),
+            Just(600.0), // past the last bound: +Inf bucket
+        ],
+        1..64,
+    )
+}
+
+/// The exact `q`-quantile (nearest-rank) of a sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The width of the bucket containing `value` (infinite past the
+/// ladder).
+fn bucket_width(value: f64) -> f64 {
+    let mut lower = 0.0;
+    for &bound in &BUCKET_BOUNDS {
+        if value <= bound {
+            return bound - lower;
+        }
+        lower = bound;
+    }
+    f64::INFINITY
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cumulative bucket counts are monotone in the bound and end at
+    /// `count`.
+    #[test]
+    fn histogram_buckets_are_cumulative_monotone(obs in arb_observations()) {
+        let h = Histogram::new();
+        for &v in &obs {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        let mut cumulative = 0u64;
+        for &bucket in &snap.buckets {
+            let next = cumulative + bucket;
+            prop_assert!(next >= cumulative);
+            cumulative = next;
+        }
+        prop_assert_eq!(cumulative + snap.inf, snap.count);
+        prop_assert_eq!(snap.count, obs.len() as u64);
+    }
+
+    /// `sum` tracks the observations (as nanoseconds, so merging stays
+    /// integer-exact) regardless of order.
+    #[test]
+    fn histogram_count_sum_are_order_independent(obs in arb_observations()) {
+        let forward = Histogram::new();
+        let backward = Histogram::new();
+        for &v in &obs {
+            forward.observe(v);
+        }
+        for &v in obs.iter().rev() {
+            backward.observe(v);
+        }
+        prop_assert_eq!(forward.snapshot(), backward.snapshot());
+        let expected_nanos: u64 = obs
+            .iter()
+            .map(|&v| (v.max(0.0) * 1e9).round() as u64)
+            .sum();
+        prop_assert_eq!(forward.snapshot().sum_nanos, expected_nanos);
+    }
+
+    /// Merging per-shard histograms is associative: any grouping of the
+    /// shards produces the identical snapshot.
+    #[test]
+    fn histogram_merge_is_associative(
+        a in arb_observations(),
+        b in arb_observations(),
+        c in arb_observations(),
+    ) {
+        let observe = |values: &[f64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.observe(v);
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let left = observe(&a);
+        left.merge_from(&observe(&b));
+        left.merge_from(&observe(&c));
+        // a ⊕ (b ⊕ c)
+        let right_inner = observe(&b);
+        right_inner.merge_from(&observe(&c));
+        let right = observe(&a);
+        right.merge_from(&right_inner);
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+    }
+
+    /// A quantile estimate is an upper bound of the exact order
+    /// statistic, within one bucket width.
+    #[test]
+    fn histogram_quantile_within_one_bucket(
+        obs in arb_observations(),
+        q in prop_oneof![0.0f64..1.0, Just(1.0)],
+    ) {
+        let h = Histogram::new();
+        for &v in &obs {
+            h.observe(v);
+        }
+        let estimate = h.quantile(q).expect("non-empty histogram");
+        let mut sorted: Vec<f64> = obs.iter().map(|&v| v.max(0.0)).collect();
+        sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let exact = exact_quantile(&sorted, q);
+        prop_assert!(
+            estimate >= exact - 1e-12 || estimate == f64::INFINITY,
+            "estimate {estimate} below exact {exact}"
+        );
+        if estimate.is_finite() {
+            prop_assert!(
+                estimate - exact <= bucket_width(exact) + 1e-12,
+                "estimate {estimate} overshoots exact {exact} by more than a bucket"
+            );
+        } else {
+            // +Inf is only returned past the last finite bound.
+            prop_assert!(exact > BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]);
+        }
+    }
+
+    /// Rendering is a pure function of registry state: building the
+    /// same series in any insertion order yields byte-identical text.
+    #[test]
+    fn rendering_is_byte_deterministic(
+        statuses in proptest::collection::vec(100u16..600, 1..8),
+        values in proptest::collection::vec(1u64..100, 1..8),
+    ) {
+        let build = |reversed: bool| {
+            let registry = Registry::new();
+            let order: Vec<usize> = if reversed {
+                (0..statuses.len()).rev().collect()
+            } else {
+                (0..statuses.len()).collect()
+            };
+            for i in order {
+                registry
+                    .counter(
+                        "mobipriv_http_requests_total",
+                        &[("status", &statuses[i].to_string())],
+                        "requests by status",
+                    )
+                    .add(values[i % values.len()]);
+            }
+            registry.render_prometheus()
+        };
+        prop_assert_eq!(build(false), build(true));
+    }
+
+    /// Label values with quotes, backslashes and newlines survive a
+    /// render → scrape round trip.
+    #[test]
+    fn label_escaping_round_trips(
+        value in proptest::collection::vec(
+            prop_oneof![
+                (32u32..127).prop_map(|c| char::from_u32(c).expect("printable ascii")),
+                Just('"'),
+                Just('\\'),
+                Just('\n'),
+            ],
+            0..24,
+        )
+        .prop_map(|chars| chars.into_iter().collect::<String>()),
+    ) {
+        let registry = Registry::new();
+        registry
+            .counter("escape_total", &[("k", &value)], "escape probe")
+            .add(3);
+        let text = registry.render_prometheus();
+        let parsed = scrape::parse(&text).expect("rendered text parses");
+        prop_assert_eq!(
+            parsed.value("escape_total", &[("k", &value)]),
+            Some(3.0),
+            "label `{:?}` did not round-trip through:\n{}",
+            value,
+            text
+        );
+    }
+}
