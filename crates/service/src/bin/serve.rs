@@ -36,6 +36,12 @@ options:
   --job-queue N        job-queue depth before submissions 503 (default 64)
   --dataset-budget-mb N  registry byte budget, LRU-evicted (default 512)
   --result-budget-mb N   result-cache byte budget, LRU-evicted (default 256)
+  --data-dir PATH      persist datasets and finished results under PATH
+                       (content-addressed blobs + append-only journal);
+                       on restart the journal is replayed, every blob is
+                       re-hashed (mismatches quarantined) and previous
+                       results serve as byte-identical cache hits.
+                       Omit for the default pure in-memory behavior.
   --engine-threads N   run each request's per-trace fan-out on N engine
                        threads instead of sequentially (output is
                        identical; per-request parallelism only pays off
@@ -97,6 +103,7 @@ fn main() {
                 Ok(n) if n > 0 => config.result_budget_bytes = n * 1024 * 1024,
                 _ => fail("--result-budget-mb expects a positive integer"),
             },
+            "--data-dir" => config.data_dir = Some(std::path::PathBuf::from(value(i))),
             "--engine-threads" => match value(i).parse() {
                 Ok(n) if n > 0 => config.engine = Engine::parallel().with_workers(n),
                 _ => fail("--engine-threads expects a positive integer"),

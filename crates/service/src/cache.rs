@@ -22,11 +22,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use mobipriv_model::digest::digest_hex;
+use mobipriv_obs::logging::{self, FieldValue};
 use mobipriv_obs::metrics::{Counter, Registry};
 
+use crate::store::Store;
 use crate::ServiceError;
 
 /// Derives the 16-hex-digit result address from a canonical key string.
@@ -106,6 +108,10 @@ pub struct ResultCache {
     computations: Counter,
     hits: Counter,
     misses: Counter,
+    /// Persistence hook (set once at boot when the server has a
+    /// `--data-dir`): completed results are written through before they
+    /// are published, evictions are journaled.
+    store: OnceLock<Arc<Store>>,
 }
 
 impl ResultCache {
@@ -122,7 +128,33 @@ impl ResultCache {
             computations: Counter::new(),
             hits: Counter::new(),
             misses: Counter::new(),
+            store: OnceLock::new(),
         }
+    }
+
+    /// Attaches the persistence layer. Called once at boot, *after*
+    /// recovered results have been seeded via
+    /// [`ResultCache::insert_recovered`] — seeding must not re-persist
+    /// what was just read back from disk.
+    pub(crate) fn attach_store(&self, store: Arc<Store>) {
+        let _ = self.store.set(store);
+    }
+
+    /// Seeds one recovered result (boot-time replay). Oversized bodies
+    /// are skipped exactly as [`ResultCache::get_or_compute`] would
+    /// skip retaining them; the LRU budget applies as usual.
+    pub(crate) fn insert_recovered(&self, result: CachedResult) {
+        if result.body.len() as u64 > self.max_bytes {
+            return;
+        }
+        let canonical = result.canonical.clone();
+        let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        if inner.slots.contains_key(&canonical) {
+            return;
+        }
+        let result = Arc::new(result);
+        self.retain_locked(&mut inner, &canonical, &result, last_used);
     }
 
     /// Exposes the cache's own counters on `registry`
@@ -266,41 +298,29 @@ impl ResultCache {
                     "computation panicked: {message}"
                 )))
             });
+        // Persist a retained result *before* publishing it: anything a
+        // client can observe as done is already durable (blob + journal
+        // record, both fsync'd). A persist failure degrades durability
+        // only — the result still serves from memory.
+        if let (Ok(result), Some(store)) = (&outcome, self.store.get()) {
+            if result.body.len() as u64 <= self.max_bytes {
+                if let Err(e) = store.put_result(result) {
+                    logging::warn(
+                        "service::cache",
+                        None,
+                        "result not persisted; serving from memory only",
+                        &[("error", FieldValue::Str(&e.to_string()))],
+                    );
+                }
+            }
+        }
         let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().expect("cache mutex poisoned");
         let published = match outcome {
             Ok(result) => {
                 let result = Arc::new(result);
-                let bytes = result.body.len() as u64;
-                if bytes <= self.max_bytes {
-                    // Evict completed LRU entries until this one fits.
-                    while inner.done_bytes + bytes > self.max_bytes {
-                        let victim = inner
-                            .slots
-                            .iter()
-                            .filter_map(|(k, s)| match s {
-                                Slot::Done { last_used, .. } => Some((*last_used, k.clone())),
-                                Slot::InFlight(_) => None,
-                            })
-                            .min()
-                            .map(|(_, k)| k)
-                            .expect("done_bytes > 0 implies a Done slot");
-                        if let Some(Slot::Done { result, .. }) = inner.slots.remove(&victim) {
-                            inner.done_bytes -= result.body.len() as u64;
-                            inner.by_key.remove(&result_key(&result.canonical));
-                        }
-                    }
-                    inner.done_bytes += bytes;
-                    inner
-                        .by_key
-                        .insert(result_key(canonical), canonical.to_owned());
-                    inner.slots.insert(
-                        canonical.to_owned(),
-                        Slot::Done {
-                            result: Arc::clone(&result),
-                            last_used,
-                        },
-                    );
+                if result.body.len() as u64 <= self.max_bytes {
+                    self.retain_locked(&mut inner, canonical, &result, last_used);
                 } else {
                     // Too big to retain: serve it, drop the flight slot.
                     inner.slots.remove(canonical);
@@ -321,6 +341,56 @@ impl ResultCache {
         drop(done);
         flight.cv.notify_all();
         published.map(|result| (result, CacheOutcome::Miss))
+    }
+
+    /// Evicts completed LRU entries until `result` fits, then inserts
+    /// it as `Done`. Evictions are journaled when a store is attached
+    /// (so a restart does not resurrect what the budget discarded).
+    fn retain_locked(
+        &self,
+        inner: &mut Inner,
+        canonical: &str,
+        result: &Arc<CachedResult>,
+        last_used: u64,
+    ) {
+        let bytes = result.body.len() as u64;
+        while inner.done_bytes + bytes > self.max_bytes {
+            let victim = inner
+                .slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Done { last_used, .. } => Some((*last_used, k.clone())),
+                    Slot::InFlight(_) => None,
+                })
+                .min()
+                .map(|(_, k)| k)
+                .expect("done_bytes > 0 implies a Done slot");
+            if let Some(Slot::Done { result, .. }) = inner.slots.remove(&victim) {
+                inner.done_bytes -= result.body.len() as u64;
+                inner.by_key.remove(&result_key(&result.canonical));
+                if let Some(store) = self.store.get() {
+                    if let Err(e) = store.result_evicted(&result) {
+                        logging::warn(
+                            "service::cache",
+                            None,
+                            "eviction not journaled",
+                            &[("error", FieldValue::Str(&e.to_string()))],
+                        );
+                    }
+                }
+            }
+        }
+        inner.done_bytes += bytes;
+        inner
+            .by_key
+            .insert(result_key(canonical), canonical.to_owned());
+        inner.slots.insert(
+            canonical.to_owned(),
+            Slot::Done {
+                result: Arc::clone(result),
+                last_used,
+            },
+        );
     }
 }
 

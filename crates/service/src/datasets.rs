@@ -20,9 +20,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use mobipriv_model::{digest::digest_hex, write_csv, Dataset};
+use mobipriv_obs::logging::{self, FieldValue};
+
+use crate::store::Store;
 
 /// One registered dataset plus the metadata the API reports.
 #[derive(Debug)]
@@ -54,6 +57,10 @@ pub struct DatasetRegistry {
     inner: Mutex<Inner>,
     clock: AtomicU64,
     max_bytes: u64,
+    /// Persistence hook (set once at boot when the server has a
+    /// `--data-dir`): new registrations are written through, evictions
+    /// are journaled.
+    store: OnceLock<Arc<Store>>,
 }
 
 /// What [`DatasetRegistry::register`] did with the upload.
@@ -75,7 +82,15 @@ impl DatasetRegistry {
             }),
             clock: AtomicU64::new(0),
             max_bytes,
+            store: OnceLock::new(),
         }
+    }
+
+    /// Attaches the persistence layer. Called once at boot, *after*
+    /// recovered datasets have been re-registered — seeding must not
+    /// re-persist what was just read back from disk.
+    pub(crate) fn attach_store(&self, store: Arc<Store>) {
+        let _ = self.store.set(store);
     }
 
     fn tick(&self) -> u64 {
@@ -110,6 +125,19 @@ impl DatasetRegistry {
                 .expect("non-empty: total_bytes > 0 implies a slot exists");
             let slot = inner.slots.remove(&victim).expect("victim exists");
             inner.total_bytes -= slot.entry.bytes;
+            if let Some(store) = self.store.get() {
+                if let Err(e) = store.dataset_evicted(&victim) {
+                    logging::warn(
+                        "service::datasets",
+                        None,
+                        "eviction not journaled",
+                        &[
+                            ("digest", FieldValue::Str(&victim)),
+                            ("error", FieldValue::Str(&e.to_string())),
+                        ],
+                    );
+                }
+            }
         }
         let entry = Arc::new(DatasetEntry {
             digest: digest.clone(),
@@ -126,6 +154,23 @@ impl DatasetRegistry {
                 last_used,
             },
         );
+        // Write-through before the lock is released: once a curator's
+        // upload is acknowledged, the blob + journal record are durable.
+        // A persist failure degrades durability only — the dataset
+        // still serves from memory.
+        if let Some(store) = self.store.get() {
+            if let Err(e) = store.put_dataset(&entry.digest, &entry.dataset) {
+                logging::warn(
+                    "service::datasets",
+                    None,
+                    "dataset not persisted; serving from memory only",
+                    &[
+                        ("digest", FieldValue::Str(&entry.digest)),
+                        ("error", FieldValue::Str(&e.to_string())),
+                    ],
+                );
+            }
+        }
         Some((entry, Registered::New))
     }
 

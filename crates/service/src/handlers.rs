@@ -657,7 +657,7 @@ fn stats(state: &AppState) -> Response {
     let (result_count, result_bytes) = state.results.stats();
     let (hits, misses) = state.results.hit_miss();
     let (queued, running, done, failed) = state.jobs.counts();
-    let doc = Json::Obj(vec![
+    let mut members = vec![
         (
             "computations".into(),
             Json::UInt(state.results.computations()),
@@ -687,8 +687,22 @@ fn stats(state: &AppState) -> Response {
                 ("failed".into(), Json::UInt(failed as u64)),
             ]),
         ),
-        ("metrics".into(), metrics_json(state)),
-    ]);
+    ];
+    if let Some(store) = &state.store {
+        let s = store.stats();
+        members.push((
+            "store".into(),
+            Json::Obj(vec![
+                ("blobs".into(), Json::UInt(s.blobs)),
+                ("blob_bytes".into(), Json::UInt(s.blob_bytes)),
+                ("journal_bytes".into(), Json::UInt(s.journal_bytes)),
+                ("journal_records".into(), Json::UInt(s.journal_records)),
+                ("quarantined".into(), Json::UInt(s.quarantined)),
+            ]),
+        ));
+    }
+    members.push(("metrics".into(), metrics_json(state)));
+    let doc = Json::Obj(members);
     Response::json(200, "OK", &doc)
 }
 

@@ -19,7 +19,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use mobipriv_core::Engine;
@@ -213,6 +213,10 @@ struct BoardInner {
 pub struct JobBoard {
     inner: Mutex<BoardInner>,
     sender: Mutex<Option<SyncSender<Arc<Job>>>>,
+    /// Persistence hook (set once at boot when the server has a
+    /// `--data-dir`): accepted submissions are journaled so a crashed
+    /// node can report which jobs were in flight.
+    store: OnceLock<Arc<crate::store::Store>>,
 }
 
 impl JobBoard {
@@ -227,9 +231,15 @@ impl JobBoard {
                     finished: VecDeque::new(),
                 }),
                 sender: Mutex::new(Some(sender)),
+                store: OnceLock::new(),
             },
             receiver,
         )
+    }
+
+    /// Attaches the persistence layer (once, at boot).
+    pub(crate) fn attach_store(&self, store: Arc<crate::store::Store>) {
+        let _ = self.store.set(store);
     }
 
     /// Submits a job, coalescing onto an existing equivalent one.
@@ -263,6 +273,19 @@ impl JobBoard {
         let job = Arc::new(Job::new(spec));
         self.enqueue(Arc::clone(&job))?;
         inner.jobs.insert(id, Arc::clone(&job));
+        if let Some(store) = self.store.get() {
+            if let Err(e) = store.job_submitted(&job.id, &job.spec.canonical) {
+                logging::warn(
+                    "service::jobs",
+                    None,
+                    "submission not journaled",
+                    &[
+                        ("id", FieldValue::Str(&job.id)),
+                        ("error", FieldValue::Str(&e.to_string())),
+                    ],
+                );
+            }
+        }
         // Bound the record map: drop the oldest finished records past
         // the cap (their results stay addressable in the cache).
         while inner.jobs.len() > MAX_FINISHED_JOBS {

@@ -45,6 +45,13 @@
 //!   worker pool, and a bounded job queue in front of the executors:
 //!   past either limit, clients get an immediate `503` instead of an
 //!   ever-growing backlog.
+//! * **Durability (opt-in)** — with `--data-dir`, registered datasets
+//!   and finished results persist through a content-addressed blob
+//!   store plus an append-only journal ([`store`]): a warm restart
+//!   replays the journal, re-hashes every referenced blob (mismatches
+//!   are quarantined, never served) and answers previously computed
+//!   requests as byte-identical cache hits without recomputation.
+//!   Without the flag the server is pure in-memory, as before.
 //!
 //! # Example
 //!
@@ -74,6 +81,7 @@ pub mod jobs;
 pub mod registry;
 mod server;
 mod state;
+pub mod store;
 pub mod telemetry;
 
 pub use cache::{result_key, CacheOutcome, ResultCache};
@@ -83,3 +91,4 @@ pub use jobs::{JobBoard, JobKind, JobStatus};
 pub use registry::{build_mechanism, resolve_mechanism, MechanismInfo, MECHANISMS};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use state::AppState;
+pub use store::{Store, StoreStats};

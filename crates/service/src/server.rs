@@ -64,6 +64,11 @@ pub struct ServerConfig {
     /// Byte budget for the result cache (completed response bodies;
     /// least-recently-used results are evicted past it).
     pub result_budget_bytes: u64,
+    /// Root directory for the persistence layer ([`crate::store`]):
+    /// datasets and finished results are written through to disk and
+    /// recovered on the next boot. `None` (the default) keeps the
+    /// server pure in-memory.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +84,7 @@ impl Default for ServerConfig {
             job_queue_depth: 64,
             dataset_budget_bytes: 512 * 1024 * 1024,
             result_budget_bytes: 256 * 1024 * 1024,
+            data_dir: None,
         }
     }
 }
@@ -112,11 +118,13 @@ impl Server {
     }
 
     /// Starts the acceptor and worker threads, returning a handle for
-    /// shutdown. Serving begins immediately.
+    /// shutdown. With [`ServerConfig::data_dir`] set, opens the store
+    /// and recovers the previous serving state first — requests are
+    /// answered from the warm cache from the very first connection.
     ///
     /// # Errors
     ///
-    /// Propagates `getsockname(2)` failure.
+    /// Propagates `getsockname(2)` failure and store open failure.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let config = Arc::new(self.config);
@@ -126,7 +134,8 @@ impl Server {
             config.dataset_budget_bytes,
             config.result_budget_bytes,
             config.job_queue_depth,
-        );
+            config.data_dir.as_deref(),
+        )?;
         let job_receiver = Arc::new(Mutex::new(job_receiver));
         let job_workers: Vec<JoinHandle<()>> = (0..config.job_workers.max(1))
             .map(|i| {

@@ -1,5 +1,7 @@
 //! Shared serving state: the dataset registry, the result cache and
-//! the job board, wired together once per [`Server`](crate::Server).
+//! the job board, wired together once per [`Server`](crate::Server) —
+//! plus, when the server has a `--data-dir`, the persistence layer
+//! that makes them survive a restart.
 
 use mobipriv_core::Engine;
 use mobipriv_obs::trace::TraceStore;
@@ -7,6 +9,7 @@ use mobipriv_obs::trace::TraceStore;
 use crate::cache::ResultCache;
 use crate::datasets::DatasetRegistry;
 use crate::jobs::JobBoard;
+use crate::store::Store;
 use crate::telemetry::ServiceMetrics;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
@@ -29,42 +32,75 @@ pub struct AppState {
     pub metrics: ServiceMetrics,
     /// Recent span timelines (`GET /v1/traces/:id`).
     pub traces: TraceStore,
+    /// The persistence layer (`None` = pure in-memory server).
+    pub store: Option<Arc<Store>>,
 }
 
 impl AppState {
     /// Builds the state and hands back the job receiver the executor
-    /// threads drain.
+    /// threads drain. With a `data_dir`, opens (or initializes) the
+    /// store there, seeds the registry and cache with what recovery
+    /// verified, and only then attaches the store as the write-through
+    /// hook — seeding must not re-journal its own replay.
+    ///
+    /// # Errors
+    ///
+    /// Store open/initialization failure (the server refuses to start
+    /// half-durable). Damaged *content* is not an error: recovery
+    /// truncates torn journal tails and quarantines bad blobs.
     pub(crate) fn new(
         engine: Engine,
         dataset_budget_bytes: u64,
         result_budget_bytes: u64,
         job_queue_depth: usize,
-    ) -> (Arc<AppState>, Receiver<Arc<crate::jobs::Job>>) {
+        data_dir: Option<&std::path::Path>,
+    ) -> std::io::Result<(Arc<AppState>, Receiver<Arc<crate::jobs::Job>>)> {
         let (jobs, receiver) = JobBoard::new(job_queue_depth);
         let metrics = ServiceMetrics::new();
         let results = ResultCache::new(result_budget_bytes);
         results.register_metrics(&metrics.registry);
+        let datasets = DatasetRegistry::new(dataset_budget_bytes);
         let traces = TraceStore::new(TRACE_CAPACITY);
         if std::env::var("MOBIPRIV_TRACE").as_deref() == Ok("0") {
             traces.set_enabled(false);
         }
-        (
+        let store = match data_dir {
+            None => None,
+            Some(dir) => {
+                let (store, recovered) = Store::open(dir)?;
+                store.register_metrics(&metrics.registry);
+                for dataset in recovered.datasets {
+                    // Over-budget entries fall out here exactly as a
+                    // fresh upload would be rejected or LRU-evicted.
+                    let _ = datasets.register(dataset);
+                }
+                for result in recovered.results {
+                    results.insert_recovered(result);
+                }
+                datasets.attach_store(Arc::clone(&store));
+                results.attach_store(Arc::clone(&store));
+                jobs.attach_store(Arc::clone(&store));
+                Some(store)
+            }
+        };
+        Ok((
             Arc::new(AppState {
-                datasets: DatasetRegistry::new(dataset_budget_bytes),
+                datasets,
                 results,
                 jobs,
                 engine,
                 metrics,
                 traces,
+                store,
             }),
             receiver,
-        )
+        ))
     }
 
     /// Refreshes the point-in-time gauges (dataset/result/job/trace
-    /// populations) from their owning components — called before every
-    /// registry render so `/metrics` and `/v1/stats` read one source
-    /// of truth.
+    /// populations, store sizes) from their owning components — called
+    /// before every registry render so `/metrics` and `/v1/stats` read
+    /// one source of truth.
     pub fn refresh_gauges(&self) {
         let (dataset_count, dataset_bytes) = self.datasets.stats();
         self.metrics.datasets_count.set(dataset_count as i64);
@@ -78,5 +114,8 @@ impl AppState {
             gauge.set(value as i64);
         }
         self.metrics.traces_stored.set(self.traces.len() as i64);
+        if let Some(store) = &self.store {
+            store.refresh_gauges();
+        }
     }
 }

@@ -1,0 +1,207 @@
+//! In-process fault injection for the persistence write path.
+//!
+//! Durability code is exactly the code that never runs in a happy-path
+//! test, so the store routes every state-changing I/O through a
+//! [`FaultInjector`] gate. Production servers carry
+//! [`FaultInjector::none`] (a `None` — zero atomics touched); tests
+//! build an armed injector, hand a clone to [`Store`](crate::store::Store)
+//! and keep one themselves to read the op log back.
+//!
+//! Three failure shapes cover the crash matrix:
+//!
+//! * [`FaultMode::Fail`] — the Nth I/O returns an error and nothing is
+//!   written; the process keeps running (transient failure: `EIO`,
+//!   `ENOSPC`, …). Retrying the operation later must succeed.
+//! * [`FaultMode::ShortWrite`] — the Nth I/O is a write that persists
+//!   only half its bytes before erroring (a torn write). Abandoning the
+//!   store afterwards leaves the same on-disk state as a power cut in
+//!   the middle of that `write(2)`.
+//! * [`FaultMode::Crash`] — the Nth I/O and **every I/O after it**
+//!   fail (sticky). From the disk's point of view this is `kill -9` at
+//!   that instant; the test then reopens the directory with a fresh
+//!   store and asserts recovery.
+//!
+//! A counting (unarmed) injector records the labelled op sequence
+//! without failing anything, so the fault-matrix test can first dry-run
+//! a workload to learn how many I/Os it performs, then replay it once
+//! per `(op index, mode)` pair.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How the armed injector fails the Nth I/O. See the module docs for
+/// the crash-state each mode models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Error without side effects; later I/O succeeds.
+    Fail,
+    /// Writes persist half their bytes, then error; later I/O succeeds.
+    ShortWrite,
+    /// Error, and every subsequent I/O errors too (process death).
+    Crash,
+}
+
+/// What a gated write is allowed to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteGate {
+    /// Write everything.
+    Full,
+    /// Write the first half of the buffer, then report the injected
+    /// error ([`FaultMode::ShortWrite`] fired on this op).
+    Short,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    mode: FaultMode,
+    /// Zero-based op index the fault fires at (`u64::MAX` = never,
+    /// i.e. a counting injector).
+    trigger: u64,
+    ops: AtomicU64,
+    crashed: AtomicBool,
+    log: Mutex<Vec<&'static str>>,
+}
+
+/// The gate the store consults before each state-changing I/O.
+/// Cheap to clone (shared state); `none()` is free of any state at all.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    state: Option<Arc<InjectorState>>,
+}
+
+fn injected(op: &str) -> io::Error {
+    io::Error::other(format!("injected fault at {op}"))
+}
+
+impl FaultInjector {
+    /// The production gate: every I/O proceeds, nothing is recorded.
+    pub fn none() -> FaultInjector {
+        FaultInjector { state: None }
+    }
+
+    /// A dry-run gate: records the op sequence, never fails.
+    pub fn counting() -> FaultInjector {
+        FaultInjector::with(FaultMode::Fail, u64::MAX)
+    }
+
+    /// A gate that fires `mode` at the zero-based `nth` gated I/O.
+    pub fn armed(mode: FaultMode, nth: u64) -> FaultInjector {
+        FaultInjector::with(mode, nth)
+    }
+
+    fn with(mode: FaultMode, trigger: u64) -> FaultInjector {
+        FaultInjector {
+            state: Some(Arc::new(InjectorState {
+                mode,
+                trigger,
+                ops: AtomicU64::new(0),
+                crashed: AtomicBool::new(false),
+                log: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The labelled ops gated so far, in order.
+    pub fn ops(&self) -> Vec<&'static str> {
+        match &self.state {
+            Some(s) => s.log.lock().expect("fault log poisoned").clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether a [`FaultMode::Crash`] fault has fired (the store is
+    /// "dead": all further gated I/O errors).
+    pub fn crashed(&self) -> bool {
+        self.state
+            .as_ref()
+            .is_some_and(|s| s.crashed.load(Ordering::SeqCst))
+    }
+
+    fn fire(&self, op: &'static str) -> io::Result<WriteGate> {
+        let Some(s) = &self.state else {
+            return Ok(WriteGate::Full);
+        };
+        if s.crashed.load(Ordering::SeqCst) {
+            return Err(injected(op));
+        }
+        s.log.lock().expect("fault log poisoned").push(op);
+        if s.ops.fetch_add(1, Ordering::SeqCst) == s.trigger {
+            match s.mode {
+                FaultMode::Fail => Err(injected(op)),
+                FaultMode::ShortWrite => Ok(WriteGate::Short),
+                FaultMode::Crash => {
+                    s.crashed.store(true, Ordering::SeqCst);
+                    Err(injected(op))
+                }
+            }
+        } else {
+            Ok(WriteGate::Full)
+        }
+    }
+
+    /// Gates a non-write op (create/fsync/rename). [`FaultMode::ShortWrite`]
+    /// degenerates to a plain failure here — there is no buffer to tear.
+    pub fn check(&self, op: &'static str) -> io::Result<()> {
+        match self.fire(op)? {
+            WriteGate::Full => Ok(()),
+            WriteGate::Short => Err(injected(op)),
+        }
+    }
+
+    /// Gates a write op; the caller honours [`WriteGate::Short`] by
+    /// persisting half the buffer and then returning the injected error.
+    pub fn check_write(&self, op: &'static str) -> io::Result<WriteGate> {
+        self.fire(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_transparent() {
+        let gate = FaultInjector::none();
+        for _ in 0..4 {
+            gate.check("x").unwrap();
+        }
+        assert!(gate.ops().is_empty());
+        assert!(!gate.crashed());
+    }
+
+    #[test]
+    fn counting_logs_without_failing() {
+        let gate = FaultInjector::counting();
+        gate.check("a").unwrap();
+        assert_eq!(gate.check_write("b").unwrap(), WriteGate::Full);
+        assert_eq!(gate.ops(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fail_fires_once_then_clears() {
+        let gate = FaultInjector::armed(FaultMode::Fail, 1);
+        gate.check("a").unwrap();
+        assert!(gate.check("b").is_err());
+        gate.check("c").unwrap();
+        assert!(!gate.crashed());
+    }
+
+    #[test]
+    fn short_write_only_tears_writes() {
+        let gate = FaultInjector::armed(FaultMode::ShortWrite, 0);
+        assert_eq!(gate.check_write("w").unwrap(), WriteGate::Short);
+        let gate = FaultInjector::armed(FaultMode::ShortWrite, 0);
+        assert!(gate.check("fsync").is_err(), "no buffer to tear");
+    }
+
+    #[test]
+    fn crash_is_sticky() {
+        let gate = FaultInjector::armed(FaultMode::Crash, 0);
+        assert!(gate.check("a").is_err());
+        assert!(gate.check("b").is_err());
+        assert!(gate.check_write("c").is_err());
+        assert!(gate.crashed());
+        assert_eq!(gate.ops(), vec!["a"], "dead store logs nothing further");
+    }
+}

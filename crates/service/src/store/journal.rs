@@ -1,0 +1,421 @@
+//! The append-only journal: what happened to the serving state, in
+//! order, in a format a half-written tail cannot corrupt.
+//!
+//! # On-disk grammar
+//!
+//! ```text
+//! journal  := "MPJ1" frame*
+//! frame    := payload_len:u32le  checksum:u64le  payload
+//! checksum := fnv1a64(payload)
+//! payload  := tag:u8 fields          (see Record; strings are
+//!                                     len:u32le + UTF-8 bytes)
+//! ```
+//!
+//! Every frame is self-validating: the length prefix bounds the
+//! payload, the FNV-1a checksum covers it, and the payload decoder
+//! accepts only a known tag with exactly-consumed fields. [`replay`]
+//! walks frames until the first one that fails any of those checks and
+//! reports `(records so far, byte offset of the valid prefix, offset
+//! of the corruption if any)` — so a torn tail (crash mid-append) or a
+//! flipped bit truncates the history at a precise point instead of
+//! poisoning it. The store then physically truncates the file there
+//! and appends over the garbage.
+//!
+//! Records reference blobs by digest; they never embed bodies. Replay
+//! is therefore cheap (a few bytes per event) and blob integrity is
+//! checked separately by re-hashing at recovery time.
+
+use mobipriv_model::digest::fnv1a64;
+
+/// File magic, first four bytes of every journal.
+pub const MAGIC: [u8; 4] = *b"MPJ1";
+
+/// Sanity cap on one record's payload (records are metadata — digests,
+/// canonical keys, headers — never bodies).
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Cap on headers per [`Record::JobCompleted`] (the compute layer
+/// emits ~a dozen).
+const MAX_HEADERS: u16 = 256;
+
+/// One serving-state event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A dataset blob landed under `blobs/<digest>` (canonical-CSV
+    /// digest; the blob itself is `MPB1`-encoded).
+    DatasetRegistered {
+        /// Content digest of the canonical CSV form.
+        digest: String,
+        /// Digest of the `MPB1` bytes as written, so recovery detects
+        /// any bit flip byte-exactly (the canonical digest alone would
+        /// miss flips below CSV print precision).
+        blob_digest: String,
+    },
+    /// A job was accepted onto the queue (recovery reports these as
+    /// in-flight when no completion follows; they are not resurrected).
+    JobSubmitted {
+        /// Content-addressed job id (= result key).
+        id: String,
+        /// Full canonical cache-key string.
+        canonical: String,
+    },
+    /// A computation finished and its body landed under
+    /// `blobs/<body_digest>`; carries everything needed to rebuild the
+    /// cached response except the body bytes.
+    JobCompleted {
+        /// Full canonical cache-key string.
+        canonical: String,
+        /// Response content type (re-interned on decode).
+        content_type: String,
+        /// Computation-describing headers (names re-interned on decode).
+        headers: Vec<(String, String)>,
+        /// Digest of the body bytes = the blob's file name.
+        body_digest: String,
+        /// Body length, cross-checked against the blob at recovery.
+        body_len: u64,
+    },
+    /// The registry evicted a dataset (LRU); its blob is deletable
+    /// once unreferenced.
+    DatasetEvicted {
+        /// Content digest of the evicted dataset.
+        digest: String,
+    },
+    /// The result cache evicted a completed entry (LRU).
+    ResultEvicted {
+        /// Canonical key of the evicted result.
+        canonical: String,
+    },
+}
+
+const TAG_DATASET_REGISTERED: u8 = 1;
+const TAG_JOB_SUBMITTED: u8 = 2;
+const TAG_JOB_COMPLETED: u8 = 3;
+const TAG_DATASET_EVICTED: u8 = 4;
+const TAG_RESULT_EVICTED: u8 = 5;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Serializes one record's payload (tag + fields, no framing).
+pub fn encode_payload(record: &Record) -> Vec<u8> {
+    let mut out = Vec::new();
+    match record {
+        Record::DatasetRegistered {
+            digest,
+            blob_digest,
+        } => {
+            out.push(TAG_DATASET_REGISTERED);
+            put_str(&mut out, digest);
+            put_str(&mut out, blob_digest);
+        }
+        Record::JobSubmitted { id, canonical } => {
+            out.push(TAG_JOB_SUBMITTED);
+            put_str(&mut out, id);
+            put_str(&mut out, canonical);
+        }
+        Record::JobCompleted {
+            canonical,
+            content_type,
+            headers,
+            body_digest,
+            body_len,
+        } => {
+            out.push(TAG_JOB_COMPLETED);
+            put_str(&mut out, canonical);
+            put_str(&mut out, content_type);
+            out.extend_from_slice(&(headers.len() as u16).to_le_bytes());
+            for (name, value) in headers {
+                put_str(&mut out, name);
+                put_str(&mut out, value);
+            }
+            put_str(&mut out, body_digest);
+            out.extend_from_slice(&body_len.to_le_bytes());
+        }
+        Record::DatasetEvicted { digest } => {
+            out.push(TAG_DATASET_EVICTED);
+            put_str(&mut out, digest);
+        }
+        Record::ResultEvicted { canonical } => {
+            out.push(TAG_RESULT_EVICTED);
+            put_str(&mut out, canonical);
+        }
+    }
+    out
+}
+
+/// Serializes one record as a complete frame (length prefix + checksum
+/// + payload), ready to append.
+pub fn encode(record: &Record) -> Vec<u8> {
+    let payload = encode_payload(record);
+    let mut frame = Vec::with_capacity(12 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Deserializes one payload. `None` on any malformation: unknown tag,
+/// truncated field, invalid UTF-8, over-cap header count, or trailing
+/// bytes (a payload must be consumed exactly).
+pub fn decode_payload(bytes: &[u8]) -> Option<Record> {
+    let mut r = Reader { bytes, pos: 0 };
+    let record = match r.u8()? {
+        TAG_DATASET_REGISTERED => Record::DatasetRegistered {
+            digest: r.str()?,
+            blob_digest: r.str()?,
+        },
+        TAG_JOB_SUBMITTED => Record::JobSubmitted {
+            id: r.str()?,
+            canonical: r.str()?,
+        },
+        TAG_JOB_COMPLETED => {
+            let canonical = r.str()?;
+            let content_type = r.str()?;
+            let count = r.u16()?;
+            if count > MAX_HEADERS {
+                return None;
+            }
+            let mut headers = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                headers.push((r.str()?, r.str()?));
+            }
+            Record::JobCompleted {
+                canonical,
+                content_type,
+                headers,
+                body_digest: r.str()?,
+                body_len: r.u64()?,
+            }
+        }
+        TAG_DATASET_EVICTED => Record::DatasetEvicted { digest: r.str()? },
+        TAG_RESULT_EVICTED => Record::ResultEvicted {
+            canonical: r.str()?,
+        },
+        _ => return None,
+    };
+    r.done().then_some(record)
+}
+
+/// What [`replay`] recovered from a journal image.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every record in the longest valid prefix, in append order.
+    pub records: Vec<Record>,
+    /// Byte length of that prefix (including the magic); the store
+    /// truncates the file here before appending again.
+    pub valid_len: u64,
+    /// Offset of the first invalid byte run (torn frame, checksum or
+    /// decode failure), `None` for a clean file. Always equals
+    /// [`Replay::valid_len`] when present; kept separate so callers can
+    /// tell "clean EOF" from "stopped at damage".
+    pub corrupt_at: Option<u64>,
+}
+
+/// Walks a journal image, recovering the longest valid prefix of
+/// records. Never panics, whatever the bytes: damage stops the walk at
+/// the frame boundary where it was detected.
+pub fn replay(bytes: &[u8]) -> Replay {
+    if bytes.is_empty() {
+        return Replay {
+            records: Vec::new(),
+            valid_len: 0,
+            corrupt_at: None,
+        };
+    }
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Replay {
+            records: Vec::new(),
+            valid_len: 0,
+            corrupt_at: Some(0),
+        };
+    }
+    let mut records = Vec::new();
+    let mut pos = MAGIC.len();
+    let mut corrupt_at = None;
+    while pos < bytes.len() {
+        let frame_ok = (|| {
+            let rest = &bytes[pos..];
+            if rest.len() < 12 {
+                return None; // torn frame header
+            }
+            let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_PAYLOAD as usize || 12 + len > rest.len() {
+                return None; // impossible or torn payload
+            }
+            let sum = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
+            let payload = &rest[12..12 + len];
+            if fnv1a64(payload) != sum {
+                return None; // bit rot or tear inside the payload
+            }
+            decode_payload(payload).map(|record| (record, 12 + len))
+        })();
+        match frame_ok {
+            Some((record, advance)) => {
+                records.push(record);
+                pos += advance;
+            }
+            None => {
+                corrupt_at = Some(pos as u64);
+                break;
+            }
+        }
+    }
+    Replay {
+        records,
+        valid_len: pos as u64,
+        corrupt_at,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::DatasetRegistered {
+                digest: "0123456789abcdef".into(),
+                blob_digest: "1122334455667788".into(),
+            },
+            Record::JobSubmitted {
+                id: "fedcba9876543210".into(),
+                canonical: "v1|anonymize|0123456789abcdef|raw|seed=7|report=0".into(),
+            },
+            Record::JobCompleted {
+                canonical: "v1|anonymize|0123456789abcdef|raw|seed=7|report=0".into(),
+                content_type: "text/csv".into(),
+                headers: vec![
+                    ("x-mobipriv-mechanism".into(), "raw".into()),
+                    ("x-mobipriv-seed".into(), "7".into()),
+                ],
+                body_digest: "00ff00ff00ff00ff".into(),
+                body_len: 42,
+            },
+            Record::DatasetEvicted {
+                digest: "0123456789abcdef".into(),
+            },
+            Record::ResultEvicted {
+                canonical: "v1|anonymize|0123456789abcdef|raw|seed=7|report=0".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for record in sample() {
+            let payload = encode_payload(&record);
+            assert_eq!(decode_payload(&payload), Some(record.clone()));
+            // Byte fixed point: decode∘encode re-encodes identically.
+            let again = decode_payload(&payload).unwrap();
+            assert_eq!(encode_payload(&again), payload);
+        }
+    }
+
+    #[test]
+    fn replay_walks_a_clean_file() {
+        let mut image = MAGIC.to_vec();
+        for record in sample() {
+            image.extend_from_slice(&encode(&record));
+        }
+        let replay = replay(&image);
+        assert_eq!(replay.records, sample());
+        assert_eq!(replay.valid_len, image.len() as u64);
+        assert_eq!(replay.corrupt_at, None);
+    }
+
+    #[test]
+    fn empty_and_bad_magic() {
+        let r = replay(b"");
+        assert_eq!((r.records.len(), r.valid_len, r.corrupt_at), (0, 0, None));
+        let r = replay(b"NOPE");
+        assert_eq!((r.valid_len, r.corrupt_at), (0, Some(0)));
+        let r = replay(b"MP");
+        assert_eq!((r.valid_len, r.corrupt_at), (0, Some(0)));
+    }
+
+    #[test]
+    fn torn_tail_recovers_prefix() {
+        let records = sample();
+        let mut image = MAGIC.to_vec();
+        for record in &records {
+            image.extend_from_slice(&encode(record));
+        }
+        let boundary_after_two =
+            (MAGIC.len() + encode(&records[0]).len() + encode(&records[1]).len()) as u64;
+        // Cut in the middle of the third frame.
+        let cut = boundary_after_two as usize + 5;
+        let r = replay(&image[..cut]);
+        assert_eq!(r.records, records[..2]);
+        assert_eq!(r.valid_len, boundary_after_two);
+        assert_eq!(r.corrupt_at, Some(boundary_after_two));
+    }
+
+    #[test]
+    fn trailing_garbage_is_damage_not_panic() {
+        let mut image = MAGIC.to_vec();
+        image.extend_from_slice(&encode(&sample()[0]));
+        let good = image.len() as u64;
+        image.extend_from_slice(&[0xde, 0xad, 0xbe]);
+        let r = replay(&image);
+        assert_eq!(r.records.len(), 1);
+        assert_eq!((r.valid_len, r.corrupt_at), (good, Some(good)));
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        assert_eq!(decode_payload(&[99]), None);
+        assert_eq!(decode_payload(&[]), None);
+        // Trailing bytes after a valid record are rejected too.
+        let mut payload = encode_payload(&sample()[0]);
+        payload.push(0);
+        assert_eq!(decode_payload(&payload), None);
+    }
+}

@@ -1,0 +1,866 @@
+//! The persistence subsystem: a content-addressed blob store plus an
+//! append-only [`journal`], giving a server `--data-dir` durability.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   blobs/<digest>       content-addressed bodies: datasets as MPB1
+//!                        binary frames, results as their raw bytes
+//!   journal.log          MPJ1 event log (see journal module docs)
+//!   quarantine/<digest>  blobs whose re-hash mismatched at recovery
+//!   tmp/                 in-flight writes (cleared at every open)
+//! ```
+//!
+//! # Write ordering contract
+//!
+//! Every blob lands via *temp file → write → fsync → atomic rename →
+//! directory fsync*, and only **then** is the event journaled (write +
+//! fsync). A crash at any point therefore leaves one of two states:
+//! the journal does not mention the blob (at worst an orphan file or a
+//! torn temp file, both garbage-collected or ignored at recovery), or
+//! the journal mentions a blob that is fully on disk. The journal
+//! itself tolerates a torn append: recovery truncates to the longest
+//! valid prefix and overwrites the tail.
+//!
+//! # Recovery
+//!
+//! [`Store::open`] replays the journal, then re-reads every blob the
+//! replayed state references and **re-hashes it**: a dataset blob must
+//! decode and reproduce its canonical digest, a result blob must hash
+//! to its file name with the journaled length. Mismatches are moved to
+//! `quarantine/` (never served); missing blobs drop their entry (the
+//! result is recomputable on demand). What survives is handed back as
+//! parsed datasets and ready-to-serve [`CachedResult`]s for
+//! `AppState` to seed the registry and cache — a warm restart serves
+//! byte-identical cache hits without recomputation.
+//!
+//! # Failure philosophy at runtime
+//!
+//! Persistence failures after boot (disk full, injected faults) are
+//! logged and the server keeps serving from memory: durability
+//! degrades, correctness does not. The fault-injection harness
+//! ([`faults`]) drives every crash point in the write path and the
+//! recovery tests assert the contract above.
+
+pub mod faults;
+pub mod journal;
+
+use std::collections::HashMap;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mobipriv_model::digest::{dataset_digest, digest_hex};
+use mobipriv_model::{read_bin, write_bin, Dataset};
+use mobipriv_obs::logging::{self, FieldValue};
+use mobipriv_obs::metrics::{Counter, Gauge, Registry};
+
+use crate::cache::CachedResult;
+use faults::{FaultInjector, WriteGate};
+use journal::Record;
+
+const BLOBS_DIR: &str = "blobs";
+const QUARANTINE_DIR: &str = "quarantine";
+const TMP_DIR: &str = "tmp";
+const JOURNAL_FILE: &str = "journal.log";
+
+/// Response content types a recovered result may carry (re-interned
+/// from the journal's strings to the `&'static str` the cache wants).
+const CONTENT_TYPES: [&str; 3] = ["text/csv", "application/octet-stream", "application/json"];
+
+/// Computation-describing header names the compute layer emits.
+/// A journaled name outside this set fails interning and drops the
+/// entry (recomputable) rather than inventing a `'static` string.
+const HEADER_NAMES: [&str; 11] = [
+    "x-mobipriv-mechanism",
+    "x-mobipriv-seed",
+    "x-mobipriv-input-traces",
+    "x-mobipriv-input-fixes",
+    "x-mobipriv-output-traces",
+    "x-mobipriv-output-fixes",
+    "x-mobipriv-distortion-mean-m",
+    "x-mobipriv-distortion-median-m",
+    "x-mobipriv-distortion-p95-m",
+    "x-mobipriv-distortion-max-m",
+    "x-mobipriv-coverage-f1",
+];
+
+fn intern(table: &[&'static str], name: &str) -> Option<&'static str> {
+    table.iter().find(|&&t| t == name).copied()
+}
+
+/// Digests double as file names; only the 16-lowercase-hex shape the
+/// digest module produces is ever turned into a path.
+fn valid_digest(s: &str) -> bool {
+    s.len() == 16
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+struct JournalWriter {
+    file: std::fs::File,
+    /// Bytes known durable and valid; a failed append seeks back here
+    /// so the next one overwrites the torn tail.
+    good_bytes: u64,
+}
+
+struct BlobIndex {
+    count: u64,
+    bytes: u64,
+    /// Live users per blob digest (a dataset and a result can share
+    /// one blob — e.g. the `raw` mechanism's output *is* the canonical
+    /// input); the file is deleted when the count reaches zero.
+    refs: HashMap<String, u32>,
+}
+
+/// Point-in-time store sizes for `/v1/stats` and the `/metrics` gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Files under `blobs/`.
+    pub blobs: u64,
+    /// Their total size in bytes.
+    pub blob_bytes: u64,
+    /// Valid journal bytes (magic + frames).
+    pub journal_bytes: u64,
+    /// Records replayed at boot plus records appended since.
+    pub journal_records: u64,
+    /// Files under `quarantine/`.
+    pub quarantined: u64,
+}
+
+/// What one boot's recovery did, for logs and counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid records replayed from the journal.
+    pub journal_records: u64,
+    /// Torn/corrupt journal tail bytes truncated away.
+    pub truncated_bytes: u64,
+    /// Datasets + results whose blobs re-hashed clean.
+    pub blobs_recovered: u64,
+    /// Blobs moved to `quarantine/` (re-hash mismatch).
+    pub quarantined: u64,
+    /// Entries dropped: blob missing, or headers/content-type no
+    /// longer intern (all recomputable on demand).
+    pub dropped: u64,
+    /// Jobs journaled as submitted but never completed (reported, not
+    /// resurrected: the client re-submits and the result key coalesces).
+    pub inflight_jobs: u64,
+}
+
+/// Everything recovery hands back for seeding the serving state.
+pub struct Recovered {
+    /// Verified datasets, in journal registration order.
+    pub datasets: Vec<Dataset>,
+    /// Verified results, ready to serve byte-identical hits.
+    pub results: Vec<CachedResult>,
+    /// The tallies behind the `mobipriv_store_*_total` counters.
+    pub report: RecoveryReport,
+}
+
+/// The on-disk store. One instance per server; all methods are
+/// thread-safe. See the module docs for the layout and the ordering
+/// contract.
+pub struct Store {
+    root: PathBuf,
+    journal: Mutex<JournalWriter>,
+    blobs: Mutex<BlobIndex>,
+    quarantine_files: AtomicU64,
+    faults: FaultInjector,
+    tmp_seq: AtomicU64,
+    // Counters (monotone) and gauges (refreshed from stats()) exposed
+    // on the owning server's registry via register_metrics().
+    journal_records_total: Counter,
+    blobs_recovered_total: Counter,
+    quarantined_total: Counter,
+    blobs_gauge: Gauge,
+    blob_bytes_gauge: Gauge,
+    journal_bytes_gauge: Gauge,
+    quarantined_gauge: Gauge,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").field("root", &self.root).finish()
+    }
+}
+
+impl Store {
+    /// Opens (or initializes) a store rooted at `root` and recovers the
+    /// serving state it holds.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation, journal open/truncate, or any other
+    /// unrecoverable I/O error — the server refuses to start rather
+    /// than silently dropping durability. Damaged *content* is not an
+    /// error: torn journal tails are truncated and bad blobs
+    /// quarantined, both reported in [`Recovered::report`].
+    pub fn open(root: &Path) -> std::io::Result<(Arc<Store>, Recovered)> {
+        Store::open_with_faults(root, FaultInjector::none())
+    }
+
+    /// [`Store::open`] with a fault-injection gate on the post-boot
+    /// write path (recovery I/O itself is not gated). Production code
+    /// passes [`FaultInjector::none`]; the fault-matrix tests keep a
+    /// clone of the injector to count and trip ops.
+    pub fn open_with_faults(
+        root: &Path,
+        faults: FaultInjector,
+    ) -> std::io::Result<(Arc<Store>, Recovered)> {
+        std::fs::create_dir_all(root.join(BLOBS_DIR))?;
+        std::fs::create_dir_all(root.join(QUARANTINE_DIR))?;
+        std::fs::create_dir_all(root.join(TMP_DIR))?;
+        // Torn temp files from a previous crash are garbage by
+        // definition (never renamed, never journaled).
+        if let Ok(entries) = std::fs::read_dir(root.join(TMP_DIR)) {
+            for entry in entries.flatten() {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        let journal_path = root.join(JOURNAL_FILE);
+        let image = match std::fs::read(&journal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let replay = journal::replay(&image);
+        let mut report = RecoveryReport {
+            journal_records: replay.records.len() as u64,
+            truncated_bytes: image.len() as u64 - replay.valid_len,
+            ..RecoveryReport::default()
+        };
+
+        // Fold the event log into live dataset/result sets.
+        let mut dataset_order: Vec<String> = Vec::new();
+        // Live datasets map canonical digest → expected blob-byte digest.
+        let mut dataset_live: HashMap<String, Option<String>> = HashMap::new();
+        let mut result_order: Vec<String> = Vec::new();
+        struct ResultMeta {
+            content_type: String,
+            headers: Vec<(String, String)>,
+            body_digest: String,
+            body_len: u64,
+        }
+        let mut result_live: HashMap<String, Option<ResultMeta>> = HashMap::new();
+        let mut submitted: HashMap<String, String> = HashMap::new();
+        for record in replay.records {
+            match record {
+                Record::DatasetRegistered {
+                    digest,
+                    blob_digest,
+                } => {
+                    if !dataset_live.contains_key(&digest) {
+                        dataset_order.push(digest.clone());
+                    }
+                    dataset_live.insert(digest, Some(blob_digest));
+                }
+                Record::DatasetEvicted { digest } => {
+                    dataset_live.insert(digest, None);
+                }
+                Record::JobSubmitted { id, canonical } => {
+                    submitted.insert(canonical, id);
+                }
+                Record::JobCompleted {
+                    canonical,
+                    content_type,
+                    headers,
+                    body_digest,
+                    body_len,
+                } => {
+                    submitted.remove(&canonical);
+                    if !result_live.contains_key(&canonical) {
+                        result_order.push(canonical.clone());
+                    }
+                    result_live.insert(
+                        canonical,
+                        Some(ResultMeta {
+                            content_type,
+                            headers,
+                            body_digest,
+                            body_len,
+                        }),
+                    );
+                }
+                Record::ResultEvicted { canonical } => {
+                    result_live.insert(canonical, None);
+                }
+            }
+        }
+        report.inflight_jobs = submitted.len() as u64;
+
+        // Re-read and re-hash every referenced blob. Quarantine what
+        // mismatches, drop what is missing, keep what verifies.
+        let blobs_dir = root.join(BLOBS_DIR);
+        let quarantine = |digest: &str| -> std::io::Result<()> {
+            std::fs::rename(
+                blobs_dir.join(digest),
+                root.join(QUARANTINE_DIR).join(digest),
+            )
+        };
+        let mut refs: HashMap<String, u32> = HashMap::new();
+        let mut datasets = Vec::new();
+        for digest in dataset_order {
+            let Some(Some(blob_digest)) = dataset_live.get(&digest) else {
+                continue;
+            };
+            if !valid_digest(&digest) {
+                continue;
+            }
+            let bytes = match std::fs::read(blobs_dir.join(&digest)) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    report.dropped += 1;
+                    continue;
+                }
+            };
+            if digest_hex(&bytes) != *blob_digest {
+                report.quarantined += 1;
+                let _ = quarantine(&digest);
+                continue;
+            }
+            match read_bin(&bytes[..]) {
+                Ok(dataset) if dataset_digest(&dataset) == digest => {
+                    *refs.entry(digest).or_insert(0) += 1;
+                    report.blobs_recovered += 1;
+                    datasets.push(dataset);
+                }
+                _ => {
+                    report.quarantined += 1;
+                    let _ = quarantine(&digest);
+                }
+            }
+        }
+        let mut results = Vec::new();
+        for canonical in result_order {
+            let Some(Some(meta)) = result_live.get(&canonical) else {
+                continue;
+            };
+            if !valid_digest(&meta.body_digest) {
+                report.dropped += 1;
+                continue;
+            }
+            let bytes = match std::fs::read(blobs_dir.join(&meta.body_digest)) {
+                Ok(bytes) => bytes,
+                Err(_) => {
+                    report.dropped += 1;
+                    continue;
+                }
+            };
+            if bytes.len() as u64 != meta.body_len || digest_hex(&bytes) != meta.body_digest {
+                report.quarantined += 1;
+                let _ = quarantine(&meta.body_digest);
+                continue;
+            }
+            let content_type = intern(&CONTENT_TYPES, &meta.content_type);
+            let headers: Option<Vec<(&'static str, String)>> = meta
+                .headers
+                .iter()
+                .map(|(name, value)| intern(&HEADER_NAMES, name).map(|name| (name, value.clone())))
+                .collect();
+            match (content_type, headers) {
+                (Some(content_type), Some(headers)) => {
+                    *refs.entry(meta.body_digest.clone()).or_insert(0) += 1;
+                    report.blobs_recovered += 1;
+                    results.push(CachedResult {
+                        canonical,
+                        content_type,
+                        headers,
+                        body: bytes,
+                    });
+                }
+                _ => report.dropped += 1,
+            }
+        }
+
+        // Truncate the torn/corrupt journal tail, then position the
+        // writer at the end of the valid prefix.
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&journal_path)?;
+        if replay.valid_len < image.len() as u64 {
+            file.set_len(replay.valid_len)?;
+        }
+        let mut good_bytes = replay.valid_len;
+        if good_bytes == 0 {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&journal::MAGIC)?;
+            file.sync_data()?;
+            good_bytes = journal::MAGIC.len() as u64;
+        }
+
+        // Size the blob index from the directory (orphans from crashes
+        // between rename and journal append are counted — they exist).
+        let (mut blob_count, mut blob_bytes) = (0u64, 0u64);
+        for entry in std::fs::read_dir(&blobs_dir)?.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                blob_count += 1;
+                blob_bytes += meta.len();
+            }
+        }
+        let quarantine_files = std::fs::read_dir(root.join(QUARANTINE_DIR))?
+            .flatten()
+            .count();
+
+        let store = Store {
+            root: root.to_owned(),
+            journal: Mutex::new(JournalWriter { file, good_bytes }),
+            blobs: Mutex::new(BlobIndex {
+                count: blob_count,
+                bytes: blob_bytes,
+                refs,
+            }),
+            quarantine_files: AtomicU64::new(quarantine_files as u64),
+            faults,
+            tmp_seq: AtomicU64::new(0),
+            journal_records_total: Counter::new(),
+            blobs_recovered_total: Counter::new(),
+            quarantined_total: Counter::new(),
+            blobs_gauge: Gauge::new(),
+            blob_bytes_gauge: Gauge::new(),
+            journal_bytes_gauge: Gauge::new(),
+            quarantined_gauge: Gauge::new(),
+        };
+        store.journal_records_total.add(report.journal_records);
+        store.blobs_recovered_total.add(report.blobs_recovered);
+        store.quarantined_total.add(report.quarantined);
+        logging::info(
+            "service::store",
+            None,
+            "store opened",
+            &[
+                ("root", FieldValue::Str(&root.display().to_string())),
+                ("journal_records", FieldValue::U64(report.journal_records)),
+                ("blobs_recovered", FieldValue::U64(report.blobs_recovered)),
+                ("quarantined", FieldValue::U64(report.quarantined)),
+                ("dropped", FieldValue::U64(report.dropped)),
+                ("truncated_bytes", FieldValue::U64(report.truncated_bytes)),
+                ("inflight_jobs", FieldValue::U64(report.inflight_jobs)),
+            ],
+        );
+        Ok((
+            Arc::new(store),
+            Recovered {
+                datasets,
+                results,
+                report,
+            },
+        ))
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Exposes the store's counters and gauges on `registry` — the
+    /// same atomics back `/v1/stats`, `/metrics` and [`Store::stats`].
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "mobipriv_store_journal_records_total",
+            &[],
+            "Journal records replayed at boot plus appended since",
+            &self.journal_records_total,
+        );
+        registry.register_counter(
+            "mobipriv_store_blobs_recovered_total",
+            &[],
+            "Blobs that re-hashed clean at boot (datasets + results)",
+            &self.blobs_recovered_total,
+        );
+        registry.register_counter(
+            "mobipriv_store_quarantined_total",
+            &[],
+            "Blobs whose re-hash mismatched at boot, moved to quarantine",
+            &self.quarantined_total,
+        );
+        registry.register_gauge(
+            "mobipriv_store_blobs",
+            &[],
+            "Files in the blob directory",
+            &self.blobs_gauge,
+        );
+        registry.register_gauge(
+            "mobipriv_store_blob_bytes",
+            &[],
+            "Total size of the blob directory",
+            &self.blob_bytes_gauge,
+        );
+        registry.register_gauge(
+            "mobipriv_store_journal_bytes",
+            &[],
+            "Valid journal bytes on disk",
+            &self.journal_bytes_gauge,
+        );
+        registry.register_gauge(
+            "mobipriv_store_quarantined",
+            &[],
+            "Files in the quarantine directory",
+            &self.quarantined_gauge,
+        );
+    }
+
+    /// Point-in-time sizes (blob count/bytes, journal bytes/records,
+    /// quarantined files).
+    pub fn stats(&self) -> StoreStats {
+        let journal = self.journal.lock().expect("journal mutex poisoned");
+        let blobs = self.blobs.lock().expect("blob index poisoned");
+        StoreStats {
+            blobs: blobs.count,
+            blob_bytes: blobs.bytes,
+            journal_bytes: journal.good_bytes,
+            journal_records: self.journal_records_total.get(),
+            quarantined: self.quarantine_files.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Refreshes the store gauges from [`Store::stats`] (called before
+    /// every metrics render).
+    pub fn refresh_gauges(&self) {
+        let stats = self.stats();
+        self.blobs_gauge.set(stats.blobs as i64);
+        self.blob_bytes_gauge.set(stats.blob_bytes as i64);
+        self.journal_bytes_gauge.set(stats.journal_bytes as i64);
+        self.quarantined_gauge.set(stats.quarantined as i64);
+    }
+
+    /// Persists a registered dataset: `MPB1` blob under its canonical
+    /// digest, then a `DatasetRegistered` journal record.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O (or injected) failure; the caller keeps serving from
+    /// memory and logs the degradation.
+    pub fn put_dataset(&self, digest: &str, dataset: &Dataset) -> std::io::Result<()> {
+        let mut bytes = Vec::new();
+        write_bin(dataset, &mut bytes)
+            .map_err(|e| std::io::Error::other(format!("encoding dataset blob: {e}")))?;
+        self.write_blob(digest, &bytes)?;
+        self.append(&Record::DatasetRegistered {
+            digest: digest.to_owned(),
+            blob_digest: digest_hex(&bytes),
+        })?;
+        self.retain(digest);
+        Ok(())
+    }
+
+    /// Persists a finished computation: raw body blob under the body
+    /// digest, then a `JobCompleted` record carrying the response
+    /// metadata.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O (or injected) failure (see [`Store::put_dataset`]).
+    pub fn put_result(&self, result: &CachedResult) -> std::io::Result<()> {
+        let body_digest = digest_hex(&result.body);
+        self.write_blob(&body_digest, &result.body)?;
+        self.append(&Record::JobCompleted {
+            canonical: result.canonical.clone(),
+            content_type: result.content_type.to_owned(),
+            headers: result
+                .headers
+                .iter()
+                .map(|(name, value)| ((*name).to_owned(), value.clone()))
+                .collect(),
+            body_digest: body_digest.clone(),
+            body_len: result.body.len() as u64,
+        })?;
+        self.retain(&body_digest);
+        Ok(())
+    }
+
+    /// Journals a job submission (so a crash can report in-flight work).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O (or injected) failure.
+    pub fn job_submitted(&self, id: &str, canonical: &str) -> std::io::Result<()> {
+        self.append(&Record::JobSubmitted {
+            id: id.to_owned(),
+            canonical: canonical.to_owned(),
+        })
+    }
+
+    /// Journals a dataset eviction and deletes its blob when no other
+    /// live entry references the same content.
+    ///
+    /// # Errors
+    ///
+    /// Journal append failure (the blob then stays until a later boot
+    /// replays the in-memory state without it).
+    pub fn dataset_evicted(&self, digest: &str) -> std::io::Result<()> {
+        self.append(&Record::DatasetEvicted {
+            digest: digest.to_owned(),
+        })?;
+        self.release(digest);
+        Ok(())
+    }
+
+    /// Journals a result eviction and deletes the body blob when
+    /// unreferenced.
+    ///
+    /// # Errors
+    ///
+    /// Journal append failure (see [`Store::dataset_evicted`]).
+    pub fn result_evicted(&self, result: &CachedResult) -> std::io::Result<()> {
+        let body_digest = digest_hex(&result.body);
+        self.append(&Record::ResultEvicted {
+            canonical: result.canonical.clone(),
+        })?;
+        self.release(&body_digest);
+        Ok(())
+    }
+
+    /// Temp-write → fsync → rename → dir-fsync, under the blob index
+    /// lock (idempotent per digest: an already-present blob is the
+    /// same content by construction).
+    fn write_blob(&self, digest: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let mut index = self.blobs.lock().expect("blob index poisoned");
+        let final_path = self.root.join(BLOBS_DIR).join(digest);
+        if final_path.exists() {
+            return Ok(());
+        }
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.root.join(TMP_DIR).join(format!("{digest}.{seq}"));
+        // Failed attempts leave their temp file behind on purpose: the
+        // disk state must look exactly like a crash there (recovery
+        // clears tmp/); a retry uses a fresh sequence number.
+        self.faults.check("blob_create")?;
+        let mut file = std::fs::File::create(&tmp)?;
+        match self.faults.check_write("blob_write")? {
+            WriteGate::Full => file.write_all(bytes)?,
+            WriteGate::Short => {
+                file.write_all(&bytes[..bytes.len() / 2])?;
+                let _ = file.sync_data();
+                return Err(std::io::Error::other("injected short write at blob_write"));
+            }
+        }
+        self.faults.check("blob_fsync")?;
+        file.sync_all()?;
+        drop(file);
+        self.faults.check("blob_rename")?;
+        std::fs::rename(&tmp, &final_path)?;
+        self.faults.check("dir_fsync")?;
+        if let Ok(dir) = std::fs::File::open(self.root.join(BLOBS_DIR)) {
+            let _ = dir.sync_all();
+        }
+        index.count += 1;
+        index.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Appends one framed record (write + fsync) at the end of the
+    /// valid prefix; a failed append leaves `good_bytes` unchanged so
+    /// the next one overwrites the torn tail, mirroring what recovery
+    /// would do after a crash there.
+    fn append(&self, record: &Record) -> std::io::Result<()> {
+        let frame = journal::encode(record);
+        let mut journal = self.journal.lock().expect("journal mutex poisoned");
+        let at = journal.good_bytes;
+        journal.file.seek(SeekFrom::Start(at))?;
+        match self.faults.check_write("journal_write")? {
+            WriteGate::Full => journal.file.write_all(&frame)?,
+            WriteGate::Short => {
+                journal.file.write_all(&frame[..frame.len() / 2])?;
+                let _ = journal.file.sync_data();
+                return Err(std::io::Error::other(
+                    "injected short write at journal_write",
+                ));
+            }
+        }
+        self.faults.check("journal_fsync")?;
+        journal.file.sync_data()?;
+        journal.good_bytes += frame.len() as u64;
+        self.journal_records_total.inc();
+        Ok(())
+    }
+
+    fn retain(&self, digest: &str) {
+        let mut index = self.blobs.lock().expect("blob index poisoned");
+        *index.refs.entry(digest.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Drops one reference; deletes the blob file at zero.
+    fn release(&self, digest: &str) {
+        if !valid_digest(digest) {
+            return;
+        }
+        let mut index = self.blobs.lock().expect("blob index poisoned");
+        let remaining = match index.refs.get_mut(digest) {
+            Some(count) => {
+                *count = count.saturating_sub(1);
+                *count
+            }
+            None => return, // never persisted (e.g. its put failed)
+        };
+        if remaining == 0 {
+            index.refs.remove(digest);
+            let path = self.root.join(BLOBS_DIR).join(digest);
+            if let Ok(meta) = std::fs::metadata(&path) {
+                if std::fs::remove_file(&path).is_ok() {
+                    index.count = index.count.saturating_sub(1);
+                    index.bytes = index.bytes.saturating_sub(meta.len());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobipriv_geo::LatLng;
+    use mobipriv_model::{Fix, Timestamp, Trace, UserId};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mobipriv-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn dataset(user: u64) -> Dataset {
+        Dataset::from_traces(vec![Trace::new(
+            UserId::new(user),
+            vec![
+                Fix::new(LatLng::new(45.76, 4.84).unwrap(), Timestamp::new(0)),
+                Fix::new(LatLng::new(45.77, 4.85).unwrap(), Timestamp::new(60)),
+            ],
+        )
+        .unwrap()])
+    }
+
+    fn result(canonical: &str, body: &[u8]) -> CachedResult {
+        CachedResult {
+            canonical: canonical.to_owned(),
+            content_type: "text/csv",
+            headers: vec![("x-mobipriv-seed", "7".to_owned())],
+            body: body.to_vec(),
+        }
+    }
+
+    #[test]
+    fn round_trip_across_reopen() {
+        let root = scratch("round-trip");
+        let ds = dataset(1);
+        let digest = dataset_digest(&ds);
+        {
+            let (store, recovered) = Store::open(&root).unwrap();
+            assert_eq!(recovered.report, RecoveryReport::default());
+            store.put_dataset(&digest, &ds).unwrap();
+            store.job_submitted("aaaa", "canon|a").unwrap();
+            store.put_result(&result("canon|a", b"body-bytes")).unwrap();
+            let stats = store.stats();
+            assert_eq!(stats.blobs, 2);
+            assert_eq!(stats.journal_records, 3);
+        }
+        let (store, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.datasets.len(), 1);
+        assert_eq!(dataset_digest(&recovered.datasets[0]), digest);
+        assert_eq!(recovered.results.len(), 1);
+        assert_eq!(recovered.results[0].body, b"body-bytes");
+        assert_eq!(recovered.results[0].canonical, "canon|a");
+        assert_eq!(recovered.results[0].content_type, "text/csv");
+        assert_eq!(recovered.report.journal_records, 3);
+        assert_eq!(recovered.report.blobs_recovered, 2);
+        assert_eq!(recovered.report.quarantined, 0);
+        assert_eq!(recovered.report.inflight_jobs, 0);
+        assert_eq!(store.stats().blobs, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn eviction_deletes_unreferenced_blobs_only() {
+        let root = scratch("evict");
+        let (store, _) = Store::open(&root).unwrap();
+        let ds = dataset(2);
+        let digest = dataset_digest(&ds);
+        // A result whose body is exactly the dataset's blob content
+        // would need bin encoding; instead share a digest between two
+        // results to exercise refcounting.
+        let shared = result("canon|x", b"shared-body");
+        let shared2 = CachedResult {
+            canonical: "canon|y".to_owned(),
+            ..result("canon|y", b"shared-body")
+        };
+        store.put_dataset(&digest, &ds).unwrap();
+        store.put_result(&shared).unwrap();
+        store.put_result(&shared2).unwrap();
+        assert_eq!(store.stats().blobs, 2, "shared body stored once");
+        store.result_evicted(&shared).unwrap();
+        assert_eq!(store.stats().blobs, 2, "still referenced by canon|y");
+        store.result_evicted(&shared2).unwrap();
+        assert_eq!(store.stats().blobs, 1, "last reference deletes");
+        store.dataset_evicted(&digest).unwrap();
+        assert_eq!(store.stats().blobs, 0);
+        // Reopen: everything evicted, nothing recovered, no quarantine.
+        drop(store);
+        let (_, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.datasets.len(), 0);
+        assert_eq!(recovered.results.len(), 0);
+        assert_eq!(recovered.report.quarantined, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupted_blob_is_quarantined_not_served() {
+        let root = scratch("quarantine");
+        let ds = dataset(3);
+        let digest = dataset_digest(&ds);
+        {
+            let (store, _) = Store::open(&root).unwrap();
+            store.put_dataset(&digest, &ds).unwrap();
+            store.put_result(&result("canon|q", b"precious")).unwrap();
+        }
+        // Flip one bit in the result blob.
+        let body_digest = digest_hex(b"precious");
+        let blob = root.join(BLOBS_DIR).join(&body_digest);
+        let mut bytes = std::fs::read(&blob).unwrap();
+        bytes[0] ^= 0x01;
+        std::fs::write(&blob, &bytes).unwrap();
+        let (store, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.results.len(), 0, "corrupt result not served");
+        assert_eq!(recovered.datasets.len(), 1, "dataset unaffected");
+        assert_eq!(recovered.report.quarantined, 1);
+        assert!(root.join(QUARANTINE_DIR).join(&body_digest).exists());
+        assert!(!blob.exists());
+        assert_eq!(store.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_and_overwritten() {
+        let root = scratch("torn-tail");
+        let ds = dataset(4);
+        let digest = dataset_digest(&ds);
+        {
+            let (store, _) = Store::open(&root).unwrap();
+            store.put_dataset(&digest, &ds).unwrap();
+        }
+        // Simulate a crash mid-append: garbage after the valid prefix.
+        let path = root.join(JOURNAL_FILE);
+        let valid = std::fs::metadata(&path).unwrap().len();
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(&[0x17, 0x00, 0x00]).unwrap();
+        drop(file);
+        let (store, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.datasets.len(), 1);
+        assert_eq!(recovered.report.truncated_bytes, 3);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), valid);
+        // Appending after truncation keeps the journal valid.
+        store.put_result(&result("canon|t", b"after-tear")).unwrap();
+        drop(store);
+        let (_, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.results.len(), 1);
+        assert_eq!(recovered.report.truncated_bytes, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

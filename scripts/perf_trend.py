@@ -33,9 +33,17 @@ stay within 5% of the run with them disabled — the zero-cost-when-idle
 contract of the metrics/tracing layer, measured as a min-of-N ratio so
 it divides out machine speed.
 
+The persistence section is an absolute ceiling on `restart_ratio`
+(`--restart-ceiling`, default 2.0): a warm-restart cache hit — served
+from state recovered off the journal at boot — must stay within 2x of
+the in-memory warm hit on the same machine. Both sides are loopback
+round trips against the same server build, so the ratio divides out
+machine speed; a blowout means the recovered path re-reads disk or
+recomputes on the request path.
+
 usage: perf_trend.py BASELINE NEW [--floor=0.6] [--jobs-floor=10]
                      [--bin-floor=3] [--reident-floor=1.01]
-                     [--obs-ceiling=1.05]
+                     [--obs-ceiling=1.05] [--restart-ceiling=2.0]
 
 Exit status: 0 = no regression, 1 = regression (or a baseline path
 missing from the regenerated file), 2 = usage/parse error.
@@ -61,6 +69,7 @@ def main(argv):
     bin_floor = 3.0
     reident_floor = 1.01
     obs_ceiling = 1.05
+    restart_ceiling = 2.0
     for a in argv:
         if a.startswith("--floor="):
             floor = float(a.split("=", 1)[1])
@@ -72,6 +81,8 @@ def main(argv):
             reident_floor = float(a.split("=", 1)[1])
         if a.startswith("--obs-ceiling="):
             obs_ceiling = float(a.split("=", 1)[1])
+        if a.startswith("--restart-ceiling="):
+            restart_ceiling = float(a.split("=", 1)[1])
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -170,6 +181,23 @@ def main(argv):
         print(
             f"{'obs_overhead':>16} {'(abs)':>10} {got:>10.3f}x      -  "
             f"{verdict} (<= {obs_ceiling:.2f}x with hooks enabled)"
+        )
+
+    # persistence: absolute ceiling on the warm-restart/in-memory hit
+    # ratio (see module docstring). Only gated when the baseline has the
+    # section, so older baselines don't fail on the new bench.
+    persist = fresh.get("persistence")
+    if persist is None:
+        if baseline.get("persistence") is not None:
+            print(f"{'persistence':>16} {'-':>10} {'MISSING':>11}      -  FAIL")
+            failed = True
+    else:
+        got = persist["restart_ratio"]
+        verdict = "ok" if got <= restart_ceiling else "FAIL"
+        failed = failed or got > restart_ceiling
+        print(
+            f"{'persistence':>16} {'(abs)':>10} {got:>10.2f}x      -  "
+            f"{verdict} (warm-restart hit <= {restart_ceiling:.1f}x in-memory hit)"
         )
 
     if failed:
