@@ -305,16 +305,20 @@ fn bench_persistence(dataset: &Dataset, seed: u64, iters: usize) -> PersistenceB
     // pure metadata records.
     let records: u64 = 1000;
     let replay_root = root.join("replay");
-    {
-        let (store, _) = Store::open(&replay_root).expect("open replay store");
-        for i in 0..records {
-            store
-                .job_submitted(&format!("{i:016x}"), &format!("v1|bench|{i}"))
-                .expect("append record");
-        }
-    }
     let mut replay_s = f64::INFINITY;
     for _ in 0..iters {
+        // Rebuilt every round: recovery compacts dead in-flight
+        // submissions out of the journal, so a second open of the same
+        // directory would replay nothing.
+        let _ = std::fs::remove_dir_all(&replay_root);
+        {
+            let (store, _) = Store::open(&replay_root).expect("open replay store");
+            for i in 0..records {
+                store
+                    .job_submitted(&format!("{i:016x}"), &format!("v1|bench|{i}"))
+                    .expect("append record");
+            }
+        }
         let started = Instant::now();
         let (_, recovered) = Store::open(&replay_root).expect("replay open");
         replay_s = replay_s.min(started.elapsed().as_secs_f64());

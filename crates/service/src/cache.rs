@@ -112,6 +112,13 @@ pub struct ResultCache {
     /// `--data-dir`): completed results are written through before they
     /// are published, evictions are journaled.
     store: OnceLock<Arc<Store>>,
+    /// Serializes persistence I/O in the order decided under `inner`
+    /// (lock order: `inner` → `persist`, acquired before `inner` is
+    /// released where ordering matters). Store fsyncs happen under this
+    /// lock only, never under `inner`, so hits and flight joins never
+    /// stall behind disk I/O — while a recomputation of an evicted key
+    /// still cannot journal its completion ahead of the eviction record.
+    persist: Mutex<()>,
 }
 
 impl ResultCache {
@@ -129,6 +136,7 @@ impl ResultCache {
             hits: Counter::new(),
             misses: Counter::new(),
             store: OnceLock::new(),
+            persist: Mutex::new(()),
         }
     }
 
@@ -142,7 +150,10 @@ impl ResultCache {
 
     /// Seeds one recovered result (boot-time replay). Oversized bodies
     /// are skipped exactly as [`ResultCache::get_or_compute`] would
-    /// skip retaining them; the LRU budget applies as usual.
+    /// skip retaining them; the LRU budget applies as usual. Runs
+    /// before the store is attached, so budget evictions here are not
+    /// journaled — `AppState` reconciles the store against what the
+    /// cache actually retained after seeding.
     pub(crate) fn insert_recovered(&self, result: CachedResult) {
         if result.body.len() as u64 > self.max_bytes {
             return;
@@ -154,7 +165,15 @@ impl ResultCache {
             return;
         }
         let result = Arc::new(result);
-        self.retain_locked(&mut inner, &canonical, &result, last_used);
+        let _seeding_victims = self.retain_locked(&mut inner, &canonical, &result, last_used);
+    }
+
+    /// Whether a completed entry for this canonical key is retained,
+    /// without touching its LRU position or the hit counter (boot-time
+    /// reconciliation must not distort either).
+    pub(crate) fn contains(&self, canonical: &str) -> bool {
+        let inner = self.inner.lock().expect("cache mutex poisoned");
+        matches!(inner.slots.get(canonical), Some(Slot::Done { .. }))
     }
 
     /// Exposes the cache's own counters on `registry`
@@ -300,10 +319,13 @@ impl ResultCache {
             });
         // Persist a retained result *before* publishing it: anything a
         // client can observe as done is already durable (blob + journal
-        // record, both fsync'd). A persist failure degrades durability
-        // only — the result still serves from memory.
+        // record, both fsync'd). Under `persist` so this completion
+        // cannot overtake a pending eviction record for the same key.
+        // A persist failure degrades durability only — the result still
+        // serves from memory.
         if let (Ok(result), Some(store)) = (&outcome, self.store.get()) {
             if result.body.len() as u64 <= self.max_bytes {
+                let _persist = self.persist.lock().expect("persist mutex poisoned");
                 if let Err(e) = store.put_result(result) {
                     logging::warn(
                         "service::cache",
@@ -316,11 +338,12 @@ impl ResultCache {
         }
         let last_used = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().expect("cache mutex poisoned");
+        let mut evicted = Vec::new();
         let published = match outcome {
             Ok(result) => {
                 let result = Arc::new(result);
                 if result.body.len() as u64 <= self.max_bytes {
-                    self.retain_locked(&mut inner, canonical, &result, last_used);
+                    evicted = self.retain_locked(&mut inner, canonical, &result, last_used);
                 } else {
                     // Too big to retain: serve it, drop the flight slot.
                     inner.slots.remove(canonical);
@@ -332,7 +355,27 @@ impl ResultCache {
                 Err(e)
             }
         };
+        // Journal evictions off the cache lock — lookups must not stall
+        // behind journal fsyncs — but under `persist`, acquired before
+        // `inner` is released, so a concurrent recomputation of an
+        // evicted key cannot journal its completion first.
+        let store = self.store.get();
+        let persist = (store.is_some() && !evicted.is_empty())
+            .then(|| self.persist.lock().expect("persist mutex poisoned"));
         drop(inner);
+        if let Some(store) = store {
+            for victim in &evicted {
+                if let Err(e) = store.result_evicted(victim) {
+                    logging::warn(
+                        "service::cache",
+                        None,
+                        "eviction not journaled",
+                        &[("error", FieldValue::Str(&e.to_string()))],
+                    );
+                }
+            }
+        }
+        drop(persist);
         let mut done = flight.done.lock().expect("flight mutex poisoned");
         *done = Some(match &published {
             Ok(result) => Ok(Arc::clone(result)),
@@ -344,16 +387,20 @@ impl ResultCache {
     }
 
     /// Evicts completed LRU entries until `result` fits, then inserts
-    /// it as `Done`. Evictions are journaled when a store is attached
-    /// (so a restart does not resurrect what the budget discarded).
+    /// it as `Done`. Returns the evicted results so the caller can
+    /// journal them *after* releasing the cache lock (a restart must
+    /// not resurrect what the budget discarded, but the journal fsync
+    /// must not run under `inner`).
+    #[must_use]
     fn retain_locked(
         &self,
         inner: &mut Inner,
         canonical: &str,
         result: &Arc<CachedResult>,
         last_used: u64,
-    ) {
+    ) -> Vec<Arc<CachedResult>> {
         let bytes = result.body.len() as u64;
+        let mut evicted = Vec::new();
         while inner.done_bytes + bytes > self.max_bytes {
             let victim = inner
                 .slots
@@ -368,16 +415,7 @@ impl ResultCache {
             if let Some(Slot::Done { result, .. }) = inner.slots.remove(&victim) {
                 inner.done_bytes -= result.body.len() as u64;
                 inner.by_key.remove(&result_key(&result.canonical));
-                if let Some(store) = self.store.get() {
-                    if let Err(e) = store.result_evicted(&result) {
-                        logging::warn(
-                            "service::cache",
-                            None,
-                            "eviction not journaled",
-                            &[("error", FieldValue::Str(&e.to_string()))],
-                        );
-                    }
-                }
+                evicted.push(result);
             }
         }
         inner.done_bytes += bytes;
@@ -391,6 +429,7 @@ impl ResultCache {
                 last_used,
             },
         );
+        evicted
     }
 }
 

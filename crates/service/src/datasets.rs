@@ -61,6 +61,13 @@ pub struct DatasetRegistry {
     /// `--data-dir`): new registrations are written through, evictions
     /// are journaled.
     store: OnceLock<Arc<Store>>,
+    /// Serializes persistence I/O in the order decided under `inner`
+    /// (lock order: `inner` → `persist`, acquired before `inner` is
+    /// released). The multi-fsync store writes happen under this lock
+    /// only, so lookups and registrations never stall behind disk I/O,
+    /// while a concurrent re-registration of an evicted digest still
+    /// cannot journal ahead of the eviction record.
+    persist: Mutex<()>,
 }
 
 /// What [`DatasetRegistry::register`] did with the upload.
@@ -83,6 +90,7 @@ impl DatasetRegistry {
             clock: AtomicU64::new(0),
             max_bytes,
             store: OnceLock::new(),
+            persist: Mutex::new(()),
         }
     }
 
@@ -116,6 +124,7 @@ impl DatasetRegistry {
             return Some((Arc::clone(&slot.entry), Registered::Exists));
         }
         // Evict least-recently-used entries until the newcomer fits.
+        let mut evicted: Vec<String> = Vec::new();
         while inner.total_bytes + bytes > self.max_bytes {
             let victim = inner
                 .slots
@@ -125,19 +134,7 @@ impl DatasetRegistry {
                 .expect("non-empty: total_bytes > 0 implies a slot exists");
             let slot = inner.slots.remove(&victim).expect("victim exists");
             inner.total_bytes -= slot.entry.bytes;
-            if let Some(store) = self.store.get() {
-                if let Err(e) = store.dataset_evicted(&victim) {
-                    logging::warn(
-                        "service::datasets",
-                        None,
-                        "eviction not journaled",
-                        &[
-                            ("digest", FieldValue::Str(&victim)),
-                            ("error", FieldValue::Str(&e.to_string())),
-                        ],
-                    );
-                }
-            }
+            evicted.push(victim);
         }
         let entry = Arc::new(DatasetEntry {
             digest: digest.clone(),
@@ -154,11 +151,29 @@ impl DatasetRegistry {
                 last_used,
             },
         );
-        // Write-through before the lock is released: once a curator's
-        // upload is acknowledged, the blob + journal record are durable.
-        // A persist failure degrades durability only — the dataset
-        // still serves from memory.
-        if let Some(store) = self.store.get() {
+        // Write through before the upload is acknowledged, but off the
+        // registry lock: the store's fsync chain must not stall every
+        // concurrent lookup. `persist` is taken while `inner` is still
+        // held, so journal order matches registry order. A persist
+        // failure degrades durability only — the dataset still serves
+        // from memory.
+        let store = self.store.get();
+        let _persist = store.map(|_| self.persist.lock().expect("persist mutex poisoned"));
+        drop(inner);
+        if let Some(store) = store {
+            for victim in &evicted {
+                if let Err(e) = store.dataset_evicted(victim) {
+                    logging::warn(
+                        "service::datasets",
+                        None,
+                        "eviction not journaled",
+                        &[
+                            ("digest", FieldValue::Str(victim)),
+                            ("error", FieldValue::Str(&e.to_string())),
+                        ],
+                    );
+                }
+            }
             if let Err(e) = store.put_dataset(&entry.digest, &entry.dataset) {
                 logging::warn(
                     "service::datasets",
@@ -172,6 +187,13 @@ impl DatasetRegistry {
             }
         }
         Some((entry, Registered::New))
+    }
+
+    /// Whether a digest is currently registered, without refreshing its
+    /// LRU position (boot-time reconciliation must not promote entries).
+    pub(crate) fn contains(&self, digest: &str) -> bool {
+        let inner = self.inner.lock().expect("registry mutex poisoned");
+        inner.slots.contains_key(digest)
     }
 
     /// Looks a dataset up by digest (refreshes its LRU position).

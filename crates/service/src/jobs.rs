@@ -273,19 +273,6 @@ impl JobBoard {
         let job = Arc::new(Job::new(spec));
         self.enqueue(Arc::clone(&job))?;
         inner.jobs.insert(id, Arc::clone(&job));
-        if let Some(store) = self.store.get() {
-            if let Err(e) = store.job_submitted(&job.id, &job.spec.canonical) {
-                logging::warn(
-                    "service::jobs",
-                    None,
-                    "submission not journaled",
-                    &[
-                        ("id", FieldValue::Str(&job.id)),
-                        ("error", FieldValue::Str(&e.to_string())),
-                    ],
-                );
-            }
-        }
         // Bound the record map: drop the oldest finished records past
         // the cap (their results stay addressable in the cache).
         while inner.jobs.len() > MAX_FINISHED_JOBS {
@@ -298,6 +285,25 @@ impl JobBoard {
                 .is_some_and(|j| matches!(j.status(), JobStatus::Done | JobStatus::Failed))
             {
                 inner.jobs.remove(&old);
+            }
+        }
+        drop(inner);
+        // Journal the accepted submission off the board lock — status
+        // polls must not stall behind the append's fsync. An executor
+        // may complete the job (journaling `JobCompleted`) before this
+        // append lands; recovery folds completions as a set, so the
+        // reorder never reads as an in-flight job.
+        if let Some(store) = self.store.get() {
+            if let Err(e) = store.job_submitted(&job.id, &job.spec.canonical) {
+                logging::warn(
+                    "service::jobs",
+                    None,
+                    "submission not journaled",
+                    &[
+                        ("id", FieldValue::Str(&job.id)),
+                        ("error", FieldValue::Str(&e.to_string())),
+                    ],
+                );
             }
         }
         Ok((job, Submitted::Enqueued))

@@ -69,13 +69,45 @@ impl AppState {
             Some(dir) => {
                 let (store, recovered) = Store::open(dir)?;
                 store.register_metrics(&metrics.registry);
+                let dataset_digests: Vec<String> = recovered
+                    .datasets
+                    .iter()
+                    .map(mobipriv_model::digest::dataset_digest)
+                    .collect();
                 for dataset in recovered.datasets {
                     // Over-budget entries fall out here exactly as a
                     // fresh upload would be rejected or LRU-evicted.
                     let _ = datasets.register(dataset);
                 }
+                let result_keys: Vec<(String, String)> = recovered
+                    .results
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.canonical.clone(),
+                            mobipriv_model::digest::digest_hex(&r.body),
+                        )
+                    })
+                    .collect();
                 for result in recovered.results {
                     results.insert_recovered(result);
+                }
+                // The store is not attached yet (seeding must not
+                // re-journal its own replay), so whatever the budgets
+                // rejected or evicted above was never journaled and its
+                // blob still holds a recovery-time ref. Reconcile: evict
+                // from the store everything recovery returned that the
+                // registry/cache did not retain, so the next boot
+                // neither resurrects it nor leaks its blob.
+                for digest in &dataset_digests {
+                    if !datasets.contains(digest) {
+                        let _ = store.dataset_evicted(digest);
+                    }
+                }
+                for (canonical, body_digest) in &result_keys {
+                    if !results.contains(canonical) {
+                        let _ = store.result_evicted_parts(canonical, body_digest);
+                    }
                 }
                 datasets.attach_store(Arc::clone(&store));
                 results.attach_store(Arc::clone(&store));
@@ -117,5 +149,58 @@ impl AppState {
         if let Some(store) = &self.store {
             store.refresh_gauges();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedResult;
+    use mobipriv_geo::LatLng;
+    use mobipriv_model::digest::dataset_digest;
+    use mobipriv_model::{Dataset, Fix, Timestamp, Trace, UserId};
+
+    /// What recovery returns but the boot-time budgets reject must be
+    /// evicted from the store too — otherwise the rejected entries
+    /// resurrect on the next boot and their blobs leak forever.
+    #[test]
+    fn seeding_rejections_are_reconciled_with_the_store() {
+        let dir = std::env::temp_dir().join(format!("mobipriv-reconcile-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dataset = Dataset::from_traces(vec![Trace::new(
+            UserId::new(1),
+            vec![Fix::new(LatLng::new(45.76, 4.84).unwrap(), Timestamp::new(0))],
+        )
+        .unwrap()]);
+        let digest = dataset_digest(&dataset);
+        let result = |canonical: &str, body: &[u8]| CachedResult {
+            canonical: canonical.to_owned(),
+            content_type: "text/csv",
+            headers: vec![("x-mobipriv-seed", "1".to_owned())],
+            body: body.to_vec(),
+        };
+        {
+            let (store, _) = Store::open(&dir).unwrap();
+            store.put_dataset(&digest, &dataset).unwrap();
+            store.put_result(&result("canon|small", b"fits")).unwrap();
+            store.put_result(&result("canon|big", &[b'x'; 64])).unwrap();
+        }
+        // Budgets that reject the dataset (8 bytes) and the big result
+        // (32 bytes) at seeding time.
+        {
+            let (state, _receiver) =
+                AppState::new(Engine::sequential(), 8, 32, 4, Some(dir.as_path())).unwrap();
+            assert_eq!(state.datasets.stats().0, 0, "dataset over budget");
+            assert_eq!(state.results.stats().0, 1, "only the small result fits");
+        }
+        // The next boot sees exactly what the budgets retained; the
+        // rejected entries' blobs are gone, not leaked.
+        let (store, recovered) = Store::open(&dir).unwrap();
+        assert_eq!(recovered.datasets.len(), 0, "rejected dataset not resurrected");
+        assert_eq!(recovered.results.len(), 1);
+        assert_eq!(recovered.results[0].canonical, "canon|small");
+        assert_eq!(store.stats().blobs, 1, "rejected blobs deleted");
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -41,7 +41,7 @@ const MAX_HEADERS: u16 = 256;
 /// One serving-state event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Record {
-    /// A dataset blob landed under `blobs/<digest>` (canonical-CSV
+    /// A dataset blob landed under `blobs/d_<digest>` (canonical-CSV
     /// digest; the blob itself is `MPB1`-encoded).
     DatasetRegistered {
         /// Content digest of the canonical CSV form.
@@ -60,8 +60,8 @@ pub enum Record {
         canonical: String,
     },
     /// A computation finished and its body landed under
-    /// `blobs/<body_digest>`; carries everything needed to rebuild the
-    /// cached response except the body bytes.
+    /// `blobs/r_<body_digest>`; carries everything needed to rebuild
+    /// the cached response except the body bytes.
     JobCompleted {
         /// Full canonical cache-key string.
         canonical: String,
@@ -69,7 +69,7 @@ pub enum Record {
         content_type: String,
         /// Computation-describing headers (names re-interned on decode).
         headers: Vec<(String, String)>,
-        /// Digest of the body bytes = the blob's file name.
+        /// Digest of the body bytes = the blob's file-name stem.
         body_digest: String,
         /// Body length, cross-checked against the blob at recovery.
         body_len: u64,

@@ -5,12 +5,21 @@
 //!
 //! ```text
 //! <root>/
-//!   blobs/<digest>       content-addressed bodies: datasets as MPB1
-//!                        binary frames, results as their raw bytes
+//!   blobs/d_<digest>     dataset bodies: MPB1 binary frames under the
+//!                        canonical-CSV digest
+//!   blobs/r_<digest>     result bodies: raw bytes under their own
+//!                        digest
 //!   journal.log          MPJ1 event log (see journal module docs)
-//!   quarantine/<digest>  blobs whose re-hash mismatched at recovery
+//!   quarantine/<name>    blobs whose re-hash mismatched at recovery
 //!   tmp/                 in-flight writes (cleared at every open)
 //! ```
+//!
+//! Blob names are namespaced by kind because the two digests can
+//! collide *by design*: the `raw` mechanism's CSV output is its input
+//! dataset's canonical form, so `digest_hex(body)` equals the dataset
+//! digest while the bytes on disk differ (raw CSV vs `MPB1` frame).
+//! One flat namespace would make the second writer silently skip its
+//! write and reference the other kind's bytes.
 //!
 //! # Write ordering contract
 //!
@@ -34,6 +43,15 @@
 //! parsed datasets and ready-to-serve [`CachedResult`]s for
 //! `AppState` to seed the registry and cache — a warm restart serves
 //! byte-identical cache hits without recomputation.
+//!
+//! Recovery also keeps the directory from growing without bound under
+//! churn: blobs no live entry references (orphans from a crash between
+//! rename and journal append, or leftovers of dead records) are swept,
+//! and when the journal contains dead records — evictions, completed
+//! submissions, entries that were dropped or quarantined — it is
+//! compacted to exactly the live set (temp file + fsync + atomic
+//! rename, so a crash mid-compaction leaves a valid journal either
+//! way).
 //!
 //! # Failure philosophy at runtime
 //!
@@ -91,12 +109,27 @@ fn intern(table: &[&'static str], name: &str) -> Option<&'static str> {
     table.iter().find(|&&t| t == name).copied()
 }
 
-/// Digests double as file names; only the 16-lowercase-hex shape the
-/// digest module produces is ever turned into a path.
+/// Digests double as file-name stems; only the 16-lowercase-hex shape
+/// the digest module produces is ever turned into a path.
 fn valid_digest(s: &str) -> bool {
     s.len() == 16
         && s.bytes()
             .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// Blob file name for a dataset (see the module docs for why the two
+/// kinds are namespaced apart).
+fn dataset_blob(digest: &str) -> String {
+    format!("d_{digest}")
+}
+
+/// Blob file name for a result body.
+fn result_blob(body_digest: &str) -> String {
+    format!("r_{body_digest}")
+}
+
+fn valid_blob_name(name: &str) -> bool {
+    (name.starts_with("d_") || name.starts_with("r_")) && valid_digest(&name[2..])
 }
 
 struct JournalWriter {
@@ -109,9 +142,9 @@ struct JournalWriter {
 struct BlobIndex {
     count: u64,
     bytes: u64,
-    /// Live users per blob digest (a dataset and a result can share
-    /// one blob — e.g. the `raw` mechanism's output *is* the canonical
-    /// input); the file is deleted when the count reaches zero.
+    /// Live users per blob file name (two results with the same body
+    /// share one `r_` blob); the file is deleted when the count
+    /// reaches zero.
     refs: HashMap<String, u32>,
 }
 
@@ -141,9 +174,17 @@ pub struct RecoveryReport {
     pub blobs_recovered: u64,
     /// Blobs moved to `quarantine/` (re-hash mismatch).
     pub quarantined: u64,
-    /// Entries dropped: blob missing, or headers/content-type no
-    /// longer intern (all recomputable on demand).
+    /// Entries dropped: blob missing, malformed digest in the record,
+    /// or headers/content-type no longer intern (all recomputable on
+    /// demand).
     pub dropped: u64,
+    /// Unreferenced blob files deleted after recovery (orphans from a
+    /// crash between rename and journal append, or left behind by
+    /// records that did not survive replay).
+    pub orphans_swept: u64,
+    /// Dead journal bytes reclaimed by boot-time compaction (0 when the
+    /// journal was already exactly the live set).
+    pub compacted_bytes: u64,
     /// Jobs journaled as submitted but never completed (reported, not
     /// resurrected: the client re-submits and the result key coalesces).
     pub inflight_jobs: u64,
@@ -245,6 +286,8 @@ impl Store {
         }
         let mut result_live: HashMap<String, Option<ResultMeta>> = HashMap::new();
         let mut submitted: HashMap<String, String> = HashMap::new();
+        let mut completed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let replayed_records = replay.records.len();
         for record in replay.records {
             match record {
                 Record::DatasetRegistered {
@@ -269,7 +312,7 @@ impl Store {
                     body_digest,
                     body_len,
                 } => {
-                    submitted.remove(&canonical);
+                    completed.insert(canonical.clone());
                     if !result_live.contains_key(&canonical) {
                         result_order.push(canonical.clone());
                     }
@@ -288,27 +331,34 @@ impl Store {
                 }
             }
         }
+        // Set difference rather than remove-on-complete: the executor
+        // persists its `JobCompleted` without holding the job-board
+        // lock, so it can land *before* the board's `JobSubmitted` for
+        // the same key — an inversion that must not read as in-flight.
+        submitted.retain(|canonical, _| !completed.contains(canonical));
         report.inflight_jobs = submitted.len() as u64;
 
         // Re-read and re-hash every referenced blob. Quarantine what
-        // mismatches, drop what is missing, keep what verifies.
+        // mismatches, drop what is missing, keep what verifies — and
+        // collect the journal records the survivors would re-produce,
+        // so compaction below can rewrite the log as exactly that set.
         let blobs_dir = root.join(BLOBS_DIR);
-        let quarantine = |digest: &str| -> std::io::Result<()> {
-            std::fs::rename(
-                blobs_dir.join(digest),
-                root.join(QUARANTINE_DIR).join(digest),
-            )
+        let quarantine = |name: &str| -> std::io::Result<()> {
+            std::fs::rename(blobs_dir.join(name), root.join(QUARANTINE_DIR).join(name))
         };
         let mut refs: HashMap<String, u32> = HashMap::new();
+        let mut live_records: Vec<Record> = Vec::new();
         let mut datasets = Vec::new();
         for digest in dataset_order {
             let Some(Some(blob_digest)) = dataset_live.get(&digest) else {
                 continue;
             };
             if !valid_digest(&digest) {
+                report.dropped += 1;
                 continue;
             }
-            let bytes = match std::fs::read(blobs_dir.join(&digest)) {
+            let name = dataset_blob(&digest);
+            let bytes = match std::fs::read(blobs_dir.join(&name)) {
                 Ok(bytes) => bytes,
                 Err(_) => {
                     report.dropped += 1;
@@ -317,18 +367,22 @@ impl Store {
             };
             if digest_hex(&bytes) != *blob_digest {
                 report.quarantined += 1;
-                let _ = quarantine(&digest);
+                let _ = quarantine(&name);
                 continue;
             }
             match read_bin(&bytes[..]) {
                 Ok(dataset) if dataset_digest(&dataset) == digest => {
-                    *refs.entry(digest).or_insert(0) += 1;
+                    *refs.entry(name).or_insert(0) += 1;
                     report.blobs_recovered += 1;
+                    live_records.push(Record::DatasetRegistered {
+                        digest,
+                        blob_digest: blob_digest.clone(),
+                    });
                     datasets.push(dataset);
                 }
                 _ => {
                     report.quarantined += 1;
-                    let _ = quarantine(&digest);
+                    let _ = quarantine(&name);
                 }
             }
         }
@@ -341,7 +395,8 @@ impl Store {
                 report.dropped += 1;
                 continue;
             }
-            let bytes = match std::fs::read(blobs_dir.join(&meta.body_digest)) {
+            let name = result_blob(&meta.body_digest);
+            let bytes = match std::fs::read(blobs_dir.join(&name)) {
                 Ok(bytes) => bytes,
                 Err(_) => {
                     report.dropped += 1;
@@ -350,7 +405,7 @@ impl Store {
             };
             if bytes.len() as u64 != meta.body_len || digest_hex(&bytes) != meta.body_digest {
                 report.quarantined += 1;
-                let _ = quarantine(&meta.body_digest);
+                let _ = quarantine(&name);
                 continue;
             }
             let content_type = intern(&CONTENT_TYPES, &meta.content_type);
@@ -361,8 +416,15 @@ impl Store {
                 .collect();
             match (content_type, headers) {
                 (Some(content_type), Some(headers)) => {
-                    *refs.entry(meta.body_digest.clone()).or_insert(0) += 1;
+                    *refs.entry(name).or_insert(0) += 1;
                     report.blobs_recovered += 1;
+                    live_records.push(Record::JobCompleted {
+                        canonical: canonical.clone(),
+                        content_type: meta.content_type.clone(),
+                        headers: meta.headers.clone(),
+                        body_digest: meta.body_digest.clone(),
+                        body_len: meta.body_len,
+                    });
                     results.push(CachedResult {
                         canonical,
                         content_type,
@@ -374,28 +436,73 @@ impl Store {
             }
         }
 
-        // Truncate the torn/corrupt journal tail, then position the
-        // writer at the end of the valid prefix.
-        let mut file = std::fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&journal_path)?;
-        if replay.valid_len < image.len() as u64 {
-            file.set_len(replay.valid_len)?;
-        }
-        let mut good_bytes = replay.valid_len;
-        if good_bytes == 0 {
-            file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(&journal::MAGIC)?;
-            file.sync_data()?;
-            good_bytes = journal::MAGIC.len() as u64;
+        // Sweep unreferenced blobs: orphans from a crash between rename
+        // and journal append, and leftovers of records that did not
+        // survive replay. Everything the live state needs holds a ref
+        // by now, so anything else is garbage.
+        for entry in std::fs::read_dir(&blobs_dir)?.flatten() {
+            let name = entry.file_name();
+            let referenced = name.to_str().is_some_and(|n| refs.contains_key(n));
+            if !referenced && std::fs::remove_file(entry.path()).is_ok() {
+                report.orphans_swept += 1;
+            }
         }
 
-        // Size the blob index from the directory (orphans from crashes
-        // between rename and journal append are counted — they exist).
+        // Compact when the journal holds anything but the live set:
+        // evictions, completed submissions, dropped or quarantined
+        // entries. Temp file + fsync + atomic rename, so a crash here
+        // leaves either the old journal or the new one, both valid.
+        // (In-flight submissions are dead records too — they were
+        // reported above; resurrecting the report every boot would be
+        // noise.) Without this, journal.log and replay time grow
+        // without bound under eviction/churn.
+        let needs_compaction =
+            live_records.len() != replayed_records || replay.corrupt_at.is_some();
+        let mut good_bytes;
+        let mut file;
+        if needs_compaction {
+            let mut compact = journal::MAGIC.to_vec();
+            for record in &live_records {
+                compact.extend_from_slice(&journal::encode(record));
+            }
+            let tmp = root.join(TMP_DIR).join("journal.compact");
+            {
+                let mut out = std::fs::File::create(&tmp)?;
+                out.write_all(&compact)?;
+                out.sync_all()?;
+            }
+            std::fs::rename(&tmp, &journal_path)?;
+            if let Ok(dir) = std::fs::File::open(root) {
+                let _ = dir.sync_all();
+            }
+            report.compacted_bytes = replay.valid_len.saturating_sub(compact.len() as u64)
+                + (image.len() as u64 - replay.valid_len);
+            good_bytes = compact.len() as u64;
+            file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&journal_path)?;
+        } else {
+            // Clean journal: open in place and position the writer at
+            // the end of the valid prefix.
+            file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&journal_path)?;
+            good_bytes = replay.valid_len;
+            if good_bytes == 0 {
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(&journal::MAGIC)?;
+                file.sync_data()?;
+                good_bytes = journal::MAGIC.len() as u64;
+            }
+        }
+
+        // Size the blob index from the directory (post-sweep, so count
+        // and bytes reflect exactly the referenced files).
         let (mut blob_count, mut blob_bytes) = (0u64, 0u64);
         for entry in std::fs::read_dir(&blobs_dir)?.flatten() {
             if let Ok(meta) = entry.metadata() {
@@ -440,6 +547,8 @@ impl Store {
                 ("quarantined", FieldValue::U64(report.quarantined)),
                 ("dropped", FieldValue::U64(report.dropped)),
                 ("truncated_bytes", FieldValue::U64(report.truncated_bytes)),
+                ("orphans_swept", FieldValue::U64(report.orphans_swept)),
+                ("compacted_bytes", FieldValue::U64(report.compacted_bytes)),
                 ("inflight_jobs", FieldValue::U64(report.inflight_jobs)),
             ],
         );
@@ -529,8 +638,9 @@ impl Store {
         self.quarantined_gauge.set(stats.quarantined as i64);
     }
 
-    /// Persists a registered dataset: `MPB1` blob under its canonical
-    /// digest, then a `DatasetRegistered` journal record.
+    /// Persists a registered dataset: `MPB1` blob under
+    /// `d_<canonical digest>`, then a `DatasetRegistered` journal
+    /// record.
     ///
     /// # Errors
     ///
@@ -540,25 +650,27 @@ impl Store {
         let mut bytes = Vec::new();
         write_bin(dataset, &mut bytes)
             .map_err(|e| std::io::Error::other(format!("encoding dataset blob: {e}")))?;
-        self.write_blob(digest, &bytes)?;
+        let name = dataset_blob(digest);
+        self.write_blob(&name, &bytes)?;
         self.append(&Record::DatasetRegistered {
             digest: digest.to_owned(),
             blob_digest: digest_hex(&bytes),
         })?;
-        self.retain(digest);
+        self.retain(&name);
         Ok(())
     }
 
-    /// Persists a finished computation: raw body blob under the body
-    /// digest, then a `JobCompleted` record carrying the response
-    /// metadata.
+    /// Persists a finished computation: raw body blob under
+    /// `r_<body digest>`, then a `JobCompleted` record carrying the
+    /// response metadata.
     ///
     /// # Errors
     ///
     /// Any I/O (or injected) failure (see [`Store::put_dataset`]).
     pub fn put_result(&self, result: &CachedResult) -> std::io::Result<()> {
         let body_digest = digest_hex(&result.body);
-        self.write_blob(&body_digest, &result.body)?;
+        let name = result_blob(&body_digest);
+        self.write_blob(&name, &result.body)?;
         self.append(&Record::JobCompleted {
             canonical: result.canonical.clone(),
             content_type: result.content_type.to_owned(),
@@ -567,10 +679,10 @@ impl Store {
                 .iter()
                 .map(|(name, value)| ((*name).to_owned(), value.clone()))
                 .collect(),
-            body_digest: body_digest.clone(),
+            body_digest,
             body_len: result.body.len() as u64,
         })?;
-        self.retain(&body_digest);
+        self.retain(&name);
         Ok(())
     }
 
@@ -597,7 +709,7 @@ impl Store {
         self.append(&Record::DatasetEvicted {
             digest: digest.to_owned(),
         })?;
-        self.release(digest);
+        self.release(&dataset_blob(digest));
         Ok(())
     }
 
@@ -608,25 +720,36 @@ impl Store {
     ///
     /// Journal append failure (see [`Store::dataset_evicted`]).
     pub fn result_evicted(&self, result: &CachedResult) -> std::io::Result<()> {
-        let body_digest = digest_hex(&result.body);
+        self.result_evicted_parts(&result.canonical, &digest_hex(&result.body))
+    }
+
+    /// [`Store::result_evicted`] for callers that already know the body
+    /// digest but no longer hold the body — boot-time reconciliation,
+    /// where the recovered `CachedResult` was handed to the cache.
+    pub(crate) fn result_evicted_parts(
+        &self,
+        canonical: &str,
+        body_digest: &str,
+    ) -> std::io::Result<()> {
         self.append(&Record::ResultEvicted {
-            canonical: result.canonical.clone(),
+            canonical: canonical.to_owned(),
         })?;
-        self.release(&body_digest);
+        self.release(&result_blob(body_digest));
         Ok(())
     }
 
     /// Temp-write → fsync → rename → dir-fsync, under the blob index
-    /// lock (idempotent per digest: an already-present blob is the
-    /// same content by construction).
-    fn write_blob(&self, digest: &str, bytes: &[u8]) -> std::io::Result<()> {
+    /// lock (idempotent per blob name: names embed both the kind and
+    /// the content digest, so an already-present file is the same
+    /// content by construction).
+    fn write_blob(&self, name: &str, bytes: &[u8]) -> std::io::Result<()> {
         let mut index = self.blobs.lock().expect("blob index poisoned");
-        let final_path = self.root.join(BLOBS_DIR).join(digest);
+        let final_path = self.root.join(BLOBS_DIR).join(name);
         if final_path.exists() {
             return Ok(());
         }
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
-        let tmp = self.root.join(TMP_DIR).join(format!("{digest}.{seq}"));
+        let tmp = self.root.join(TMP_DIR).join(format!("{name}.{seq}"));
         // Failed attempts leave their temp file behind on purpose: the
         // disk state must look exactly like a crash there (recovery
         // clears tmp/); a retry uses a fresh sequence number.
@@ -680,18 +803,18 @@ impl Store {
         Ok(())
     }
 
-    fn retain(&self, digest: &str) {
+    fn retain(&self, name: &str) {
         let mut index = self.blobs.lock().expect("blob index poisoned");
-        *index.refs.entry(digest.to_owned()).or_insert(0) += 1;
+        *index.refs.entry(name.to_owned()).or_insert(0) += 1;
     }
 
     /// Drops one reference; deletes the blob file at zero.
-    fn release(&self, digest: &str) {
-        if !valid_digest(digest) {
+    fn release(&self, name: &str) {
+        if !valid_blob_name(name) {
             return;
         }
         let mut index = self.blobs.lock().expect("blob index poisoned");
-        let remaining = match index.refs.get_mut(digest) {
+        let remaining = match index.refs.get_mut(name) {
             Some(count) => {
                 *count = count.saturating_sub(1);
                 *count
@@ -699,8 +822,8 @@ impl Store {
             None => return, // never persisted (e.g. its put failed)
         };
         if remaining == 0 {
-            index.refs.remove(digest);
-            let path = self.root.join(BLOBS_DIR).join(digest);
+            index.refs.remove(name);
+            let path = self.root.join(BLOBS_DIR).join(name);
             if let Ok(meta) = std::fs::metadata(&path) {
                 if std::fs::remove_file(&path).is_ok() {
                     index.count = index.count.saturating_sub(1);
@@ -818,8 +941,8 @@ mod tests {
             store.put_result(&result("canon|q", b"precious")).unwrap();
         }
         // Flip one bit in the result blob.
-        let body_digest = digest_hex(b"precious");
-        let blob = root.join(BLOBS_DIR).join(&body_digest);
+        let blob_name = result_blob(&digest_hex(b"precious"));
+        let blob = root.join(BLOBS_DIR).join(&blob_name);
         let mut bytes = std::fs::read(&blob).unwrap();
         bytes[0] ^= 0x01;
         std::fs::write(&blob, &bytes).unwrap();
@@ -827,9 +950,102 @@ mod tests {
         assert_eq!(recovered.results.len(), 0, "corrupt result not served");
         assert_eq!(recovered.datasets.len(), 1, "dataset unaffected");
         assert_eq!(recovered.report.quarantined, 1);
-        assert!(root.join(QUARANTINE_DIR).join(&body_digest).exists());
+        assert!(root.join(QUARANTINE_DIR).join(&blob_name).exists());
         assert!(!blob.exists());
         assert_eq!(store.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// The `raw` mechanism's CSV output *is* its input dataset's
+    /// canonical form, so the result's body digest equals the dataset
+    /// digest while the stored bytes differ (raw CSV vs `MPB1`). The
+    /// kind-namespaced blob names must keep the two apart.
+    #[test]
+    fn raw_result_colliding_with_its_dataset_digest_round_trips() {
+        let root = scratch("collision");
+        let ds = dataset(5);
+        let digest = dataset_digest(&ds);
+        let mut canonical_csv = Vec::new();
+        mobipriv_model::write_csv(&ds, &mut canonical_csv).unwrap();
+        assert_eq!(
+            digest_hex(&canonical_csv),
+            digest,
+            "precondition: raw output digest collides with dataset digest"
+        );
+        {
+            let (store, _) = Store::open(&root).unwrap();
+            store.put_dataset(&digest, &ds).unwrap();
+            store.put_result(&result("canon|raw", &canonical_csv)).unwrap();
+            assert_eq!(store.stats().blobs, 2, "one file per kind, no collision");
+        }
+        let (store, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.report.quarantined, 0);
+        assert_eq!(recovered.report.dropped, 0);
+        assert_eq!(recovered.datasets.len(), 1);
+        assert_eq!(dataset_digest(&recovered.datasets[0]), digest);
+        assert_eq!(recovered.results.len(), 1);
+        assert_eq!(recovered.results[0].body, canonical_csv, "byte-identical");
+        // Evicting the result must not take the dataset's blob with it.
+        store
+            .result_evicted(&result("canon|raw", &canonical_csv))
+            .unwrap();
+        drop(store);
+        let (_, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.datasets.len(), 1, "dataset survives");
+        assert_eq!(recovered.results.len(), 0);
+        assert_eq!(recovered.report.quarantined, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Dead journal records (evictions, completed submissions, dropped
+    /// entries) are compacted away at boot, and blobs nothing live
+    /// references are swept — the directory does not grow without
+    /// bound under churn.
+    #[test]
+    fn boot_compacts_the_journal_and_sweeps_orphan_blobs() {
+        let root = scratch("compact");
+        let ds = dataset(6);
+        let digest = dataset_digest(&ds);
+        {
+            let (store, _) = Store::open(&root).unwrap();
+            store.put_dataset(&digest, &ds).unwrap();
+            store.job_submitted("cccc", "canon|kept").unwrap();
+            store.put_result(&result("canon|kept", b"kept-body")).unwrap();
+            // Churn: a result that is then evicted (journals 2 records,
+            // deletes its blob)...
+            store.put_result(&result("canon|gone", b"gone-body")).unwrap();
+            store.result_evicted(&result("canon|gone", b"gone-body")).unwrap();
+        }
+        // ...plus an orphan blob, as a crash between rename and journal
+        // append would leave it.
+        std::fs::write(
+            root.join(BLOBS_DIR).join("r_00000000000000aa"),
+            b"orphan-bytes",
+        )
+        .unwrap();
+        let journal_before = std::fs::metadata(root.join(JOURNAL_FILE)).unwrap().len();
+        let (store, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.report.journal_records, 5);
+        assert_eq!(recovered.report.orphans_swept, 1);
+        assert!(recovered.report.compacted_bytes > 0);
+        assert_eq!(recovered.datasets.len(), 1);
+        assert_eq!(recovered.results.len(), 1);
+        assert!(!root.join(BLOBS_DIR).join("r_00000000000000aa").exists());
+        let journal_after = std::fs::metadata(root.join(JOURNAL_FILE)).unwrap().len();
+        assert!(
+            journal_after < journal_before,
+            "dead records reclaimed: {journal_after} < {journal_before}"
+        );
+        assert_eq!(store.stats().blobs, 2, "post-sweep index is exact");
+        drop(store);
+        // The compacted journal replays to the same state, and a clean
+        // journal is left alone (no rewrite churn).
+        let (_, recovered) = Store::open(&root).unwrap();
+        assert_eq!(recovered.report.journal_records, 2);
+        assert_eq!(recovered.report.compacted_bytes, 0);
+        assert_eq!(recovered.datasets.len(), 1);
+        assert_eq!(recovered.results.len(), 1);
+        assert_eq!(recovered.results[0].body, b"kept-body");
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -86,8 +86,10 @@ fn register(addr: SocketAddr, csv: &[u8]) -> String {
     str_of(&parse_json(&body), "digest").to_owned()
 }
 
-fn submit(addr: SocketAddr, digest: &str, seed: u64) -> String {
-    let target = format!("/v1/jobs?dataset={digest}&mechanism=promesse&alpha=150&seed={seed}");
+/// `params` is the mechanism portion of the query, e.g.
+/// `mechanism=promesse&alpha=150&seed=1` or plain `mechanism=raw`.
+fn submit(addr: SocketAddr, digest: &str, params: &str) -> String {
+    let target = format!("/v1/jobs?dataset={digest}&{params}");
     let (status, _, body) = post(addr, &target, b"");
     assert!(
         status == 202 || status == 200,
@@ -174,12 +176,22 @@ fn kill_nine_then_restart_serves_byte_identical_hits() {
     };
 
     // Phase 1: a clean workload that must survive every later crash.
+    // `mechanism=raw` is deliberate: its result body IS the canonical
+    // CSV, so its body digest equals the dataset digest and the two
+    // blobs would collide in one file were they not namespaced by kind
+    // — the crash rounds below then prove neither is quarantined or
+    // lost.
+    let mechanisms = [
+        "mechanism=promesse&alpha=150&seed=1",
+        "mechanism=promesse&alpha=150&seed=2",
+        "mechanism=raw",
+    ];
     let server = ServeProc::start(&data_dir);
     let addr = server.addr;
     let digest = register(addr, &csv);
     let mut finished: Vec<(String, Vec<u8>)> = Vec::new();
-    for job_seed in [1u64, 2] {
-        let id = submit(addr, &digest, job_seed);
+    for params in mechanisms {
+        let id = submit(addr, &digest, params);
         poll_done(addr, &id);
         let (status, headers, body) = get(addr, &format!("/v1/results/{id}"));
         assert_eq!(status, 200);
@@ -190,11 +202,11 @@ fn kill_nine_then_restart_serves_byte_identical_hits() {
     // Phase 2: three crash/restart rounds, each killing the server at a
     // randomized instant after submitting fresh (in-flight) work.
     let mut server = server;
-    let mut inflight: Vec<(u64, String)> = Vec::new();
+    let mut inflight: Vec<(String, String)> = Vec::new();
     for round in 0..3u64 {
-        let job_seed = 100 + round;
-        let id = submit(server.addr, &digest, job_seed);
-        inflight.push((job_seed, id));
+        let params = format!("mechanism=promesse&alpha=150&seed={}", 100 + round);
+        let id = submit(server.addr, &digest, &params);
+        inflight.push((params, id));
         std::thread::sleep(Duration::from_millis(next_delay_ms()));
         server.kill_9();
 
@@ -224,7 +236,7 @@ fn kill_nine_then_restart_serves_byte_identical_hits() {
     // corrupt half-state — and resubmitting them runs to completion
     // with output identical to a never-crashed server.
     let addr = server.addr;
-    for (job_seed, id) in inflight {
+    for (params, id) in inflight {
         let (status, _, body) = get(addr, &format!("/v1/jobs/{id}"));
         match status {
             404 => {} // not resurrected: rerunnable below
@@ -237,7 +249,7 @@ fn kill_nine_then_restart_serves_byte_identical_hits() {
             }
             other => panic!("job poll returned {other}"),
         }
-        let rerun = submit(addr, &digest, job_seed);
+        let rerun = submit(addr, &digest, &params);
         assert_eq!(rerun, id, "content-addressed id is stable");
         poll_done(addr, &rerun);
         let (status, _, _) = get(addr, &format!("/v1/results/{rerun}"));
@@ -249,8 +261,8 @@ fn kill_nine_then_restart_serves_byte_identical_hits() {
     let reference = ServeProc::start(&scratch("kill9-ref"));
     let ref_digest = register(reference.addr, &csv);
     assert_eq!(ref_digest, digest, "content addressing is deterministic");
-    for job_seed in [1u64, 2] {
-        let id = submit(reference.addr, &digest, job_seed);
+    for params in mechanisms {
+        let id = submit(reference.addr, &digest, params);
         poll_done(reference.addr, &id);
         let (_, _, body) = get(reference.addr, &format!("/v1/results/{id}"));
         let expected = &finished
@@ -286,7 +298,7 @@ fn store_gauges_report_exact_values_over_sockets() {
     // Known workload: one dataset (1 record, 1 blob), one job to done
     // (submitted + completed records, 1 body blob).
     let digest = register(addr, &csv);
-    let id = submit(addr, &digest, 7);
+    let id = submit(addr, &digest, "mechanism=promesse&alpha=150&seed=7");
     poll_done(addr, &id);
 
     let (status, _, body) = get(addr, "/v1/stats");

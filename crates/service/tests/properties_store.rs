@@ -204,15 +204,20 @@ proptest! {
                 })
                 .expect("put result");
         }
-        let victim = if corrupt_dataset { &digest } else { &body_digest };
-        let path = root.join("blobs").join(victim);
+        // Blob files are namespaced by kind: `d_` datasets, `r_` results.
+        let victim = if corrupt_dataset {
+            format!("d_{digest}")
+        } else {
+            format!("r_{body_digest}")
+        };
+        let path = root.join("blobs").join(&victim);
         let mut bytes = std::fs::read(&path).expect("blob exists");
         let at = (byte_seed % bytes.len() as u64) as usize;
         bytes[at] ^= 1 << bit;
         std::fs::write(&path, &bytes).expect("rewrite blob");
         let (_, recovered) = Store::open(&root).expect("recovery never fails");
         prop_assert_eq!(recovered.report.quarantined, 1);
-        prop_assert!(root.join("quarantine").join(victim).exists());
+        prop_assert!(root.join("quarantine").join(&victim).exists());
         prop_assert!(!path.exists(), "corrupt blob no longer servable");
         if corrupt_dataset {
             prop_assert_eq!(recovered.datasets.len(), 0);

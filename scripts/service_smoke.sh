@@ -400,6 +400,27 @@ grep -q '"status":"done"' "$WORK/p_status.json" || {
 curl -fsS "http://$ADDR2/v1/results/$P_ID" -o "$WORK/p_before.csv"
 echo "ok        persistent job $P_ID done ($(wc -c < "$WORK/p_before.csv") bytes)"
 
+# A raw-mechanism job: its result body is the dataset's canonical CSV,
+# so its body digest equals the dataset digest — the blob-kind
+# namespacing (d_/r_) is what keeps the two files apart. Both must
+# survive the crash below intact.
+curl -s -X POST "http://$ADDR2/v1/jobs?dataset=$P_DIGEST&mechanism=raw" \
+  -o "$WORK/p_rawjob.json"
+P_RAW_ID=$(sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p' "$WORK/p_rawjob.json")
+[ -n "$P_RAW_ID" ] || { echo "FAIL raw job submission:" >&2; cat "$WORK/p_rawjob.json" >&2; exit 1; }
+for _ in $(seq 100); do
+  curl -fsS "http://$ADDR2/v1/jobs/$P_RAW_ID" > "$WORK/p_rawstatus.json"
+  grep -q '"status":"done"' "$WORK/p_rawstatus.json" && break
+  sleep 0.1
+done
+grep -q '"status":"done"' "$WORK/p_rawstatus.json" || {
+  echo "FAIL raw job never reached done:" >&2
+  cat "$WORK/p_rawstatus.json" >&2
+  exit 1
+}
+curl -fsS "http://$ADDR2/v1/results/$P_RAW_ID" -o "$WORK/p_raw_before.csv"
+echo "ok        raw job $P_RAW_ID done (body digest collides with dataset digest)"
+
 kill -9 "$SERVER2_PID"
 wait "$SERVER2_PID" 2> /dev/null || true
 echo "ok        server killed with SIGKILL mid-flight"
@@ -425,6 +446,22 @@ grep -qi '^x-mobipriv-cache: hit' "$WORK/p_after.head" || {
   exit 1
 }
 echo "ok        warm restart serves $P_ID byte-identical, cache hit"
+
+curl -fsS -D "$WORK/p_raw_after.head" "http://$ADDR2/v1/results/$P_RAW_ID" \
+  -o "$WORK/p_raw_after.csv" || {
+  echo "FAIL raw result $P_RAW_ID lost across restart" >&2
+  exit 1
+}
+cmp -s "$WORK/p_raw_before.csv" "$WORK/p_raw_after.csv" || {
+  echo "FAIL restart raw result is not byte-identical" >&2
+  exit 1
+}
+grep -qi '^x-mobipriv-cache: hit' "$WORK/p_raw_after.head" || {
+  echo "FAIL restart raw result was recomputed (not a cache hit):" >&2
+  cat "$WORK/p_raw_after.head" >&2
+  exit 1
+}
+echo "ok        warm restart serves raw result $P_RAW_ID despite digest collision"
 
 # The recovered cache answers a whole loadgen --jobs replay of the
 # pre-crash key (same workload seed, same mechanism/alpha/seed) without
