@@ -527,6 +527,24 @@ fn main() -> ExitCode {
     assert_eq!(on_out, off_out, "observability changed engine output");
     let obs_ratio = obs_on_s / obs_off_s.max(1e-12);
 
+    // Resilience-hook overhead: the same engine run through
+    // `try_protect` with a live deadline token (a clock read between
+    // per-trace kernels) vs the infallible `protect` path (a branch on
+    // `None`). CI gates the ratio at ≤ 1.05x — cancellation support
+    // must be free when the deadline is generous. Outputs are asserted
+    // identical: a token that never trips must not change the bytes.
+    eprintln!("timing resilience-hook overhead (deadline token vs none)…");
+    let (hooks_on_s, on_out) = time_min(obs_iters, || {
+        let cancel = mobipriv_core::CancelToken::with_budget(std::time::Duration::from_secs(3600));
+        engine
+            .try_protect(&promesse, dataset, args.seed, &cancel)
+            .expect("hour-long budget cannot trip")
+    });
+    let (hooks_off_s, off_out) =
+        time_min(obs_iters, || engine.protect(&promesse, dataset, args.seed));
+    assert_eq!(on_out, off_out, "cancellation hooks changed engine output");
+    let hooks_ratio = hooks_on_s / hooks_off_s.max(1e-12);
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -602,6 +620,11 @@ fn main() -> ExitCode {
         ",\"obs_overhead\":{{\"mechanism\":\"promesse alpha=100\",\"obs_on_s\":{obs_on_s},\
          \"obs_off_s\":{obs_off_s},\"ratio\":{obs_ratio}}}",
     );
+    let _ = write!(
+        json,
+        ",\"resilience\":{{\"mechanism\":\"promesse alpha=100\",\"hooks_on_s\":{hooks_on_s},\
+         \"hooks_off_s\":{hooks_off_s},\"ratio\":{hooks_ratio}}}",
+    );
     json.push_str("}\n");
 
     for (name, naive_s, indexed_s) in &paths {
@@ -645,6 +668,12 @@ fn main() -> ExitCode {
         obs_on_s * 1e3,
         obs_off_s * 1e3,
         obs_ratio,
+    );
+    eprintln!(
+        "    resilience: token {:>9.2} ms, none    {:>9.2} ms -> {:.3}x",
+        hooks_on_s * 1e3,
+        hooks_off_s * 1e3,
+        hooks_ratio,
     );
     if args.profile {
         let table = mobipriv_obs::profile::stage_table(

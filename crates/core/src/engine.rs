@@ -46,6 +46,10 @@
 //! # }
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -53,6 +57,106 @@ use rayon::prelude::*;
 use mobipriv_model::{Dataset, Trace, UserId};
 
 use crate::Mechanism;
+
+/// A cooperative cancellation token for [`Engine::try_protect`].
+///
+/// Tokens are cheap to clone (an `Arc` at most) and trip in two ways:
+/// explicitly via [`CancelToken::cancel`], or implicitly when the
+/// wall-clock budget passed to [`CancelToken::with_budget`] runs out.
+/// Both are **monotone** — once cancelled, a token stays cancelled —
+/// which is what makes the engine's determinism argument work (see
+/// [`Engine::try_protect`]).
+///
+/// [`CancelToken::none`] is the zero-cost "never cancels" token the
+/// infallible [`Engine::protect`] path uses.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+    budget: Option<Duration>,
+}
+
+impl CancelToken {
+    /// A token that never cancels; checks compile down to a branch on
+    /// `None`.
+    pub fn none() -> Self {
+        CancelToken { inner: None }
+    }
+
+    /// A token cancelled only by an explicit [`CancelToken::cancel`]
+    /// call (no deadline).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+                budget: None,
+            })),
+        }
+    }
+
+    /// A token that trips once `budget` of wall time has elapsed from
+    /// this call (and can still be cancelled explicitly before that).
+    pub fn with_budget(budget: Duration) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+                budget: Some(budget),
+            })),
+        }
+    }
+
+    /// Trips the token. Idempotent; a no-op on [`CancelToken::none`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline). A
+    /// passed deadline latches the flag so later checks skip the clock
+    /// read.
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The wall-clock budget this token was built with, if any — kept
+    /// so deadline errors can report the budget that was exhausted.
+    pub fn budget(&self) -> Option<Duration> {
+        self.inner.as_ref().and_then(|inner| inner.budget)
+    }
+}
+
+/// The error [`Engine::try_protect`] returns when its [`CancelToken`]
+/// trips before the run completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "computation cancelled before completion")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// How the engine schedules per-trace kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -186,11 +290,39 @@ impl Engine {
     /// couple of clock reads and atomic adds around the unchanged
     /// kernel dispatch, so output bytes are identical either way.
     pub fn protect(&self, mechanism: &dyn Mechanism, dataset: &Dataset, seed: u64) -> Dataset {
+        self.try_protect(mechanism, dataset, seed, &CancelToken::none())
+            .expect("a none token never cancels")
+    }
+
+    /// [`Engine::protect`] with cooperative cancellation: the token is
+    /// checked between per-trace kernels (and around the dataset-level
+    /// fallback), never inside one.
+    ///
+    /// # Determinism
+    ///
+    /// A run that returns `Ok` executed **every** kernel: a kernel is
+    /// only skipped when the token already reads cancelled, and since
+    /// cancellation is monotone the final check then returns `Err`.
+    /// Completed outputs are therefore bit-identical to [`Engine::protect`];
+    /// cancellation can only replace an output with `Err(Cancelled)`,
+    /// never alter it.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token trips before the run completes. The
+    /// partially-computed output is discarded.
+    pub fn try_protect(
+        &self,
+        mechanism: &dyn Mechanism,
+        dataset: &Dataset,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<Dataset, Cancelled> {
         if !mobipriv_obs::enabled() {
-            return self.protect_inner(mechanism, dataset, seed);
+            return self.protect_inner(mechanism, dataset, seed, cancel);
         }
         let started = std::time::Instant::now();
-        let output = self.protect_inner(mechanism, dataset, seed);
+        let output = self.protect_inner(mechanism, dataset, seed, cancel)?;
         let elapsed = started.elapsed();
         let registry = mobipriv_obs::global();
         registry
@@ -218,13 +350,29 @@ impl Engine {
                 )
                 .set((fixes as f64 / seconds) as i64);
         }
-        output
+        Ok(output)
     }
 
-    fn protect_inner(&self, mechanism: &dyn Mechanism, dataset: &Dataset, seed: u64) -> Dataset {
+    fn protect_inner(
+        &self,
+        mechanism: &dyn Mechanism,
+        dataset: &Dataset,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<Dataset, Cancelled> {
+        if cancel.is_cancelled() {
+            return Err(Cancelled);
+        }
         match mechanism.as_trace_kernel() {
             Some(kernel) => {
                 let run = |(index, trace): (usize, &Trace)| -> Option<Trace> {
+                    // A skipped kernel is only observable through the
+                    // final cancellation check below turning the whole
+                    // run into Err — never through a hole in an Ok
+                    // output.
+                    if cancel.is_cancelled() {
+                        return None;
+                    }
                     let ctx = TraceCtx {
                         experiment_seed: seed,
                         trace_index: index,
@@ -244,11 +392,21 @@ impl Engine {
                         }
                     }
                 };
-                protected.into_iter().flatten().collect()
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+                Ok(protected.into_iter().flatten().collect())
             }
             None => {
+                // Dataset-level mechanisms have no per-trace seam to
+                // check at; the budget still bounds the *request* via
+                // the checks around the call.
                 let mut rng = StdRng::seed_from_u64(seed);
-                mechanism.protect(dataset, &mut rng)
+                let output = mechanism.protect(dataset, &mut rng);
+                if cancel.is_cancelled() {
+                    return Err(Cancelled);
+                }
+                Ok(output)
             }
         }
     }
@@ -396,6 +554,65 @@ mod tests {
         let outs = Engine::parallel().sweep(&mechanisms, &d, 10);
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[0], d, "identity row unchanged");
+    }
+
+    #[test]
+    fn cancelled_token_aborts_before_any_work() {
+        let d = dataset();
+        let token = CancelToken::new();
+        token.cancel();
+        for engine in [Engine::parallel(), Engine::sequential()] {
+            assert_eq!(
+                engine.try_protect(&Promesse::new(60.0).unwrap(), &d, 1, &token),
+                Err(Cancelled)
+            );
+            // Dataset-level fallback path.
+            use crate::{MixZoneConfig, MixZones};
+            let mech = MixZones::new(MixZoneConfig::default()).unwrap();
+            assert_eq!(engine.try_protect(&mech, &d, 1, &token), Err(Cancelled));
+        }
+    }
+
+    #[test]
+    fn uncancelled_try_protect_matches_protect_bit_for_bit() {
+        let d = dataset();
+        let mech = GeoInd::new(0.05).unwrap();
+        for engine in [Engine::parallel(), Engine::sequential()] {
+            let plain = engine.protect(&mech, &d, 42);
+            let manual = engine
+                .try_protect(&mech, &d, 42, &CancelToken::new())
+                .unwrap();
+            let budgeted = engine
+                .try_protect(
+                    &mech,
+                    &d,
+                    42,
+                    &CancelToken::with_budget(Duration::from_secs(3600)),
+                )
+                .unwrap();
+            assert_eq!(plain, manual);
+            assert_eq!(plain, budgeted);
+        }
+    }
+
+    #[test]
+    fn zero_budget_token_trips_immediately() {
+        let token = CancelToken::with_budget(Duration::from_millis(0));
+        assert!(token.is_cancelled());
+        assert_eq!(token.budget(), Some(Duration::from_millis(0)));
+        let d = dataset();
+        assert_eq!(
+            Engine::sequential().try_protect(&Identity, &d, 0, &token),
+            Err(Cancelled)
+        );
+    }
+
+    #[test]
+    fn none_token_never_cancels() {
+        let token = CancelToken::none();
+        token.cancel();
+        assert!(!token.is_cancelled());
+        assert_eq!(token.budget(), None);
     }
 
     #[test]

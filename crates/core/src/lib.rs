@@ -64,7 +64,9 @@ mod mixzone;
 mod pipeline;
 mod promesse;
 
-pub use engine::{derive_user_token, trace_seed, Engine, ExecutionMode, TraceCtx};
+pub use engine::{
+    derive_user_token, trace_seed, CancelToken, Cancelled, Engine, ExecutionMode, TraceCtx,
+};
 pub use error::CoreError;
 pub use geoind::{GeoInd, NoiseBudget};
 pub use grid_gen::GridGeneralization;

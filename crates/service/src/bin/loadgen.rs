@@ -6,17 +6,17 @@
 //! async job engine, reporting cold-vs-warm latency and the cache hit
 //! rate. Run with `--help` for usage.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mobipriv_model::{
     read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, WireFormat,
 };
 use mobipriv_obs::scrape::{parse as parse_scrape, Scrape};
-use mobipriv_service::client::{json_str_field, request};
+use mobipriv_service::client::{json_str_field, request, request_with_timeout};
 use mobipriv_service::telemetry::STAGES;
 use mobipriv_synth::scenarios;
 
@@ -55,6 +55,17 @@ options:
                       (default 4)
   --dump-workload     print the workload in the chosen --format to
                       stdout and exit (used by the CI smoke script)
+  --timeout SECS      per-read client timeout (default 60); a request
+                      idle past it counts as a failure instead of
+                      hanging the run
+  --chaos             resilience soak against a chaos-armed server
+                      (`mobipriv-serve --chaos …`): issues --requests
+                      mixed one-shot/job/deadline-probe requests and
+                      asserts the failure-domain invariants — no hangs,
+                      no stuck keys, every response either byte-identical
+                      to the fault-free answer or a well-formed error,
+                      and the circuit breaker re-closes after the storm.
+                      Exit 1 on any violation.
   -h, --help          print this help
 ";
 
@@ -71,6 +82,8 @@ struct Options {
     jobs: bool,
     distinct: usize,
     dump: bool,
+    timeout: Duration,
+    chaos: bool,
 }
 
 impl Default for Options {
@@ -88,6 +101,8 @@ impl Default for Options {
             jobs: false,
             distinct: 4,
             dump: false,
+            timeout: Duration::from_secs(60),
+            chaos: false,
         }
     }
 }
@@ -155,6 +170,14 @@ fn parse_args(args: &[String]) -> Options {
             },
             "--dump-workload" => {
                 opts.dump = true;
+                consumed = 1;
+            }
+            "--timeout" => match value(i).parse::<u64>() {
+                Ok(n) if n > 0 => opts.timeout = Duration::from_secs(n),
+                _ => fail("--timeout expects a positive integer (seconds)"),
+            },
+            "--chaos" => {
+                opts.chaos = true;
                 consumed = 1;
             }
             other => fail(&format!("unexpected argument: {other}")),
@@ -308,6 +331,323 @@ fn print_server_delta(before: &Scrape, after: &Scrape) {
     }
 }
 
+/// Shared state of the chaos soak: per-key reference bodies and the
+/// invariant-violation log.
+struct SoakState {
+    /// First successful body per (seed, job?) key — every later 200 for
+    /// the same key must be byte-identical (the determinism invariant
+    /// chaos must not break). Job results and one-shot responses are
+    /// separate keyspaces: jobs materialize CSV while one-shots honor
+    /// `--format`.
+    baselines: Mutex<HashMap<(u64, bool), Vec<u8>>>,
+    /// Hard invariant violations (each one fails the soak).
+    violations: Mutex<Vec<String>>,
+    ok: AtomicUsize,
+    /// Well-formed error responses (expected under chaos).
+    errors: AtomicUsize,
+}
+
+impl SoakState {
+    fn violate(&self, message: String) {
+        let mut v = self.violations.lock().expect("soak mutex");
+        if v.len() < 32 {
+            v.push(message);
+        }
+    }
+
+    /// A 200 body for `key`: byte-identical to the first one seen, or
+    /// an invariant violation.
+    fn check_body(&self, key: (u64, bool), body: &[u8], target: &str) {
+        let mut baselines = self.baselines.lock().expect("soak mutex");
+        match baselines.get(&key) {
+            Some(reference) if reference.as_slice() != body => self.violate(format!(
+                "byte-identity violated for seed {} ({target}): \
+                 {} vs {} reference bytes",
+                key.0,
+                body.len(),
+                reference.len()
+            )),
+            Some(_) => {}
+            None => {
+                baselines.insert(key, body.to_vec());
+            }
+        }
+    }
+}
+
+/// Statuses a chaos-armed server may legitimately answer: success, the
+/// client-timeout close, the transient/injected failure, the degraded
+/// shed, and the tripped compute deadline. Anything else (or a hang) is
+/// an invariant violation.
+fn well_formed(status: u16) -> bool {
+    matches!(status, 200 | 408 | 500 | 503 | 504)
+}
+
+/// One soak one-shot request: issue, classify, check invariants.
+fn soak_request(
+    addr: &str,
+    target: &str,
+    body: &[u8],
+    seed: u64,
+    timeout: Duration,
+    soak: &SoakState,
+) {
+    match request_with_timeout(addr, "POST", target, body, timeout) {
+        Ok((200, response)) => {
+            soak.check_body((seed, false), &response, target);
+            soak.ok.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((status, _)) if well_formed(status) => {
+            soak.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((status, _)) => soak.violate(format!("unexpected HTTP {status} from {target}")),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::TimedOut
+                || e.kind() == std::io::ErrorKind::WouldBlock =>
+        {
+            soak.violate(format!("request hung past {timeout:?}: {target}"))
+        }
+        Err(e) => soak.violate(format!("transport error on {target}: {e}")),
+    }
+}
+
+/// One soak job cycle: submit → poll to a terminal state → fetch.
+/// `failed` (quarantine) is a well-formed outcome; a job that never
+/// reaches a terminal state is a violation.
+fn soak_job(addr: &str, target: &str, seed: u64, timeout: Duration, soak: &SoakState) {
+    let (status, body) = match request_with_timeout(addr, "POST", target, b"", timeout) {
+        Ok(r) => r,
+        Err(e) => return soak.violate(format!("transport error on {target}: {e}")),
+    };
+    if status == 503 {
+        soak.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if status != 200 && status != 202 {
+        return soak.violate(format!("unexpected HTTP {status} submitting {target}"));
+    }
+    let Some(id) = json_str_field(&body, "id") else {
+        return soak.violate(format!("submission response carries no id ({target})"));
+    };
+    let poll_deadline = Instant::now() + timeout;
+    let mut job_status = json_str_field(&body, "status").unwrap_or_default();
+    while job_status != "done" && job_status != "failed" {
+        if Instant::now() > poll_deadline {
+            return soak.violate(format!("job {id} stuck (last status `{job_status}`)"));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        match request_with_timeout(addr, "GET", &format!("/v1/jobs/{id}"), b"", timeout) {
+            Ok((200, body)) => job_status = json_str_field(&body, "status").unwrap_or_default(),
+            Ok((503, _)) => {} // shed under load — poll again
+            Ok((status, _)) => return soak.violate(format!("polling job {id}: HTTP {status}")),
+            Err(e) => return soak.violate(format!("polling job {id}: {e}")),
+        }
+    }
+    if job_status == "failed" {
+        soak.errors.fetch_add(1, Ordering::Relaxed); // quarantined — well-formed
+        return;
+    }
+    match request_with_timeout(addr, "GET", &format!("/v1/results/{id}"), b"", timeout) {
+        Ok((200, body)) => {
+            soak.check_body((seed, true), &body, target);
+            soak.ok.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((404, _)) | Ok((503, _)) => {
+            soak.errors.fetch_add(1, Ordering::Relaxed); // evicted / shed
+        }
+        Ok((status, _)) => soak.violate(format!("fetching result {id}: HTTP {status}")),
+        Err(e) => soak.violate(format!("fetching result {id}: {e}")),
+    }
+}
+
+/// The `--chaos` soak: a storm of mixed requests against a chaos-armed
+/// server, then the recovery checks. Exits the process (0 = every
+/// invariant held).
+fn chaos_soak(opts: &Options, body: Vec<u8>) -> ! {
+    let timeout = opts.timeout;
+    let addr = opts.addr.clone();
+    println!(
+        "chaos:    soak — {} mixed requests, concurrency {}, {} distinct keys, timeout {:?}",
+        opts.requests, opts.concurrency, opts.distinct, timeout
+    );
+    // Register the dataset once so job cycles can reference it.
+    let register_target = format!("/v1/datasets?format={}", opts.format.name());
+    let (status, response) =
+        match request_with_timeout(&addr, "POST", &register_target, &body, timeout) {
+            Ok(r) => r,
+            Err(e) => fail(&format!("cannot reach {addr}: {e}")),
+        };
+    if status != 200 {
+        fail(&format!("dataset registration answered HTTP {status}"));
+    }
+    let digest = json_str_field(&response, "digest")
+        .unwrap_or_else(|| fail("registration response carries no digest"));
+    let metrics_before = scrape_metrics(&addr);
+
+    let soak = Arc::new(SoakState {
+        baselines: Mutex::new(HashMap::new()),
+        violations: Mutex::new(Vec::new()),
+        ok: AtomicUsize::new(0),
+        errors: AtomicUsize::new(0),
+    });
+    let make_target = |i: usize| -> (String, u64, bool) {
+        let seed = opts.seed.wrapping_add((i % opts.distinct) as u64);
+        let is_job = i % 7 == 3;
+        let mut target = if is_job {
+            format!(
+                "/v1/jobs?dataset={digest}&mechanism={}&seed={seed}",
+                opts.mechanism
+            )
+        } else {
+            format!(
+                "/v1/anonymize?mechanism={}&seed={seed}&format={}",
+                opts.mechanism,
+                opts.format.name()
+            )
+        };
+        if !opts.query.is_empty() {
+            target.push('&');
+            target.push_str(&opts.query);
+        }
+        // Deadline probes: a zero compute budget trips deterministically
+        // (504) unless the cache already holds the key (200) — both
+        // legitimate, and the key must stay immediately recomputable.
+        if !is_job && i % 5 == 4 {
+            target.push_str("&timeout_ms=0");
+        }
+        (target, seed, is_job)
+    };
+
+    let body = Arc::new(body);
+    let next = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let mut clients = Vec::new();
+    for _ in 0..opts.concurrency {
+        let (body, soak, next) = (Arc::clone(&body), Arc::clone(&soak), Arc::clone(&next));
+        let (addr, requests) = (addr.clone(), opts.requests);
+        let targets: Vec<(String, u64, bool)> = (0..requests).map(make_target).collect();
+        clients.push(std::thread::spawn(move || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= requests {
+                break;
+            }
+            let (target, seed, is_job) = &targets[i];
+            if *is_job {
+                soak_job(&addr, target, *seed, timeout, &soak);
+            } else {
+                soak_request(&addr, target, &body, *seed, timeout, &soak);
+            }
+        }));
+    }
+    for client in clients {
+        client.join().expect("soak client panicked");
+    }
+    let storm = started.elapsed();
+    println!(
+        "storm:    {} ok, {} well-formed errors in {:.2} s",
+        soak.ok.load(Ordering::Relaxed),
+        soak.errors.load(Ordering::Relaxed),
+        storm.as_secs_f64()
+    );
+
+    // No stuck flights: every key must become computable again — errors
+    // are still legitimate while chaos keeps injecting, so retry each
+    // key until a 200 (which must match the baseline) or the deadline.
+    for k in 0..opts.distinct {
+        let seed = opts.seed.wrapping_add(k as u64);
+        let target = format!(
+            "/v1/anonymize?mechanism={}&seed={seed}&format={}",
+            opts.mechanism,
+            opts.format.name()
+        );
+        let deadline = Instant::now() + timeout;
+        loop {
+            match request_with_timeout(&addr, "POST", &target, &body, timeout) {
+                Ok((200, response)) => {
+                    soak.check_body((seed, false), &response, &target);
+                    break;
+                }
+                Ok(_) | Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Ok((status, _)) => {
+                    soak.violate(format!("key for seed {seed} stuck (last HTTP {status})"));
+                    break;
+                }
+                Err(e) => {
+                    soak.violate(format!("key for seed {seed} stuck ({e})"));
+                    break;
+                }
+            }
+        }
+    }
+
+    // Breaker recovery: cold computes on fresh seeds eventually land a
+    // successful half-open probe; the gauge must read closed again.
+    let deadline = Instant::now() + timeout;
+    let mut probe_seed = opts.seed.wrapping_add(1_000_000);
+    let recovered = loop {
+        let scrape = scrape_metrics(&addr);
+        match scrape.value("mobipriv_breaker_state", &[]) {
+            Some(0.0) => break true,
+            None => {
+                soak.violate("mobipriv_breaker_state missing from /metrics".to_owned());
+                break false;
+            }
+            Some(_) if Instant::now() > deadline => break false,
+            Some(_) => {
+                let target = format!(
+                    "/v1/anonymize?mechanism={}&seed={probe_seed}&format={}",
+                    opts.mechanism,
+                    opts.format.name()
+                );
+                let _ = request_with_timeout(&addr, "POST", &target, &body, timeout);
+                probe_seed = probe_seed.wrapping_add(1);
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
+    if !recovered {
+        soak.violate("circuit breaker did not re-close after the storm".to_owned());
+    }
+
+    // The chaos/resilience counters must exist — and chaos must have
+    // actually bitten, or the soak proved nothing.
+    let metrics_after = scrape_metrics(&addr);
+    let injected = metrics_after.total("mobipriv_chaos_injections_total")
+        - metrics_before.total("mobipriv_chaos_injections_total");
+    if injected <= 0.0 {
+        soak.violate("chaos injected no faults — is the server running with --chaos?".to_owned());
+    }
+    for counter in [
+        "mobipriv_retries_total",
+        "mobipriv_deadline_exceeded_total",
+        "mobipriv_client_timeouts_total",
+        "mobipriv_overload_shed_total",
+    ] {
+        if metrics_after.value(counter, &[]).is_none() {
+            soak.violate(format!("{counter} missing from /metrics"));
+        }
+    }
+    println!(
+        "recovery: breaker closed; {injected:.0} faults injected, \
+         {:.0} deadline trips, {:.0} retries, {:.0} sheds (server totals)",
+        metrics_after.total("mobipriv_deadline_exceeded_total"),
+        metrics_after.total("mobipriv_retries_total"),
+        metrics_after.total("mobipriv_overload_shed_total"),
+    );
+
+    let violations = soak.violations.lock().expect("soak mutex");
+    if violations.is_empty() {
+        println!("chaos:    every invariant held");
+        std::process::exit(0);
+    }
+    for v in violations.iter() {
+        eprintln!("violation: {v}");
+    }
+    std::process::exit(1);
+}
+
 /// One submit→poll→fetch cycle against the job engine. Returns the
 /// submission classification (`enqueued`/`coalesced`/`cached`).
 fn job_cycle(addr: &str, submit_target: &str, tally: &mut Tally, sent: Instant) -> Option<String> {
@@ -399,6 +739,9 @@ fn main() {
     if opts.dump {
         std::io::stdout().write_all(&body).expect("write workload");
         return;
+    }
+    if opts.chaos {
+        chaos_soak(&opts, body);
     }
     let traces = workload.dataset.len();
     let fixes = workload.dataset.total_fixes();

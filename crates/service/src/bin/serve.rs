@@ -1,8 +1,10 @@
 //! `mobipriv-serve` — the anonymization service front-end. Run with
 //! `--help` for usage.
 
+use std::time::Duration;
+
 use mobipriv_core::Engine;
-use mobipriv_service::{Server, ServerConfig};
+use mobipriv_service::{ChaosConfig, Server, ServerConfig};
 
 const USAGE: &str = "\
 usage: mobipriv-serve [options]
@@ -46,6 +48,22 @@ options:
                        threads instead of sequentially (output is
                        identical; per-request parallelism only pays off
                        when requests are few and huge)
+  --compute-timeout-ms N  default and ceiling for the per-request compute
+                       budget (default 30000); requests may lower it with
+                       a `timeout_ms` query parameter, never raise it
+  --max-attempts N     attempts a job gets before quarantine as `failed`
+                       (default 3; 1 disables retries)
+  --breaker-threshold N  consecutive compute failures that open the
+                       circuit breaker (default 5); while open, cold
+                       computes answer 503 + Retry-After and /healthz
+                       reports `degraded` (cache hits keep serving)
+  --breaker-open-ms N  how long the breaker stays open before admitting
+                       a half-open probe (default 1000)
+  --chaos SPEC         arm the fault injector (testing only; also via
+                       the MOBIPRIV_CHAOS env var). SPEC is key=value
+                       pairs: panic=P, error=P, latency=P (probabilities),
+                       all=P shorthand, latency-ms=N, seed=N. Example:
+                       --chaos all=0.05,latency-ms=20,seed=1
   -h, --help           print this help
 ";
 
@@ -108,9 +126,46 @@ fn main() {
                 Ok(n) if n > 0 => config.engine = Engine::parallel().with_workers(n),
                 _ => fail("--engine-threads expects a positive integer"),
             },
+            "--compute-timeout-ms" => match value(i).parse::<u64>() {
+                Ok(n) if n > 0 => config.resilience.compute_timeout = Duration::from_millis(n),
+                _ => fail("--compute-timeout-ms expects a positive integer"),
+            },
+            "--max-attempts" => match value(i).parse() {
+                Ok(n) if n > 0 => config.resilience.max_attempts = n,
+                _ => fail("--max-attempts expects a positive integer"),
+            },
+            "--breaker-threshold" => match value(i).parse() {
+                Ok(n) if n > 0 => config.resilience.breaker_failure_threshold = n,
+                _ => fail("--breaker-threshold expects a positive integer"),
+            },
+            "--breaker-open-ms" => match value(i).parse::<u64>() {
+                Ok(n) if n > 0 => config.resilience.breaker_open = Duration::from_millis(n),
+                _ => fail("--breaker-open-ms expects a positive integer"),
+            },
+            "--chaos" => match ChaosConfig::parse(value(i)) {
+                Ok(chaos) => config.chaos = Some(chaos),
+                Err(e) => fail(&format!("--chaos: {e}")),
+            },
             other => fail(&format!("unexpected argument: {other}")),
         }
         i += 2; // every remaining flag takes a value (--help returned)
+    }
+    if config.chaos.is_none() {
+        if let Ok(spec) = std::env::var("MOBIPRIV_CHAOS") {
+            if !spec.is_empty() {
+                match ChaosConfig::parse(&spec) {
+                    Ok(chaos) => config.chaos = Some(chaos),
+                    Err(e) => fail(&format!("MOBIPRIV_CHAOS: {e}")),
+                }
+            }
+        }
+    }
+    if let Some(chaos) = &config.chaos {
+        eprintln!(
+            "mobipriv-serve: CHAOS ARMED (panic={}, error={}, latency={}): \
+             faults will be injected into computes — testing only",
+            chaos.panic_p, chaos.error_p, chaos.latency_p
+        );
     }
     let workers = config.workers;
     let queue = config.queue_depth;

@@ -1,0 +1,340 @@
+//! The compute circuit breaker behind the node's degraded mode.
+//!
+//! Cold computes (cache misses that would actually run the engine) pass
+//! through [`Breaker::admit`] before they start. The breaker watches
+//! *consecutive* compute failures — panics, injected faults, exhausted
+//! deadlines — and cycles through the classic three states:
+//!
+//! ```text
+//!            failure × threshold              open interval elapses
+//!  Closed ──────────────────────▶ Open ─────────────────────────────▶ HalfOpen
+//!    ▲                             ▲                                     │
+//!    │ probe succeeds              │ probe fails                         │ one
+//!    └─────────────────────────────┴──────────────────────── admits ────┘ probe
+//! ```
+//!
+//! While `Open`, cold computes are rejected with
+//! [`ServiceError::Overloaded`] (`503` + `Retry-After`); cache hits,
+//! `/metrics` and `/healthz` keep serving. Once the open interval
+//! elapses the next admission becomes a **half-open probe**: exactly one
+//! compute runs, its success closes the breaker, its failure re-opens
+//! it. Recovery therefore needs no operator action — one healthy
+//! compute heals the node.
+//!
+//! Degradation has a second trigger independent of failures: an accept
+//! queue deeper than [`ResilienceConfig::degrade_queue_depth`] sheds
+//! cold computes the same way (without moving the breaker state), so a
+//! node drowning in backlog stops feeding it expensive work.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::ServiceError;
+
+/// Tunables for the failure-domain layer: compute budgets, the job
+/// retry schedule and the breaker/degradation thresholds. Carried on
+/// [`ServerConfig`](crate::ServerConfig) and shared by handlers and job
+/// executors through [`AppState`](crate::AppState).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Default and upper bound for the per-request compute budget; a
+    /// `timeout_ms` query parameter is clamped to this.
+    pub compute_timeout: Duration,
+    /// Total attempts a job gets before it is quarantined as `failed`
+    /// (1 = no retries). Only transient failures are retried.
+    pub max_attempts: u32,
+    /// Base of the exponential backoff schedule between job attempts.
+    pub backoff_base_ms: u64,
+    /// Ceiling on a single backoff sleep.
+    pub backoff_cap_ms: u64,
+    /// Consecutive compute failures that open the breaker.
+    pub breaker_failure_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub breaker_open: Duration,
+    /// Accept-queue depth at (or past) which cold computes are shed
+    /// even with a closed breaker.
+    pub degrade_queue_depth: i64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            compute_timeout: Duration::from_secs(30),
+            max_attempts: 3,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 1_000,
+            breaker_failure_threshold: 5,
+            breaker_open: Duration::from_secs(1),
+            // Three quarters of the default accept queue (64): deep
+            // enough that bursts don't flap, shallow enough that a
+            // drowning node stops feeding the backlog cold computes.
+            degrade_queue_depth: 48,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Clamps a client-requested `timeout_ms` to the configured ceiling;
+    /// `None` (no parameter) gets the full default budget.
+    pub fn clamp_budget(&self, requested_ms: Option<u64>) -> Duration {
+        match requested_ms {
+            None => self.compute_timeout,
+            Some(ms) => Duration::from_millis(ms).min(self.compute_timeout),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum State {
+    Closed { failures: u32 },
+    Open { until: Instant },
+    HalfOpen { probing: bool },
+}
+
+/// The compute circuit breaker (see the module docs for the state
+/// machine). All transitions happen inside [`Breaker::admit`] and the
+/// outcome calls on the [`Permit`] it issues.
+pub struct Breaker {
+    state: Mutex<State>,
+    failure_threshold: u32,
+    open_for: Duration,
+}
+
+/// An admitted compute, holding the breaker's accounting open until an
+/// outcome is reported. **Dropping a permit unresolved counts as a
+/// failure** — that is what keeps a panicking compute (which unwinds
+/// past any success call) from wedging a half-open probe forever.
+pub struct Permit<'a> {
+    breaker: &'a Breaker,
+    resolved: bool,
+}
+
+impl Permit<'_> {
+    /// The compute succeeded: closes the breaker and zeroes the
+    /// consecutive-failure count.
+    pub fn succeed(mut self) {
+        self.resolved = true;
+        self.breaker.on_success();
+    }
+
+    /// The compute failed in a way that indicts the node (panic,
+    /// internal error, exhausted deadline).
+    pub fn fail(mut self) {
+        self.resolved = true;
+        self.breaker.on_failure();
+    }
+
+    /// The compute failed for a reason that says nothing about node
+    /// health (a permanent, client-caused error): releases a probe slot
+    /// without moving the state or the failure count.
+    pub fn absolve(mut self) {
+        self.resolved = true;
+        self.breaker.on_neutral();
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.breaker.on_failure();
+        }
+    }
+}
+
+impl Breaker {
+    /// A closed breaker with the given trip threshold and open interval.
+    pub fn new(failure_threshold: u32, open_for: Duration) -> Breaker {
+        Breaker {
+            state: Mutex::new(State::Closed { failures: 0 }),
+            failure_threshold: failure_threshold.max(1),
+            open_for,
+        }
+    }
+
+    /// Asks to run one cold compute now.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] while the breaker is open (or a
+    /// half-open probe is already in flight), carrying the seconds a
+    /// client should wait before retrying.
+    pub fn admit(&self) -> Result<Permit<'_>, ServiceError> {
+        let mut state = self.state.lock().expect("breaker mutex poisoned");
+        match *state {
+            State::Closed { .. } => Ok(Permit {
+                breaker: self,
+                resolved: false,
+            }),
+            State::Open { until } => {
+                let now = Instant::now();
+                if now < until {
+                    Err(ServiceError::Overloaded(retry_after_s(until - now)))
+                } else {
+                    *state = State::HalfOpen { probing: true };
+                    Ok(Permit {
+                        breaker: self,
+                        resolved: false,
+                    })
+                }
+            }
+            State::HalfOpen { probing: true } => {
+                Err(ServiceError::Overloaded(retry_after_s(self.open_for)))
+            }
+            State::HalfOpen { probing: false } => {
+                *state = State::HalfOpen { probing: true };
+                Ok(Permit {
+                    breaker: self,
+                    resolved: false,
+                })
+            }
+        }
+    }
+
+    /// Whether the breaker is contributing to degraded mode (anything
+    /// but fully closed).
+    pub fn is_open(&self) -> bool {
+        !matches!(
+            *self.state.lock().expect("breaker mutex poisoned"),
+            State::Closed { .. }
+        )
+    }
+
+    /// The `mobipriv_breaker_state` gauge value: 0 closed, 1 half-open,
+    /// 2 open. An open breaker whose interval has elapsed reads as
+    /// half-open (the next admission will probe).
+    pub fn state_code(&self) -> i64 {
+        match *self.state.lock().expect("breaker mutex poisoned") {
+            State::Closed { .. } => 0,
+            State::HalfOpen { .. } => 1,
+            State::Open { until } => {
+                if Instant::now() >= until {
+                    1
+                } else {
+                    2
+                }
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        *self.state.lock().expect("breaker mutex poisoned") = State::Closed { failures: 0 };
+    }
+
+    fn on_failure(&self) {
+        let mut state = self.state.lock().expect("breaker mutex poisoned");
+        *state = match *state {
+            State::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.failure_threshold {
+                    State::Open {
+                        until: Instant::now() + self.open_for,
+                    }
+                } else {
+                    State::Closed { failures }
+                }
+            }
+            State::HalfOpen { .. } | State::Open { .. } => State::Open {
+                until: Instant::now() + self.open_for,
+            },
+        };
+    }
+
+    fn on_neutral(&self) {
+        let mut state = self.state.lock().expect("breaker mutex poisoned");
+        if let State::HalfOpen { probing: true } = *state {
+            *state = State::HalfOpen { probing: false };
+        }
+    }
+}
+
+/// Whole seconds a client should wait, rounded up and never zero — a
+/// `Retry-After: 0` invites an immediate retry storm.
+fn retry_after_s(remaining: Duration) -> u64 {
+    remaining.as_secs_f64().ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> Breaker {
+        Breaker::new(2, Duration::from_millis(40))
+    }
+
+    #[test]
+    fn consecutive_failures_open_then_probe_heals() {
+        let b = breaker();
+        b.admit().unwrap().fail();
+        assert_eq!(b.state_code(), 0, "below threshold stays closed");
+        b.admit().unwrap().fail();
+        assert_eq!(b.state_code(), 2, "threshold opens");
+        let Err(err) = b.admit() else {
+            panic!("open breaker must shed");
+        };
+        assert!(matches!(err, ServiceError::Overloaded(s) if s >= 1));
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.state_code(), 1, "elapsed interval reads half-open");
+        let probe = b.admit().expect("first admission after open probes");
+        // A second caller during the probe is still shed.
+        assert!(b.admit().is_err());
+        probe.succeed();
+        assert_eq!(b.state_code(), 0);
+        assert!(!b.is_open());
+        b.admit().expect("closed again").succeed();
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = breaker();
+        b.admit().unwrap().fail();
+        b.admit().unwrap().fail();
+        std::thread::sleep(Duration::from_millis(50));
+        b.admit().unwrap().fail();
+        assert_eq!(b.state_code(), 2, "failed probe re-opens");
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = breaker();
+        b.admit().unwrap().fail();
+        b.admit().unwrap().succeed();
+        b.admit().unwrap().fail();
+        assert_eq!(b.state_code(), 0, "non-consecutive failures never trip");
+    }
+
+    #[test]
+    fn dropped_permit_counts_as_failure() {
+        let b = breaker();
+        // Simulates a panicking compute unwinding past the outcome call.
+        drop(b.admit().unwrap());
+        drop(b.admit().unwrap());
+        assert_eq!(b.state_code(), 2);
+    }
+
+    #[test]
+    fn permanent_errors_are_neutral_and_release_the_probe() {
+        let b = breaker();
+        b.admit().unwrap().absolve();
+        b.admit().unwrap().fail();
+        b.admit().unwrap().fail();
+        std::thread::sleep(Duration::from_millis(50));
+        // Probe hits a client-caused error: slot frees, state stays
+        // half-open, the next admission probes again.
+        b.admit().unwrap().absolve();
+        assert_eq!(b.state_code(), 1);
+        b.admit().unwrap().succeed();
+        assert_eq!(b.state_code(), 0);
+    }
+
+    #[test]
+    fn budget_clamping() {
+        let cfg = ResilienceConfig {
+            compute_timeout: Duration::from_millis(500),
+            ..ResilienceConfig::default()
+        };
+        assert_eq!(cfg.clamp_budget(None), Duration::from_millis(500));
+        assert_eq!(cfg.clamp_budget(Some(100)), Duration::from_millis(100));
+        assert_eq!(cfg.clamp_budget(Some(10_000)), Duration::from_millis(500));
+        assert_eq!(cfg.clamp_budget(Some(0)), Duration::from_millis(0));
+    }
+}

@@ -53,9 +53,12 @@ pub struct CachedResult {
     pub body: Vec<u8>,
 }
 
-/// Shared cell the single-flight followers wait on.
+/// Shared cell the single-flight followers wait on. Failures are stored
+/// as the leader's [`ServiceError`] itself (it is `Clone`), so every
+/// follower observes the identical error — status line and body bytes —
+/// that the leader produced.
 struct Flight {
-    done: Mutex<Option<Result<Arc<CachedResult>, String>>>,
+    done: Mutex<Option<Result<Arc<CachedResult>, ServiceError>>>,
     cv: Condvar,
 }
 
@@ -247,10 +250,10 @@ impl ResultCache {
     ///
     /// # Errors
     ///
-    /// The leader's computation error propagates to every coalesced
-    /// caller (as [`ServiceError::Internal`] for followers, since the
-    /// original error type is not cloneable); a failed flight leaves no
-    /// cache entry behind, so the next request retries.
+    /// The leader's computation error propagates verbatim to every
+    /// coalesced caller (followers receive a clone, so a deadline-
+    /// exceeded flight 504s identically for everyone); a failed flight
+    /// leaves no cache entry behind, so the next request retries.
     pub fn get_or_compute<F>(
         &self,
         canonical: &str,
@@ -282,9 +285,7 @@ impl ResultCache {
                     }
                     return match done.as_ref().expect("loop exited on Some") {
                         Ok(result) => Ok((Arc::clone(result), CacheOutcome::Hit)),
-                        Err(message) => Err(ServiceError::Internal(format!(
-                            "coalesced computation failed: {message}"
-                        ))),
+                        Err(e) => Err(e.clone()),
                     };
                 }
                 None => {
@@ -379,7 +380,7 @@ impl ResultCache {
         let mut done = flight.done.lock().expect("flight mutex poisoned");
         *done = Some(match &published {
             Ok(result) => Ok(Arc::clone(result)),
-            Err(e) => Err(e.to_string()),
+            Err(e) => Err(e.clone()),
         });
         drop(done);
         flight.cv.notify_all();
@@ -533,6 +534,48 @@ mod tests {
             .unwrap();
         assert_eq!(outcome, CacheOutcome::Miss);
         assert_eq!(r.body, b"recovered");
+    }
+
+    #[test]
+    fn followers_observe_the_leaders_exact_error() {
+        let cache = Arc::new(ResultCache::new(1 << 20));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let leader = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache
+                    .get_or_compute("dl", || {
+                        entered_tx.send(()).unwrap();
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        Err::<CachedResult, _>(ServiceError::DeadlineExceeded(7))
+                    })
+                    .unwrap_err()
+            })
+        };
+        entered_rx.recv().unwrap();
+        // Joins the in-flight slot while the leader is still computing.
+        let follower = cache.get_or_compute("dl", || Ok(result("dl", b"fresh")));
+        let leader_err = leader.join().unwrap();
+        assert!(matches!(leader_err, ServiceError::DeadlineExceeded(7)));
+        match follower {
+            // Normal timing: the follower coalesced and got a clone of
+            // the leader's error, rendering byte-identically.
+            Err(e) => {
+                assert!(matches!(e, ServiceError::DeadlineExceeded(7)));
+                assert_eq!(e.to_string(), leader_err.to_string());
+            }
+            // Exceptional timing (leader already finished): the key was
+            // free again and the follower recomputed successfully.
+            Ok((r, outcome)) => {
+                assert_eq!(outcome, CacheOutcome::Miss);
+                assert_eq!(r.body, b"fresh");
+            }
+        }
+        // Either way the key is reusable afterwards.
+        let (r, _) = cache
+            .get_or_compute("dl", || Ok(result("dl", b"after")))
+            .unwrap();
+        assert!(!r.body.is_empty());
     }
 
     #[test]

@@ -15,6 +15,13 @@ use std::time::Duration;
 /// Response header pairs, names lowercased — see [`request_full`].
 pub type Headers = Vec<(String, String)>;
 
+/// Default per-read timeout for [`request`]/[`request_full`]. Callers
+/// with tighter latency expectations (the load generator's soak
+/// assertions, the resilience tests) pass their own via
+/// [`request_with_timeout`] instead of inheriting this worst-case
+/// ceiling.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(120);
+
 /// Sends one request over a fresh connection; returns `(status, body)`.
 ///
 /// # Errors
@@ -28,6 +35,25 @@ pub fn request<A: ToSocketAddrs>(
     body: &[u8],
 ) -> std::io::Result<(u16, Vec<u8>)> {
     let (status, _, body) = request_full(addr, method, target, body)?;
+    Ok((status, body))
+}
+
+/// [`request`] with a caller-chosen per-read timeout; returns
+/// `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures (including the timeout
+/// expiring mid-read); a response without a parsable status line
+/// reports status `0` rather than erroring.
+pub fn request_with_timeout<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    read_timeout: Duration,
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let (status, _, body) = exchange(addr, method, target, body, read_timeout)?;
     Ok((status, body))
 }
 
@@ -46,8 +72,18 @@ pub fn request_full<A: ToSocketAddrs>(
     target: &str,
     body: &[u8],
 ) -> std::io::Result<(u16, Headers, Vec<u8>)> {
+    exchange(addr, method, target, body, DEFAULT_READ_TIMEOUT)
+}
+
+fn exchange<A: ToSocketAddrs>(
+    addr: A,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    read_timeout: Duration,
+) -> std::io::Result<(u16, Headers, Vec<u8>)> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_read_timeout(Some(read_timeout))?;
     write!(
         stream,
         "{method} {target} HTTP/1.1\r\nhost: client\r\ncontent-type: text/csv\r\n\

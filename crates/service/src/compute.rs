@@ -9,7 +9,7 @@
 
 use std::time::Instant;
 
-use mobipriv_core::{Engine, Mechanism};
+use mobipriv_core::{CancelToken, Engine, Mechanism};
 use mobipriv_eval::Json;
 use mobipriv_metrics::{coverage, spatial};
 use mobipriv_model::{write_bin, write_csv, Dataset, WireFormat};
@@ -20,6 +20,17 @@ use crate::ServiceError;
 
 /// Grid-cell size used by the utility report, meters.
 pub(crate) const REPORT_CELL_M: f64 = 250.0;
+
+/// The deterministic error a tripped compute budget maps to. Built
+/// from the token's budget so every flight follower (which receives a
+/// clone) renders the identical message.
+fn deadline_exceeded(cancel: &CancelToken) -> ServiceError {
+    let budget_ms = cancel
+        .budget()
+        .map(|b| b.as_millis() as u64)
+        .unwrap_or_default();
+    ServiceError::DeadlineExceeded(budget_ms)
+}
 
 /// Versioned canonical cache-key string. Every field that changes the
 /// response bytes is in here; nothing transport-level (framing, header
@@ -55,6 +66,10 @@ pub(crate) fn canonical_key(
 /// serialization and metrics the remainder). `spans` collects the
 /// `compute`/`serialize` stage timings for the request's (or job's)
 /// trace — observability only, never part of the cached bytes.
+/// `cancel` is the request's compute budget: a trip between per-trace
+/// kernels aborts with [`ServiceError::DeadlineExceeded`] and nothing
+/// is cached (completed outputs stay bit-identical — see
+/// [`mobipriv_core::Engine::try_protect`]).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn anonymize_result(
     canonical: &str,
@@ -65,12 +80,15 @@ pub(crate) fn anonymize_result(
     report: bool,
     wire: WireFormat,
     engine: &Engine,
+    cancel: &CancelToken,
     progress: &dyn Fn(f64),
     spans: &SpanRecorder,
 ) -> Result<CachedResult, ServiceError> {
     progress(0.05);
     let compute_start = Instant::now();
-    let output = engine.protect(mechanism, dataset, seed);
+    let output = engine
+        .try_protect(mechanism, dataset, seed, cancel)
+        .map_err(|_| deadline_exceeded(cancel))?;
     spans.record("compute", compute_start);
     progress(0.8);
     let serialize_start = Instant::now();
@@ -134,12 +152,15 @@ pub(crate) fn evaluate_result(
     mechanism_canonical: &str,
     seed: u64,
     engine: &Engine,
+    cancel: &CancelToken,
     progress: &dyn Fn(f64),
     spans: &SpanRecorder,
 ) -> Result<CachedResult, ServiceError> {
     progress(0.05);
     let compute_start = Instant::now();
-    let output = engine.protect(mechanism, dataset, seed);
+    let output = engine
+        .try_protect(mechanism, dataset, seed, cancel)
+        .map_err(|_| deadline_exceeded(cancel))?;
     spans.record("compute", compute_start);
     progress(0.6);
     let serialize_start = Instant::now();

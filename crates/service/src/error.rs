@@ -8,7 +8,11 @@ use mobipriv_model::ModelError;
 ///
 /// The variants mirror the error surface a client can trigger; anything
 /// that is the server's own fault collapses into [`ServiceError::Internal`].
-#[derive(Debug)]
+///
+/// The type is `Clone` so a single-flight leader's failure can be
+/// handed verbatim to every coalesced follower — all callers of a
+/// failed flight observe byte-identical error responses.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum ServiceError {
     /// Malformed request: bad query parameters, unparsable body (the
@@ -19,13 +23,23 @@ pub enum ServiceError {
     /// The path exists but not under this method; the payload is the
     /// `Allow` header value. 405.
     MethodNotAllowed(&'static str),
+    /// The client trickled its request slower than the per-socket
+    /// timeout (slow-loris); the connection is closed after this. 408.
+    ClientTimeout(String),
     /// The body exceeds the configured limit (payload is the limit in
     /// bytes). 413.
     PayloadTooLarge(u64),
     /// The job queue is full or the server is shutting down. 503.
     Unavailable(String),
+    /// The node is degraded (open circuit breaker or deep queue): cold
+    /// computes are shed; the payload is the `Retry-After` value in
+    /// seconds. 503.
+    Overloaded(u64),
     /// Unexpected server-side failure. 500.
     Internal(String),
+    /// The request's compute budget ran out before the computation
+    /// finished; the payload is the budget in milliseconds. 504.
+    DeadlineExceeded(u64),
 }
 
 impl ServiceError {
@@ -35,10 +49,26 @@ impl ServiceError {
             ServiceError::BadRequest(_) => (400, "Bad Request"),
             ServiceError::NotFound(_) => (404, "Not Found"),
             ServiceError::MethodNotAllowed(_) => (405, "Method Not Allowed"),
+            ServiceError::ClientTimeout(_) => (408, "Request Timeout"),
             ServiceError::PayloadTooLarge(_) => (413, "Payload Too Large"),
             ServiceError::Unavailable(_) => (503, "Service Unavailable"),
+            ServiceError::Overloaded(_) => (503, "Service Unavailable"),
             ServiceError::Internal(_) => (500, "Internal Server Error"),
+            ServiceError::DeadlineExceeded(_) => (504, "Gateway Timeout"),
         }
+    }
+
+    /// Whether retrying the same request later can plausibly succeed
+    /// without the client changing anything — the transient side of the
+    /// job executor's transient-vs-permanent classification (see
+    /// DESIGN.md §14). Permanent failures (malformed input, missing
+    /// resources, an exhausted deadline that would simply exhaust
+    /// again) are quarantined on the first attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServiceError::Unavailable(_) | ServiceError::Overloaded(_) | ServiceError::Internal(_)
+        )
     }
 }
 
@@ -50,11 +80,24 @@ impl fmt::Display for ServiceError {
             ServiceError::MethodNotAllowed(allow) => {
                 write!(f, "method not allowed (allowed: {allow})")
             }
+            ServiceError::ClientTimeout(m) => {
+                write!(f, "request timed out waiting for the client: {m}")
+            }
             ServiceError::PayloadTooLarge(limit) => {
                 write!(f, "request body exceeds {limit} bytes")
             }
             ServiceError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            ServiceError::Overloaded(retry_after_s) => write!(
+                f,
+                "overloaded: cold computes are shed while degraded, retry after {retry_after_s}s"
+            ),
             ServiceError::Internal(m) => write!(f, "internal error: {m}"),
+            ServiceError::DeadlineExceeded(budget_ms) => {
+                write!(
+                    f,
+                    "deadline exceeded: compute budget of {budget_ms} ms exhausted"
+                )
+            }
         }
     }
 }
@@ -88,9 +131,30 @@ mod tests {
         assert_eq!(ServiceError::BadRequest("x".into()).status().0, 400);
         assert_eq!(ServiceError::NotFound("/x".into()).status().0, 404);
         assert_eq!(ServiceError::MethodNotAllowed("GET").status().0, 405);
+        assert_eq!(ServiceError::ClientTimeout("head".into()).status().0, 408);
         assert_eq!(ServiceError::PayloadTooLarge(1).status().0, 413);
         assert_eq!(ServiceError::Unavailable("full".into()).status().0, 503);
+        assert_eq!(ServiceError::Overloaded(2).status().0, 503);
         assert_eq!(ServiceError::Internal("x".into()).status().0, 500);
+        assert_eq!(ServiceError::DeadlineExceeded(50).status().0, 504);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(ServiceError::Unavailable("queue full".into()).is_transient());
+        assert!(ServiceError::Overloaded(1).is_transient());
+        assert!(ServiceError::Internal("panic".into()).is_transient());
+        assert!(!ServiceError::BadRequest("x".into()).is_transient());
+        assert!(!ServiceError::NotFound("/x".into()).is_transient());
+        assert!(!ServiceError::DeadlineExceeded(10).is_transient());
+        assert!(!ServiceError::PayloadTooLarge(1).is_transient());
+        assert!(!ServiceError::ClientTimeout("head".into()).is_transient());
+    }
+
+    #[test]
+    fn clones_render_identically() {
+        let e = ServiceError::DeadlineExceeded(50);
+        assert_eq!(e.to_string(), e.clone().to_string());
     }
 
     #[test]

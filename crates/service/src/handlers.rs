@@ -94,6 +94,9 @@ impl Response {
         if let ServiceError::MethodNotAllowed(allow) = error {
             headers.push(("allow", (*allow).to_owned()));
         }
+        if let ServiceError::Overloaded(retry_after_s) = error {
+            headers.push(("retry-after", retry_after_s.to_string()));
+        }
         Response {
             status,
             reason,
@@ -165,6 +168,9 @@ pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppSt
     response
         .headers
         .push(("x-mobipriv-trace", rec.id().to_owned()));
+    if response.status == 408 {
+        state.metrics.client_timeouts_total.inc();
+    }
     let write_start = Instant::now();
     let _ = write_response(
         &mut writer,
@@ -197,6 +203,30 @@ pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppSt
     crate::http::drain(reader.get_mut(), drain_limit, DRAIN_TIMEOUT);
 }
 
+/// `GET /healthz` — liveness *and* readiness. Always `200` while the
+/// process serves (liveness for the smoke scripts' `curl -fsS`); the
+/// body distinguishes `ready` from `degraded` (breaker open or accept
+/// queue past the watermark — cache hits still serve, cold computes are
+/// shed with `503` + `Retry-After`).
+fn healthz(state: &AppState) -> Response {
+    let body = if state.degraded() {
+        "degraded\n"
+    } else {
+        "ready\n"
+    };
+    Response::ok("text/plain", body.as_bytes().to_vec())
+}
+
+/// The optional `timeout_ms` query parameter: the client's requested
+/// compute budget, validated here and clamped to the configured ceiling
+/// at use.
+fn timeout_ms(params: Params<'_>) -> Result<Option<u64>, ServiceError> {
+    match params.get("timeout_ms") {
+        None => Ok(None),
+        Some(_) => Ok(Some(params.parse_or("timeout_ms", 0)?)),
+    }
+}
+
 fn route(
     head: &RequestHead,
     reader: &mut DeadlineReader<BufReader<TcpStream>>,
@@ -206,7 +236,7 @@ fn route(
     peer: &str,
 ) -> Result<Response, ServiceError> {
     match (head.method.as_str(), head.path.as_str()) {
-        ("GET", "/healthz") => Ok(Response::ok("text/plain", b"ok\n".to_vec())),
+        ("GET", "/healthz") => Ok(healthz(state)),
         ("GET", "/metrics") => Ok(metrics_text(state)),
         ("GET", "/v1/mechanisms") => Ok(Response::ok(
             "application/json",
@@ -316,6 +346,7 @@ fn anonymize(
     let resolved = resolve_mechanism(params)?;
     let seed: u64 = params.parse_or("seed", 0)?;
     let report = wants_report(params);
+    let budget = state.resilience.clamp_budget(timeout_ms(params)?);
     // `format=bin` selects binary for both directions; the text formats
     // all answer in canonical CSV (the historical contract).
     let wire = match body_format(head)? {
@@ -352,18 +383,21 @@ fn anonymize(
     );
     let lookup_start = Instant::now();
     let (result, outcome) = state.results.get_or_compute(&key, || {
-        compute::anonymize_result(
-            &key,
-            &dataset,
-            resolved.mechanism.as_ref(),
-            &resolved.canonical,
-            seed,
-            report,
-            wire,
-            &state.engine,
-            &|_| {},
-            rec,
-        )
+        state.guarded_compute(&key, budget, |cancel| {
+            compute::anonymize_result(
+                &key,
+                &dataset,
+                resolved.mechanism.as_ref(),
+                &resolved.canonical,
+                seed,
+                report,
+                wire,
+                &state.engine,
+                cancel,
+                &|_| {},
+                rec,
+            )
+        })
     })?;
     rec.record("cache_lookup", lookup_start);
     let mut response = Response::from_cached(result, outcome);
@@ -477,6 +511,7 @@ fn submit_job(head: &RequestHead, state: &AppState) -> Result<Response, ServiceE
     let resolved = resolve_mechanism(params)?; // validates before enqueueing
     let seed: u64 = params.parse_or("seed", 0)?;
     let report = kind == JobKind::Anonymize && wants_report(params);
+    let timeout_ms = timeout_ms(params)?;
     // Jobs always materialize the canonical CSV body; a Bin rendering
     // of the same result is a separate one-shot request.
     let canonical = compute::canonical_key(
@@ -495,6 +530,7 @@ fn submit_job(head: &RequestHead, state: &AppState) -> Result<Response, ServiceE
         seed,
         report,
         canonical,
+        timeout_ms,
     };
     // Warm shortcut: a result that is already cached answers `done`
     // without a queue round trip. When it is *not* cached, tell the

@@ -106,6 +106,21 @@ impl RequestHead {
     }
 }
 
+/// Classifies a connection read failure: a timeout — the per-read
+/// socket timeout (`WouldBlock`/`TimedOut` on Unix) or the
+/// [`DeadlineReader`]'s whole-request budget — is the *client's*
+/// slowness (slow-loris, stalled upload) and maps to
+/// [`ServiceError::ClientTimeout`] (`408`, counted in
+/// `mobipriv_client_timeouts_total`); anything else stays a `400`.
+fn read_error(context: &str, e: &std::io::Error) -> ServiceError {
+    match e.kind() {
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            ServiceError::ClientTimeout(format!("{context}: {e}"))
+        }
+        _ => ServiceError::BadRequest(format!("{context}: {e}")),
+    }
+}
+
 /// Reads one CRLF- (or LF-) terminated line, enforcing the remaining
 /// head budget. Returns the line without its terminator.
 fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, ServiceError> {
@@ -113,7 +128,7 @@ fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, Servic
     loop {
         let available = r
             .fill_buf()
-            .map_err(|e| ServiceError::BadRequest(format!("connection read failed: {e}")))?;
+            .map_err(|e| read_error("connection read failed", &e))?;
         if available.is_empty() {
             return Err(ServiceError::BadRequest(
                 "connection closed before a complete request".into(),
@@ -260,8 +275,8 @@ fn decode_component(s: &str, plus_as_space: bool) -> Result<String, ServiceError
 /// client trickling one byte per interval can hold a worker forever.
 /// Wrapping the connection in a `DeadlineReader` turns the configured
 /// timeout into a whole-request budget: head and body parsing both go
-/// through it, and the first read past the deadline errors out (the
-/// handler maps that to a 400).
+/// through it, and the first read past the deadline errors out with
+/// `TimedOut` (mapped to a clean `408` by [`read_error`]).
 #[derive(Debug)]
 pub struct DeadlineReader<R> {
     inner: R,
@@ -427,7 +442,7 @@ where
     while remaining > 0 {
         let want = remaining.min(BODY_CHUNK as u64) as usize;
         let n = std::io::Read::read(r, &mut buf[..want])
-            .map_err(|e| ServiceError::BadRequest(format!("body read failed: {e}")))?;
+            .map_err(|e| read_error("body read failed", &e))?;
         if n == 0 {
             return Err(ServiceError::BadRequest(
                 "connection closed mid-body (truncated request)".into(),

@@ -16,22 +16,35 @@
 //! records are themselves bounded (oldest finished records are dropped
 //! past a cap) — the *results* live in the cache, the job record is
 //! only the status page.
+//!
+//! # Retry & quarantine
+//!
+//! The executor classifies failures with
+//! [`ServiceError::is_transient`]: transient ones (queue pressure,
+//! panics, injected faults) are retried up to
+//! [`ResilienceConfig::max_attempts`](crate::ResilienceConfig) with the
+//! deterministic exponential backoff of [`backoff_ms`]; permanent ones
+//! (bad parameters, exhausted deadlines) fail on the first attempt. A
+//! job that exhausts its attempts is **quarantined** as `failed`, with
+//! the full attempt history — per-attempt error, classification and
+//! backoff — on `GET /v1/jobs/:id`. Resubmitting the same spec starts a
+//! fresh attempt cycle.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use mobipriv_core::Engine;
 use mobipriv_eval::Json;
 use mobipriv_obs::logging::{self, FieldValue};
-use mobipriv_obs::trace::{next_trace_id, SpanRecorder, TraceStore};
+use mobipriv_obs::trace::{next_trace_id, SpanRecorder};
 
-use crate::cache::{result_key, CacheOutcome, ResultCache};
+use crate::cache::{result_key, CacheOutcome};
+use crate::chaos::{fnv1a, mix64};
 use crate::compute;
 use crate::datasets::DatasetEntry;
 use crate::registry::{resolve_mechanism, Params};
-use crate::telemetry::ServiceMetrics;
+use crate::state::AppState;
 use crate::ServiceError;
 
 /// Finished job records kept before the oldest are dropped.
@@ -99,6 +112,20 @@ pub struct JobSpec {
     pub report: bool,
     /// The full canonical cache-key string.
     pub canonical: String,
+    /// Client-requested compute budget per attempt (`timeout_ms` on
+    /// submission), clamped by the server's configured ceiling when the
+    /// executor runs. `None` = the configured default budget.
+    pub timeout_ms: Option<u64>,
+}
+
+/// One executor attempt that did not produce a result — the quarantine
+/// record `GET /v1/jobs/:id` exposes under `attempts`.
+#[derive(Debug, Clone)]
+struct Attempt {
+    error: String,
+    transient: bool,
+    /// Backoff slept *after* this attempt, `None` on the final one.
+    backoff_ms: Option<u64>,
 }
 
 #[derive(Debug, Clone)]
@@ -111,6 +138,9 @@ struct JobState {
     /// Trace id of the executor run (set when the job starts running);
     /// its span timeline is served by `GET /v1/traces/:id`.
     trace: Option<String>,
+    /// Failed attempts so far (live during retries, final after
+    /// quarantine).
+    attempts: Vec<Attempt>,
 }
 
 /// One submitted job: spec + mutable status.
@@ -135,6 +165,7 @@ impl Job {
                 wall_ms: 0.0,
                 cache: None,
                 trace: None,
+                attempts: Vec::new(),
             }),
         }
     }
@@ -187,8 +218,42 @@ impl Job {
         if let Some(error) = state.error {
             members.push(("error".into(), Json::Str(error)));
         }
+        if !state.attempts.is_empty() {
+            let attempts = state
+                .attempts
+                .iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    let mut fields = vec![
+                        ("attempt".into(), Json::UInt(i as u64 + 1)),
+                        ("error".into(), Json::Str(a.error.clone())),
+                        ("transient".into(), Json::Bool(a.transient)),
+                    ];
+                    if let Some(ms) = a.backoff_ms {
+                        fields.push(("backoff_ms".into(), Json::UInt(ms)));
+                    }
+                    Json::Obj(fields)
+                })
+                .collect();
+            members.push(("attempts".into(), Json::Arr(attempts)));
+        }
         Json::Obj(members)
     }
+}
+
+/// The deterministic backoff slept after failed attempt `attempt`
+/// (0-based) of the job addressed by `key`: `base · 2^attempt` plus a
+/// jitter drawn from FNV/SplitMix over `(key, attempt)` — never from
+/// wall-clock randomness — capped at `cap_ms`. For a fixed key the
+/// schedule is reproducible and monotone non-decreasing; jitter keeps
+/// *different* keys from retrying in lockstep.
+pub fn backoff_ms(key: &str, attempt: u32, base_ms: u64, cap_ms: u64) -> u64 {
+    let base = base_ms.max(1);
+    let exponential = base.saturating_mul(1u64 << attempt.min(20));
+    // Jitter strictly below `base`: each doubling step grows by at
+    // least `base`, so jitter can never break monotonicity.
+    let jitter = mix64(fnv1a(key.as_bytes()) ^ u64::from(attempt)) % base;
+    exponential.saturating_add(jitter).min(cap_ms.max(base))
 }
 
 /// What [`JobBoard::submit`] did.
@@ -390,85 +455,150 @@ impl JobBoard {
     }
 }
 
-/// Runs one job to completion on the shared cache + engine. This is the
-/// executor-thread body; it never panics outward (failures land in the
-/// job record). `obs` carries the owning server's metrics and trace
-/// store when there is one (in-process unit tests pass `None`): the
-/// executor records its own span timeline under a fresh trace id,
-/// exposed through the job document's `trace` field.
-pub(crate) fn run_job(
+/// One attempt: joins or leads the single-flight for the job's key,
+/// computing (when leading) behind the failure-domain gate of
+/// [`AppState::guarded_compute`].
+fn cache_attempt(
     job: &Arc<Job>,
-    board: &JobBoard,
-    cache: &ResultCache,
-    engine: &Engine,
-    obs: Option<(&ServiceMetrics, &TraceStore)>,
-) {
+    state: &AppState,
+    budget: Duration,
+    progress: &dyn Fn(f64),
+    spans: &SpanRecorder,
+) -> Result<(Arc<crate::cache::CachedResult>, CacheOutcome), ServiceError> {
+    let spec = &job.spec;
+    state.results.get_or_compute(&spec.canonical, || {
+        state.guarded_compute(&spec.canonical, budget, |cancel| {
+            // Rebuilding the mechanism from the stored query keeps the
+            // job spec `Send` without demanding it of `dyn Mechanism`.
+            let resolved = resolve_mechanism(Params(&spec.query))?;
+            match spec.kind {
+                JobKind::Anonymize => compute::anonymize_result(
+                    &spec.canonical,
+                    &spec.dataset.dataset,
+                    resolved.mechanism.as_ref(),
+                    &resolved.canonical,
+                    spec.seed,
+                    spec.report,
+                    mobipriv_model::WireFormat::Csv,
+                    &state.engine,
+                    cancel,
+                    progress,
+                    spans,
+                ),
+                JobKind::Evaluate => compute::evaluate_result(
+                    &spec.canonical,
+                    &spec.dataset.digest,
+                    &spec.dataset.dataset,
+                    resolved.mechanism.as_ref(),
+                    &resolved.canonical,
+                    spec.seed,
+                    &state.engine,
+                    cancel,
+                    progress,
+                    spans,
+                ),
+            }
+        })
+    })
+}
+
+/// Runs one job to completion on the shared state (cache + engine +
+/// failure-domain gate). This is the executor-thread body; it never
+/// panics outward (failures land in the job record). The executor
+/// records its own span timeline under a fresh trace id, exposed
+/// through the job document's `trace` field.
+///
+/// Each attempt funnels through the single-flight cache and
+/// [`AppState::guarded_compute`] (breaker admission, chaos, a fresh
+/// per-attempt [`CancelToken`](mobipriv_core::CancelToken)); transient
+/// failures back off deterministically ([`backoff_ms`]) and retry until
+/// `max_attempts`, then the job is quarantined as `failed` with its
+/// attempt history.
+pub(crate) fn run_job(job: &Arc<Job>, state: &AppState) {
     let started = Instant::now();
     let spans = SpanRecorder::new(next_trace_id());
     {
-        let mut state = job.state.lock().expect("job mutex poisoned");
-        state.status = JobStatus::Running;
-        state.trace = Some(spans.id().to_owned());
+        let mut job_state = job.state.lock().expect("job mutex poisoned");
+        job_state.status = JobStatus::Running;
+        job_state.trace = Some(spans.id().to_owned());
     }
     let spec = &job.spec;
     let progress = |p: f64| job.set_progress(p);
+    let budget = state.resilience.clamp_budget(spec.timeout_ms);
+    let max_attempts = state.resilience.max_attempts.max(1);
     let lookup_start = Instant::now();
-    let outcome = cache.get_or_compute(&spec.canonical, || {
-        // Rebuilding the mechanism from the stored query keeps the
-        // job spec `Send` without demanding it of `dyn Mechanism`.
-        let resolved = resolve_mechanism(Params(&spec.query))?;
-        match spec.kind {
-            JobKind::Anonymize => compute::anonymize_result(
-                &spec.canonical,
-                &spec.dataset.dataset,
-                resolved.mechanism.as_ref(),
-                &resolved.canonical,
-                spec.seed,
-                spec.report,
-                mobipriv_model::WireFormat::Csv,
-                engine,
-                &progress,
-                &spans,
-            ),
-            JobKind::Evaluate => compute::evaluate_result(
-                &spec.canonical,
-                &spec.dataset.digest,
-                &spec.dataset.dataset,
-                resolved.mechanism.as_ref(),
-                &resolved.canonical,
-                spec.seed,
-                engine,
-                &progress,
-                &spans,
-            ),
+    let outcome = loop {
+        let attempt = cache_attempt(job, state, budget, &progress, &spans);
+        let e = match attempt {
+            Ok(ok) => break Ok(ok),
+            Err(e) => e,
+        };
+        let attempt_no = {
+            let job_state = job.state.lock().expect("job mutex poisoned");
+            job_state.attempts.len() as u32 + 1
+        };
+        let retryable = e.is_transient() && attempt_no < max_attempts;
+        let backoff = retryable.then(|| {
+            backoff_ms(
+                &job.id,
+                attempt_no - 1,
+                state.resilience.backoff_base_ms,
+                state.resilience.backoff_cap_ms,
+            )
+        });
+        {
+            // Recorded before sleeping so a poll mid-retry already sees
+            // the history.
+            let mut job_state = job.state.lock().expect("job mutex poisoned");
+            job_state.attempts.push(Attempt {
+                error: e.to_string(),
+                transient: e.is_transient(),
+                backoff_ms: backoff,
+            });
         }
-    });
+        match backoff {
+            Some(ms) => {
+                state.metrics.retries_total.inc();
+                logging::debug(
+                    "service::jobs",
+                    Some(spans.id()),
+                    "transient job failure; retrying",
+                    &[
+                        ("id", FieldValue::Str(&job.id)),
+                        ("attempt", FieldValue::U64(u64::from(attempt_no))),
+                        ("backoff_ms", FieldValue::U64(ms)),
+                        ("error", FieldValue::Str(&e.to_string())),
+                    ],
+                );
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            None => break Err(e),
+        }
+    };
     spans.record("cache_lookup", lookup_start);
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    let mut state = job.state.lock().expect("job mutex poisoned");
-    state.wall_ms = wall_ms;
+    let mut job_state = job.state.lock().expect("job mutex poisoned");
+    job_state.wall_ms = wall_ms;
     let error = match outcome {
         Ok((_, cache_outcome)) => {
-            state.status = JobStatus::Done;
-            state.progress = 1.0;
-            state.cache = Some(cache_outcome);
+            job_state.status = JobStatus::Done;
+            job_state.progress = 1.0;
+            job_state.cache = Some(cache_outcome);
             None
         }
         Err(e) => {
-            state.status = JobStatus::Failed;
-            state.error = Some(e.to_string());
+            job_state.status = JobStatus::Failed;
+            job_state.error = Some(e.to_string());
             Some(e.to_string())
         }
     };
-    drop(state);
-    board.record_finished(&job.id);
-    if let Some((metrics, traces)) = obs {
-        metrics.record_spans(&spans);
-        traces.store(&spans);
-        match &error {
-            None => metrics.jobs_done_total.inc(),
-            Some(_) => metrics.jobs_failed_total.inc(),
-        }
+    drop(job_state);
+    state.jobs.record_finished(&job.id);
+    state.metrics.record_spans(&spans);
+    state.traces.store(&spans);
+    match &error {
+        None => state.metrics.jobs_done_total.inc(),
+        Some(_) => state.metrics.jobs_failed_total.inc(),
     }
     match &error {
         None => logging::debug(
@@ -498,8 +628,27 @@ pub(crate) fn run_job(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::breaker::ResilienceConfig;
+    use crate::chaos::ChaosConfig;
+    use mobipriv_core::Engine;
     use mobipriv_geo::LatLng;
     use mobipriv_model::{Dataset, Fix, Timestamp, Trace, UserId};
+
+    fn test_state(
+        resilience: ResilienceConfig,
+        chaos: Option<ChaosConfig>,
+    ) -> (Arc<AppState>, Receiver<Arc<Job>>) {
+        AppState::new(
+            Engine::sequential(),
+            1 << 20,
+            1 << 20,
+            8,
+            None,
+            resilience,
+            chaos,
+        )
+        .unwrap()
+    }
 
     fn entry() -> Arc<DatasetEntry> {
         let dataset = Dataset::from_traces(vec![Trace::new(
@@ -536,59 +685,106 @@ mod tests {
                 false,
                 mobipriv_model::WireFormat::Csv,
             ),
+            timeout_ms: None,
         }
     }
 
     #[test]
     fn identical_specs_coalesce_and_run_once() {
-        let (board, receiver) = JobBoard::new(8);
-        let (a, first) = board.submit(spec(1), false).unwrap();
-        let (b, second) = board.submit(spec(1), false).unwrap();
+        let (state, receiver) = test_state(ResilienceConfig::default(), None);
+        let (a, first) = state.jobs.submit(spec(1), false).unwrap();
+        let (b, second) = state.jobs.submit(spec(1), false).unwrap();
         assert_eq!(first, Submitted::Enqueued);
         assert_eq!(second, Submitted::Coalesced);
         assert!(Arc::ptr_eq(&a, &b));
-        let (c, third) = board.submit(spec(2), false).unwrap();
+        let (c, third) = state.jobs.submit(spec(2), false).unwrap();
         assert_eq!(third, Submitted::Enqueued);
         assert_ne!(a.id, c.id);
         // Exactly the two distinct jobs sit in the queue.
-        let cache = ResultCache::new(1 << 20);
-        let engine = Engine::sequential();
         for _ in 0..2 {
             let job = receiver.try_recv().expect("queued job");
-            run_job(&job, &board, &cache, &engine, None);
+            run_job(&job, &state);
             assert_eq!(job.status(), JobStatus::Done);
         }
         assert!(receiver.try_recv().is_err(), "no third enqueue");
-        assert_eq!(cache.computations(), 2);
+        assert_eq!(state.results.computations(), 2);
         // Both results are addressable under their job ids.
-        assert!(cache.lookup(&a.id).is_some());
-        assert!(cache.lookup(&c.id).is_some());
+        assert!(state.results.lookup(&a.id).is_some());
+        assert!(state.results.lookup(&c.id).is_some());
     }
 
     #[test]
     fn failed_jobs_report_and_can_retry() {
-        let (board, receiver) = JobBoard::new(8);
+        let (state, receiver) = test_state(ResilienceConfig::default(), None);
         let mut bad = spec(3);
         bad.query = vec![("mechanism".to_owned(), "warp-drive".to_owned())];
-        let (job, _) = board.submit(bad, false).unwrap();
-        let cache = ResultCache::new(1 << 20);
-        run_job(
-            &receiver.try_recv().unwrap(),
-            &board,
-            &cache,
-            &Engine::sequential(),
-            None,
-        );
+        let (job, _) = state.jobs.submit(bad, false).unwrap();
+        run_job(&receiver.try_recv().unwrap(), &state);
         assert_eq!(job.status(), JobStatus::Failed);
         let mut text = String::new();
         job.to_json().write(&mut text);
         assert!(text.contains("\"status\":\"failed\""), "{text}");
         assert!(text.contains("unknown mechanism"), "{text}");
+        // A permanent error fails on the first attempt — no retries.
+        assert!(text.contains("\"transient\":false"), "{text}");
+        assert!(!text.contains("backoff_ms"), "{text}");
+        assert_eq!(state.metrics.retries_total.get(), 0);
         // Resubmission of a failed id enqueues a fresh attempt.
         let mut retry = spec(3);
         retry.query = vec![("mechanism".to_owned(), "warp-drive".to_owned())];
-        let (_, submitted) = board.submit(retry, false).unwrap();
+        let (_, submitted) = state.jobs.submit(retry, false).unwrap();
         assert_eq!(submitted, Submitted::Enqueued);
+    }
+
+    #[test]
+    fn transient_failures_retry_then_quarantine_with_history() {
+        let resilience = ResilienceConfig {
+            max_attempts: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+            // Keep the breaker out of this test's way.
+            breaker_failure_threshold: 100,
+            ..ResilienceConfig::default()
+        };
+        let chaos = ChaosConfig {
+            error_p: 1.0,
+            ..ChaosConfig::default()
+        };
+        let (state, receiver) = test_state(resilience, Some(chaos));
+        let (job, _) = state.jobs.submit(spec(5), false).unwrap();
+        run_job(&receiver.try_recv().unwrap(), &state);
+        assert_eq!(job.status(), JobStatus::Failed, "quarantined");
+        assert_eq!(state.metrics.retries_total.get(), 2, "two re-attempts");
+        assert_eq!(state.metrics.jobs_failed_total.get(), 1);
+        let mut text = String::new();
+        job.to_json().write(&mut text);
+        assert!(text.contains("\"attempts\":["), "{text}");
+        assert!(text.contains("\"attempt\":3"), "{text}");
+        assert!(text.contains("\"transient\":true"), "{text}");
+        assert!(text.contains("\"backoff_ms\":"), "{text}");
+        assert!(text.contains("chaos: injected transient fault"), "{text}");
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_monotone() {
+        let schedule: Vec<u64> = (0..8).map(|a| backoff_ms("job-1", a, 25, 1_000)).collect();
+        assert_eq!(
+            schedule,
+            (0..8)
+                .map(|a| backoff_ms("job-1", a, 25, 1_000))
+                .collect::<Vec<_>>(),
+            "same key, same schedule"
+        );
+        for pair in schedule.windows(2) {
+            assert!(pair[0] <= pair[1], "monotone: {schedule:?}");
+        }
+        assert!(schedule.iter().all(|&ms| ms <= 1_000), "capped");
+        let schedule = |key| [0, 1, 2].map(|attempt| backoff_ms(key, attempt, 25, 1_000));
+        assert_ne!(
+            schedule("job-1"),
+            schedule("job-2"),
+            "distinct keys de-synchronize somewhere in the schedule"
+        );
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! | `GET /v1/evaluate?scenario=…&mechanism=…` | run the evaluation matrix (attacks + utility metrics) on synthetic workloads, get the JSON [`EvalReport`](mobipriv_eval::EvalReport) |
 //! | `GET /metrics` | Prometheus text exposition: request/cache/job/queue counters and per-stage latency histograms ([`telemetry`]) |
 //! | `GET /v1/traces/:id` | the span timeline behind an `x-mobipriv-trace` response header |
-//! | `GET /healthz` | liveness probe |
+//! | `GET /healthz` | liveness probe — always HTTP 200, body `ready` or `degraded` (readiness is the body, see [`AppState::degraded`]) |
 //!
 //! # Guarantees
 //!
@@ -70,7 +70,9 @@
 #![deny(missing_docs)]
 #![deny(rust_2018_idioms)]
 
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 mod compute;
 pub mod datasets;
@@ -84,10 +86,12 @@ mod state;
 pub mod store;
 pub mod telemetry;
 
+pub use breaker::{Breaker, ResilienceConfig};
 pub use cache::{result_key, CacheOutcome, ResultCache};
+pub use chaos::{ChaosConfig, ChaosInjector};
 pub use datasets::DatasetRegistry;
 pub use error::ServiceError;
-pub use jobs::{JobBoard, JobKind, JobStatus};
+pub use jobs::{backoff_ms, JobBoard, JobKind, JobStatus};
 pub use registry::{build_mechanism, resolve_mechanism, MechanismInfo, MECHANISMS};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use state::AppState;

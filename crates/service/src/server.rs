@@ -29,6 +29,8 @@ use std::time::Duration;
 use mobipriv_core::Engine;
 use mobipriv_obs::logging::{self, FieldValue};
 
+use crate::breaker::ResilienceConfig;
+use crate::chaos::ChaosConfig;
 use crate::handlers::handle_connection;
 use crate::http::write_response;
 use crate::state::AppState;
@@ -69,6 +71,13 @@ pub struct ServerConfig {
     /// recovered on the next boot. `None` (the default) keeps the
     /// server pure in-memory.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Failure-domain tunables: per-request compute budget ceiling,
+    /// retry/backoff schedule, breaker thresholds, degradation
+    /// watermark.
+    pub resilience: ResilienceConfig,
+    /// Fault-injection campaign (`--chaos` / `MOBIPRIV_CHAOS`); `None`
+    /// (the default) disarms the injector entirely.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +94,8 @@ impl Default for ServerConfig {
             dataset_budget_bytes: 512 * 1024 * 1024,
             result_budget_bytes: 256 * 1024 * 1024,
             data_dir: None,
+            resilience: ResilienceConfig::default(),
+            chaos: None,
         }
     }
 }
@@ -135,6 +146,8 @@ impl Server {
             config.result_budget_bytes,
             config.job_queue_depth,
             config.data_dir.as_deref(),
+            config.resilience,
+            config.chaos,
         )?;
         let job_receiver = Arc::new(Mutex::new(job_receiver));
         let job_workers: Vec<JoinHandle<()>> = (0..config.job_workers.max(1))
@@ -410,13 +423,7 @@ fn job_loop(receiver: &Mutex<Receiver<Arc<crate::jobs::Job>>>, state: &AppState)
                 // Same panic containment as the HTTP pool: a panicking
                 // computation loses that job, not the executor.
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    crate::jobs::run_job(
-                        &job,
-                        &state.jobs,
-                        &state.results,
-                        &state.engine,
-                        Some((&state.metrics, &state.traces)),
-                    );
+                    crate::jobs::run_job(&job, state);
                 }));
             }
             Err(_) => break, // board closed and queue drained: shutdown

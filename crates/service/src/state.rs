@@ -3,16 +3,20 @@
 //! plus, when the server has a `--data-dir`, the persistence layer
 //! that makes them survive a restart.
 
-use mobipriv_core::Engine;
+use mobipriv_core::{CancelToken, Engine};
 use mobipriv_obs::trace::TraceStore;
 
-use crate::cache::ResultCache;
+use crate::breaker::{Breaker, ResilienceConfig};
+use crate::cache::{CachedResult, ResultCache};
+use crate::chaos::{ChaosConfig, ChaosInjector};
 use crate::datasets::DatasetRegistry;
 use crate::jobs::JobBoard;
 use crate::store::Store;
 use crate::telemetry::ServiceMetrics;
+use crate::ServiceError;
 use std::sync::mpsc::Receiver;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Span timelines kept for `GET /v1/traces/:id`.
 const TRACE_CAPACITY: usize = 512;
@@ -34,6 +38,14 @@ pub struct AppState {
     pub traces: TraceStore,
     /// The persistence layer (`None` = pure in-memory server).
     pub store: Option<Arc<Store>>,
+    /// The compute circuit breaker every cold compute is admitted
+    /// through (see [`AppState::guarded_compute`]).
+    pub breaker: Breaker,
+    /// The fault injector (disarmed unless the server was started with
+    /// `--chaos` / `MOBIPRIV_CHAOS`).
+    pub chaos: ChaosInjector,
+    /// Deadline/retry/breaker tunables (copied from the server config).
+    pub resilience: ResilienceConfig,
 }
 
 impl AppState {
@@ -54,11 +66,19 @@ impl AppState {
         result_budget_bytes: u64,
         job_queue_depth: usize,
         data_dir: Option<&std::path::Path>,
+        resilience: ResilienceConfig,
+        chaos: Option<ChaosConfig>,
     ) -> std::io::Result<(Arc<AppState>, Receiver<Arc<crate::jobs::Job>>)> {
         let (jobs, receiver) = JobBoard::new(job_queue_depth);
         let metrics = ServiceMetrics::new();
         let results = ResultCache::new(result_budget_bytes);
         results.register_metrics(&metrics.registry);
+        let breaker = Breaker::new(
+            resilience.breaker_failure_threshold,
+            resilience.breaker_open,
+        );
+        let chaos = ChaosInjector::new(chaos);
+        chaos.register_metrics(&metrics.registry);
         let datasets = DatasetRegistry::new(dataset_budget_bytes);
         let traces = TraceStore::new(TRACE_CAPACITY);
         if std::env::var("MOBIPRIV_TRACE").as_deref() == Ok("0") {
@@ -124,16 +144,85 @@ impl AppState {
                 metrics,
                 traces,
                 store,
+                breaker,
+                chaos,
+                resilience,
             }),
             receiver,
         ))
     }
 
+    /// Runs one cold compute behind the full failure-domain gate:
+    /// breaker/queue admission, chaos injection, and a fresh
+    /// [`CancelToken`] carrying `budget`. Called by the single-flight
+    /// leader only (inside [`ResultCache::get_or_compute`]'s closure),
+    /// so admission happens exactly when a computation would actually
+    /// start — cache hits and flight joins never consult the breaker.
+    ///
+    /// The breaker permit is resolved from the outcome: success closes
+    /// or keeps the breaker closed; transient failures (panics —
+    /// observed via the permit's drop guard — injected faults, tripped
+    /// deadlines) count against it; permanent client-caused errors are
+    /// neutral. Deadline trips also bump
+    /// `mobipriv_deadline_exceeded_total` here, on the leader only, so
+    /// coalesced followers do not double-count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] when degraded (cold compute shed),
+    /// the chaos injector's transient fault, or whatever `compute`
+    /// itself returns.
+    pub(crate) fn guarded_compute<F>(
+        &self,
+        canonical: &str,
+        budget: Duration,
+        compute: F,
+    ) -> Result<CachedResult, ServiceError>
+    where
+        F: FnOnce(&CancelToken) -> Result<CachedResult, ServiceError>,
+    {
+        if self.metrics.queue_depth.get() >= self.resilience.degrade_queue_depth {
+            self.metrics.overload_shed_total.inc();
+            return Err(ServiceError::Overloaded(1));
+        }
+        let permit = match self.breaker.admit() {
+            Ok(permit) => permit,
+            Err(e) => {
+                self.metrics.overload_shed_total.inc();
+                return Err(e);
+            }
+        };
+        // The permit's drop guard records a failure if `compute` (or the
+        // injector) panics and unwinds past us — the single-flight layer
+        // above catches the panic, the breaker still counts it.
+        let cancel = CancelToken::with_budget(budget);
+        let result = self.chaos.inject(canonical).and_then(|()| compute(&cancel));
+        match &result {
+            Ok(_) => permit.succeed(),
+            Err(ServiceError::DeadlineExceeded(_)) => {
+                self.metrics.deadline_exceeded_total.inc();
+                permit.fail();
+            }
+            Err(e) if e.is_transient() => permit.fail(),
+            Err(_) => permit.absolve(),
+        }
+        result
+    }
+
+    /// Whether the node is currently shedding cold computes: the
+    /// breaker is not closed, or the accept queue is past the
+    /// degradation threshold. `/healthz` reports this as `degraded`.
+    pub fn degraded(&self) -> bool {
+        self.breaker.is_open()
+            || self.metrics.queue_depth.get() >= self.resilience.degrade_queue_depth
+    }
+
     /// Refreshes the point-in-time gauges (dataset/result/job/trace
-    /// populations, store sizes) from their owning components — called
-    /// before every registry render so `/metrics` and `/v1/stats` read
-    /// one source of truth.
+    /// populations, store sizes, breaker state) from their owning
+    /// components — called before every registry render so `/metrics`
+    /// and `/v1/stats` read one source of truth.
     pub fn refresh_gauges(&self) {
+        self.metrics.breaker_state.set(self.breaker.state_code());
         let (dataset_count, dataset_bytes) = self.datasets.stats();
         self.metrics.datasets_count.set(dataset_count as i64);
         self.metrics.datasets_bytes.set(dataset_bytes as i64);
@@ -169,7 +258,10 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         let dataset = Dataset::from_traces(vec![Trace::new(
             UserId::new(1),
-            vec![Fix::new(LatLng::new(45.76, 4.84).unwrap(), Timestamp::new(0))],
+            vec![Fix::new(
+                LatLng::new(45.76, 4.84).unwrap(),
+                Timestamp::new(0),
+            )],
         )
         .unwrap()]);
         let digest = dataset_digest(&dataset);
@@ -188,15 +280,27 @@ mod tests {
         // Budgets that reject the dataset (8 bytes) and the big result
         // (32 bytes) at seeding time.
         {
-            let (state, _receiver) =
-                AppState::new(Engine::sequential(), 8, 32, 4, Some(dir.as_path())).unwrap();
+            let (state, _receiver) = AppState::new(
+                Engine::sequential(),
+                8,
+                32,
+                4,
+                Some(dir.as_path()),
+                ResilienceConfig::default(),
+                None,
+            )
+            .unwrap();
             assert_eq!(state.datasets.stats().0, 0, "dataset over budget");
             assert_eq!(state.results.stats().0, 1, "only the small result fits");
         }
         // The next boot sees exactly what the budgets retained; the
         // rejected entries' blobs are gone, not leaked.
         let (store, recovered) = Store::open(&dir).unwrap();
-        assert_eq!(recovered.datasets.len(), 0, "rejected dataset not resurrected");
+        assert_eq!(
+            recovered.datasets.len(),
+            0,
+            "rejected dataset not resurrected"
+        );
         assert_eq!(recovered.results.len(), 1);
         assert_eq!(recovered.results[0].canonical, "canon|small");
         assert_eq!(store.stats().blobs, 1, "rejected blobs deleted");

@@ -975,7 +975,9 @@ mod tests {
         {
             let (store, _) = Store::open(&root).unwrap();
             store.put_dataset(&digest, &ds).unwrap();
-            store.put_result(&result("canon|raw", &canonical_csv)).unwrap();
+            store
+                .put_result(&result("canon|raw", &canonical_csv))
+                .unwrap();
             assert_eq!(store.stats().blobs, 2, "one file per kind, no collision");
         }
         let (store, recovered) = Store::open(&root).unwrap();
@@ -1010,11 +1012,17 @@ mod tests {
             let (store, _) = Store::open(&root).unwrap();
             store.put_dataset(&digest, &ds).unwrap();
             store.job_submitted("cccc", "canon|kept").unwrap();
-            store.put_result(&result("canon|kept", b"kept-body")).unwrap();
+            store
+                .put_result(&result("canon|kept", b"kept-body"))
+                .unwrap();
             // Churn: a result that is then evicted (journals 2 records,
             // deletes its blob)...
-            store.put_result(&result("canon|gone", b"gone-body")).unwrap();
-            store.result_evicted(&result("canon|gone", b"gone-body")).unwrap();
+            store
+                .put_result(&result("canon|gone", b"gone-body"))
+                .unwrap();
+            store
+                .result_evicted(&result("canon|gone", b"gone-body"))
+                .unwrap();
         }
         // ...plus an orphan blob, as a crash between rename and journal
         // append would leave it.

@@ -44,6 +44,18 @@ pub struct ServiceMetrics {
     pub jobs_done_total: Counter,
     /// Jobs that reached `failed`.
     pub jobs_failed_total: Counter,
+    /// Transient job failures the executor retried (one per re-attempt).
+    pub retries_total: Counter,
+    /// Computations aborted because their compute budget ran out.
+    pub deadline_exceeded_total: Counter,
+    /// Connections cut because the client trickled its request slower
+    /// than the per-socket timeout (slow-loris defence).
+    pub client_timeouts_total: Counter,
+    /// Cold computes rejected with `503 Retry-After` while degraded.
+    pub overload_shed_total: Counter,
+    /// Compute circuit-breaker state: 0 closed, 1 half-open, 2 open
+    /// (refreshed at scrape time).
+    pub breaker_state: Gauge,
     /// Registered-dataset count (refreshed at scrape time).
     pub datasets_count: Gauge,
     /// Registered-dataset bytes (refreshed at scrape time).
@@ -100,6 +112,31 @@ impl ServiceMetrics {
             &[],
             "Jobs that reached the failed state",
         );
+        let retries_total = registry.counter(
+            "mobipriv_retries_total",
+            &[],
+            "Transient job failures retried by the executor",
+        );
+        let deadline_exceeded_total = registry.counter(
+            "mobipriv_deadline_exceeded_total",
+            &[],
+            "Computations aborted because their compute budget ran out",
+        );
+        let client_timeouts_total = registry.counter(
+            "mobipriv_client_timeouts_total",
+            &[],
+            "Connections cut because the client trickled slower than the socket timeout",
+        );
+        let overload_shed_total = registry.counter(
+            "mobipriv_overload_shed_total",
+            &[],
+            "Cold computes rejected with 503 Retry-After while the node was degraded",
+        );
+        let breaker_state = registry.gauge(
+            "mobipriv_breaker_state",
+            &[],
+            "Compute circuit breaker state (0 closed, 1 half-open, 2 open)",
+        );
         let datasets_count =
             registry.gauge("mobipriv_datasets", &[], "Datasets currently registered");
         let datasets_bytes = registry.gauge(
@@ -153,6 +190,11 @@ impl ServiceMetrics {
             request_seconds,
             jobs_done_total,
             jobs_failed_total,
+            retries_total,
+            deadline_exceeded_total,
+            client_timeouts_total,
+            overload_shed_total,
+            breaker_state,
             datasets_count,
             datasets_bytes,
             results_count,

@@ -99,7 +99,7 @@ fn healthz_and_mechanism_catalogue() {
     let addr = server.addr();
     let (status, headers, body) = get(addr, "/healthz");
     assert_eq!(status, 200);
-    assert_eq!(body, b"ok\n");
+    assert_eq!(body, b"ready\n");
     assert_eq!(headers["content-type"], "text/plain");
     let (status, headers, body) = get(addr, "/v1/mechanisms");
     assert_eq!(status, 200);

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Chaos smoke test (used by CI and runnable locally after
+# `cargo build --release -p mobipriv-service --bins`):
+#
+#   1. boots mobipriv-serve with the fault injector armed
+#      (panic/error/latency at p=0.05, deterministic seed) and a
+#      twitchy circuit breaker (threshold 3, 200 ms open window),
+#   2. runs `mobipriv-loadgen --chaos` — ≥500 mixed one-shot / job /
+#      deadline-probe requests that assert the failure-domain
+#      invariants: no hangs, no stuck single-flight keys, every
+#      response byte-identical to the fault-free answer or a
+#      well-formed error (408/500/503/504), and the breaker re-closes
+#      after the storm,
+#   3. asserts the server survived the soak (its /healthz is `ready`
+#      again) and that the new resilience counters moved,
+#   4. kills the server on exit.
+set -euo pipefail
+
+BIN=${BIN:-target/release}
+WORK=$(mktemp -d)
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+"$BIN/mobipriv-serve" --addr 127.0.0.1:0 --workers 4 \
+  --chaos all=0.05,latency-ms=5,seed=1 \
+  --breaker-threshold 3 --breaker-open-ms 200 --max-attempts 3 \
+  > "$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 100); do
+  ADDR=$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$WORK/serve.log")
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "server did not start:" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+fi
+grep -q 'CHAOS ARMED' "$WORK/serve.log" || {
+  echo "FAIL server did not announce the armed injector:" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+echo "server:   http://$ADDR (pid $SERVER_PID, chaos armed)"
+
+# The soak asserts its own invariants and exits 1 on any violation;
+# --timeout bounds every read so a hang fails fast instead of wedging
+# the CI job.
+# 32 distinct keys keep a steady stream of cold computes flowing past
+# the injector (with few keys everything is a cache hit after warmup
+# and chaos has nothing to bite).
+"$BIN/mobipriv-loadgen" --addr "$ADDR" --users 20 --seed 7 \
+  --requests 500 --distinct 32 --concurrency 8 --timeout 60 \
+  --mechanism promesse --query 'alpha=100' --chaos \
+  | tee "$WORK/loadgen.out" || {
+  echo "FAIL chaos soak reported invariant violations" >&2
+  exit 1
+}
+grep -q 'every invariant held' "$WORK/loadgen.out" || {
+  echo "FAIL soak did not confirm its invariants:" >&2
+  cat "$WORK/loadgen.out" >&2
+  exit 1
+}
+
+# The server outlived the storm and recovered: liveness stays 200 and
+# the readiness body is back to `ready` (the soak already waited for
+# the breaker gauge to read closed).
+HEALTH=$(curl -fsS "http://$ADDR/healthz")
+if [ "$HEALTH" != "ready" ]; then
+  echo "FAIL post-soak /healthz says '$HEALTH', expected 'ready'" >&2
+  exit 1
+fi
+echo "ok        post-soak /healthz ready"
+
+# The resilience counters must exist and the injector must have bitten.
+curl -fsS "http://$ADDR/metrics" > "$WORK/metrics.txt"
+for METRIC in \
+  mobipriv_retries_total \
+  mobipriv_deadline_exceeded_total \
+  mobipriv_client_timeouts_total \
+  mobipriv_breaker_state
+do
+  grep -q "^$METRIC" "$WORK/metrics.txt" || {
+    echo "FAIL /metrics lacks $METRIC" >&2
+    exit 1
+  }
+done
+awk '$1 ~ /^mobipriv_chaos_injections_total/ { sum += $2 } END { exit !(sum > 0) }' \
+  "$WORK/metrics.txt" || {
+  echo "FAIL chaos injected nothing — the soak proved nothing" >&2
+  exit 1
+}
+echo "ok        resilience counters present, injections > 0"
+
+echo "chaos smoke passed"

@@ -33,6 +33,11 @@ stay within 5% of the run with them disabled — the zero-cost-when-idle
 contract of the metrics/tracing layer, measured as a min-of-N ratio so
 it divides out machine speed.
 
+The resilience section shares the obs ceiling: the engine run through
+`try_protect` with a live deadline token (a clock read between
+per-trace kernels) must stay within 5% of the plain `protect` path —
+cancellation support must be free when the deadline is generous.
+
 The persistence section is an absolute ceiling on `restart_ratio`
 (`--restart-ceiling`, default 2.0): a warm-restart cache hit — served
 from state recovered off the journal at boot — must stay within 2x of
@@ -198,6 +203,24 @@ def main(argv):
         print(
             f"{'persistence':>16} {'(abs)':>10} {got:>10.2f}x      -  "
             f"{verdict} (warm-restart hit <= {restart_ceiling:.1f}x in-memory hit)"
+        )
+
+    # resilience: absolute ceiling on the deadline-token/no-token engine
+    # run (cancellation hooks must be free when the budget is generous).
+    # Shares the obs ceiling; only gated when the baseline has the
+    # section, so older baselines don't fail on the new bench.
+    resilience = fresh.get("resilience")
+    if resilience is None:
+        if baseline.get("resilience") is not None:
+            print(f"{'resilience':>16} {'-':>10} {'MISSING':>11}      -  FAIL")
+            failed = True
+    else:
+        got = resilience["ratio"]
+        verdict = "ok" if got <= obs_ceiling else "FAIL"
+        failed = failed or got > obs_ceiling
+        print(
+            f"{'resilience':>16} {'(abs)':>10} {got:>10.3f}x      -  "
+            f"{verdict} (<= {obs_ceiling:.2f}x with a live deadline token)"
         )
 
     if failed:
