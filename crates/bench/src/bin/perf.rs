@@ -25,7 +25,9 @@ use mobipriv_core::{Engine, GeoInd, GridGeneralization, KDelta, Mechanism, Prome
 use mobipriv_model::{
     read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, WireFormat,
 };
-use mobipriv_service::{client, Server, ServerConfig, Store};
+use mobipriv_service::{
+    client, rendezvous_owner, Router, RouterConfig, Server, ServerConfig, Store,
+};
 use mobipriv_synth::scenarios;
 
 const USAGE: &str = "\
@@ -334,6 +336,224 @@ fn bench_persistence(dataset: &Dataset, seed: u64, iters: usize) -> PersistenceB
     }
 }
 
+/// Connection-reuse measurements for the `keepalive` section.
+struct KeepAliveBench {
+    fresh_rtt_s: f64,
+    reused_rtt_s: f64,
+    requests: u64,
+    connects: u64,
+}
+
+/// Times the warm per-request RTT of the connection layer's two
+/// regimes against the same in-process server and target (`GET
+/// /healthz` — the smallest real handler, so transport cost dominates
+/// the comparison instead of handler work): *fresh* = one TCP
+/// connection per request (`connection: close`, what every client paid
+/// before keep-alive), *reused* = the same requests down one
+/// persistent [`client::Connection`]. Bodies are asserted
+/// byte-identical across both regimes, and the reused run is asserted
+/// to have dialed exactly once.
+fn bench_keepalive(iters: usize) -> KeepAliveBench {
+    const ROUND: usize = 200;
+    let server = Server::bind(ServerConfig {
+        // The measurement is one long-lived connection; keep the
+        // server's per-connection rebalancing cap out of it.
+        max_requests_per_conn: usize::MAX,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port")
+    .spawn()
+    .expect("spawn server");
+    let addr = server.addr();
+    let target = "/healthz".to_owned();
+
+    let timeout = std::time::Duration::from_secs(120);
+    let mut conn =
+        client::Connection::connect(addr, timeout).expect("connect to in-process server");
+    let (status, _, reference) = conn.request("GET", &target, b"").expect("warmup request");
+    assert_eq!(status, 200, "metadata fetch failed");
+
+    let mut reused_rtt_s = f64::INFINITY;
+    for _ in 0..iters {
+        let started = Instant::now();
+        for _ in 0..ROUND {
+            let (status, _, out) = conn.request("GET", &target, b"").expect("reused request");
+            assert_eq!(status, 200, "reused fetch failed");
+            assert_eq!(out, reference, "reused≡fresh bytes violated");
+        }
+        reused_rtt_s = reused_rtt_s.min(started.elapsed().as_secs_f64() / ROUND as f64);
+    }
+    assert_eq!(conn.connects(), 1, "keep-alive run redialed");
+
+    let mut fresh_rtt_s = f64::INFINITY;
+    for _ in 0..iters {
+        let started = Instant::now();
+        for _ in 0..ROUND {
+            let (status, out) = http(addr, "GET", &target, b"");
+            assert_eq!(status, 200, "fresh fetch failed");
+            assert_eq!(out, reference, "fresh≡reused bytes violated");
+        }
+        fresh_rtt_s = fresh_rtt_s.min(started.elapsed().as_secs_f64() / ROUND as f64);
+    }
+
+    let (requests, connects) = (conn.requests(), conn.connects());
+    server.shutdown();
+    KeepAliveBench {
+        fresh_rtt_s,
+        reused_rtt_s,
+        requests,
+        connects,
+    }
+}
+
+/// Scale-out measurements for the `sharding` section.
+struct ShardingBench {
+    cores: usize,
+    shards: usize,
+    keys: usize,
+    single_rps: f64,
+    sharded_rps: f64,
+    speedup: f64,
+}
+
+/// Aggregate throughput of N=4 one-worker shards behind the
+/// consistent-hash router vs one such node — the scale-out claim
+/// itself, not worker-pool parallelism (a default 4-worker single node
+/// would already saturate a small core count and mask the comparison).
+/// The request mix is `keys` distinct datasets chosen so rendezvous
+/// hashing spreads them exactly evenly across the ring; both fleets
+/// answer the identical mix cold and every response is asserted
+/// byte-identical between the routed and the single-node run. `cores`
+/// is recorded so the CI trend gate only applies its floor where a
+/// speedup is physically possible (on one core the fleets tie).
+fn bench_sharding(dataset: &Dataset, seed: u64) -> ShardingBench {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    const SHARDS: usize = 4;
+    const KEYS_PER_SHARD: usize = 4;
+    const THREADS: usize = 8;
+    let keys = SHARDS * KEYS_PER_SHARD;
+
+    let node = || ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let single = Server::bind(node())
+        .expect("bind single node")
+        .spawn()
+        .expect("spawn single node");
+    let shard_nodes: Vec<_> = (0..SHARDS)
+        .map(|_| {
+            Server::bind(node())
+                .expect("bind shard")
+                .spawn()
+                .expect("spawn shard")
+        })
+        .collect();
+    let shard_addrs: Vec<String> = shard_nodes.iter().map(|s| s.addr().to_string()).collect();
+    let router = Router::bind(RouterConfig {
+        shards: shard_addrs.clone(),
+        workers: THREADS,
+        // One upstream connection per one-worker shard: checkout
+        // blocks instead of parking extra connections in a shard's
+        // accept queue behind its single pinned worker.
+        upstream_conns: 1,
+        ..RouterConfig::default()
+    })
+    .expect("bind router")
+    .spawn()
+    .expect("spawn router");
+
+    // Build the balanced mix: each candidate drops one more leading
+    // data row from the canonical CSV (distinct digest, near-identical
+    // work), and a candidate is kept only while its owning shard still
+    // needs keys.
+    let canon = {
+        let mut buf = Vec::new();
+        write_csv(dataset, &mut buf).expect("canonicalize workload");
+        String::from_utf8(buf).expect("canonical CSV is UTF-8")
+    };
+    let lines: Vec<&str> = canon.lines().collect();
+    let mut bodies: Vec<Vec<u8>> = Vec::with_capacity(keys);
+    let mut per_shard = [0usize; SHARDS];
+    let mut dropped = 0usize;
+    while bodies.len() < keys {
+        assert!(
+            dropped + 2 < lines.len(),
+            "workload too small to derive {keys} distinct variants"
+        );
+        let mut variant = String::with_capacity(canon.len());
+        variant.push_str(lines[0]);
+        variant.push('\n');
+        for line in &lines[1 + dropped..] {
+            variant.push_str(line);
+            variant.push('\n');
+        }
+        dropped += 1;
+        let parsed = read_csv(variant.as_bytes()).expect("variant parses");
+        let digest = mobipriv_model::digest::dataset_digest(&parsed);
+        let owner = rendezvous_owner(&shard_addrs, &digest).expect("non-empty ring");
+        if per_shard[owner] < KEYS_PER_SHARD {
+            per_shard[owner] += 1;
+            bodies.push(variant.into_bytes());
+        }
+    }
+
+    let target = format!("/v1/anonymize?mechanism=promesse&alpha=100&seed={seed}");
+    let timeout = std::time::Duration::from_secs(120);
+    let run = |addr: std::net::SocketAddr| -> (f64, Vec<Vec<u8>>) {
+        let next = AtomicUsize::new(0);
+        let results = Mutex::new(vec![Vec::new(); keys]);
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let mut conn =
+                        client::Connection::connect(addr, timeout).expect("connect to fleet");
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= keys {
+                            break;
+                        }
+                        let (status, _, out) = conn
+                            .request("POST", &target, &bodies[i])
+                            .expect("anonymize request");
+                        assert_eq!(status, 200, "anonymize failed");
+                        results.lock().expect("results lock")[i] = out;
+                    }
+                });
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        (elapsed, results.into_inner().expect("results lock"))
+    };
+
+    let (single_s, single_out) = run(single.addr());
+    let (sharded_s, sharded_out) = run(router.addr());
+    assert_eq!(
+        single_out, sharded_out,
+        "sharded≡single-node bytes violated"
+    );
+
+    router.shutdown();
+    for shard in shard_nodes {
+        shard.shutdown();
+    }
+    single.shutdown();
+
+    ShardingBench {
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        shards: SHARDS,
+        keys,
+        single_rps: keys as f64 / single_s.max(1e-12),
+        sharded_rps: keys as f64 / sharded_s.max(1e-12),
+        speedup: single_s / sharded_s.max(1e-12),
+    }
+}
+
 /// Minimum wall time of `iters` runs, seconds. The closure's result is
 /// returned so outputs can be cross-checked (and the work not optimized
 /// away).
@@ -545,6 +765,17 @@ fn main() -> ExitCode {
     assert_eq!(on_out, off_out, "cancellation hooks changed engine output");
     let hooks_ratio = hooks_on_s / hooks_off_s.max(1e-12);
 
+    // The connection layer: per-request RTT with a fresh TCP connection
+    // per request vs a reused keep-alive connection, same bytes.
+    eprintln!("timing keep-alive transport (fresh conn vs reused conn RTT)…");
+    let keepalive = bench_keepalive(args.iters);
+    let keepalive_speedup = keepalive.fresh_rtt_s / keepalive.reused_rtt_s.max(1e-12);
+
+    // Scale-out: 4 one-worker shards behind the router vs one
+    // one-worker node, identical request mix, byte-identical answers.
+    eprintln!("timing shard scale-out (single node vs 4 shards behind the router)…");
+    let sharding = bench_sharding(dataset, args.seed);
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -625,6 +856,27 @@ fn main() -> ExitCode {
         ",\"resilience\":{{\"mechanism\":\"promesse alpha=100\",\"hooks_on_s\":{hooks_on_s},\
          \"hooks_off_s\":{hooks_off_s},\"ratio\":{hooks_ratio}}}",
     );
+    let _ = write!(
+        json,
+        ",\"keepalive\":{{\"target\":\"GET /healthz\",\"cores\":{},\"fresh_rtt_s\":{},\
+         \"reused_rtt_s\":{},\"speedup\":{keepalive_speedup},\"requests\":{},\"connects\":{}}}",
+        sharding.cores,
+        keepalive.fresh_rtt_s,
+        keepalive.reused_rtt_s,
+        keepalive.requests,
+        keepalive.connects,
+    );
+    let _ = write!(
+        json,
+        ",\"sharding\":{{\"mechanism\":\"promesse alpha=100\",\"cores\":{},\"shards\":{},\
+         \"keys\":{},\"single_rps\":{},\"sharded_rps\":{},\"speedup\":{}}}",
+        sharding.cores,
+        sharding.shards,
+        sharding.keys,
+        sharding.single_rps,
+        sharding.sharded_rps,
+        sharding.speedup,
+    );
     json.push_str("}\n");
 
     for (name, naive_s, indexed_s) in &paths {
@@ -674,6 +926,18 @@ fn main() -> ExitCode {
         hooks_on_s * 1e3,
         hooks_off_s * 1e3,
         hooks_ratio,
+    );
+    eprintln!(
+        "     keepalive: fresh {:>9.3} ms, reused  {:>9.3} ms -> {:.2}x ({} requests, {} dials)",
+        keepalive.fresh_rtt_s * 1e3,
+        keepalive.reused_rtt_s * 1e3,
+        keepalive_speedup,
+        keepalive.requests,
+        keepalive.connects,
+    );
+    eprintln!(
+        "      sharding: 1 node {:>8.1} req/s, 4 shards {:>7.1} req/s -> {:.2}x ({} cores)",
+        sharding.single_rps, sharding.sharded_rps, sharding.speedup, sharding.cores,
     );
     if args.profile {
         let table = mobipriv_obs::profile::stage_table(

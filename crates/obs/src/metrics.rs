@@ -172,6 +172,23 @@ impl Histogram {
         );
     }
 
+    /// Folds a [`HistogramSnapshot`] into this histogram — the
+    /// snapshot-shaped sibling of [`Histogram::merge_from`], used to
+    /// absorb histograms reconstructed from a remote scrape (the shard
+    /// router folding its shards' `/metrics`). Buckets align
+    /// positionally with [`BUCKET_BOUNDS`]; a snapshot with a different
+    /// bucket count contributes only the buckets both sides share.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
+        for (mine, theirs) in self.inner.buckets.iter().zip(&snap.buckets) {
+            mine.fetch_add(*theirs, Ordering::Relaxed);
+        }
+        self.inner.inf.fetch_add(snap.inf, Ordering::Relaxed);
+        self.inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.inner
+            .sum_nanos
+            .fetch_add(snap.sum_nanos, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of the histogram's state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::metrics::BUCKET_BOUNDS;
+use crate::metrics::{HistogramSnapshot, Registry, BUCKET_BOUNDS};
 
 /// One parsed sample line.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,25 +22,50 @@ pub struct ScrapedSample {
 #[derive(Debug, Clone, Default)]
 pub struct Scrape {
     samples: Vec<ScrapedSample>,
+    /// `# TYPE` declarations: family name → `counter|gauge|histogram`.
+    types: BTreeMap<String, String>,
+    /// `# HELP` declarations: family name → help text.
+    helps: BTreeMap<String, String>,
 }
 
-/// Parses a text exposition document.
+/// Parses a text exposition document. `# TYPE` and `# HELP` comment
+/// lines are captured (they drive [`Scrape::fold`]'s reconstruction);
+/// other comments are skipped.
 ///
 /// # Errors
 ///
 /// Returns a one-line description naming the first malformed line.
 pub fn parse(text: &str) -> Result<Scrape, String> {
     let mut samples = Vec::new();
+    let mut types = BTreeMap::new();
+    let mut helps = BTreeMap::new();
     for (number, line) in text.lines().enumerate() {
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(decl) = comment.strip_prefix("TYPE ") {
+                if let Some((name, kind)) = decl.trim().split_once(' ') {
+                    types.insert(name.to_owned(), kind.trim().to_owned());
+                }
+            } else if let Some(decl) = comment.strip_prefix("HELP ") {
+                if let Some((name, help)) = decl.trim().split_once(' ') {
+                    helps.insert(name.to_owned(), help.to_owned());
+                }
+            }
             continue;
         }
         let sample =
             parse_sample(line).map_err(|e| format!("line {}: {e}: `{line}`", number + 1))?;
         samples.push(sample);
     }
-    Ok(Scrape { samples })
+    Ok(Scrape {
+        samples,
+        types,
+        helps,
+    })
 }
 
 fn parse_sample(line: &str) -> Result<ScrapedSample, String> {
@@ -119,6 +144,97 @@ impl Scrape {
     /// All parsed samples.
     pub fn samples(&self) -> &[ScrapedSample] {
         &self.samples
+    }
+
+    /// The `# TYPE` declaration for a family, if the document had one.
+    pub fn kind_of(&self, name: &str) -> Option<&str> {
+        self.types.get(name).map(String::as_str)
+    }
+
+    /// Folds several scrapes into one [`Registry`], summing across
+    /// documents: counters and gauges add (a cluster-wide queue depth
+    /// is the *sum* of the shards' depths), histograms merge
+    /// bucket-by-bucket (exact — every node uses the same fixed bucket
+    /// ladder). Families without a `# TYPE` declaration are skipped, as
+    /// are histogram buckets whose `le` is not on the shared ladder.
+    /// Rendering the returned registry (alone or through
+    /// `render_merged`) yields the cluster view of the inputs.
+    pub fn fold(scrapes: &[&Scrape]) -> Registry {
+        let registry = Registry::new();
+        for scrape in scrapes {
+            // Histogram series need regrouping: one logical histogram
+            // arrives as `_bucket`/`_sum`/`_count` sample lines.
+            // (family, labels-without-le) → snapshot under assembly.
+            type Key = (String, Vec<(String, String)>);
+            let mut histograms: BTreeMap<Key, HistogramSnapshot> = BTreeMap::new();
+            for sample in &scrape.samples {
+                let (family, kind) = match scrape.types.get(&sample.name) {
+                    Some(kind) => (sample.name.clone(), kind.as_str()),
+                    None => {
+                        // Histogram sample lines carry suffixed names;
+                        // map them back to their declared family.
+                        match histogram_family(scrape, &sample.name) {
+                            Some(family) => (family, "histogram"),
+                            None => continue,
+                        }
+                    }
+                };
+                let labels: Vec<(&str, &str)> = sample
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| !(kind == "histogram" && k == "le"))
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let help = scrape.helps.get(&family).cloned().unwrap_or_default();
+                match kind {
+                    "counter" => {
+                        registry
+                            .counter(&family, &labels, &help)
+                            .add(sample.value.max(0.0) as u64);
+                    }
+                    "gauge" => {
+                        registry
+                            .gauge(&family, &labels, &help)
+                            .add(sample.value as i64);
+                    }
+                    "histogram" => {
+                        let key = (
+                            family,
+                            labels
+                                .iter()
+                                .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+                                .collect(),
+                        );
+                        let snap = histograms.entry(key).or_insert_with(|| HistogramSnapshot {
+                            buckets: vec![0; BUCKET_BOUNDS.len()],
+                            inf: 0,
+                            count: 0,
+                            sum_nanos: 0,
+                        });
+                        absorb_histogram_sample(snap, sample);
+                    }
+                    _ => {}
+                }
+            }
+            for ((family, labels), mut snap) in histograms {
+                // The wire carries cumulative buckets; the snapshot
+                // wants per-bucket counts.
+                let mut previous = 0;
+                for bucket in &mut snap.buckets {
+                    let cumulative = *bucket;
+                    *bucket = cumulative.saturating_sub(previous);
+                    previous = cumulative;
+                }
+                snap.inf = snap.inf.saturating_sub(previous);
+                let labels: Vec<(&str, &str)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                let help = scrape.helps.get(&family).cloned().unwrap_or_default();
+                registry.histogram(&family, &labels, &help).absorb(&snap);
+            }
+        }
+        registry
     }
 
     /// The value of `name{labels}` (labels must match exactly, in any
@@ -231,6 +347,49 @@ impl Scrape {
     }
 }
 
+/// Maps a suffixed histogram sample name (`…_bucket`, `…_sum`,
+/// `…_count`) back to its declared family, when that family carries a
+/// `# TYPE … histogram` declaration in this scrape.
+fn histogram_family(scrape: &Scrape, sample_name: &str) -> Option<String> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(family) = sample_name.strip_suffix(suffix) {
+            if scrape.types.get(family).map(String::as_str) == Some("histogram") {
+                return Some(family.to_owned());
+            }
+        }
+    }
+    None
+}
+
+/// Copies one histogram wire sample into the snapshot under assembly.
+/// Bucket values stay *cumulative* here; [`Scrape::fold`] converts to
+/// per-bucket counts once the whole series has been seen.
+fn absorb_histogram_sample(snap: &mut HistogramSnapshot, sample: &ScrapedSample) {
+    let value = sample.value.max(0.0);
+    if sample.name.ends_with("_bucket") {
+        let le = sample
+            .labels
+            .iter()
+            .find(|(k, _)| k == "le")
+            .map(|(_, v)| v.as_str());
+        match le {
+            Some("+Inf") | Some("Inf") => snap.inf = value as u64,
+            Some(bound) => {
+                if let Ok(bound) = bound.parse::<f64>() {
+                    if let Some(i) = BUCKET_BOUNDS.iter().position(|b| *b == bound) {
+                        snap.buckets[i] = value as u64;
+                    }
+                }
+            }
+            None => {}
+        }
+    } else if sample.name.ends_with("_sum") {
+        snap.sum_nanos = (value * 1e9).round() as u64;
+    } else if sample.name.ends_with("_count") {
+        snap.count = value as u64;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +456,43 @@ mod tests {
         assert_eq!(
             after.histogram_quantile("w_seconds", &[], 0.5, Some(&before)),
             Some(0.5)
+        );
+    }
+
+    #[test]
+    fn fold_sums_counters_gauges_and_histograms_across_documents() {
+        let make = |requests: u64, depth: i64, slow: usize| {
+            let r = Registry::new();
+            r.counter("req_total", &[("status", "200")], "requests")
+                .add(requests);
+            r.gauge("depth", &[], "queue depth").set(depth);
+            let h = r.histogram("lat_seconds", &[], "latency");
+            h.observe(3e-3);
+            for _ in 0..slow {
+                h.observe(0.2);
+            }
+            r
+        };
+        let a = make(3, 2, 1);
+        let b = make(4, 5, 0);
+        let sa = parse(&a.render_prometheus()).unwrap();
+        let sb = parse(&b.render_prometheus()).unwrap();
+        assert_eq!(sa.kind_of("req_total"), Some("counter"));
+        assert_eq!(sa.kind_of("lat_seconds"), Some("histogram"));
+        let folded = parse(&Scrape::fold(&[&sa, &sb]).render_prometheus()).unwrap();
+        assert_eq!(folded.value("req_total", &[("status", "200")]), Some(7.0));
+        assert_eq!(folded.value("depth", &[]), Some(7.0), "gauges sum");
+        assert_eq!(folded.value("lat_seconds_count", &[]), Some(3.0));
+        assert_eq!(
+            folded.histogram_quantile("lat_seconds", &[], 0.99, None),
+            Some(0.2)
+        );
+        // Folding a single document reconstructs it byte-identically —
+        // counters, gauge values, cumulative buckets, sums and help
+        // text all survive the wire round trip.
+        assert_eq!(
+            Scrape::fold(&[&sa]).render_prometheus(),
+            a.render_prometheus()
         );
     }
 

@@ -16,7 +16,7 @@ use mobipriv_model::{
     read_bin, read_csv, read_ndjson, write_bin, write_csv, write_ndjson, Dataset, WireFormat,
 };
 use mobipriv_obs::scrape::{parse as parse_scrape, Scrape};
-use mobipriv_service::client::{json_str_field, request, request_with_timeout};
+use mobipriv_service::client::{json_str_field, request, request_with_timeout, Connection};
 use mobipriv_service::telemetry::STAGES;
 use mobipriv_synth::scenarios;
 
@@ -42,6 +42,15 @@ options:
   --concurrency N     parallel client connections (default 8)
   --rate R            target request rate in req/s across all clients
                       (default 0 = as fast as the server answers)
+  --open-loop R       like --rate, but latency is measured from each
+                      request's *scheduled* arrival time (i/R), so
+                      server backlog shows up as latency instead of
+                      being hidden by slow clients (no coordinated
+                      omission)
+  --keep-alive        one persistent HTTP/1.1 connection per client
+                      thread instead of a fresh TCP connection per
+                      request; the summary reports the achieved
+                      connection reuse rate
   --mechanism NAME    mechanism to exercise (default promesse)
   --query EXTRA       extra query parameters, e.g. 'alpha=200&report=1'
   --seed N            workload + request seed (default 42)
@@ -75,6 +84,8 @@ struct Options {
     requests: usize,
     concurrency: usize,
     rate: f64,
+    open_loop: bool,
+    keep_alive: bool,
     mechanism: String,
     query: String,
     seed: u64,
@@ -94,6 +105,8 @@ impl Default for Options {
             requests: 32,
             concurrency: 8,
             rate: 0.0,
+            open_loop: false,
+            keep_alive: false,
             mechanism: "promesse".to_owned(),
             query: String::new(),
             seed: 42,
@@ -146,6 +159,17 @@ fn parse_args(args: &[String]) -> Options {
                 Ok(r) if r >= 0.0 => opts.rate = r,
                 _ => fail("--rate expects a non-negative number"),
             },
+            "--open-loop" => match value(i).parse() {
+                Ok(r) if r > 0.0 => {
+                    opts.rate = r;
+                    opts.open_loop = true;
+                }
+                _ => fail("--open-loop expects a positive request rate"),
+            },
+            "--keep-alive" => {
+                opts.keep_alive = true;
+                consumed = 1;
+            }
             "--mechanism" => opts.mechanism = value(i).to_owned(),
             "--query" => opts.query = value(i).to_owned(),
             "--seed" => match value(i).parse() {
@@ -187,6 +211,50 @@ fn parse_args(args: &[String]) -> Options {
     opts
 }
 
+/// The transport one client thread issues requests over: a fresh TCP
+/// connection per request (the historical behavior, `Connection:
+/// close`) or one persistent keep-alive [`Connection`] reused for the
+/// thread's whole run.
+struct ClientLeg {
+    addr: String,
+    conn: Option<Connection>,
+    keep_alive: bool,
+    timeout: Duration,
+}
+
+impl ClientLeg {
+    fn new(addr: &str, keep_alive: bool, timeout: Duration) -> ClientLeg {
+        ClientLeg {
+            addr: addr.to_owned(),
+            conn: None,
+            keep_alive,
+            timeout,
+        }
+    }
+
+    fn send(&mut self, method: &str, target: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+        if !self.keep_alive {
+            return request_with_timeout(&self.addr, method, target, body, self.timeout);
+        }
+        if self.conn.is_none() {
+            // The Connection survives request failures (it redials on
+            // the next call), so one object carries the whole thread's
+            // reuse accounting.
+            self.conn = Some(Connection::connect(self.addr.as_str(), self.timeout)?);
+        }
+        let conn = self.conn.as_mut().expect("connected above");
+        conn.request(method, target, body)
+            .map(|(status, _, body)| (status, body))
+    }
+
+    /// `(requests completed, TCP connections dialed)` over this leg.
+    fn counts(&self) -> (u64, u64) {
+        self.conn
+            .as_ref()
+            .map_or((0, 0), |c| (c.requests(), c.connects()))
+    }
+}
+
 /// Per-thread outcome accounting, merged into the summary.
 #[derive(Default)]
 struct Tally {
@@ -201,6 +269,11 @@ struct Tally {
     /// Non-2xx responses by status code.
     by_status: BTreeMap<u16, usize>,
     bytes_in: usize,
+    /// Requests completed over keep-alive connections (reuse-rate
+    /// accounting; zero without --keep-alive).
+    conn_requests: u64,
+    /// TCP connections those requests dialed.
+    conn_dialed: u64,
 }
 
 impl Tally {
@@ -214,6 +287,8 @@ impl Tally {
         self.coalesced.extend(other.coalesced);
         self.io_errors += other.io_errors;
         self.bytes_in += other.bytes_in;
+        self.conn_requests += other.conn_requests;
+        self.conn_dialed += other.conn_dialed;
         for (status, n) in other.by_status {
             *self.by_status.entry(status).or_default() += n;
         }
@@ -650,8 +725,13 @@ fn chaos_soak(opts: &Options, body: Vec<u8>) -> ! {
 
 /// One submit→poll→fetch cycle against the job engine. Returns the
 /// submission classification (`enqueued`/`coalesced`/`cached`).
-fn job_cycle(addr: &str, submit_target: &str, tally: &mut Tally, sent: Instant) -> Option<String> {
-    let (status, body) = match request(addr, "POST", submit_target, b"") {
+fn job_cycle(
+    leg: &mut ClientLeg,
+    submit_target: &str,
+    tally: &mut Tally,
+    sent: Instant,
+) -> Option<String> {
+    let (status, body) = match leg.send("POST", submit_target, b"") {
         Ok(r) => r,
         Err(_) => {
             tally.io_errors += 1;
@@ -686,7 +766,7 @@ fn job_cycle(addr: &str, submit_target: &str, tally: &mut Tally, sent: Instant) 
             return None;
         }
         std::thread::sleep(Duration::from_millis(2));
-        match request(addr, "GET", &poll_target, b"") {
+        match leg.send("GET", &poll_target, b"") {
             Ok((200, body)) => {
                 job_status = json_str_field(&body, "status").unwrap_or_default();
             }
@@ -700,7 +780,7 @@ fn job_cycle(addr: &str, submit_target: &str, tally: &mut Tally, sent: Instant) 
             }
         }
     }
-    match request(addr, "GET", &format!("/v1/results/{id}"), b"") {
+    match leg.send("GET", &format!("/v1/results/{id}"), b"") {
         Ok((200, body)) => {
             let latency = sent.elapsed();
             tally.bytes_in += body.len();
@@ -840,11 +920,18 @@ fn main() {
             String::new()
         },
         if opts.rate > 0.0 {
-            format!(", {} req/s", opts.rate)
+            format!(
+                ", {} req/s{}",
+                opts.rate,
+                if opts.open_loop { " (open loop)" } else { "" }
+            )
         } else {
             String::new()
         }
     );
+    if opts.keep_alive {
+        println!("transport: keep-alive (one persistent connection per client thread)");
+    }
 
     if !opts.jobs {
         // Connectivity probe before unleashing the fleet.
@@ -914,26 +1001,35 @@ fn main() {
             Arc::clone(&make_target),
         );
         let (requests, rate, jobs) = (opts.requests, opts.rate, opts.jobs);
+        let (keep_alive, open_loop, timeout) = (opts.keep_alive, opts.open_loop, opts.timeout);
         clients.push(std::thread::spawn(move || {
             let mut tally = Tally::default();
+            let mut leg = ClientLeg::new(&addr, keep_alive, timeout);
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= requests {
                     break;
                 }
+                let mut sent = Instant::now();
                 if rate > 0.0 {
-                    // Open-loop pacing: request i is due at i/rate.
+                    // Paced arrivals: request i is due at i/rate.
                     let due = Duration::from_secs_f64(i as f64 / rate);
                     if let Some(wait) = due.checked_sub(started.elapsed()) {
                         std::thread::sleep(wait);
+                        sent = Instant::now();
+                    } else if open_loop {
+                        // Behind schedule: open-loop latency is charged
+                        // from the scheduled arrival, so the backlog a
+                        // saturated server builds is visible instead of
+                        // silently thinning the arrival process.
+                        sent = started + due;
                     }
                 }
                 let target = make_target(i);
-                let sent = Instant::now();
                 if jobs {
-                    job_cycle(&addr, &target, &mut tally, sent);
+                    job_cycle(&mut leg, &target, &mut tally, sent);
                 } else {
-                    match request(addr.as_str(), "POST", &target, &body) {
+                    match leg.send("POST", &target, &body) {
                         Ok((200, response)) => {
                             tally.cold.push(sent.elapsed());
                             tally.bytes_in += response.len();
@@ -945,6 +1041,9 @@ fn main() {
                     }
                 }
             }
+            let (conn_requests, conn_dialed) = leg.counts();
+            tally.conn_requests = conn_requests;
+            tally.conn_dialed = conn_dialed;
             tally
         }));
     }
@@ -961,8 +1060,9 @@ fn main() {
     // pass. Probe requests are not counted in the run totals.
     let mut probe = Tally::default();
     if opts.jobs {
+        let mut leg = ClientLeg::new(&opts.addr, opts.keep_alive, opts.timeout);
         for i in 0..opts.distinct.min(opts.requests) {
-            job_cycle(&opts.addr, &make_target(i), &mut probe, Instant::now());
+            job_cycle(&mut leg, &make_target(i), &mut probe, Instant::now());
         }
     }
 
@@ -995,6 +1095,15 @@ fn main() {
         println!(
             "throughput: {throughput:.1} req/s, {:.2} Mfix/s anonymized",
             throughput * fixes as f64 / 1e6
+        );
+    }
+    if opts.keep_alive && tally.conn_requests > 0 {
+        let reuse = 1.0 - tally.conn_dialed as f64 / tally.conn_requests as f64;
+        println!(
+            "reuse:    {} connections for {} requests ({:.1}% reused)",
+            tally.conn_dialed,
+            tally.conn_requests,
+            100.0 * reuse
         );
     }
     if opts.jobs {

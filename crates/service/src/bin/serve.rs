@@ -4,7 +4,7 @@
 use std::time::Duration;
 
 use mobipriv_core::Engine;
-use mobipriv_service::{ChaosConfig, Server, ServerConfig};
+use mobipriv_service::{ChaosConfig, Router, RouterConfig, Server, ServerConfig};
 
 const USAGE: &str = "\
 usage: mobipriv-serve [options]
@@ -34,6 +34,20 @@ options:
   --queue N            accept-queue depth before 503 load shedding
                        (default 64)
   --max-body-mb N      request-body limit in MiB (default 64)
+  --max-requests-per-conn N  requests served on one keep-alive
+                       connection before the server closes it
+                       (default 1000)
+  --idle-timeout-ms N  how long a keep-alive connection may sit idle
+                       between requests before the server closes it
+                       (default 5000)
+  --route SHARDS       run as a shard router instead of a single node:
+                       SHARDS is a comma-separated list of shard
+                       addresses (host:port). Requests are routed to
+                       the shard owning the dataset digest (rendezvous
+                       hashing); /metrics and /v1/stats fan out and
+                       fold across shards. Only --addr, --workers,
+                       --queue, --max-body-mb, --max-requests-per-conn
+                       and --idle-timeout-ms apply in this mode.
   --job-workers N      async job executor threads (default 2)
   --job-queue N        job-queue depth before submissions 503 (default 64)
   --dataset-budget-mb N  registry byte budget, LRU-evicted (default 512)
@@ -78,6 +92,7 @@ fn main() {
         addr: "127.0.0.1:8645".to_owned(),
         ..ServerConfig::default()
     };
+    let mut shards: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -105,6 +120,24 @@ fn main() {
                 Ok(n) if n > 0 => config.max_body_bytes = n * 1024 * 1024,
                 _ => fail("--max-body-mb expects a positive integer"),
             },
+            "--max-requests-per-conn" => match value(i).parse() {
+                Ok(n) if n > 0 => config.max_requests_per_conn = n,
+                _ => fail("--max-requests-per-conn expects a positive integer"),
+            },
+            "--idle-timeout-ms" => match value(i).parse::<u64>() {
+                Ok(n) if n > 0 => config.idle_timeout = Duration::from_millis(n),
+                _ => fail("--idle-timeout-ms expects a positive integer"),
+            },
+            "--route" => {
+                shards = value(i)
+                    .split(',')
+                    .map(|s| s.trim().to_owned())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if shards.is_empty() {
+                    fail("--route expects a comma-separated list of shard addresses");
+                }
+            }
             "--job-workers" => match value(i).parse() {
                 Ok(n) if n > 0 => config.job_workers = n,
                 _ => fail("--job-workers expects a positive integer"),
@@ -169,6 +202,37 @@ fn main() {
     }
     let workers = config.workers;
     let queue = config.queue_depth;
+    if !shards.is_empty() {
+        let router_config = RouterConfig {
+            addr: config.addr.clone(),
+            shards,
+            workers: config.workers,
+            queue_depth: config.queue_depth,
+            max_body_bytes: config.max_body_bytes,
+            timeout: config.timeout,
+            idle_timeout: config.idle_timeout,
+            max_requests_per_conn: config.max_requests_per_conn,
+            ..RouterConfig::default()
+        };
+        let shard_count = router_config.shards.len();
+        let router = match Router::bind(router_config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mobipriv-serve: bind failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let addr = router.local_addr().expect("bound socket has an address");
+        println!(
+            "mobipriv-serve listening on http://{addr} (workers={workers}, queue={queue}, \
+             routing {shard_count} shards)"
+        );
+        if let Err(e) = router.run() {
+            eprintln!("mobipriv-serve: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let server = match Server::bind(config) {
         Ok(s) => s,
         Err(e) => {

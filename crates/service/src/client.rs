@@ -1,14 +1,19 @@
 //! A minimal blocking HTTP/1.1 client for the service's own tooling —
-//! `mobipriv-loadgen`, the perf bench and the smoke harnesses all speak
-//! to the server through this one implementation instead of carrying
-//! private copies of the request/parse logic.
+//! `mobipriv-loadgen`, the perf bench, the shard router's upstream leg
+//! and the smoke harnesses all speak to the server through this one
+//! implementation instead of carrying private copies of the
+//! request/parse logic.
 //!
-//! One request per connection (`Connection: close` is what the server
-//! speaks), fixed-length bodies only, and a deliberately tiny JSON
-//! field scraper for the flat status documents the API returns — full
-//! documents go through [`mobipriv_eval::Json`] instead.
+//! Two shapes: the free functions ([`request`], [`request_full`]) send
+//! `Connection: close` and pay a fresh TCP connection per request;
+//! [`Connection`] keeps one socket open and frames responses by
+//! `Content-Length`, so warm loops reuse the connection (and it
+//! transparently reconnects when the server closes — idle deadline,
+//! request cap, restart). Fixed-length bodies only, plus a deliberately
+//! tiny JSON field scraper for the flat status documents the API
+//! returns — full documents go through [`mobipriv_eval::Json`] instead.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -84,10 +89,13 @@ fn exchange<A: ToSocketAddrs>(
 ) -> std::io::Result<(u16, Headers, Vec<u8>)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(read_timeout))?;
+    // `connection: close` keeps the read-to-EOF parse below correct
+    // against a keep-alive server (which would otherwise hold the
+    // socket open waiting for the next request).
     write!(
         stream,
         "{method} {target} HTTP/1.1\r\nhost: client\r\ncontent-type: text/csv\r\n\
-         content-length: {}\r\n\r\n",
+         content-length: {}\r\nconnection: close\r\n\r\n",
         body.len()
     )?;
     stream.write_all(body)?;
@@ -117,6 +125,229 @@ fn exchange<A: ToSocketAddrs>(
         .map(|split| response[split + 4..].to_vec())
         .unwrap_or_default();
     Ok((status, headers, body))
+}
+
+/// A persistent (keep-alive) client connection to one server.
+///
+/// Responses are framed by `Content-Length`, so the socket survives
+/// across requests; when the server closes it instead (idle deadline,
+/// per-connection request cap, restart, `connection: close` response)
+/// the next request transparently redials — and a request that fails
+/// on a *reused* socket is retried once on a fresh one, since a stale
+/// pooled connection is indistinguishable from the server having
+/// closed it a moment ago. The [`Connection::requests`] /
+/// [`Connection::connects`] counters let callers report the achieved
+/// reuse rate.
+#[derive(Debug)]
+pub struct Connection {
+    addr: std::net::SocketAddr,
+    stream: Option<BufReader<TcpStream>>,
+    read_timeout: Duration,
+    requests: u64,
+    connects: u64,
+}
+
+impl Connection {
+    /// Resolves `addr` (first resolution wins) and dials it eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or connect failure.
+    pub fn connect<A: ToSocketAddrs>(addr: A, read_timeout: Duration) -> std::io::Result<Self> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )
+        })?;
+        let mut conn = Connection {
+            addr,
+            stream: None,
+            read_timeout,
+            requests: 0,
+            connects: 0,
+        };
+        conn.dial()?;
+        Ok(conn)
+    }
+
+    /// The resolved peer address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests completed over this handle.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// TCP connections dialed over this handle's lifetime; the reuse
+    /// rate is `1 - connects/requests`.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Whether a socket is currently open (the next request will reuse
+    /// it rather than dial).
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Sends one request and reads the `Content-Length`-framed
+    /// response; returns `(status, headers, body)` with header names
+    /// lowercased, exactly like [`request_full`].
+    ///
+    /// # Errors
+    ///
+    /// Connect/read/write failures after the one stale-socket retry
+    /// described on [`Connection`]; a response without a parsable
+    /// status line reports status `0` rather than erroring.
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Headers, Vec<u8>)> {
+        self.request_typed(method, target, "text/csv", body)
+    }
+
+    /// [`Connection::request`] with an explicit request `content-type`
+    /// — the shard router forwards the client's body verbatim and must
+    /// forward its type (CSV vs NDJSON vs binary) with it.
+    ///
+    /// # Errors
+    ///
+    /// Same surface as [`Connection::request`].
+    pub fn request_typed(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Headers, Vec<u8>)> {
+        let mut attempt = 0;
+        loop {
+            let reused = self.stream.is_some();
+            match self.try_request(method, target, content_type, body) {
+                Ok(response) => {
+                    self.requests += 1;
+                    return Ok(response);
+                }
+                Err(e) => {
+                    self.stream = None;
+                    // Only a first failure on a reused socket is
+                    // plausibly just staleness; a fresh socket failing
+                    // is a real error the caller must see.
+                    if !reused || attempt > 0 {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn dial(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.read_timeout))?;
+        // Requests here are strictly sequential request/response pairs:
+        // disable Nagle so a small request is not held back waiting for
+        // a delayed ACK of the previous response.
+        let _ = stream.set_nodelay(true);
+        self.connects += 1;
+        self.stream = Some(BufReader::new(stream));
+        Ok(())
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u16, Headers, Vec<u8>)> {
+        if self.stream.is_none() {
+            self.dial()?;
+        }
+        let reader = self.stream.as_mut().expect("dialed above");
+        let stream = reader.get_mut();
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nhost: client\r\ncontent-type: {content_type}\r\n\
+             content-length: {}\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        let status_line = read_response_line(reader)?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .unwrap_or(0);
+        let mut headers = Headers::new();
+        let mut content_length: Option<u64> = None;
+        let mut close = false;
+        loop {
+            let line = read_response_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                continue;
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            }
+            if name == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+            headers.push((name, value));
+        }
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; usize::try_from(n).unwrap_or(usize::MAX)];
+                reader.read_exact(&mut buf)?;
+                buf
+            }
+            None => {
+                // Unframed response: EOF delimits it, the socket is spent.
+                close = true;
+                let mut buf = Vec::new();
+                reader.read_to_end(&mut buf)?;
+                buf
+            }
+        };
+        if close {
+            self.stream = None;
+        }
+        Ok((status, headers, body))
+    }
+}
+
+/// Reads one CRLF-terminated response line (without the terminator),
+/// erroring on EOF — a closed socket mid-head is never a valid
+/// response.
+fn read_response_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<String> {
+    let mut line = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(64 * 1024)
+        .read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.last() == Some(&b'\n') || line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response head")
+    })
 }
 
 /// The first value of `name` (lowercase) in a [`request_full`] header

@@ -15,6 +15,7 @@
 
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -29,7 +30,9 @@ use mobipriv_obs::trace::{next_trace_id, SpanRecorder};
 use crate::cache::{result_key, CacheOutcome, CachedResult};
 use crate::compute;
 use crate::datasets::Registered;
-use crate::http::{read_head, stream_body, write_response, DeadlineReader, RequestHead};
+use crate::http::{
+    read_head, stream_body, write_response, BodyFraming, DeadlineReader, NextRequest, RequestHead,
+};
 use crate::jobs::{JobKind, JobSpec, JobStatus, Submitted};
 use crate::registry::{mechanisms_json, resolve_mechanism, Params};
 use crate::server::ServerConfig;
@@ -40,6 +43,11 @@ use crate::ServiceError;
 /// after responding: bounds a stalled or trickling client's hold on a
 /// worker once its response is on the wire.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How often a parked keep-alive connection re-checks the shutdown
+/// flag (and its idle deadline) while waiting for the next request —
+/// bounds how long graceful drain waits on idle connections.
+const IDLE_POLL: Duration = Duration::from_millis(200);
 
 /// A response body: built for this request, or shared out of the
 /// result cache (hits serve the cached bytes without copying them).
@@ -123,68 +131,121 @@ impl Response {
     }
 }
 
-/// Serves one connection end to end: parse, route, respond. All errors
-/// become status-mapped responses; I/O failures while responding are
-/// dropped with the connection.
-pub fn handle_connection(stream: TcpStream, config: &ServerConfig, state: &AppState) {
-    let started = Instant::now();
+/// Serves one connection end to end: parse, route, respond — then, on
+/// a keep-alive connection, parks for the next request and repeats.
+/// All request errors become status-mapped responses (always with
+/// `connection: close`, so an error can never desync the stream);
+/// I/O failures while responding are dropped with the connection.
+///
+/// The connection is reused only when all of these hold: the client
+/// asked for it ([`RequestHead::keep_alive`]), the response was a
+/// success, the declared body was fully consumed (leftover bytes would
+/// be parsed as the next head), the per-connection request cap has not
+/// been reached, and the server is not draining for shutdown.
+pub fn handle_connection(
+    stream: TcpStream,
+    config: &ServerConfig,
+    state: &AppState,
+    shutdown: &AtomicBool,
+) {
     let peer = stream
         .peer_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "unknown".to_owned());
-    // One trace per request, created at accept and carried through the
-    // handler → cache → compute chain; the id always reaches the client
-    // via `x-mobipriv-trace`, whether or not the timeline is sampled.
-    let rec = SpanRecorder::new(next_trace_id());
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    // The whole request (head + body) shares one wall-clock budget:
-    // per-read socket timeouts reset on every byte, so without this a
-    // trickling client could hold the worker indefinitely.
+    // Each request (head + body) gets one wall-clock budget: per-read
+    // socket timeouts reset on every byte, so without this a trickling
+    // client could hold the worker indefinitely.
     let mut reader = DeadlineReader::new(BufReader::new(read_half), config.timeout);
     let mut writer = stream;
-    let parse_start = Instant::now();
-    let head = read_head(&mut reader);
-    rec.record("parse", parse_start);
-    let mut response = match head {
-        Ok(head) => {
-            // Clients that announce `Expect: 100-continue` (curl does
-            // for any body over 1 KiB) hold the body back until the
-            // interim response arrives — without it they stall ~1 s
-            // per request, or forever if strict.
-            if head
-                .header("expect")
-                .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
-            {
-                let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
-                let _ = writer.flush();
+    let mut served: usize = 0;
+    loop {
+        let started = Instant::now();
+        // One trace per request, carried through the handler → cache →
+        // compute chain; the id always reaches the client via
+        // `x-mobipriv-trace`, whether or not the timeline is sampled.
+        let rec = SpanRecorder::new(next_trace_id());
+        let parse_start = Instant::now();
+        let next = if served == 0 {
+            // The acceptor queued this connection because a request is
+            // (presumably) already on its way: read it directly under
+            // the ordinary request budget, as a fresh connection always
+            // did.
+            reader.set_deadline(config.timeout);
+            read_head(&mut reader).map(NextRequest::Head)
+        } else {
+            reader.next_request(config.idle_timeout, IDLE_POLL, config.timeout, shutdown)
+        };
+        rec.record("parse", parse_start);
+        let (mut response, keep) = match next {
+            Ok(NextRequest::Head(head)) => {
+                // Clients that announce `Expect: 100-continue` (curl
+                // does for any body over 1 KiB) hold the body back
+                // until the interim response arrives — without it they
+                // stall ~1 s per request, or forever if strict.
+                if head
+                    .header("expect")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+                {
+                    let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+                    let _ = writer.flush();
+                }
+                let framing = head.framing();
+                let consumed_before = reader.bytes_read();
+                let response = route(&head, &mut reader, config, state, &rec, &peer)
+                    .unwrap_or_else(|e| Response::from_error(&e));
+                // Reuse demands the stream be positioned exactly at the
+                // next request head. A fixed-length body the handler
+                // ignored could be drained here, but closing is just as
+                // correct and far simpler to reason about; a chunked
+                // body's consumption is only known if the handler
+                // actually streamed it to the terminator (any 2xx did).
+                let consumed = reader.bytes_read() - consumed_before;
+                let body_clean = match framing {
+                    Ok(BodyFraming::None) => true,
+                    Ok(BodyFraming::Length(n)) => consumed >= n,
+                    Ok(BodyFraming::Chunked) => consumed > 0 && response.status < 300,
+                    Err(_) => false,
+                };
+                served += 1;
+                let keep = head.keep_alive()
+                    && response.status < 400
+                    && body_clean
+                    && served < config.max_requests_per_conn
+                    && !shutdown.load(Ordering::SeqCst);
+                (response, keep)
             }
-            route(&head, &mut reader, config, state, &rec, &peer)
-                .unwrap_or_else(|e| Response::from_error(&e))
+            // Nothing arrived: no response owed, nothing to record.
+            Ok(NextRequest::Closed | NextRequest::IdleTimeout | NextRequest::Drain) => break,
+            Err(e) => (Response::from_error(&e), false),
+        };
+        response
+            .headers
+            .push(("x-mobipriv-trace", rec.id().to_owned()));
+        if response.status == 408 {
+            state.metrics.client_timeouts_total.inc();
         }
-        Err(e) => Response::from_error(&e),
-    };
-    response
-        .headers
-        .push(("x-mobipriv-trace", rec.id().to_owned()));
-    if response.status == 408 {
-        state.metrics.client_timeouts_total.inc();
+        let write_start = Instant::now();
+        let io = write_response(
+            &mut writer,
+            response.status,
+            response.reason,
+            &response.headers,
+            response.body.bytes(),
+            keep,
+        );
+        rec.record("write", write_start);
+        state
+            .metrics
+            .record_request(response.status, started.elapsed());
+        state.metrics.record_spans(&rec);
+        state.traces.store(&rec);
+        if !keep || io.is_err() {
+            break;
+        }
     }
-    let write_start = Instant::now();
-    let _ = write_response(
-        &mut writer,
-        response.status,
-        response.reason,
-        &response.headers,
-        response.body.bytes(),
-    );
-    rec.record("write", write_start);
-    state
-        .metrics
-        .record_request(response.status, started.elapsed());
-    state.metrics.record_spans(&rec);
-    state.traces.store(&rec);
     // Half-close, then drain any unread body (bounded by the body limit
     // plus slack, and by an overall wall-clock deadline): dropping the
     // socket with bytes still in the receive buffer makes the kernel
@@ -813,7 +874,7 @@ fn evaluate(head: &RequestHead) -> Result<Response, ServiceError> {
     })
 }
 
-fn body_format(head: &RequestHead) -> Result<WireFormat, ServiceError> {
+pub(crate) fn body_format(head: &RequestHead) -> Result<WireFormat, ServiceError> {
     if let Some(fmt) = Params(&head.query).get("format") {
         return match fmt {
             "csv" => Ok(WireFormat::Csv),

@@ -4,8 +4,12 @@
 //! size caps, body streaming for both `Content-Length` and
 //! `Transfer-Encoding: chunked` framing (the body never materializes —
 //! it is pushed to a caller-supplied sink in bounded chunks), and
-//! response writing. Every connection is handled request-per-connection
-//! (`Connection: close`), which keeps the job/worker mapping one-to-one.
+//! response writing. Connections are persistent (HTTP/1.1 keep-alive):
+//! responses are `Content-Length`-framed so the same socket carries
+//! sequential requests, and [`DeadlineReader::next_request`] parks a
+//! worker between them under an idle deadline. `Connection: close` (or
+//! an HTTP/1.0 request without `Connection: keep-alive`) restores the
+//! old one-request-per-connection behavior.
 
 use std::io::{BufRead, Write};
 
@@ -29,6 +33,9 @@ pub struct RequestHead {
     pub query: Vec<(String, String)>,
     /// Headers with lowercased names, in wire order.
     pub headers: Vec<(String, String)>,
+    /// Whether the request line said `HTTP/1.1` (`false` = `HTTP/1.0`),
+    /// which decides the default connection persistence.
+    pub http11: bool,
 }
 
 /// How the request body is framed on the wire.
@@ -57,6 +64,23 @@ impl RequestHead {
     /// delegates to).
     pub fn query_param(&self, name: &str) -> Option<&str> {
         crate::registry::Params(&self.query).get(name)
+    }
+
+    /// Whether the client asked for the connection to persist after
+    /// this request: HTTP/1.1 defaults to keep-alive unless a
+    /// `Connection` header lists `close`; HTTP/1.0 defaults to close
+    /// unless it lists `keep-alive` (both matched token-wise, so
+    /// `Connection: close, te` still closes).
+    pub fn keep_alive(&self) -> bool {
+        let token = |name: &str| {
+            self.header("connection")
+                .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(name)))
+        };
+        if self.http11 {
+            !token("close")
+        } else {
+            token("keep-alive")
+        }
     }
 
     /// Determines the body framing from the headers.
@@ -122,8 +146,14 @@ fn read_error(context: &str, e: &std::io::Error) -> ServiceError {
 }
 
 /// Reads one CRLF- (or LF-) terminated line, enforcing the remaining
-/// head budget. Returns the line without its terminator.
-fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, ServiceError> {
+/// budget with `overflow` as the error (request heads map overflow to
+/// `413` so an oversized pipelined head gets a proper status; chunk-
+/// framing lines stay a `400`). Returns the line without its terminator.
+fn read_line<R: BufRead>(
+    r: &mut R,
+    budget: &mut usize,
+    overflow: fn() -> ServiceError,
+) -> Result<String, ServiceError> {
     let mut buf = Vec::new();
     loop {
         let available = r
@@ -140,12 +170,7 @@ fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, Servic
             None => available.len(),
         };
         if consumed > *budget {
-            // Generic on purpose: the same reader handles head lines
-            // (16 KiB budget) and chunk-framing lines (a few bytes), so
-            // naming one limit here would mislead for the other.
-            return Err(ServiceError::BadRequest(
-                "protocol line exceeds its size budget".into(),
-            ));
+            return Err(overflow());
         }
         *budget -= consumed;
         match newline {
@@ -167,16 +192,32 @@ fn read_line<R: BufRead>(r: &mut R, budget: &mut usize) -> Result<String, Servic
         .map_err(|_| ServiceError::BadRequest("request head is not valid UTF-8".into()))
 }
 
+/// The error a request head larger than [`MAX_HEAD_BYTES`] maps to: a
+/// `413`, so that on a persistent connection an oversized pipelined
+/// head is answered with a real status (and a close) rather than a
+/// generic `400`.
+fn head_overflow() -> ServiceError {
+    ServiceError::PayloadTooLarge(MAX_HEAD_BYTES as u64)
+}
+
+/// The error an oversized chunk-framing line maps to. Generic on
+/// purpose: these budgets are protocol plumbing (a few bytes for the
+/// inter-chunk CRLF), not a client-visible payload limit.
+fn framing_overflow() -> ServiceError {
+    ServiceError::BadRequest("protocol line exceeds its size budget".into())
+}
+
 /// Parses the request line and headers off the stream, leaving the
 /// reader positioned at the first body byte.
 ///
 /// # Errors
 ///
-/// Returns [`ServiceError::BadRequest`] on malformed syntax or a head
-/// larger than [`MAX_HEAD_BYTES`].
+/// Returns [`ServiceError::BadRequest`] on malformed syntax, or
+/// [`ServiceError::PayloadTooLarge`] for a head larger than
+/// [`MAX_HEAD_BYTES`].
 pub fn read_head<R: BufRead>(r: &mut R) -> Result<RequestHead, ServiceError> {
     let mut budget = MAX_HEAD_BYTES;
-    let request_line = read_line(r, &mut budget)?;
+    let request_line = read_line(r, &mut budget, head_overflow)?;
     let mut parts = request_line.split_ascii_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) => (m, t, v),
@@ -204,7 +245,7 @@ pub fn read_head<R: BufRead>(r: &mut R) -> Result<RequestHead, ServiceError> {
     };
     let mut headers = Vec::new();
     loop {
-        let line = read_line(r, &mut budget)?;
+        let line = read_line(r, &mut budget, head_overflow)?;
         if line.is_empty() {
             break;
         }
@@ -218,6 +259,7 @@ pub fn read_head<R: BufRead>(r: &mut R) -> Result<RequestHead, ServiceError> {
         path,
         query,
         headers,
+        http11: version == "HTTP/1.1",
     })
 }
 
@@ -281,6 +323,21 @@ fn decode_component(s: &str, plus_as_space: bool) -> Result<String, ServiceError
 pub struct DeadlineReader<R> {
     inner: R,
     deadline: std::time::Instant,
+    bytes_read: u64,
+}
+
+/// What arrived while a persistent connection waited for its next
+/// request (see [`DeadlineReader::next_request`]).
+#[derive(Debug)]
+pub enum NextRequest {
+    /// A complete request head was parsed — serve it.
+    Head(RequestHead),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// No request arrived within the idle deadline.
+    IdleTimeout,
+    /// The server's shutdown flag was observed while idle: drain.
+    Drain,
 }
 
 impl<R> DeadlineReader<R> {
@@ -289,7 +346,24 @@ impl<R> DeadlineReader<R> {
         DeadlineReader {
             inner,
             deadline: std::time::Instant::now() + budget,
+            bytes_read: 0,
         }
+    }
+
+    /// Re-arms the whole-request budget to `budget` from now — called
+    /// at the start of each request on a persistent connection, so
+    /// every request gets the same budget a fresh connection would.
+    pub fn set_deadline(&mut self, budget: std::time::Duration) {
+        self.deadline = std::time::Instant::now() + budget;
+    }
+
+    /// Total bytes consumed through this wrapper since construction.
+    /// The connection loop diffs this across a handler call to learn
+    /// whether a declared body was left unread (in which case the
+    /// connection cannot be reused — the leftover bytes would be parsed
+    /// as the next request head).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
     }
 
     /// The wrapped reader.
@@ -313,10 +387,74 @@ impl<R> DeadlineReader<R> {
     }
 }
 
+impl DeadlineReader<std::io::BufReader<std::net::TcpStream>> {
+    /// Parks the connection until the first byte of the next request,
+    /// then parses the head under a fresh whole-request `budget`.
+    ///
+    /// Between requests the socket is polled in `poll`-sized slices so
+    /// the shutdown flag and the `idle` deadline are both observed
+    /// within one slice even while the connection sits parked; once a
+    /// byte arrives the wait stops being idle and the per-request
+    /// budget applies to the whole head, exactly as on a fresh
+    /// connection. Pipelined bytes already buffered count as arrived
+    /// data, so back-to-back requests never wait on the socket.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`read_head`] returns once bytes have started flowing
+    /// (malformed or oversized heads, mid-head stalls). The idle wait
+    /// itself never errors: it reports [`NextRequest::Closed`],
+    /// [`NextRequest::IdleTimeout`] or [`NextRequest::Drain`].
+    pub fn next_request(
+        &mut self,
+        idle: std::time::Duration,
+        poll: std::time::Duration,
+        budget: std::time::Duration,
+        shutdown: &std::sync::atomic::AtomicBool,
+    ) -> Result<NextRequest, ServiceError> {
+        use std::sync::atomic::Ordering;
+        let idle_deadline = std::time::Instant::now() + idle;
+        // The wait runs on the short socket timeout; park the request
+        // deadline past the idle horizon so `fill_buf`'s own check
+        // cannot fire while the connection is merely quiet.
+        self.deadline = idle_deadline + budget;
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(NextRequest::Drain);
+            }
+            let _ = self.inner.get_ref().set_read_timeout(Some(poll));
+            match self.inner.fill_buf() {
+                Ok([]) => return Ok(NextRequest::Closed),
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    if std::time::Instant::now() >= idle_deadline {
+                        return Ok(NextRequest::IdleTimeout);
+                    }
+                }
+                // A transport error between requests has no request to
+                // answer — same as the peer going away.
+                Err(_) => return Ok(NextRequest::Closed),
+            }
+        }
+        // First byte seen: this is a live request. Restore the full
+        // per-read socket timeout and arm the whole-request budget.
+        let _ = self.inner.get_ref().set_read_timeout(Some(budget));
+        self.deadline = std::time::Instant::now() + budget;
+        read_head(self).map(NextRequest::Head)
+    }
+}
+
 impl<R: std::io::Read> std::io::Read for DeadlineReader<R> {
     fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
         self.check()?;
-        self.inner.read(buf)
+        let n = self.inner.read(buf)?;
+        self.bytes_read += n as u64;
+        Ok(n)
     }
 }
 
@@ -327,6 +465,7 @@ impl<R: BufRead> BufRead for DeadlineReader<R> {
     }
 
     fn consume(&mut self, amt: usize) {
+        self.bytes_read += amt as u64;
         self.inner.consume(amt);
     }
 }
@@ -401,7 +540,7 @@ where
             let mut total: u64 = 0;
             let mut head_budget = MAX_HEAD_BYTES; // generous cap on framing lines
             loop {
-                let size_line = read_line(r, &mut head_budget)?;
+                let size_line = read_line(r, &mut head_budget, framing_overflow)?;
                 head_budget = MAX_HEAD_BYTES;
                 let size_hex = size_line.split(';').next().unwrap_or("").trim();
                 let size = u64::from_str_radix(size_hex, 16).map_err(|_| {
@@ -410,7 +549,7 @@ where
                 if size == 0 {
                     // Trailer section: lines until the blank terminator.
                     loop {
-                        let trailer = read_line(r, &mut head_budget)?;
+                        let trailer = read_line(r, &mut head_budget, framing_overflow)?;
                         if trailer.is_empty() {
                             return Ok(total);
                         }
@@ -422,7 +561,7 @@ where
                 }
                 copy_exact(r, size, &mut sink)?;
                 let mut crlf_budget = 4;
-                let sep = read_line(r, &mut crlf_budget)?;
+                let sep = read_line(r, &mut crlf_budget, framing_overflow)?;
                 if !sep.is_empty() {
                     return Err(ServiceError::BadRequest(
                         "missing CRLF after chunk data".into(),
@@ -455,7 +594,9 @@ where
 }
 
 /// Writes a complete response (status line, headers, `Content-Length`,
-/// `Connection: close`, body) and flushes.
+/// `Connection: keep-alive|close`, body) and flushes. The explicit
+/// `Content-Length` is what makes the connection reusable: the client
+/// knows exactly where this response ends and the next may begin.
 ///
 /// # Errors
 ///
@@ -467,14 +608,16 @@ pub fn write_response<W: Write>(
     reason: &str,
     headers: &[(&str, String)],
     body: &[u8],
+    keep_alive: bool,
 ) -> std::io::Result<()> {
     write!(w, "HTTP/1.1 {status} {reason}\r\n")?;
     for (name, value) in headers {
         write!(w, "{name}: {value}\r\n")?;
     }
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         w,
-        "content-length: {}\r\nconnection: close\r\n\r\n",
+        "content-length: {}\r\nconnection: {connection}\r\n\r\n",
         body.len()
     )?;
     w.write_all(body)?;
@@ -538,12 +681,27 @@ mod tests {
     }
 
     #[test]
-    fn rejects_oversized_head() {
+    fn rejects_oversized_head_with_413() {
         let raw = format!(
             "GET /x HTTP/1.1\r\nx: {}\r\n\r\n",
             "y".repeat(MAX_HEAD_BYTES)
         );
-        assert!(read_head(&mut Cursor::new(raw.as_bytes())).is_err());
+        let err = read_head(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert_eq!(err.status().0, 413, "oversized head maps to 413");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let h = head_of("GET /x HTTP/1.1\r\n\r\n");
+        assert!(h.keep_alive(), "1.1 defaults to keep-alive");
+        let h = head_of("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!h.keep_alive());
+        let h = head_of("GET /x HTTP/1.1\r\nConnection: close, te\r\n\r\n");
+        assert!(!h.keep_alive(), "token list with close still closes");
+        let h = head_of("GET /x HTTP/1.0\r\n\r\n");
+        assert!(!h.keep_alive(), "1.0 defaults to close");
+        let h = head_of("GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n");
+        assert!(h.keep_alive(), "1.0 opts in explicitly");
     }
 
     #[test]
@@ -610,12 +768,19 @@ mod tests {
             "OK",
             &[("content-type", "text/csv".into())],
             b"a,b\n",
+            false,
         )
         .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-type: text/csv\r\n"));
         assert!(text.contains("content-length: 4\r\n"));
+        assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\na,b\n"));
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "OK", &[], b"", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.contains("content-length: 0\r\n"));
     }
 }

@@ -23,6 +23,7 @@
 //! | `GET /metrics` | Prometheus text exposition: request/cache/job/queue counters and per-stage latency histograms ([`telemetry`]) |
 //! | `GET /v1/traces/:id` | the span timeline behind an `x-mobipriv-trace` response header |
 //! | `GET /healthz` | liveness probe — always HTTP 200, body `ready` or `degraded` (readiness is the body, see [`AppState::degraded`]) |
+//! | `GET /v1/route?key=…` | (router mode only) placement debug: which shard owns a key, plus the full failover rank ([`router`]) |
 //!
 //! # Guarantees
 //!
@@ -52,6 +53,12 @@
 //!   are quarantined, never served) and answers previously computed
 //!   requests as byte-identical cache hits without recomputation.
 //!   Without the flag the server is pure in-memory, as before.
+//! * **Transport reuse & scale-out** — responses are
+//!   `Content-Length`-framed so HTTP/1.1 connections persist across
+//!   requests ([`http`]), and `--route shard,…` turns a node into a
+//!   thin consistent-hash proxy over keep-alive upstream connections
+//!   ([`router`]): responses stay byte-identical whether they travel
+//!   one hop or two, and a dead shard degrades only its own key range.
 //!
 //! # Example
 //!
@@ -81,6 +88,7 @@ mod handlers;
 pub mod http;
 pub mod jobs;
 pub mod registry;
+pub mod router;
 mod server;
 mod state;
 pub mod store;
@@ -93,6 +101,7 @@ pub use datasets::DatasetRegistry;
 pub use error::ServiceError;
 pub use jobs::{backoff_ms, JobBoard, JobKind, JobStatus};
 pub use registry::{build_mechanism, resolve_mechanism, MechanismInfo, MECHANISMS};
+pub use router::{rendezvous_owner, rendezvous_rank, Router, RouterConfig, RouterHandle};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use state::AppState;
 pub use store::{Store, StoreStats};

@@ -11,13 +11,18 @@
 //! 3. A worker thread pops the connection, parses the request head,
 //!    streams the body through the incremental dataset reader, runs the
 //!    mechanism through the deterministic engine, and writes the
-//!    response. One connection is one request (`Connection: close`).
+//!    response. The connection then persists (HTTP/1.1 keep-alive):
+//!    the same worker serves follow-up requests on the socket until
+//!    the client closes, the idle deadline fires, the per-connection
+//!    request cap is reached, or the server drains for shutdown.
 //!
 //! # Shutdown
 //!
 //! [`ServerHandle::shutdown`] flips a flag, wakes the acceptor with a
 //! loopback connection, and joins every thread: requests already
-//! queued or in flight complete; new connections are refused.
+//! queued or in flight complete (idle keep-alive connections notice
+//! the flag within one poll slice and close after their current
+//! request); new connections are refused.
 
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -53,8 +58,16 @@ pub struct ServerConfig {
     /// bit-identical to any other engine configuration by the engine's
     /// determinism guarantee.
     pub engine: Engine,
-    /// Per-socket read/write timeout.
+    /// Per-socket read/write timeout (also the whole-request budget).
     pub timeout: Duration,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`connection: close` on the last response) — bounds how long a
+    /// single client can pin a worker and re-balances long-lived
+    /// clients across the pool.
+    pub max_requests_per_conn: usize,
     /// Executor threads draining the async job queue.
     pub job_workers: usize,
     /// Jobs the board may queue ahead of the executors before
@@ -89,6 +102,8 @@ impl Default for ServerConfig {
             max_body_bytes: 64 * 1024 * 1024,
             engine: Engine::sequential(),
             timeout: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(5),
+            max_requests_per_conn: 1000,
             job_workers: 2,
             job_queue_depth: 64,
             dataset_budget_bytes: 512 * 1024 * 1024,
@@ -167,9 +182,10 @@ impl Server {
                 let receiver = Arc::clone(&receiver);
                 let config = Arc::clone(&config);
                 let state = Arc::clone(&state);
+                let shutdown = Arc::clone(&shutdown);
                 std::thread::Builder::new()
                     .name(format!("mobipriv-worker-{i}"))
-                    .spawn(move || worker_loop(&receiver, &config, &state))
+                    .spawn(move || worker_loop(&receiver, &config, &state, &shutdown))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -322,6 +338,12 @@ fn accept_loop(
         }
         let _ = stream.set_read_timeout(Some(config.timeout));
         let _ = stream.set_write_timeout(Some(config.timeout));
+        // Keep-alive turns a connection into a sequence of small
+        // request/response exchanges; with Nagle on, the tail of a
+        // response can sit waiting for the client's delayed ACK
+        // (~40 ms) because nothing else is coming to flush it. Closing
+        // the socket used to hide this; a reused one cannot.
+        let _ = stream.set_nodelay(true);
         match sender.try_send(stream) {
             Ok(()) => {
                 let depth = state.metrics.queue_depth.add(1);
@@ -356,7 +378,7 @@ static SHED_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// client (closing with unread bytes in the receive buffer would RST
 /// the response away) can block for up to the drain deadline, and the
 /// acceptor must keep accepting while overloaded.
-fn shed(stream: TcpStream) {
+pub(crate) fn shed(stream: TcpStream) {
     struct Slot;
     impl Drop for Slot {
         fn drop(&mut self) {
@@ -379,6 +401,7 @@ fn shed(stream: TcpStream) {
             reason,
             &[("content-type", "text/plain".to_owned())],
             format!("{error}\n").as_bytes(),
+            false,
         );
         let _ = stream.shutdown(std::net::Shutdown::Write);
         let deadline = Duration::from_secs(2);
@@ -392,7 +415,12 @@ fn shed(stream: TcpStream) {
         .spawn(run);
 }
 
-fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, config: &ServerConfig, state: &AppState) {
+fn worker_loop(
+    receiver: &Mutex<Receiver<TcpStream>>,
+    config: &ServerConfig,
+    state: &AppState,
+    shutdown: &AtomicBool,
+) {
     loop {
         let stream = {
             let guard = receiver.lock().expect("queue mutex poisoned");
@@ -404,7 +432,7 @@ fn worker_loop(receiver: &Mutex<Receiver<TcpStream>>, config: &ServerConfig, sta
                 // A panicking handler must not shrink the fixed pool:
                 // the connection is lost, the worker survives.
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    handle_connection(stream, config, state);
+                    handle_connection(stream, config, state, shutdown);
                 }));
             }
             Err(_) => break, // acceptor gone: shutdown

@@ -51,15 +51,17 @@ fn exchange(addr: SocketAddr, request: &[u8]) -> (u16, HashMap<String, String>, 
 }
 
 fn get(addr: SocketAddr, target: &str) -> (u16, HashMap<String, String>, Vec<u8>) {
+    // `connection: close` — these helpers read to EOF, and the server
+    // keeps an HTTP/1.1 connection open for its idle timeout otherwise.
     exchange(
         addr,
-        format!("GET {target} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes(),
+        format!("GET {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes(),
     )
 }
 
 fn post(addr: SocketAddr, target: &str, body: &[u8]) -> (u16, HashMap<String, String>, Vec<u8>) {
     let mut request = format!(
-        "POST {target} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        "POST {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
         body.len()
     )
     .into_bytes();
@@ -202,9 +204,11 @@ fn chunked_and_ndjson_bodies_match_fixed_length_csv() {
     assert_eq!(status, 200);
 
     // Same body, chunked framing with awkward chunk sizes.
-    let mut request =
-        format!("POST {target} HTTP/1.1\r\nhost: t\r\ntransfer-encoding: chunked\r\n\r\n")
-            .into_bytes();
+    let mut request = format!(
+        "POST {target} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\
+         transfer-encoding: chunked\r\n\r\n"
+    )
+    .into_bytes();
     for chunk in csv.chunks(777) {
         request.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
         request.extend_from_slice(chunk);
@@ -219,7 +223,8 @@ fn chunked_and_ndjson_bodies_match_fixed_length_csv() {
     let mut ndjson = Vec::new();
     write_ndjson(&workload.dataset, &mut ndjson).unwrap();
     let mut request = format!(
-        "POST {target}&format=ndjson HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+        "POST {target}&format=ndjson HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n",
         ndjson.len()
     )
     .into_bytes();
@@ -314,7 +319,7 @@ fn expect_100_continue_gets_an_interim_response() {
     let csv = csv_of(&workload.dataset);
     let server = start(|_| {});
     let mut request = format!(
-        "POST /v1/anonymize?mechanism=raw&seed=1 HTTP/1.1\r\nhost: t\r\n\
+        "POST /v1/anonymize?mechanism=raw&seed=1 HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\
          expect: 100-continue\r\ncontent-length: {}\r\n\r\n",
         csv.len()
     )
@@ -489,5 +494,177 @@ fn evaluate_endpoint_rejects_bad_parameters() {
     let (status, headers, _) = post(addr, "/v1/evaluate", b"");
     assert_eq!(status, 405);
     assert_eq!(headers["allow"], "GET");
+    server.shutdown();
+}
+
+// --- keep-alive connection semantics ---------------------------------------
+
+/// Reads exactly one `Content-Length`-framed response off an open
+/// socket, leaving any pipelined follow-up bytes unread. The helpers
+/// above read to EOF instead, which only works for `connection: close`.
+fn read_framed(stream: &mut TcpStream) -> (u16, HashMap<String, String>, Vec<u8>) {
+    let mut raw = Vec::new();
+    let mut byte = [0u8; 1];
+    while !raw.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read response head");
+        assert!(n > 0, "EOF inside a response head: {raw:?}");
+        raw.push(byte[0]);
+    }
+    let head = std::str::from_utf8(&raw[..raw.len() - 4]).expect("ASCII head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers: HashMap<String, String> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    let length: usize = headers["content-length"].parse().expect("content-length");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("read framed body");
+    (status, headers, body)
+}
+
+fn connect_keep_alive(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+#[test]
+fn keep_alive_reuses_one_socket_and_stays_byte_identical() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let csv = b"user,trace,lat,lng,time\n1,0,48.8566,2.3522,0\n1,0,48.8570,2.3530,30\n";
+
+    let mut stream = connect_keep_alive(addr);
+    let mut reused = Vec::new();
+    for _ in 0..3 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        let (status, headers, body) = read_framed(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(headers["connection"], "keep-alive");
+        reused.push(body);
+
+        let mut request = format!(
+            "POST /v1/anonymize?mechanism=promesse&alpha=100&seed=5 HTTP/1.1\r\n\
+             host: t\r\ncontent-length: {}\r\n\r\n",
+            csv.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(csv);
+        stream.write_all(&request).unwrap();
+        let (status, headers, body) = read_framed(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(headers["connection"], "keep-alive");
+        reused.push(body);
+    }
+
+    // The same six exchanges over fresh close-framed connections yield
+    // the same bytes: reuse changes framing, never content.
+    let mut fresh = Vec::new();
+    for _ in 0..3 {
+        fresh.push(get(addr, "/healthz").2);
+        fresh.push(
+            post(
+                addr,
+                "/v1/anonymize?mechanism=promesse&alpha=100&seed=5",
+                csv,
+            )
+            .2,
+        );
+    }
+    assert_eq!(reused, fresh);
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_is_honoured_with_a_close_response_and_eof() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let mut stream = connect_keep_alive(addr);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let (status, headers, body) = read_framed(&mut stream);
+    assert_eq!((status, body.as_slice()), (200, &b"ready\n"[..]));
+    assert_eq!(headers["connection"], "close");
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("clean EOF");
+    assert!(rest.is_empty(), "bytes after a close response: {rest:?}");
+    server.shutdown();
+}
+
+#[test]
+fn idle_deadline_reclaims_parked_connections() {
+    let server = start(|config| config.idle_timeout = Duration::from_millis(200));
+    let addr = server.addr();
+    let mut stream = connect_keep_alive(addr);
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+        .unwrap();
+    let (status, headers, _) = read_framed(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(headers["connection"], "keep-alive");
+    // Park without sending another request: the server must close the
+    // socket cleanly (EOF, no error bytes) once the idle deadline fires.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("clean EOF on idle");
+    assert!(rest.is_empty(), "bytes after idle close: {rest:?}");
+    // The worker is free again: a fresh connection is served promptly.
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_slice()), (200, &b"ready\n"[..]));
+    server.shutdown();
+}
+
+#[test]
+fn max_requests_per_conn_caps_a_connection_with_a_close_response() {
+    let server = start(|config| config.max_requests_per_conn = 2);
+    let addr = server.addr();
+    let mut stream = connect_keep_alive(addr);
+    for expected in ["keep-alive", "close"] {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        let (status, headers, _) = read_framed(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(headers["connection"], expected);
+    }
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("clean EOF at the cap");
+    assert!(rest.is_empty(), "bytes after the request cap: {rest:?}");
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = start(|_| {});
+    let addr = server.addr();
+    let mut stream = connect_keep_alive(addr);
+    // Both requests land in the connection's buffer before the first
+    // response is written; the persistent reader must not drop the
+    // second one between requests.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+              GET /v1/mechanisms HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+        )
+        .unwrap();
+    let (status, headers, body) = read_framed(&mut stream);
+    assert_eq!((status, body.as_slice()), (200, &b"ready\n"[..]));
+    assert_eq!(headers["connection"], "keep-alive");
+    let (status, headers, body) = read_framed(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(headers["connection"], "close");
+    assert!(String::from_utf8(body).unwrap().contains("promesse"));
     server.shutdown();
 }

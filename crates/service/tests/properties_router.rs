@@ -1,0 +1,157 @@
+//! Property-based tests on rendezvous (highest-random-weight) shard
+//! placement: ownership is a pure function of the *set* of shard names
+//! and the key — stable under listing order, roughly balanced across
+//! shards, and minimally disturbed by membership changes (removing a
+//! shard remaps only the keys it owned; adding one steals only the
+//! keys it now wins).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use mobipriv_service::{rendezvous_owner, rendezvous_rank};
+
+/// Unique shard names in `"host:port"` shape, derived from generated
+/// integers (the vendored proptest has no string strategies).
+fn arb_shards(min: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(any::<u16>(), min..9).prop_map(move |raw| {
+        let mut seen = HashSet::new();
+        let mut shards: Vec<String> = raw
+            .into_iter()
+            .map(|n| format!("10.0.{}.{}:8080", n >> 8, n & 0xff))
+            .filter(|name| seen.insert(name.clone()))
+            .collect();
+        // Deduplication may dip under `min`; pad from a disjoint range.
+        let mut pad = 0u32;
+        while shards.len() < min {
+            let name = format!("172.16.0.{pad}:8080");
+            if seen.insert(name.clone()) {
+                shards.push(name);
+            }
+            pad += 1;
+        }
+        shards
+    })
+}
+
+fn arb_keys(size: std::ops::Range<usize>) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(any::<u64>(), size)
+        .prop_map(|raw| raw.into_iter().map(|n| format!("{n:016x}")).collect())
+}
+
+fn owner_name(shards: &[String], key: &str) -> String {
+    shards[rendezvous_owner(shards, key).expect("nonempty shard list")].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Ownership depends on the shard *set*, not the listing order:
+    /// reversing or rotating the `--route` list must not move a key.
+    #[test]
+    fn owner_is_stable_under_shard_reordering(
+        shards in arb_shards(1),
+        keys in arb_keys(1..16),
+        rotate in any::<usize>(),
+    ) {
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        let mut rotated = shards.clone();
+        rotated.rotate_left(rotate % shards.len().max(1));
+        for key in &keys {
+            let owner = owner_name(&shards, key);
+            prop_assert_eq!(&owner, &owner_name(&reversed, key), "reversal moved {}", key);
+            prop_assert_eq!(&owner, &owner_name(&rotated, key), "rotation moved {}", key);
+        }
+    }
+
+    /// Removing one shard remaps exactly the keys it owned — every
+    /// other key keeps its owner (the minimal-disruption property that
+    /// makes scale-in cheap), and the orphaned keys land on their
+    /// second-ranked shard.
+    #[test]
+    fn removing_a_shard_remaps_only_its_own_keys(
+        shards in arb_shards(2),
+        keys in arb_keys(1..32),
+        victim in any::<usize>(),
+    ) {
+        let victim = victim % shards.len();
+        let survivors: Vec<String> = shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, s)| s.clone())
+            .collect();
+        for key in &keys {
+            let before = owner_name(&shards, key);
+            let after = owner_name(&survivors, key);
+            if before == shards[victim] {
+                let rank = rendezvous_rank(&shards, key);
+                prop_assert_eq!(
+                    &after, &shards[rank[1]],
+                    "orphaned {} skipped its second-ranked shard", key
+                );
+            } else {
+                prop_assert_eq!(&before, &after, "removal of an unrelated shard moved {}", key);
+            }
+        }
+    }
+
+    /// Adding a shard steals only the keys it wins outright: every key
+    /// either keeps its owner or moves to the newcomer — never to a
+    /// third shard.
+    #[test]
+    fn adding_a_shard_only_steals_keys_it_wins(
+        shards in arb_shards(1),
+        keys in arb_keys(1..32),
+    ) {
+        let mut grown = shards.clone();
+        grown.push("192.168.77.1:8080".to_owned());
+        for key in &keys {
+            let before = owner_name(&shards, key);
+            let after = owner_name(&grown, key);
+            prop_assert!(
+                after == before || after == grown[grown.len() - 1],
+                "{} moved to a third shard: {} -> {}", key, before, after
+            );
+        }
+    }
+
+    /// Placement spreads keys across all shards without gross skew
+    /// (bounds are loose — 256 keys over 4 shards expect 64 each; a
+    /// shard outside 16..=160 means the hash stopped mixing).
+    #[test]
+    fn placement_is_roughly_balanced_across_four_shards(keys in arb_keys(256..257)) {
+        let shards: Vec<String> = (1..=4).map(|i| format!("10.1.0.{i}:8080")).collect();
+        let mut counts = [0usize; 4];
+        for key in &keys {
+            counts[rendezvous_owner(&shards, key).unwrap()] += 1;
+        }
+        for (index, count) in counts.iter().enumerate() {
+            prop_assert!(
+                (16..=160).contains(count),
+                "shard {} owns {} of 256 keys: {:?}", index, count, counts
+            );
+        }
+    }
+
+    /// The failover order is a permutation of all shards headed by the
+    /// owner — so walking it visits every shard exactly once.
+    #[test]
+    fn rank_is_a_permutation_headed_by_the_owner(
+        shards in arb_shards(1),
+        keys in arb_keys(1..8),
+    ) {
+        for key in &keys {
+            let rank = rendezvous_rank(&shards, key);
+            prop_assert_eq!(rank.len(), shards.len());
+            let unique: HashSet<usize> = rank.iter().copied().collect();
+            prop_assert_eq!(unique.len(), shards.len(), "rank repeats a shard for {}", key);
+            prop_assert_eq!(
+                rank[0],
+                rendezvous_owner(&shards, key).unwrap(),
+                "rank head disagrees with the owner for {}", key
+            );
+        }
+    }
+}

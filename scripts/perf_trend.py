@@ -46,9 +46,25 @@ round trips against the same server build, so the ratio divides out
 machine speed; a blowout means the recovered path re-reads disk or
 recomputes on the request path.
 
+The keepalive section is an absolute floor (`--keepalive-floor`,
+default 1.5) on the fresh-connection/reused-connection warm RTT ratio:
+reusing a keep-alive connection must stay meaningfully faster than
+dialing per request. It is only gated when the bench machine has >= 2
+cores — on one core the round trip is context-switch-bound on both
+sides, which genuinely compresses the ratio toward 1 regardless of the
+transport's health (the recorded `cores` field makes the run
+self-describing).
+
+The sharding section is an absolute floor (`--sharding-floor`, default
+1.5) on the N=4-shards/N=1-node aggregate-throughput ratio, under the
+same >= 2 cores guard: four one-worker shards behind the router cannot
+physically outrun one one-worker node when every worker shares a
+single core, so a one-core gate would only measure the proxy overhead.
+
 usage: perf_trend.py BASELINE NEW [--floor=0.6] [--jobs-floor=10]
                      [--bin-floor=3] [--reident-floor=1.01]
                      [--obs-ceiling=1.05] [--restart-ceiling=2.0]
+                     [--keepalive-floor=1.5] [--sharding-floor=1.5]
 
 Exit status: 0 = no regression, 1 = regression (or a baseline path
 missing from the regenerated file), 2 = usage/parse error.
@@ -75,6 +91,8 @@ def main(argv):
     reident_floor = 1.01
     obs_ceiling = 1.05
     restart_ceiling = 2.0
+    keepalive_floor = 1.5
+    sharding_floor = 1.5
     for a in argv:
         if a.startswith("--floor="):
             floor = float(a.split("=", 1)[1])
@@ -88,6 +106,10 @@ def main(argv):
             obs_ceiling = float(a.split("=", 1)[1])
         if a.startswith("--restart-ceiling="):
             restart_ceiling = float(a.split("=", 1)[1])
+        if a.startswith("--keepalive-floor="):
+            keepalive_floor = float(a.split("=", 1)[1])
+        if a.startswith("--sharding-floor="):
+            sharding_floor = float(a.split("=", 1)[1])
     if len(args) != 2:
         print(__doc__, file=sys.stderr)
         return 2
@@ -221,6 +243,35 @@ def main(argv):
         print(
             f"{'resilience':>16} {'(abs)':>10} {got:>10.3f}x      -  "
             f"{verdict} (<= {obs_ceiling:.2f}x with a live deadline token)"
+        )
+
+    # keepalive / sharding: absolute floors on the connection-layer and
+    # scale-out ratios, gated only on >= 2 cores (see module
+    # docstring). Only required when the baseline has the section, so
+    # older baselines don't fail on the new bench.
+    for section, floor_value, what in (
+        ("keepalive", keepalive_floor, "reused vs fresh-conn warm RTT"),
+        ("sharding", sharding_floor, "4 shards vs 1 node throughput"),
+    ):
+        doc = fresh.get(section)
+        if doc is None:
+            if baseline.get(section) is not None:
+                print(f"{section:>16} {'-':>10} {'MISSING':>11}      -  FAIL")
+                failed = True
+            continue
+        got = doc["speedup"]
+        cores = doc.get("cores", 1)
+        if cores < 2:
+            print(
+                f"{section:>16} {'(abs)':>10} {got:>10.2f}x      -  "
+                f"skipped ({cores} core, {what} needs >= 2)"
+            )
+            continue
+        verdict = "ok" if got >= floor_value else "FAIL"
+        failed = failed or got < floor_value
+        print(
+            f"{section:>16} {'(abs)':>10} {got:>10.2f}x      -  "
+            f"{verdict} (>= {floor_value:.1f}x {what})"
         )
 
     if failed:

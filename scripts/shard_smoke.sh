@@ -1,0 +1,167 @@
+#!/usr/bin/env bash
+# Shard-router smoke test (used by CI and runnable locally after
+# `cargo build --release -p mobipriv-service --bins`):
+#
+#   1. boots 4 single-node shards and a router over them, plus one
+#      single-node reference server,
+#   2. registers a dataset through the router and asserts the digest
+#      matches the reference server's (content addressing is
+#      deployment-independent),
+#   3. asserts /v1/route names an owner and that a one-shot anonymize
+#      and a full job cycle through the router return bytes identical
+#      to the reference server's,
+#   4. asserts the router folds /metrics (cluster totals + per-shard
+#      route counters) and /v1/stats across shards,
+#   5. runs a mixed loadgen workload (one-shot and --jobs, keep-alive)
+#      through the router with zero failed requests, and asserts the
+#      router actually reused connections,
+#   6. kills the shard owning the first dataset and asserts: its key
+#      range answers 503, a dataset owned by a surviving shard still
+#      anonymizes byte-identically, stateless routes fail over, and
+#      mobipriv_route_errors_total counts the dead shard,
+#   7. kills everything on exit.
+set -euo pipefail
+
+BIN=${BIN:-target/release}
+WORK=$(mktemp -d)
+PIDS=()
+trap 'kill "${PIDS[@]}" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+CURL="curl -fsS --max-time 20"
+
+boot() { # boot <log> <extra args...> -> sets ADDR and PID, appends to PIDS
+  local log=$1; shift
+  "$BIN/mobipriv-serve" --addr 127.0.0.1:0 "$@" > "$log" 2>&1 &
+  PID=$!
+  disown "$PID" # no job-control "Killed" noise when the test shoots a shard
+  PIDS+=("$PID")
+  ADDR=""
+  for _ in $(seq 100); do
+    ADDR=$(sed -n 's#.*http://\([0-9.:]*\).*#\1#p' "$log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  if [ -z "$ADDR" ]; then
+    echo "server did not start:" >&2
+    cat "$log" >&2
+    exit 1
+  fi
+}
+
+"$BIN/mobipriv-loadgen" --users 20 --seed 7 --dump-workload > "$WORK/body.csv"
+echo "workload: $(wc -l < "$WORK/body.csv") CSV lines"
+
+SHARDS=()
+SHARD_PIDS=()
+for i in 1 2 3 4; do
+  boot "$WORK/shard$i.log" --workers 2
+  SHARDS+=("$ADDR")
+  SHARD_PIDS+=("$PID")
+  echo "shard $i:  http://$ADDR (pid $PID)"
+done
+boot "$WORK/router.log" --workers 4 --route "$(IFS=,; echo "${SHARDS[*]}")"
+ROUTER=$ADDR
+echo "router:   http://$ROUTER (pid $PID)"
+boot "$WORK/ref.log" --workers 2
+REF=$ADDR
+echo "ref:      http://$REF (pid $PID)"
+
+$CURL "http://$ROUTER/healthz" | grep -q ready
+
+# --- content addressing is deployment-independent --------------------------
+DIGEST=$($CURL --data-binary @"$WORK/body.csv" "http://$ROUTER/v1/datasets" \
+  | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')
+REF_DIGEST=$($CURL --data-binary @"$WORK/body.csv" "http://$REF/v1/datasets" \
+  | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')
+[ -n "$DIGEST" ] && [ "$DIGEST" = "$REF_DIGEST" ]
+echo "digest:   $DIGEST (router == reference)"
+
+OWNER=$($CURL "http://$ROUTER/v1/route?key=$DIGEST" \
+  | sed -n 's/.*"shard":"\([^"]*\)".*/\1/p')
+[ -n "$OWNER" ]
+echo "owner:    $OWNER"
+# The owning shard has the dataset; the others must not (keyed placement).
+$CURL "http://$OWNER/v1/datasets/$DIGEST" > /dev/null
+
+# --- byte-identity with the single-node reference --------------------------
+Q='mechanism=promesse&alpha=100&seed=42'
+$CURL --data-binary @"$WORK/body.csv" "http://$ROUTER/v1/anonymize?$Q" > "$WORK/via_router.csv"
+$CURL --data-binary @"$WORK/body.csv" "http://$REF/v1/anonymize?$Q" > "$WORK/via_ref.csv"
+cmp "$WORK/via_router.csv" "$WORK/via_ref.csv"
+echo "one-shot: byte-identical through router and reference"
+
+job() { # job <base url> <out file>: submit, poll to done, fetch result
+  local base=$1 out=$2 id="" status=""
+  id=$($CURL -X POST "http://$base/v1/jobs?dataset=$DIGEST&mechanism=geoind&epsilon=0.01&seed=9" \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+  [ -n "$id" ]
+  for _ in $(seq 100); do
+    status=$($CURL "http://$base/v1/jobs/$id" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+    [ "$status" = done ] && break
+    [ "$status" = failed ] && { echo "job failed on $base" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ "$status" = done ]
+  $CURL "http://$base/v1/results/$id" > "$out"
+}
+job "$ROUTER" "$WORK/job_router.csv"
+job "$REF" "$WORK/job_ref.csv"
+cmp "$WORK/job_router.csv" "$WORK/job_ref.csv"
+echo "jobs:     submit/poll/fetch byte-identical through router and reference"
+
+# --- folded observability --------------------------------------------------
+$CURL "http://$ROUTER/metrics" > "$WORK/metrics.txt"
+grep -q 'mobipriv_route_requests_total{shard="' "$WORK/metrics.txt"
+grep -q '^mobipriv_http_requests_total' "$WORK/metrics.txt"
+$CURL "http://$ROUTER/v1/stats" | python3 -m json.tool > /dev/null
+echo "fold:     /metrics and /v1/stats aggregate across shards"
+
+# --- mixed workload through the router, keep-alive -------------------------
+# (loadgen exits nonzero if any request failed; set -e turns that into
+# a smoke failure with the summary on stderr)
+"$BIN/mobipriv-loadgen" --addr "$ROUTER" --users 20 --seed 7 \
+  --requests 24 --concurrency 4 --keep-alive > "$WORK/loadgen_oneshot.txt" || {
+  cat "$WORK/loadgen_oneshot.txt" >&2; exit 1; }
+grep -q '% reused' "$WORK/loadgen_oneshot.txt"
+"$BIN/mobipriv-loadgen" --addr "$ROUTER" --users 20 --seed 7 --jobs --distinct 4 \
+  --requests 24 --concurrency 4 --keep-alive > "$WORK/loadgen_jobs.txt" || {
+  cat "$WORK/loadgen_jobs.txt" >&2; exit 1; }
+echo "loadgen:  one-shot + jobs through the router, zero failures, reuse confirmed"
+
+# --- degradation: kill the owner, other key ranges keep serving ------------
+# Find a second dataset owned by a *different* shard (register through
+# the router until placement lands elsewhere).
+OTHER_DIGEST=""
+for seed in $(seq 11 40); do
+  "$BIN/mobipriv-loadgen" --users 10 --seed "$seed" --dump-workload > "$WORK/other.csv"
+  D=$($CURL --data-binary @"$WORK/other.csv" "http://$ROUTER/v1/datasets" \
+    | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')
+  O=$($CURL "http://$ROUTER/v1/route?key=$D" | sed -n 's/.*"shard":"\([^"]*\)".*/\1/p')
+  if [ "$O" != "$OWNER" ]; then OTHER_DIGEST=$D; break; fi
+done
+[ -n "$OTHER_DIGEST" ]
+$CURL --data-binary @"$WORK/other.csv" "http://$REF/v1/anonymize?$Q" > "$WORK/other_ref.csv"
+
+for i in 0 1 2 3; do
+  if [ "${SHARDS[$i]}" = "$OWNER" ]; then
+    kill -9 "${SHARD_PIDS[$i]}"
+    echo "killed:   shard ${SHARDS[$i]} (owner of $DIGEST)"
+  fi
+done
+sleep 0.3
+
+# The dead shard's key range degrades to 503…
+STATUS=$(curl -s -o /dev/null --max-time 20 -w '%{http_code}' "http://$ROUTER/v1/datasets/$DIGEST")
+[ "$STATUS" = 503 ]
+# …while other key ranges keep serving byte-identically…
+$CURL --data-binary @"$WORK/other.csv" "http://$ROUTER/v1/anonymize?$Q" > "$WORK/other_router.csv"
+cmp "$WORK/other_router.csv" "$WORK/other_ref.csv"
+# …stateless routes fail over to surviving shards…
+$CURL "http://$ROUTER/v1/mechanisms" | grep -q promesse
+# …health reports the degradation, and the route errors are counted.
+curl -fsS --max-time 20 "http://$ROUTER/healthz" | grep -q degraded
+$CURL "http://$ROUTER/metrics" | grep "mobipriv_route_errors_total{shard=\"$OWNER\"}" \
+  | grep -qv ' 0$'
+echo "degrade:  dead shard 503s its range, others serve, errors counted"
+
+echo "shard smoke OK"
